@@ -1,0 +1,122 @@
+//! Micro-benchmarks of the hot data structures: sequence-number
+//! arithmetic, wire codecs, queues, recirculation buffers, loss sampling
+//! and the FEC math.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lg_link::fec::RsFec;
+use lg_link::loss::LossProcess;
+use lg_link::LossModel;
+use lg_packet::lg::{LgData, LgPacketType};
+use lg_packet::tcp::{SackBlock, TcpFlags, TcpRepr};
+use lg_packet::{NodeId, Packet, SeqNo};
+use lg_sim::{Rng, Time};
+use lg_switch::{ByteQueue, RecircBuffer};
+use linkguardian::seqmap::{abs_of, wire_of};
+
+fn bench_seqno(c: &mut Criterion) {
+    c.bench_function("seqno/era_corrected_cmp", |b| {
+        let x = SeqNo::new(65_530, false);
+        let y = SeqNo::new(5, true);
+        b.iter(|| black_box(x).cmp_seq(black_box(y)))
+    });
+    c.bench_function("seqno/abs_reconstruction", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for abs in 1_000_000u64..1_000_256 {
+                acc += abs_of(wire_of(abs), black_box(1_000_128));
+            }
+            acc
+        })
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    c.bench_function("wire/lg_data_emit_parse", |b| {
+        let h = LgData {
+            seq: SeqNo::new(12_345, true),
+            kind: LgPacketType::Original,
+        };
+        let mut buf = [0u8; 3];
+        b.iter(|| {
+            h.emit(&mut buf);
+            LgData::parse(black_box(&buf)).unwrap()
+        })
+    });
+    c.bench_function("wire/tcp_emit_parse_with_sack", |b| {
+        let h = TcpRepr {
+            src_port: 1,
+            dst_port: 2,
+            seq: 3,
+            ack: 4,
+            flags: TcpFlags {
+                ack: true,
+                ..Default::default()
+            },
+            window: 5,
+            sack: vec![
+                SackBlock { start: 0, end: 9 },
+                SackBlock { start: 20, end: 29 },
+            ],
+        };
+        let mut buf = vec![0u8; h.header_len()];
+        b.iter(|| {
+            h.emit(&mut buf);
+            TcpRepr::parse(black_box(&buf)).unwrap()
+        })
+    });
+}
+
+fn bench_queues(c: &mut Criterion) {
+    c.bench_function("queue/byte_queue_push_pop", |b| {
+        let mut q = ByteQueue::new(10 * 1024 * 1024);
+        let pkt = Packet::raw(NodeId(0), NodeId(1), 1518, Time::ZERO);
+        b.iter(|| {
+            for _ in 0..64 {
+                q.push(pkt.clone());
+            }
+            for _ in 0..64 {
+                black_box(q.pop());
+            }
+        })
+    });
+    c.bench_function("queue/recirc_insert_remove", |b| {
+        let mut buf = RecircBuffer::new(200 * 1024);
+        let pkt = Packet::raw(NodeId(0), NodeId(1), 1518, Time::ZERO);
+        let mut key = 0u64;
+        b.iter(|| {
+            for _ in 0..32 {
+                key += 1;
+                buf.insert(key, pkt.clone(), Time::from_us(key)).unwrap();
+            }
+            black_box(buf.remove_up_to(key, Time::from_us(key + 1)));
+        })
+    });
+}
+
+fn bench_loss(c: &mut Criterion) {
+    c.bench_function("loss/iid_per_frame", |b| {
+        let mut p = LossProcess::new(LossModel::Iid { rate: 1e-3 }, Rng::new(1));
+        b.iter(|| black_box(p.should_drop()))
+    });
+    c.bench_function("loss/gilbert_elliott_per_frame", |b| {
+        let mut p = LossProcess::new(LossModel::bursty(1e-3, 3.0), Rng::new(2));
+        b.iter(|| black_box(p.should_drop()))
+    });
+}
+
+fn bench_fec(c: &mut Criterion) {
+    c.bench_function("fec/rs_codeword_error_rate", |b| {
+        let fec = RsFec::kr4();
+        b.iter(|| black_box(fec.codeword_error_rate(black_box(1e-5))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_seqno,
+    bench_wire,
+    bench_queues,
+    bench_loss,
+    bench_fec
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benchmarks of the large-scale fabric machinery: the CorrOpt fast
+//! checker, pod metrics and a day of maintenance simulation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lg_fabric::{run, CapacityConstraint, CorrOpt, Fabric, FabricSimConfig, LinkId, Policy};
+
+fn bench_corropt(c: &mut Criterion) {
+    c.bench_function("corropt/fast_checker", |b| {
+        let mut fabric = Fabric::new(4);
+        let co = CorrOpt::new(CapacityConstraint(0.75));
+        b.iter(|| black_box(co.can_disable(&mut fabric, LinkId(7))))
+    });
+    c.bench_function("fabric/least_paths_per_pod", |b| {
+        let fabric = Fabric::new(4);
+        b.iter(|| black_box(fabric.least_paths_fraction_in_pod(2)))
+    });
+}
+
+fn bench_sim_day(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric_sim");
+    g.sample_size(10);
+    g.bench_function("one_day_20pods", |b| {
+        b.iter(|| {
+            let cfg = FabricSimConfig {
+                pods: 20,
+                horizon_hours: 24.0,
+                constraint: 0.75,
+                policy: Policy::LgPlusCorrOpt,
+                sample_interval_hours: 1.0,
+                target_loss_rate: 1e-8,
+                seed: 99,
+            };
+            black_box(run(&cfg).counts.corruption_events)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_corropt, bench_sim_day);
+criterion_main!(benches);

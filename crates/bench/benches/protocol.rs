@@ -1,0 +1,79 @@
+//! Benchmarks of the LinkGuardian protocol hot path and end-to-end
+//! simulation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lg_link::{LinkSpeed, LossModel};
+use lg_packet::{NodeId, Packet};
+use lg_sim::{Duration, Time};
+use lg_testbed::world::{World, WorldConfig};
+use linkguardian::{LgConfig, LgReceiver, LgSender};
+
+fn bench_sender_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lg_sender");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("stamp_and_buffer", |b| {
+        let cfg = LgConfig::for_speed(LinkSpeed::G100, 1e-3);
+        let mut s = LgSender::new(cfg, NodeId(100), NodeId(101));
+        s.activate(1e-3);
+        let mut t = 0u64;
+        b.iter(|| {
+            let mut p = Packet::raw(NodeId(0), NodeId(1), 1518, Time::from_ns(t));
+            t += 123;
+            s.on_transmit(&mut p, Time::from_ns(t));
+            // immediately ack so the buffer stays small
+            let mut ack = Packet::lg_control(
+                NodeId(101),
+                NodeId(100),
+                lg_packet::LgControl::ExplicitAck,
+                Time::from_ns(t),
+            );
+            ack.lg_ack = Some(lg_packet::lg::LgAck {
+                latest_rx: linkguardian::seqmap::wire_of(s.last_sent()),
+                explicit: true,
+            });
+            black_box(s.on_reverse_rx(ack, Time::from_ns(t)));
+        })
+    });
+    g.finish();
+}
+
+fn bench_receiver_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lg_receiver");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("in_order_accept", |b| {
+        let cfg = LgConfig::for_speed(LinkSpeed::G100, 1e-3);
+        let mut r = LgReceiver::new(cfg, NodeId(101), NodeId(100));
+        r.activate();
+        let mut abs = 0u64;
+        b.iter(|| {
+            abs += 1;
+            let mut p = Packet::raw(NodeId(0), NodeId(1), 1518, Time::from_ns(abs));
+            p.lg_data = Some(lg_packet::lg::LgData {
+                seq: linkguardian::seqmap::wire_of(abs),
+                kind: lg_packet::lg::LgPacketType::Original,
+            });
+            black_box(r.on_protected_rx(p, Time::from_ns(abs * 123)));
+        })
+    });
+    g.finish();
+}
+
+fn bench_world_stress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("world");
+    g.sample_size(10);
+    // one millisecond of 100G line-rate stress with 1e-3 corruption
+    g.throughput(Throughput::Elements(8_127)); // ≈ packets per simulated ms
+    g.bench_function("stress_1ms_100g_1e-3", |b| {
+        b.iter(|| {
+            let cfg = WorldConfig::new(LinkSpeed::G100, LossModel::Iid { rate: 1e-3 });
+            let mut w = World::new(cfg);
+            w.enable_stress(1518);
+            w.run_until(Time::ZERO + Duration::from_ms(1));
+            black_box(w.stress_delivered())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sender_path, bench_receiver_path, bench_world_stress);
+criterion_main!(benches);

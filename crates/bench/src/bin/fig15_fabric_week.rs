@@ -1,0 +1,68 @@
+//! Figure 15: a 1-week snapshot of the large-scale fabric simulation —
+//! total penalty, least paths per ToR and least capacity per pod, for
+//! vanilla CorrOpt vs LinkGuardian + CorrOpt at 50% and 75% capacity
+//! constraints.
+//!
+//! Usage: `cargo run --release -p lg-bench --bin fig15_fabric_week
+//! [--pods 260] [--days 7]`
+
+use lg_bench::{arg, banner};
+use lg_fabric::{run, FabricSimConfig, Policy};
+
+fn main() {
+    banner(
+        "Figure 15",
+        "1-week fabric snapshot: CorrOpt vs LinkGuardian+CorrOpt",
+    );
+    let pods: u32 = arg("--pods", 260u32);
+    let days: f64 = arg("--days", 7.0);
+    let seed: u64 = arg("--seed", 15);
+    for constraint in [0.50, 0.75] {
+        println!("=== capacity constraint {:.0}% ===", constraint * 100.0);
+        let mut results = Vec::new();
+        for policy in [Policy::CorrOptOnly, Policy::LgPlusCorrOpt] {
+            let cfg = FabricSimConfig {
+                pods,
+                horizon_hours: days * 24.0,
+                constraint,
+                policy,
+                sample_interval_hours: 6.0,
+                target_loss_rate: 1e-8,
+                seed,
+            };
+            results.push(run(&cfg));
+        }
+        println!(
+            "{:>8} | {:>13} {:>13} | {:>9} {:>9} | {:>9} {:>9}",
+            "t(days)", "pen CorrOpt", "pen LG+CO", "paths CO", "paths LG", "cap CO", "cap LG"
+        );
+        let (co, lg) = (&results[0], &results[1]);
+        for (a, b) in co.samples.iter().zip(lg.samples.iter()) {
+            println!(
+                "{:>8.2} | {:>13.3e} {:>13.3e} | {:>8.1}% {:>8.1}% | {:>8.2}% {:>8.2}%",
+                a.t_hours / 24.0,
+                a.total_penalty,
+                b.total_penalty,
+                a.least_paths * 100.0,
+                b.least_paths * 100.0,
+                a.least_capacity * 100.0,
+                b.least_capacity * 100.0,
+            );
+        }
+        let mean_pen = |r: &lg_fabric::FabricSimResult| {
+            r.samples.iter().map(|s| s.total_penalty).sum::<f64>() / r.samples.len() as f64
+        };
+        let (pc, pl) = (mean_pen(co), mean_pen(lg));
+        println!(
+            "mean total penalty: CorrOpt {pc:.3e}, LG+CorrOpt {pl:.3e} — gain {:.1e}x",
+            pc / pl.max(1e-300)
+        );
+        println!(
+            "deferred corrupting links: CorrOpt {}, LG+CorrOpt {}; peak LG links per fabric switch: {}",
+            co.counts.deferred, lg.counts.deferred, lg.counts.peak_lg_per_fabric_switch
+        );
+        println!();
+    }
+    println!("paper: when the constraint binds, vanilla CorrOpt's penalty jumps while");
+    println!("  LG+CorrOpt stays ~4-6 orders of magnitude lower at a ~0.2% capacity cost.");
+}

@@ -1,0 +1,72 @@
+//! Figure 16: CDFs over a year-long simulation of (a) the gain in total
+//! penalty and (b) the decrease in least capacity per pod, for
+//! LinkGuardian + CorrOpt vs vanilla CorrOpt at 50% and 75% constraints.
+//!
+//! Usage: `cargo run --release -p lg-bench --bin fig16_fabric_year
+//! [--pods 260] [--days 365] [--sample-hours 4]`
+
+use lg_bench::{arg, banner};
+use lg_fabric::{run, FabricSimConfig, Policy};
+
+fn main() {
+    banner(
+        "Figure 16",
+        "year-long CDFs: penalty gain and capacity decrease (LG+CorrOpt vs CorrOpt)",
+    );
+    let pods: u32 = arg("--pods", 260u32);
+    let days: f64 = arg("--days", 365.0);
+    let sample_hours: f64 = arg("--sample-hours", 4.0);
+    let seed: u64 = arg("--seed", 16);
+
+    for constraint in [0.50, 0.75] {
+        let mk = |policy| FabricSimConfig {
+            pods,
+            horizon_hours: days * 24.0,
+            constraint,
+            policy,
+            sample_interval_hours: sample_hours,
+            target_loss_rate: 1e-8,
+            seed,
+        };
+        let co = run(&mk(Policy::CorrOptOnly));
+        let lg = run(&mk(Policy::LgPlusCorrOpt));
+        let mut gains: Vec<f64> = co
+            .samples
+            .iter()
+            .zip(lg.samples.iter())
+            .map(|(a, b)| {
+                if a.total_penalty <= 0.0 && b.total_penalty <= 0.0 {
+                    1.0
+                } else {
+                    a.total_penalty / b.total_penalty.max(1e-300)
+                }
+            })
+            .collect();
+        gains.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let mut cap_drop: Vec<f64> = co
+            .samples
+            .iter()
+            .zip(lg.samples.iter())
+            .map(|(a, b)| (a.least_capacity - b.least_capacity).max(0.0) * 100.0)
+            .collect();
+        cap_drop.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let q = |v: &[f64], p: f64| v[((p * v.len() as f64) as usize).min(v.len() - 1)];
+
+        println!("=== capacity constraint {:.0}% ===", constraint * 100.0);
+        println!("(a) gain in total penalty (x times):");
+        for p in [0.10, 0.25, 0.35, 0.50, 0.75, 0.90, 0.99] {
+            println!("    P{:>4.0} : {:>12.3e}", p * 100.0, q(&gains, p));
+        }
+        let no_gain = gains.iter().filter(|&&g| g <= 1.0 + 1e-9).count() as f64
+            / gains.len() as f64;
+        println!("    fraction of time with no gain (all links disabled): {:.1}%", no_gain * 100.0);
+        println!("(b) decrease in least capacity per pod (percentage points):");
+        for p in [0.50f64, 0.90, 0.99, 1.0] {
+            println!("    P{:>4.0} : {:>8.4}", p * 100.0, q(&cap_drop, p.min(0.999999)));
+        }
+        println!();
+    }
+    println!("paper: at 50% the gain is 1 about 35% of the time (everything disabled);");
+    println!("  otherwise, and nearly always at 75%, the gain is orders of magnitude,");
+    println!("  while the capacity decrease stays below ~0.25%.");
+}

@@ -1,0 +1,52 @@
+//! Figure 21 (Appendix B.3): the Fig 9 timeline for CUBIC (25 G) and
+//! BBR (10 G).
+//!
+//! Usage: `cargo run --release -p lg-bench --bin fig21_cubic_bbr [--ms 60]`
+
+use lg_bench::{arg, banner};
+use lg_link::{LinkSpeed, LossModel};
+use lg_sim::{Duration, Time};
+use lg_testbed::{time_series, TimeSeriesScenario};
+use lg_transport::CcVariant;
+
+fn run_one(name: &str, speed: LinkSpeed, variant: CcVariant, total_ms: u64, seed: u64) {
+    println!("--- {name} on {} ---", speed.name());
+    let s = TimeSeriesScenario {
+        speed,
+        variant,
+        loss: LossModel::Iid { rate: 1e-3 },
+        corruption_at: Time::from_ms(total_ms / 6),
+        lg_at: Time::from_ms(total_ms / 2),
+        end: Time::from_ms(total_ms),
+        disable_backpressure: false,
+        nb_mode: false,
+        sample_interval: Duration::from_ms((total_ms / 30).max(1)),
+        seed,
+    };
+    let r = time_series(&s);
+    println!(
+        "{:>8} {:>12} {:>12} {:>10}",
+        "t(ms)", "rate(Gbps)", "qdepth(KB)", "e2e_retx"
+    );
+    for (i, &(t, gbps)) in r.goodput.points().iter().enumerate() {
+        let qv = r.qdepth.points().get(i).map(|p| p.1).unwrap_or(0.0) / 1024.0;
+        let ev = r.e2e_retx.points().get(i).map(|p| p.1).unwrap_or(0.0);
+        println!(
+            "{:>8.1} {:>12.2} {:>12.1} {:>10.0}",
+            t.as_secs_f64() * 1e3,
+            gbps,
+            qv,
+            ev
+        );
+    }
+    println!();
+}
+
+fn main() {
+    banner("Figure 21", "CUBIC and BBR under the Fig 9 timeline");
+    let total_ms: u64 = arg("--ms", 60);
+    run_one("CUBIC", LinkSpeed::G25, CcVariant::Cubic, total_ms, 21);
+    run_one("BBR", LinkSpeed::G10, CcVariant::Bbr, total_ms, 22);
+    println!("paper: CUBIC collapses under loss and recovers with LG (qdepth grows:");
+    println!("  no ECN response); BBR is barely hurt by loss but still gains with LG.");
+}

@@ -1,0 +1,49 @@
+//! `lg-bench` — regenerators for every table and figure in the paper's
+//! evaluation, one binary each (`cargo run --release -p lg-bench --bin
+//! figXX_...`), plus criterion micro-benchmarks of the core data
+//! structures.
+//!
+//! Binaries print the same rows/series the paper reports; absolute
+//! numbers come from the simulated substrate, so `EXPERIMENTS.md`
+//! compares *shapes* (who wins, by what factor, where crossovers fall)
+//! against the paper.
+
+use std::env;
+
+/// Parse `--key value` style arguments with a default.
+pub fn arg<T: std::str::FromStr>(key: &str, default: T) -> T {
+    let args: Vec<String> = env::args().collect();
+    for i in 0..args.len() {
+        if args[i] == key {
+            if let Some(v) = args.get(i + 1) {
+                if let Ok(parsed) = v.parse() {
+                    return parsed;
+                }
+            }
+        }
+    }
+    default
+}
+
+/// Whether a bare flag is present.
+pub fn flag(key: &str) -> bool {
+    env::args().any(|a| a == key)
+}
+
+/// Print a standard experiment banner.
+pub fn banner(id: &str, what: &str) {
+    println!("==============================================================");
+    println!("{id}: {what}");
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_default_used_when_missing() {
+        assert_eq!(arg("--definitely-not-passed", 42u32), 42);
+        assert!(!flag("--definitely-not-passed"));
+    }
+}

@@ -1,0 +1,94 @@
+//! The retransmission-count equations of §3.4.
+//!
+//! To survive loss of retransmitted copies, the sender retransmits `N`
+//! copies per lost packet. With the original, `N + 1` copies are sent, so
+//! the effective loss rate is `actual^(N+1)` (Eq. 1), giving
+//! `N ≥ log(target)/log(actual) − 1` (Eq. 2).
+
+/// Number of retransmitted copies (Eq. 2): the smallest integer `N` such
+/// that `actual^(N+1) ≤ target`.
+pub fn retx_copies(actual_loss_rate: f64, target_loss_rate: f64) -> u32 {
+    assert!(
+        actual_loss_rate > 0.0 && actual_loss_rate < 1.0,
+        "actual loss rate must be in (0,1)"
+    );
+    assert!(
+        target_loss_rate > 0.0 && target_loss_rate < 1.0,
+        "target loss rate must be in (0,1)"
+    );
+    if target_loss_rate >= actual_loss_rate {
+        // one retransmission still helps tail-loss recovery; never go below 1
+        return 1;
+    }
+    // A tiny epsilon absorbs floating-point noise in the log ratio so that
+    // exact integer ratios (e.g. 1e-8 / 1e-4 → N = 1) don't round up.
+    let n = (target_loss_rate.ln() / actual_loss_rate.ln() - 1.0 - 1e-9).ceil();
+    (n as u32).max(1)
+}
+
+/// Expected effective loss rate after retransmitting `n` copies (Eq. 1),
+/// assuming independent per-copy loss.
+pub fn effective_loss_rate(actual_loss_rate: f64, n: u32) -> f64 {
+    actual_loss_rate.powi(n as i32 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples() {
+        // §3.4: target 1e-8, actual 1e-4 → N = 1
+        assert_eq!(retx_copies(1e-4, 1e-8), 1);
+        // §4.1: losses 1e-5, 1e-4, 1e-3 → copies 1, 1, 2
+        assert_eq!(retx_copies(1e-5, 1e-8), 1);
+        assert_eq!(retx_copies(1e-3, 1e-8), 2);
+    }
+
+    #[test]
+    fn expected_effective_rates() {
+        // §4.1: theoretically 1e-10, 1e-8, 1e-9 for the three loss rates
+        assert!((effective_loss_rate(1e-5, 1) - 1e-10).abs() < 1e-22);
+        assert!((effective_loss_rate(1e-4, 1) - 1e-8).abs() < 1e-20);
+        assert!((effective_loss_rate(1e-3, 2) - 1e-9).abs() < 1e-21);
+    }
+
+    #[test]
+    fn copies_guarantee_target() {
+        for &actual in &[1e-5, 1e-4, 1e-3, 1e-2, 0.05] {
+            for &target in &[1e-6, 1e-8, 1e-10] {
+                let n = retx_copies(actual, target);
+                assert!(
+                    effective_loss_rate(actual, n) <= target * (1.0 + 1e-9),
+                    "actual={actual:e} target={target:e} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn copies_are_minimal() {
+        for &actual in &[1e-4, 1e-3, 1e-2] {
+            let target = 1e-8;
+            let n = retx_copies(actual, target);
+            if n > 1 {
+                assert!(
+                    effective_loss_rate(actual, n - 1) > target,
+                    "N-1 would already meet the target for actual={actual:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn floor_of_one_copy() {
+        // even a very healthy link retransmits once when asked
+        assert_eq!(retx_copies(1e-9, 1e-8), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        retx_copies(0.0, 1e-8);
+    }
+}

@@ -1,0 +1,586 @@
+//! The LinkGuardian **sender** switch state machine (§3, Appendix A).
+//!
+//! Attached to the egress port feeding the corrupting link, the sender:
+//!
+//! * stamps each transmitted packet with the 3-byte data header and
+//!   buffers a copy (egress mirroring → recirculation Tx buffer);
+//! * frees buffered copies when the receiver's cumulative
+//!   `latestRxSeqNo` advances (piggybacked or explicit ACKs);
+//! * on a loss notification, retransmits `N` copies (Eq. 2) of each
+//!   requested packet through the high-priority queue (multicast
+//!   primitive) and then drops the buffered copy;
+//! * emits self-replenishing **dummy packets** whenever the normal queue
+//!   empties so the receiver can detect tail losses without a timeout
+//!   (§3.2);
+//! * absorbs PFC pause/resume frames from the receiver's backpressure
+//!   mechanism, pausing only the normal packet queue (§3.3/§3.5).
+
+use crate::config::LgConfig;
+use crate::seqmap::{abs_of, wire_of};
+use lg_packet::lg::{LgAck, LgData, LgPacketType, LossNotification};
+use lg_packet::{LgControl, NodeId, Packet, Payload};
+use lg_sim::{Duration, Rng, Time};
+use lg_switch::recirc::{DEFAULT_LOOP_LATENCY, RECIRC_DRAIN_RATE};
+use lg_switch::{Class, RecircBuffer, RecircStats};
+use serde::{Deserialize, Serialize};
+
+/// Side effects the testbed must apply after feeding the sender an input.
+#[derive(Debug)]
+pub enum SenderAction {
+    /// Enqueue `pkt` on the protected egress port in `class` after
+    /// `delay` (recirculation service time for retransmissions).
+    Emit {
+        /// The packet to enqueue.
+        pkt: Packet,
+        /// Traffic class.
+        class: Class,
+        /// Extra dataplane delay before the packet reaches the queue.
+        delay: Duration,
+    },
+    /// Pause (`true`) or resume (`false`) the normal packet queue on the
+    /// protected egress port.
+    PauseNormal(bool),
+}
+
+/// Counters the sender accumulates.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct SenderStats {
+    /// Protected (stamped + buffered) packets transmitted.
+    pub protected_sent: u64,
+    /// Loss-notification packets processed.
+    pub notifications_rx: u64,
+    /// Distinct packets retransmitted.
+    pub retx_packets: u64,
+    /// Total retransmitted copies emitted (≥ `retx_packets`).
+    pub retx_copies_sent: u64,
+    /// Notification entries that referred to packets no longer buffered.
+    pub retx_misses: u64,
+    /// Dummy packets emitted.
+    pub dummies_sent: u64,
+    /// Packets that could not be buffered (Tx buffer full) and were sent
+    /// unprotected-but-stamped.
+    pub buffer_overflows: u64,
+    /// Pause frames absorbed.
+    pub pauses_rx: u64,
+    /// Resume frames absorbed.
+    pub resumes_rx: u64,
+}
+
+/// The sender-side state machine for one protected link direction.
+#[derive(Debug)]
+pub struct LgSender {
+    cfg: LgConfig,
+    /// Synthetic address of this switch for control packets it originates.
+    pub node: NodeId,
+    /// Address of the peer (receiver switch).
+    pub peer: NodeId,
+    active: bool,
+    /// Absolute index of the last protected packet sent (0 = none).
+    next_seq: u64,
+    /// Sender's copy of the receiver's cumulative latestRxSeqNo.
+    latest_rx: u64,
+    tx_buffer: RecircBuffer,
+    n_copies: u32,
+    rng: Rng,
+    last_dummy_at: Option<Time>,
+    stats: SenderStats,
+}
+
+impl LgSender {
+    /// Create a (dormant) sender.
+    pub fn new(cfg: LgConfig, node: NodeId, peer: NodeId) -> LgSender {
+        let tx_buffer = RecircBuffer::new(cfg.tx_buffer_cap);
+        let n_copies = cfg.n_copies();
+        LgSender {
+            rng: Rng::new(0xC0FF_EE00 ^ node.0 as u64),
+            cfg,
+            node,
+            peer,
+            active: false,
+            next_seq: 0,
+            latest_rx: 0,
+            tx_buffer,
+            n_copies,
+            last_dummy_at: None,
+            stats: SenderStats::default(),
+        }
+    }
+
+    /// Activate protection (done by `corruptd` when corruption is
+    /// detected). Until activated the sender is a no-op pass-through.
+    pub fn activate(&mut self, actual_loss_rate: f64) {
+        self.active = true;
+        self.cfg.actual_loss_rate = actual_loss_rate;
+        self.n_copies = self.cfg.n_copies();
+    }
+
+    /// Deactivate protection.
+    pub fn deactivate(&mut self) {
+        self.active = false;
+    }
+
+    /// Whether LinkGuardian is protecting the link.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Number of retransmitted copies per lost packet currently in force.
+    pub fn n_copies(&self) -> u32 {
+        self.n_copies
+    }
+
+    /// Called by the testbed when a packet is dequeued for transmission on
+    /// the protected link. Stamps the data header and mirrors a copy into
+    /// the Tx buffer. Already-stamped packets (retransmitted copies,
+    /// dummies) pass through untouched.
+    pub fn on_transmit(&mut self, pkt: &mut Packet, now: Time) {
+        if !self.active || pkt.lg_data.is_some() {
+            return;
+        }
+        // Another instance's control (explicit ACKs, dummies, loss
+        // notifications, pause frames) crosses un-tunneled: it is
+        // loss-tolerant by design (idempotent, replicated via
+        // `control_copies` under bidirectional corruption, §5), and
+        // tunneling it would chain each instance's ACKs into the other's
+        // sequence space ad infinitum — and hold time-critical pause
+        // frames behind reordering gaps.
+        if matches!(pkt.payload, Payload::Lg(_)) {
+            return;
+        }
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        pkt.lg_data = Some(LgData {
+            seq: wire_of(seq),
+            kind: LgPacketType::Original,
+        });
+        self.stats.protected_sent += 1;
+        // Egress mirroring: buffer a copy (with the header) until ACKed.
+        if self.tx_buffer.insert(seq, pkt.clone(), now).is_err() {
+            self.stats.buffer_overflows += 1;
+        }
+    }
+
+    /// Called when the protected egress port runs dry (normal and control
+    /// queues empty): the self-replenishing dummy queue transmits. Returns
+    /// the dummy packets to enqueue at strictly-lowest priority.
+    ///
+    /// Dummies carry the sequence number of the last protected packet so a
+    /// tail loss shows up as a gap at the receiver. They are only useful
+    /// while something is unACKed; once the receiver has confirmed
+    /// everything the queue idles (behaviourally identical to the paper's
+    /// continuously self-replenishing queue, whose extra dummies are
+    /// no-ops at the receiver).
+    pub fn make_dummies(&mut self, now: Time) -> Vec<Packet> {
+        if !self.active || self.cfg.dummy_copies == 0 {
+            return Vec::new();
+        }
+        if self.next_seq == 0 || self.latest_rx >= self.next_seq {
+            return Vec::new();
+        }
+        // Pace dummy bursts: the hardware queue replenishes via egress
+        // mirroring (one recirculation pass between dummies); back-to-back
+        // emission at 100 G would add nothing the receiver acts on.
+        if let Some(last) = self.last_dummy_at {
+            if now.saturating_since(last) < Duration::from_ns(300) {
+                return Vec::new();
+            }
+        }
+        self.last_dummy_at = Some(now);
+        let mut out = Vec::with_capacity(self.cfg.dummy_copies as usize);
+        for _ in 0..self.cfg.dummy_copies {
+            let mut p = Packet::lg_control(self.node, self.peer, LgControl::Dummy, now);
+            p.lg_data = Some(LgData {
+                seq: wire_of(self.next_seq),
+                kind: LgPacketType::Dummy,
+            });
+            self.stats.dummies_sent += 1;
+            out.push(p);
+        }
+        out
+    }
+
+    /// True while some transmitted packet is not yet acknowledged.
+    pub fn has_unacked(&self) -> bool {
+        self.active && self.latest_rx < self.next_seq
+    }
+
+    /// Called for every packet arriving on the reverse direction of the
+    /// protected link. Absorbs LinkGuardian control (explicit ACKs, loss
+    /// notifications, pause frames) and strips piggybacked ACK headers.
+    ///
+    /// Returns the packet to forward onward (if it carries tenant data)
+    /// plus the side-effect actions.
+    pub fn on_reverse_rx(
+        &mut self,
+        mut pkt: Packet,
+        now: Time,
+    ) -> (Option<Packet>, Vec<SenderAction>) {
+        let mut actions = Vec::new();
+        let ack = pkt.lg_ack.take();
+        // A loss notification is applied before any piggybacked ACK in the
+        // same frame: the requested packets must be retransmitted before
+        // the cumulative ACK frees them (Appendix A.2 checks reTxReqs
+        // before dropping).
+        if let Payload::Lg(LgControl::LossNotification(n)) = &pkt.payload {
+            let n = *n;
+            self.process_loss_notification(n, now, &mut actions);
+            if let Some(ack) = ack {
+                self.process_ack(ack, now);
+            }
+            return (None, actions);
+        }
+        if let Some(ack) = ack {
+            self.process_ack(ack, now);
+        }
+        match &pkt.payload {
+            Payload::Lg(LgControl::LossNotification(_)) => unreachable!("handled above"),
+            Payload::Lg(LgControl::ExplicitAck) => (None, actions),
+            Payload::Lg(LgControl::Pause(p)) => {
+                if p.pause {
+                    self.stats.pauses_rx += 1;
+                } else {
+                    self.stats.resumes_rx += 1;
+                }
+                actions.push(SenderAction::PauseNormal(p.pause));
+                (None, actions)
+            }
+            Payload::Lg(LgControl::Dummy) => (None, actions),
+            _ => (Some(pkt), actions),
+        }
+    }
+
+    fn process_ack(&mut self, ack: LgAck, now: Time) {
+        let abs = abs_of(ack.latest_rx, self.reference());
+        if abs > self.latest_rx {
+            self.latest_rx = abs;
+            // Drop buffered copies of successfully delivered packets.
+            self.tx_buffer.remove_up_to(abs, now);
+        }
+    }
+
+    fn process_loss_notification(
+        &mut self,
+        n: LossNotification,
+        now: Time,
+        actions: &mut Vec<SenderAction>,
+    ) {
+        self.stats.notifications_rx += 1;
+        let refr = self.reference();
+        let first = abs_of(n.first_lost, refr);
+        let latest = abs_of(n.latest_rx, refr);
+        // The notification also carries the receiver's latestRxSeqNo.
+        if latest > self.latest_rx {
+            self.latest_rx = latest;
+        }
+        for seq in first..first + n.count as u64 {
+            match self.tx_buffer.remove(seq, now) {
+                Some(mut copy) => {
+                    self.stats.retx_packets += 1;
+                    if let Some(h) = copy.lg_data.as_mut() {
+                        h.kind = LgPacketType::Retransmit;
+                    }
+                    // Multicast primitive: N copies through the
+                    // high-priority queue. The buffered copy must first
+                    // come around the recirculation ring: with B bytes
+                    // recirculating, the requested packet is on average
+                    // half a ring away at the 100 G recirculation drain
+                    // rate — this is what makes the paper's measured
+                    // retransmission delay (Fig 19, 2–6 µs) far exceed
+                    // one pipeline pass, and it grows with Tx-buffer
+                    // occupancy (hence with link speed).
+                    let ring_delay = RECIRC_DRAIN_RATE.serialize(self.tx_buffer.bytes() / 2);
+                    let (lo, hi) = self.cfg.retx_extra_delay;
+                    let jitter = Duration::from_ps(
+                        self.rng.range(lo.as_ps().min(hi.as_ps()), hi.as_ps().max(lo.as_ps())),
+                    );
+                    let delay = self.tx_buffer.loop_latency() + ring_delay + jitter;
+                    for _ in 0..self.n_copies {
+                        self.stats.retx_copies_sent += 1;
+                        actions.push(SenderAction::Emit {
+                            pkt: copy.clone(),
+                            class: Class::Control,
+                            delay,
+                        });
+                    }
+                }
+                None => {
+                    // Already freed (duplicate notification or ACK race):
+                    // nothing to retransmit; the receiver's ackNoTimeout
+                    // is the fallback.
+                    self.stats.retx_misses += 1;
+                }
+            }
+        }
+        // Free any remaining acknowledged copies (not retransmitted).
+        let latest_now = self.latest_rx;
+        self.tx_buffer.remove_up_to(latest_now, now);
+    }
+
+    fn reference(&self) -> u64 {
+        // Wire-seq reconstruction reference: anything within ±32K of the
+        // true value; the latest sent packet always qualifies because the
+        // Tx window is far smaller than 32K packets.
+        self.next_seq.max(1)
+    }
+
+    /// Current Tx buffer occupancy in bytes.
+    pub fn tx_buffer_bytes(&self) -> u64 {
+        self.tx_buffer.bytes()
+    }
+
+    /// Tx buffer statistics (high watermark, recirculation loops).
+    pub fn tx_buffer_stats(&self) -> RecircStats {
+        self.tx_buffer.stats()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SenderStats {
+        self.stats
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &LgConfig {
+        &self.cfg
+    }
+
+    /// Absolute index of the last protected packet sent.
+    pub fn last_sent(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Sender's view of the receiver's cumulative ACK.
+    pub fn acked(&self) -> u64 {
+        self.latest_rx
+    }
+
+    /// Default recirculation loop latency used for retransmission delay.
+    pub fn loop_latency(&self) -> Duration {
+        DEFAULT_LOOP_LATENCY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lg_link::LinkSpeed;
+    use lg_packet::SeqNo;
+
+    fn mk_sender() -> LgSender {
+        let cfg = LgConfig::for_speed(LinkSpeed::G25, 1e-3);
+        let mut s = LgSender::new(cfg, NodeId(100), NodeId(101));
+        s.activate(1e-3);
+        s
+    }
+
+    fn data_pkt() -> Packet {
+        Packet::raw(NodeId(1), NodeId(2), 1518, Time::ZERO)
+    }
+
+    fn ack(latest_abs: u64) -> Packet {
+        let mut p = Packet::lg_control(NodeId(101), NodeId(100), LgControl::ExplicitAck, Time::ZERO);
+        p.lg_ack = Some(LgAck {
+            latest_rx: wire_of(latest_abs),
+            explicit: true,
+        });
+        p
+    }
+
+    fn notif(first: u64, count: u16, latest: u64) -> Packet {
+        Packet::lg_control(
+            NodeId(101),
+            NodeId(100),
+            LgControl::LossNotification(LossNotification {
+                first_lost: wire_of(first),
+                count,
+                latest_rx: wire_of(latest),
+            }),
+            Time::ZERO,
+        )
+    }
+
+    #[test]
+    fn stamps_and_buffers_protected_packets() {
+        let mut s = mk_sender();
+        let mut p = data_pkt();
+        s.on_transmit(&mut p, Time::ZERO);
+        let h = p.lg_data.unwrap();
+        assert_eq!(h.seq, SeqNo::new(1, false));
+        assert_eq!(h.kind, LgPacketType::Original);
+        assert_eq!(s.tx_buffer_bytes(), p.frame_len() as u64);
+        assert_eq!(s.stats().protected_sent, 1);
+        // sequence increments
+        let mut p2 = data_pkt();
+        s.on_transmit(&mut p2, Time::ZERO);
+        assert_eq!(p2.lg_data.unwrap().seq, SeqNo::new(2, false));
+    }
+
+    #[test]
+    fn inactive_sender_is_passthrough() {
+        let cfg = LgConfig::for_speed(LinkSpeed::G25, 1e-3);
+        let mut s = LgSender::new(cfg, NodeId(100), NodeId(101));
+        let mut p = data_pkt();
+        s.on_transmit(&mut p, Time::ZERO);
+        assert!(p.lg_data.is_none());
+        assert_eq!(s.tx_buffer_bytes(), 0);
+        assert!(s.make_dummies(Time::ZERO).is_empty());
+    }
+
+    #[test]
+    fn already_stamped_packets_not_rebuffered() {
+        let mut s = mk_sender();
+        let mut p = data_pkt();
+        s.on_transmit(&mut p, Time::ZERO);
+        let bytes = s.tx_buffer_bytes();
+        // simulate the same packet being dequeued again (retx copy)
+        let mut copy = p.clone();
+        s.on_transmit(&mut copy, Time::ZERO);
+        assert_eq!(s.tx_buffer_bytes(), bytes);
+        assert_eq!(s.last_sent(), 1);
+    }
+
+    #[test]
+    fn ack_frees_buffer_prefix() {
+        let mut s = mk_sender();
+        for _ in 0..5 {
+            s.on_transmit(&mut data_pkt(), Time::ZERO);
+        }
+        assert_eq!(s.tx_buffer_bytes(), 5 * 1518 + 5 * 3);
+        let (fwd, actions) = s.on_reverse_rx(ack(3), Time::from_us(1));
+        assert!(fwd.is_none());
+        assert!(actions.is_empty());
+        assert_eq!(s.acked(), 3);
+        assert_eq!(s.tx_buffer_bytes(), 2 * (1518 + 3));
+    }
+
+    #[test]
+    fn piggybacked_ack_stripped_and_packet_forwarded() {
+        let mut s = mk_sender();
+        s.on_transmit(&mut data_pkt(), Time::ZERO);
+        let mut rev = data_pkt();
+        rev.lg_ack = Some(LgAck {
+            latest_rx: wire_of(1),
+            explicit: false,
+        });
+        let (fwd, _) = s.on_reverse_rx(rev, Time::from_us(1));
+        let fwd = fwd.expect("data packet forwarded");
+        assert!(fwd.lg_ack.is_none(), "ACK header stripped");
+        assert_eq!(s.acked(), 1);
+    }
+
+    #[test]
+    fn loss_notification_triggers_n_copies() {
+        let mut s = mk_sender(); // 1e-3 actual, 1e-8 target → N = 2
+        assert_eq!(s.n_copies(), 2);
+        for _ in 0..4 {
+            s.on_transmit(&mut data_pkt(), Time::ZERO);
+        }
+        // packet 2 lost; receiver saw 4
+        let (_, actions) = s.on_reverse_rx(notif(2, 1, 4), Time::from_us(1));
+        let emits: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                SenderAction::Emit { pkt, class, .. } => Some((pkt, class)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(emits.len(), 2, "N=2 copies");
+        for (pkt, class) in &emits {
+            assert_eq!(**class, Class::Control, "retx ride high priority");
+            let h = pkt.lg_data.unwrap();
+            assert_eq!(h.kind, LgPacketType::Retransmit);
+            assert_eq!(h.seq, wire_of(2));
+        }
+        assert_eq!(s.stats().retx_packets, 1);
+        assert_eq!(s.stats().retx_copies_sent, 2);
+        // everything ≤ latest(4) freed: buffer now empty
+        assert_eq!(s.tx_buffer_bytes(), 0);
+    }
+
+    #[test]
+    fn consecutive_losses_all_retransmitted() {
+        let mut s = mk_sender();
+        for _ in 0..6 {
+            s.on_transmit(&mut data_pkt(), Time::ZERO);
+        }
+        let (_, actions) = s.on_reverse_rx(notif(2, 3, 5), Time::from_us(1));
+        let seqs: Vec<u16> = actions
+            .iter()
+            .filter_map(|a| match a {
+                SenderAction::Emit { pkt, .. } => Some(pkt.lg_data.unwrap().seq.raw()),
+                _ => None,
+            })
+            .collect();
+        // 3 lost packets × 2 copies
+        assert_eq!(seqs.len(), 6);
+        assert_eq!(s.stats().retx_packets, 3);
+    }
+
+    #[test]
+    fn notification_for_freed_packet_is_a_miss() {
+        let mut s = mk_sender();
+        s.on_transmit(&mut data_pkt(), Time::ZERO);
+        s.on_reverse_rx(ack(1), Time::from_us(1));
+        let (_, actions) = s.on_reverse_rx(notif(1, 1, 1), Time::from_us(2));
+        assert!(actions.is_empty());
+        assert_eq!(s.stats().retx_misses, 1);
+    }
+
+    #[test]
+    fn dummies_only_while_unacked() {
+        let mut s = mk_sender();
+        assert!(s.make_dummies(Time::ZERO).is_empty(), "nothing sent yet");
+        s.on_transmit(&mut data_pkt(), Time::ZERO);
+        let d = s.make_dummies(Time::ZERO);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].is_lg_dummy());
+        assert_eq!(d[0].lg_data.unwrap().seq, wire_of(1));
+        assert_eq!(d[0].lg_data.unwrap().kind, LgPacketType::Dummy);
+        s.on_reverse_rx(ack(1), Time::from_us(1));
+        assert!(s.make_dummies(Time::from_us(1)).is_empty(), "all acked");
+    }
+
+    #[test]
+    fn multiple_dummy_copies_for_bursty_loss() {
+        let cfg = LgConfig {
+            dummy_copies: 3,
+            ..LgConfig::for_speed(LinkSpeed::G25, 1e-3)
+        };
+        let mut s = LgSender::new(cfg, NodeId(100), NodeId(101));
+        s.activate(1e-3);
+        s.on_transmit(&mut data_pkt(), Time::ZERO);
+        assert_eq!(s.make_dummies(Time::ZERO).len(), 3);
+    }
+
+    #[test]
+    fn pause_frames_absorbed_into_actions() {
+        let mut s = mk_sender();
+        let pause = Packet::lg_control(
+            NodeId(101),
+            NodeId(100),
+            LgControl::Pause(lg_packet::lg::PauseFrame {
+                pause: true,
+                class: Class::Normal as u8,
+            }),
+            Time::ZERO,
+        );
+        let (fwd, actions) = s.on_reverse_rx(pause, Time::ZERO);
+        assert!(fwd.is_none());
+        assert!(matches!(actions[0], SenderAction::PauseNormal(true)));
+        assert_eq!(s.stats().pauses_rx, 1);
+    }
+
+    #[test]
+    fn tx_buffer_overflow_counted_not_fatal() {
+        let cfg = LgConfig {
+            tx_buffer_cap: 2000,
+            ..LgConfig::for_speed(LinkSpeed::G25, 1e-3)
+        };
+        let mut s = LgSender::new(cfg, NodeId(100), NodeId(101));
+        s.activate(1e-3);
+        s.on_transmit(&mut data_pkt(), Time::ZERO); // 1521 bytes buffered
+        let mut p = data_pkt();
+        s.on_transmit(&mut p, Time::ZERO); // would exceed 2000
+        assert!(p.lg_data.is_some(), "still stamped");
+        assert_eq!(s.stats().buffer_overflows, 1);
+    }
+}

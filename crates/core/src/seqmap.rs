@@ -1,0 +1,75 @@
+//! Mapping between internal 64-bit sequence indices and the 17-bit
+//! (16-bit + era) wire sequence numbers.
+//!
+//! The dataplane only ever carries the compact wire form; the simulation
+//! widens it to a `u64` for buffer keys and distance arithmetic, exactly
+//! like a verification harness would. Reconstruction uses the era-corrected
+//! comparison from [`lg_packet::seqno`], so the wrap-around logic is
+//! exercised on every received packet.
+
+use lg_packet::SeqNo;
+
+/// The wire sequence number corresponding to absolute index `abs`.
+///
+/// Index 0 is reserved as "nothing sent/received yet"; the first packet
+/// carries index 1.
+pub fn wire_of(abs: u64) -> SeqNo {
+    // Two eras span 2 * 65536 consecutive indices; advance handles the
+    // era toggling per 65536-wrap.
+    SeqNo::ZERO.advance((abs % (2 * 65_536)) as u32)
+}
+
+/// Reconstruct the absolute index of wire number `w`, given a reference
+/// absolute index `refr` known to be within ±32 K of the true value.
+pub fn abs_of(w: SeqNo, refr: u64) -> u64 {
+    let wr = wire_of(refr);
+    use core::cmp::Ordering;
+    match w.cmp_seq(wr) {
+        Ordering::Equal => refr,
+        Ordering::Greater => refr + w.forward_dist(wr) as u64,
+        Ordering::Less => refr - wr.forward_dist(w) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_near_reference() {
+        for refr in [1u64, 100, 65_535, 65_536, 200_000, 1_000_000] {
+            for delta in -100i64..=100 {
+                let abs = (refr as i64 + delta).max(0) as u64;
+                let w = wire_of(abs);
+                assert_eq!(abs_of(w, refr), abs, "abs={abs} ref={refr}");
+            }
+        }
+    }
+
+    #[test]
+    fn wire_wraps_with_era() {
+        assert_eq!(wire_of(0), SeqNo::ZERO);
+        assert_eq!(wire_of(65_536).raw(), 0);
+        assert!(wire_of(65_536).era());
+        assert_eq!(wire_of(2 * 65_536), SeqNo::ZERO);
+    }
+
+    #[test]
+    fn reconstruction_across_wrap_points() {
+        // reference just before an era flip, packet just after
+        let refr = 65_535u64;
+        let abs = 65_540u64;
+        assert_eq!(abs_of(wire_of(abs), refr), abs);
+        // and the reverse (late duplicate from the previous era)
+        assert_eq!(abs_of(wire_of(refr), abs), refr);
+    }
+
+    #[test]
+    fn long_walk_consistency() {
+        let mut refr = 1u64;
+        for abs in 1..300_000u64 {
+            assert_eq!(abs_of(wire_of(abs), refr), abs);
+            refr = abs;
+        }
+    }
+}

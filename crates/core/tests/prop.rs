@@ -1,0 +1,212 @@
+//! Property-based tests of the LinkGuardian state machines: whatever the
+//! loss/duplication/reordering pattern, the ordered receiver delivers a
+//! strictly in-order, duplicate-free stream, and the sender's buffer
+//! accounting never leaks.
+
+use lg_link::LinkSpeed;
+use lg_packet::lg::{LgData, LgPacketType};
+use lg_packet::{LgControl, NodeId, Packet, Payload};
+use lg_sim::{Duration, Time};
+use linkguardian::seqmap::{abs_of, wire_of};
+use linkguardian::{LgConfig, LgReceiver, LgSender, ReceiverAction, SenderAction};
+use proptest::prelude::*;
+
+fn data_pkt(abs: u64, kind: LgPacketType) -> Packet {
+    let mut p = Packet::raw(NodeId(1), NodeId(2), 1518, Time::ZERO);
+    p.uid = abs; // tag with the sequence for order checking
+    p.lg_data = Some(LgData {
+        seq: wire_of(abs),
+        kind,
+    });
+    p
+}
+
+fn delivered_seqs(actions: &[ReceiverAction]) -> Vec<u64> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            ReceiverAction::Deliver(p) => Some(p.uid),
+            _ => None,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ordered mode: under arbitrary per-packet fates (delivered, lost
+    /// then retransmitted, duplicated), the receiver's output is exactly
+    /// 1..=n in order — no duplicates, no gaps (no timeouts are triggered
+    /// because every loss is recovered here).
+    #[test]
+    fn ordered_receiver_delivers_exact_sequence(
+        n in 10u64..200,
+        loss_pattern in proptest::collection::vec(0u8..10, 10..200),
+        dup_every in 2u64..7,
+    ) {
+        let cfg = LgConfig::for_speed(LinkSpeed::G100, 1e-3);
+        let mut rx = LgReceiver::new(cfg, NodeId(101), NodeId(100));
+        rx.activate();
+        let mut out = Vec::new();
+        let mut pending_retx: Vec<u64> = Vec::new();
+        let mut t = Time::ZERO;
+        for abs in 1..=n {
+            t = t + Duration::from_ns(130);
+            let lost = loss_pattern
+                .get((abs % loss_pattern.len() as u64) as usize)
+                .is_some_and(|&v| v == 0);
+            if lost {
+                pending_retx.push(abs);
+                continue; // original never arrives
+            }
+            let a = rx.on_protected_rx(data_pkt(abs, LgPacketType::Original), t);
+            out.extend(delivered_seqs(&a));
+            // retransmissions of everything reported missing arrive a
+            // little later (always successfully), possibly duplicated
+            for m in pending_retx.drain(..) {
+                t = t + Duration::from_ns(700);
+                let a = rx.on_protected_rx(data_pkt(m, LgPacketType::Retransmit), t);
+                out.extend(delivered_seqs(&a));
+                if m % dup_every == 0 {
+                    let a = rx.on_protected_rx(data_pkt(m, LgPacketType::Retransmit), t);
+                    out.extend(delivered_seqs(&a));
+                }
+            }
+        }
+        // tail: anything still missing is recovered via dummy + retx
+        if !pending_retx.is_empty() {
+            t = t + Duration::from_ns(200);
+            let mut dummy = Packet::lg_control(NodeId(100), NodeId(101), LgControl::Dummy, t);
+            dummy.lg_data = Some(LgData { seq: wire_of(n), kind: LgPacketType::Dummy });
+            let a = rx.on_protected_rx(dummy, t);
+            out.extend(delivered_seqs(&a));
+            for m in pending_retx.drain(..) {
+                t = t + Duration::from_ns(700);
+                let a = rx.on_protected_rx(data_pkt(m, LgPacketType::Retransmit), t);
+                out.extend(delivered_seqs(&a));
+            }
+        }
+        let expect: Vec<u64> = (1..=n).collect();
+        prop_assert_eq!(out, expect, "in-order, complete, duplicate-free");
+        prop_assert_eq!(rx.stats().timeouts, 0);
+    }
+
+    /// The loss notifications the receiver emits cover exactly the lost
+    /// packets, each at most once, in chunks of at most 5.
+    #[test]
+    fn notifications_cover_losses_exactly_once(
+        n in 20u64..300,
+        lost in proptest::collection::btree_set(2u64..300, 0..40),
+    ) {
+        let lost: Vec<u64> = lost.into_iter().filter(|&x| x < n).collect();
+        let cfg = LgConfig::for_speed(LinkSpeed::G100, 1e-3);
+        let mut rx = LgReceiver::new(cfg, NodeId(101), NodeId(100));
+        rx.activate();
+        let mut reported = Vec::new();
+        let mut t = Time::ZERO;
+        for abs in 1..=n {
+            if lost.contains(&abs) {
+                continue;
+            }
+            t = t + Duration::from_ns(130);
+            let actions = rx.on_protected_rx(data_pkt(abs, LgPacketType::Original), t);
+            for a in &actions {
+                if let ReceiverAction::SendReverse { pkt, .. } = a {
+                    if let Payload::Lg(LgControl::LossNotification(nf)) = &pkt.payload {
+                        prop_assert!(nf.count >= 1 && nf.count <= 5);
+                        let first = abs_of(nf.first_lost, abs);
+                        for k in 0..nf.count as u64 {
+                            reported.push(first + k);
+                        }
+                    }
+                }
+            }
+        }
+        let mut expected: Vec<u64> = lost.clone();
+        // trailing losses (after the last delivered packet) are only
+        // detectable via dummies, which this test does not send
+        let last_delivered = (1..=n).rev().find(|x| !lost.contains(x)).unwrap_or(0);
+        expected.retain(|&x| x < last_delivered);
+        reported.sort_unstable();
+        expected.sort_unstable();
+        prop_assert_eq!(reported, expected);
+    }
+
+    /// Sender buffer accounting: after every transmitted packet is ACKed,
+    /// the Tx buffer is empty, whatever interleaving of ACK values.
+    #[test]
+    fn sender_buffer_drains_to_zero(
+        n in 1u64..300,
+        ack_step in 1u64..10,
+    ) {
+        let cfg = LgConfig::for_speed(LinkSpeed::G25, 1e-4);
+        let mut tx = LgSender::new(cfg, NodeId(100), NodeId(101));
+        tx.activate(1e-4);
+        let mut t = Time::ZERO;
+        for i in 1..=n {
+            t = t + Duration::from_ns(500);
+            let mut p = Packet::raw(NodeId(1), NodeId(2), 1518, t);
+            tx.on_transmit(&mut p, t);
+            if i % ack_step == 0 {
+                let mut ackp = Packet::lg_control(NodeId(101), NodeId(100), LgControl::ExplicitAck, t);
+                ackp.lg_ack = Some(lg_packet::lg::LgAck { latest_rx: wire_of(i), explicit: true });
+                tx.on_reverse_rx(ackp, t);
+            }
+        }
+        // final cumulative ack
+        let mut ackp = Packet::lg_control(NodeId(101), NodeId(100), LgControl::ExplicitAck, t);
+        ackp.lg_ack = Some(lg_packet::lg::LgAck { latest_rx: wire_of(n), explicit: true });
+        tx.on_reverse_rx(ackp, t);
+        prop_assert_eq!(tx.tx_buffer_bytes(), 0);
+        prop_assert!(!tx.has_unacked());
+    }
+
+    /// Retransmission requests: the sender emits exactly N copies per
+    /// still-buffered lost packet, stamped Retransmit with the right seq.
+    #[test]
+    fn retx_copies_match_eq2(
+        n_sent in 6u64..100,
+        first_lost in 1u64..50,
+        count in 1u16..=5,
+        actual_exp in 3i32..5, // 1e-3 or 1e-4
+    ) {
+        let actual = 10f64.powi(-actual_exp);
+        let first_lost = first_lost.min(n_sent.saturating_sub(count as u64)).max(1);
+        let cfg = LgConfig::for_speed(LinkSpeed::G100, actual);
+        let n_copies = cfg.n_copies();
+        let mut tx = LgSender::new(cfg, NodeId(100), NodeId(101));
+        tx.activate(actual);
+        let mut t = Time::ZERO;
+        for _ in 0..n_sent {
+            t = t + Duration::from_ns(130);
+            let mut p = Packet::raw(NodeId(1), NodeId(2), 1518, t);
+            tx.on_transmit(&mut p, t);
+        }
+        let notif = Packet::lg_control(
+            NodeId(101),
+            NodeId(100),
+            LgControl::LossNotification(lg_packet::lg::LossNotification {
+                first_lost: wire_of(first_lost),
+                count,
+                latest_rx: wire_of(first_lost + count as u64),
+            }),
+            t,
+        );
+        let (_, actions) = tx.on_reverse_rx(notif, t);
+        let emitted: Vec<(u64, LgPacketType)> = actions
+            .iter()
+            .filter_map(|a| match a {
+                SenderAction::Emit { pkt, .. } => {
+                    let h = pkt.lg_data.unwrap();
+                    Some((abs_of(h.seq, n_sent), h.kind))
+                }
+                _ => None,
+            })
+            .collect();
+        prop_assert_eq!(emitted.len() as u32, count as u32 * n_copies);
+        for (seq, kind) in emitted {
+            prop_assert_eq!(kind, LgPacketType::Retransmit);
+            prop_assert!((first_lost..first_lost + count as u64).contains(&seq));
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! CorrOpt (Zhuo et al., SIGCOMM 2017) re-implemented from its published
+//! description: decide which corrupting links can be disabled for repair
+//! without violating the network capacity constraint.
+//!
+//! * **Fast checker**: when a link starts corrupting, test whether
+//!   disabling it keeps every ToR in its pod at or above the constraint
+//!   (the minimum fraction of valley-free paths to the spine).
+//! * **Optimizer**: when repairs complete and capacity returns, greedily
+//!   disable the still-corrupting links in descending loss-rate order
+//!   (highest penalty first), re-checking the constraint each time.
+
+use crate::topology::{Fabric, LinkId, LinkState};
+use serde::{Deserialize, Serialize};
+
+/// The capacity constraint: minimum fraction of ToR→spine paths every ToR
+/// must keep (the paper evaluates 50% and 75%).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityConstraint(pub f64);
+
+/// CorrOpt decision engine.
+#[derive(Debug)]
+pub struct CorrOpt {
+    /// Constraint in force.
+    pub constraint: CapacityConstraint,
+}
+
+impl CorrOpt {
+    /// Engine with the given constraint.
+    pub fn new(constraint: CapacityConstraint) -> CorrOpt {
+        CorrOpt { constraint }
+    }
+
+    /// Fast checker: can `link` be disabled right now without violating
+    /// the constraint? (Only its own pod is affected: fabric links are
+    /// pod-local in this topology.)
+    pub fn can_disable(&self, fabric: &mut Fabric, link: LinkId) -> bool {
+        let pod = fabric.link(link).pod;
+        let prev = fabric.link(link).state;
+        if prev == LinkState::Disabled {
+            return false;
+        }
+        fabric.set_state(link, LinkState::Disabled);
+        let ok = fabric.least_paths_fraction_in_pod(pod) >= self.constraint.0 - 1e-12;
+        fabric.set_state(link, prev);
+        ok
+    }
+
+    /// Disable `link` for repair if the fast checker allows it. Returns
+    /// true if disabled.
+    pub fn try_disable(&self, fabric: &mut Fabric, link: LinkId) -> bool {
+        if self.can_disable(fabric, link) {
+            fabric.set_state(link, LinkState::Disabled);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Optimizer: given the still-active corrupting links, disable as many
+    /// as possible in descending loss-rate order. Returns the links newly
+    /// disabled.
+    pub fn optimize(&self, fabric: &mut Fabric, corrupting: &[(LinkId, f64)]) -> Vec<LinkId> {
+        let mut by_rate: Vec<(LinkId, f64)> = corrupting.to_vec();
+        by_rate.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+        let mut disabled = Vec::new();
+        for (link, _) in by_rate {
+            if matches!(fabric.link(link).state, LinkState::Corrupting { .. })
+                && self.try_disable(fabric, link)
+            {
+                disabled.push(link);
+            }
+        }
+        disabled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkKind;
+
+    fn tor_fabric_link(f: &Fabric, pod: u32, tor: u8, fab: u8) -> LinkId {
+        f.pod_link_ids(pod)
+            .find(|&id| {
+                matches!(f.link(id).kind, LinkKind::TorFabric { tor: t, fabric: fb } if t == tor && fb == fab)
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn single_link_always_disableable_at_75() {
+        // Fig 4's "link A" scenario: one ToR-fabric link costs 48/192 = 25%
+        // of one ToR's paths, leaving exactly 75%.
+        let mut f = Fabric::new(1);
+        let co = CorrOpt::new(CapacityConstraint(0.75));
+        let a = tor_fabric_link(&f, 0, 0, 0);
+        assert!(co.can_disable(&mut f, a));
+        assert!(co.try_disable(&mut f, a));
+        assert_eq!(f.link(a).state, LinkState::Disabled);
+    }
+
+    #[test]
+    fn second_link_on_same_tor_violates_75() {
+        // Fig 4's "link B": with link A down, ToR 0 is at exactly 75%;
+        // disabling a second fabric link of the same ToR would leave 50%.
+        let mut f = Fabric::new(1);
+        let co = CorrOpt::new(CapacityConstraint(0.75));
+        let a = tor_fabric_link(&f, 0, 0, 0);
+        let b = tor_fabric_link(&f, 0, 0, 1);
+        co.try_disable(&mut f, a);
+        assert!(!co.can_disable(&mut f, b), "link B must stay up");
+        // but a 50% constraint would allow it
+        let co50 = CorrOpt::new(CapacityConstraint(0.50));
+        assert!(co50.can_disable(&mut f, b));
+    }
+
+    #[test]
+    fn checker_restores_state_on_failure() {
+        let mut f = Fabric::new(1);
+        let co = CorrOpt::new(CapacityConstraint(0.75));
+        let a = tor_fabric_link(&f, 0, 0, 0);
+        f.set_state(
+            a,
+            LinkState::Corrupting {
+                loss_rate: 1e-3,
+                lg_active: false,
+            },
+        );
+        let b = tor_fabric_link(&f, 0, 0, 1);
+        f.set_state(b, LinkState::Disabled);
+        assert!(!co.can_disable(&mut f, a));
+        assert!(matches!(f.link(a).state, LinkState::Corrupting { .. }));
+    }
+
+    #[test]
+    fn disabled_link_cannot_be_disabled_again() {
+        let mut f = Fabric::new(1);
+        let co = CorrOpt::new(CapacityConstraint(0.5));
+        let a = tor_fabric_link(&f, 0, 0, 0);
+        co.try_disable(&mut f, a);
+        assert!(!co.can_disable(&mut f, a));
+    }
+
+    #[test]
+    fn optimizer_prefers_worst_links() {
+        let mut f = Fabric::new(1);
+        let co = CorrOpt::new(CapacityConstraint(0.75));
+        // two corrupting links on the same ToR: only one can be disabled,
+        // and it must be the higher-loss one
+        let a = tor_fabric_link(&f, 0, 0, 0);
+        let b = tor_fabric_link(&f, 0, 0, 1);
+        for (id, rate) in [(a, 1e-5), (b, 1e-3)] {
+            f.set_state(
+                id,
+                LinkState::Corrupting {
+                    loss_rate: rate,
+                    lg_active: false,
+                },
+            );
+        }
+        let disabled = co.optimize(&mut f, &[(a, 1e-5), (b, 1e-3)]);
+        assert_eq!(disabled, vec![b], "worst link first");
+        assert!(matches!(f.link(a).state, LinkState::Corrupting { .. }));
+    }
+
+    #[test]
+    fn optimizer_disables_independent_links_everywhere() {
+        let mut f = Fabric::new(2);
+        let co = CorrOpt::new(CapacityConstraint(0.75));
+        let a = tor_fabric_link(&f, 0, 3, 0);
+        let b = tor_fabric_link(&f, 1, 7, 2);
+        for id in [a, b] {
+            f.set_state(
+                id,
+                LinkState::Corrupting {
+                    loss_rate: 1e-4,
+                    lg_active: false,
+                },
+            );
+        }
+        let disabled = co.optimize(&mut f, &[(a, 1e-4), (b, 1e-4)]);
+        assert_eq!(disabled.len(), 2);
+    }
+}

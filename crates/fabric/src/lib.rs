@@ -1,0 +1,18 @@
+//! `lg-fabric` — the large-scale deployment study of §4.8.
+//!
+//! * [`topology`]: the Facebook fabric (260 pods ≈ 100K optical links);
+//! * [`corropt`]: CorrOpt's fast checker and optimizer re-implemented
+//!   from Zhuo et al. (SIGCOMM 2017);
+//! * [`tracegen`]: Weibull link-failure trace generation with Table 1
+//!   loss rates (Appendix D);
+//! * [`sim`]: the year-long maintenance simulation comparing vanilla
+//!   CorrOpt against LinkGuardian + CorrOpt (Figs 15 and 16).
+
+pub mod corropt;
+pub mod sim;
+pub mod topology;
+pub mod tracegen;
+
+pub use corropt::{CapacityConstraint, CorrOpt};
+pub use sim::{run, FabricSimConfig, FabricSimResult, Policy, SamplePoint};
+pub use topology::{Fabric, Link, LinkId, LinkKind, LinkState};

@@ -1,0 +1,462 @@
+//! The §4.8 large-scale maintenance simulation: vanilla CorrOpt vs
+//! LinkGuardian + CorrOpt over a year of corruption events on the ~100K
+//! link Facebook fabric.
+//!
+//! Methodology (following the paper): when a link starts corrupting,
+//! the joint policy first activates LinkGuardian (reducing the effective
+//! loss rate to `rate^(N+1)` per Eq. 2 at the cost of the Fig 8 effective
+//! link speed), then runs CorrOpt's fast checker to disable the link for
+//! repair if the capacity constraint allows. When a repair completes,
+//! CorrOpt's optimizer tries to disable the deferred corrupting links.
+//! 80% of repairs take ~2 days, the rest ~4 (§4.8).
+
+use crate::corropt::{CapacityConstraint, CorrOpt};
+use crate::topology::{Fabric, Link, LinkId, LinkState};
+use crate::tracegen::{
+    sample_loss_rate, sample_repair_hours, sample_time_to_corruption, Hours,
+};
+use lg_sim::Rng;
+use linkguardian::eq::{effective_loss_rate, retx_copies};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Maintenance policy under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Policy {
+    /// Vanilla CorrOpt: disable what the constraint allows; the rest
+    /// keeps corrupting at full rate.
+    CorrOptOnly,
+    /// LinkGuardian + CorrOpt: activate LinkGuardian on every corrupting
+    /// link, then disable what the constraint allows.
+    LgPlusCorrOpt,
+    /// Incremental deployment (§5): only a fraction of switches have been
+    /// upgraded, so each link is LinkGuardian-capable with this
+    /// probability; incapable corrupting links behave as under vanilla
+    /// CorrOpt. `PartialLg(1.0)` ≡ `LgPlusCorrOpt`.
+    PartialLg(f64),
+}
+
+/// Effective link-speed fraction of a LinkGuardian-protected 100 G link,
+/// interpolated from the paper's Fig 8 measurements (ordered mode):
+/// ≈100% at 1e-5, ≈99% at 1e-4, ≈92% at 1e-3.
+pub fn lg_effective_speed(loss_rate: f64) -> f64 {
+    let anchors = [(1e-6, 1.0), (1e-5, 0.998), (1e-4, 0.99), (1e-3, 0.92), (1e-2, 0.70)];
+    if loss_rate <= anchors[0].0 {
+        return anchors[0].1;
+    }
+    for w in anchors.windows(2) {
+        let (r0, s0) = w[0];
+        let (r1, s1) = w[1];
+        if loss_rate <= r1 {
+            let f = (loss_rate.ln() - r0.ln()) / (r1.ln() - r0.ln());
+            return s0 + f * (s1 - s0);
+        }
+    }
+    anchors.last().expect("non-empty").1
+}
+
+/// The penalty contribution of an active corrupting link, given whether
+/// LinkGuardian is actually running on it.
+pub fn link_penalty_with(lg_active: bool, loss_rate: f64, target: f64) -> f64 {
+    if lg_active {
+        let n = retx_copies(loss_rate, target);
+        effective_loss_rate(loss_rate, n)
+    } else {
+        loss_rate
+    }
+}
+
+/// The penalty contribution of an active corrupting link under a policy
+/// at full deployment.
+pub fn link_penalty(policy: Policy, loss_rate: f64, target: f64) -> f64 {
+    link_penalty_with(!matches!(policy, Policy::CorrOptOnly), loss_rate, target)
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FabricSimConfig {
+    /// Pods in the fabric (260 ≈ the paper's 100K links).
+    pub pods: u32,
+    /// Simulated horizon in hours (8,760 = one year).
+    pub horizon_hours: Hours,
+    /// Capacity constraint (0.50 or 0.75 in the paper).
+    pub constraint: f64,
+    /// Policy under test.
+    pub policy: Policy,
+    /// Metric sampling interval in hours.
+    pub sample_interval_hours: Hours,
+    /// LinkGuardian operator target loss rate.
+    pub target_loss_rate: f64,
+    /// Master RNG seed (same seed ⇒ same per-link failure schedule across
+    /// policies, enabling the paired Fig 16 comparison).
+    pub seed: u64,
+}
+
+impl FabricSimConfig {
+    /// The paper's setup at the given constraint and policy.
+    pub fn paper(constraint: f64, policy: Policy, seed: u64) -> FabricSimConfig {
+        FabricSimConfig {
+            pods: 260,
+            horizon_hours: 8_760.0,
+            constraint,
+            policy,
+            sample_interval_hours: 1.0,
+            target_loss_rate: 1e-8,
+            seed,
+        }
+    }
+}
+
+/// One metric sample (a point of Fig 15's three panels).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SamplePoint {
+    /// Sample time (hours).
+    pub t_hours: Hours,
+    /// Sum of (effective) loss rates over all active corrupting links.
+    pub total_penalty: f64,
+    /// Least fraction of spine paths over all ToRs.
+    pub least_paths: f64,
+    /// Least pod uplink-capacity fraction.
+    pub least_capacity: f64,
+    /// Number of active (not disabled) corrupting links.
+    pub active_corrupting: u32,
+    /// Number of links currently disabled for repair.
+    pub disabled: u32,
+}
+
+/// Aggregate counters for one run.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct FabricSimCounts {
+    /// Corruption onsets.
+    pub corruption_events: u64,
+    /// Links disabled immediately by the fast checker.
+    pub disabled_immediately: u64,
+    /// Links that had to keep operating while corrupting.
+    pub deferred: u64,
+    /// Deferred links later disabled by the optimizer.
+    pub optimizer_disabled: u64,
+    /// Repairs completed.
+    pub repairs: u64,
+    /// Peak simultaneous LinkGuardian-enabled links on one switch pipe
+    /// (approximated per pod-fabric switch, §5).
+    pub peak_lg_per_fabric_switch: u32,
+}
+
+/// Result of one run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FabricSimResult {
+    /// Time series of samples.
+    pub samples: Vec<SamplePoint>,
+    /// Aggregate counters.
+    pub counts: FabricSimCounts,
+}
+
+#[derive(Debug, PartialEq)]
+enum Ev {
+    StartCorrupting(LinkId),
+    RepairDone(LinkId),
+}
+
+struct Scheduled {
+    at: Hours,
+    seq: u64,
+    ev: Ev,
+}
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .partial_cmp(&self.at)
+            .expect("no NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Run one policy over one trace.
+pub fn run(cfg: &FabricSimConfig) -> FabricSimResult {
+    let mut fabric = Fabric::new(cfg.pods);
+    let corropt = CorrOpt::new(CapacityConstraint(cfg.constraint));
+    let n_links = fabric.n_links() as u32;
+
+    // Per-link RNG streams forked from the master seed: the k-th failure
+    // of link i draws identical values in every policy run.
+    let mut master = Rng::new(cfg.seed);
+    let mut link_rngs: Vec<Rng> = (0..n_links).map(|_| master.fork()).collect();
+
+    let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<Scheduled>, seq: &mut u64, at: Hours, ev: Ev| {
+        *seq += 1;
+        heap.push(Scheduled { at, seq: *seq, ev });
+    };
+    for i in 0..n_links {
+        let t = sample_time_to_corruption(&mut link_rngs[i as usize]);
+        if t <= cfg.horizon_hours {
+            push(&mut heap, &mut seq, t, Ev::StartCorrupting(LinkId(i)));
+        }
+    }
+
+    let mut corrupting: HashMap<LinkId, (f64, bool)> = HashMap::new();
+    let mut disabled_count: u32 = 0;
+    let mut counts = FabricSimCounts::default();
+    let mut samples = Vec::new();
+    let mut next_sample: Hours = 0.0;
+
+    // Which links are LinkGuardian-capable (incremental deployment, §5).
+    // Capability is drawn from its own RNG stream so the per-link failure
+    // schedules stay identical across policies and deployment fractions.
+    let mut capability_rng = Rng::new(cfg.seed ^ 0x00DE_9107);
+    let capable: Vec<bool> = match cfg.policy {
+        Policy::CorrOptOnly => vec![false; n_links as usize],
+        Policy::LgPlusCorrOpt => vec![true; n_links as usize],
+        Policy::PartialLg(f) => (0..n_links)
+            .map(|_| capability_rng.bernoulli(f))
+            .collect(),
+    };
+
+    let effective_speed = |l: &Link| -> f64 {
+        match l.state {
+            LinkState::Up => 1.0,
+            LinkState::Disabled => 0.0,
+            LinkState::Corrupting { loss_rate, lg_active } => {
+                if lg_active {
+                    lg_effective_speed(loss_rate)
+                } else {
+                    1.0
+                }
+            }
+        }
+    };
+
+    let take_sample =
+        |t: Hours,
+         fabric: &Fabric,
+         corrupting: &HashMap<LinkId, (f64, bool)>,
+         disabled_count: u32,
+         samples: &mut Vec<SamplePoint>| {
+            let total_penalty: f64 = corrupting
+                .values()
+                .map(|&(r, lg_on)| link_penalty_with(lg_on, r, cfg.target_loss_rate))
+                .sum::<f64>()
+                .max(0.0);
+            let mut least_paths: f64 = 1.0;
+            let mut least_capacity: f64 = 1.0;
+            for pod in 0..cfg.pods {
+                // skip pods with every link nominal
+                let any_non_up = fabric
+                    .pod_links(pod)
+                    .iter()
+                    .any(|l| l.state != LinkState::Up);
+                if !any_non_up {
+                    continue;
+                }
+                least_paths = least_paths.min(fabric.least_paths_fraction_in_pod(pod));
+                least_capacity =
+                    least_capacity.min(fabric.pod_capacity_fraction(pod, effective_speed));
+            }
+            samples.push(SamplePoint {
+                t_hours: t,
+                total_penalty,
+                least_paths,
+                least_capacity,
+                active_corrupting: corrupting.len() as u32,
+                disabled: disabled_count,
+            });
+        };
+
+    while let Some(Scheduled { at, ev, .. }) = heap.pop() {
+        // emit samples up to this event
+        while next_sample <= at && next_sample <= cfg.horizon_hours {
+            take_sample(next_sample, &fabric, &corrupting, disabled_count, &mut samples);
+            next_sample += cfg.sample_interval_hours;
+        }
+        if at > cfg.horizon_hours {
+            break;
+        }
+        match ev {
+            Ev::StartCorrupting(link) => {
+                counts.corruption_events += 1;
+                let rate = sample_loss_rate(&mut link_rngs[link.0 as usize]);
+                let lg_on = capable[link.0 as usize];
+                fabric.set_state(
+                    link,
+                    LinkState::Corrupting {
+                        loss_rate: rate,
+                        lg_active: lg_on,
+                    },
+                );
+                if corropt.try_disable(&mut fabric, link) {
+                    counts.disabled_immediately += 1;
+                    disabled_count += 1;
+                    let repair = sample_repair_hours(&mut link_rngs[link.0 as usize]);
+                    push(&mut heap, &mut seq, at + repair, Ev::RepairDone(link));
+                } else {
+                    counts.deferred += 1;
+                    corrupting.insert(link, (rate, lg_on));
+                }
+            }
+            Ev::RepairDone(link) => {
+                counts.repairs += 1;
+                disabled_count -= 1;
+                fabric.set_state(link, LinkState::Up);
+                let next_fail = sample_time_to_corruption(&mut link_rngs[link.0 as usize]);
+                if at + next_fail <= cfg.horizon_hours {
+                    push(&mut heap, &mut seq, at + next_fail, Ev::StartCorrupting(link));
+                }
+                // capacity returned: let the optimizer try the backlog
+                let backlog: Vec<(LinkId, f64)> =
+                    corrupting.iter().map(|(&l, &(r, _))| (l, r)).collect();
+                for l in corropt.optimize(&mut fabric, &backlog) {
+                    counts.optimizer_disabled += 1;
+                    corrupting.remove(&l);
+                    disabled_count += 1;
+                    let repair = sample_repair_hours(&mut link_rngs[l.0 as usize]);
+                    push(&mut heap, &mut seq, at + repair, Ev::RepairDone(l));
+                }
+            }
+        }
+        // track worst-case concurrent LG links per fabric switch (§5)
+        if !matches!(cfg.policy, Policy::CorrOptOnly) {
+            let mut per_switch: HashMap<(u32, u8), u32> = HashMap::new();
+            for (&l, &(_, lg_on)) in corrupting.iter() {
+                if !lg_on {
+                    continue;
+                }
+                let link = fabric.link(l);
+                let fswitch = match link.kind {
+                    crate::topology::LinkKind::TorFabric { fabric, .. } => fabric,
+                    crate::topology::LinkKind::FabricSpine { fabric, .. } => fabric,
+                };
+                *per_switch.entry((link.pod, fswitch)).or_insert(0) += 1;
+            }
+            if let Some(&m) = per_switch.values().max() {
+                counts.peak_lg_per_fabric_switch = counts.peak_lg_per_fabric_switch.max(m);
+            }
+        }
+    }
+    // trailing samples
+    while next_sample <= cfg.horizon_hours {
+        take_sample(next_sample, &fabric, &corrupting, disabled_count, &mut samples);
+        next_sample += cfg.sample_interval_hours;
+    }
+
+    FabricSimResult { samples, counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(policy: Policy, constraint: f64) -> FabricSimConfig {
+        FabricSimConfig {
+            pods: 10,
+            horizon_hours: 24.0 * 30.0, // one month
+            constraint,
+            policy,
+            sample_interval_hours: 6.0,
+            target_loss_rate: 1e-8,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn lg_effective_speed_anchors() {
+        assert!((lg_effective_speed(1e-3) - 0.92).abs() < 1e-9);
+        assert!((lg_effective_speed(1e-4) - 0.99).abs() < 1e-9);
+        assert!(lg_effective_speed(1e-7) > 0.999);
+        // monotone decreasing
+        assert!(lg_effective_speed(1e-5) > lg_effective_speed(1e-3));
+    }
+
+    #[test]
+    fn link_penalty_policies() {
+        assert_eq!(link_penalty(Policy::CorrOptOnly, 1e-3, 1e-8), 1e-3);
+        let p = link_penalty(Policy::LgPlusCorrOpt, 1e-3, 1e-8);
+        assert!((p - 1e-9).abs() < 1e-18, "{p:e}");
+    }
+
+    #[test]
+    fn simulation_runs_and_counts_balance() {
+        let r = run(&small_cfg(Policy::CorrOptOnly, 0.75));
+        assert!(r.counts.corruption_events > 0);
+        assert_eq!(
+            r.counts.corruption_events,
+            r.counts.disabled_immediately + r.counts.deferred
+        );
+        assert!(!r.samples.is_empty());
+        // paths never fall below the constraint
+        for s in &r.samples {
+            assert!(
+                s.least_paths >= 0.75 - 1e-9,
+                "constraint violated: {}",
+                s.least_paths
+            );
+        }
+    }
+
+    #[test]
+    fn lg_policy_reduces_total_penalty() {
+        let corropt = run(&small_cfg(Policy::CorrOptOnly, 0.75));
+        let combined = run(&small_cfg(Policy::LgPlusCorrOpt, 0.75));
+        let mean = |r: &FabricSimResult| {
+            r.samples.iter().map(|s| s.total_penalty).sum::<f64>() / r.samples.len() as f64
+        };
+        let p_corropt = mean(&corropt);
+        let p_combined = mean(&combined);
+        assert!(p_corropt > 0.0);
+        assert!(
+            p_combined < p_corropt / 1_000.0,
+            "expected orders of magnitude: {p_corropt:e} vs {p_combined:e}"
+        );
+    }
+
+    #[test]
+    fn lg_policy_costs_some_capacity() {
+        let corropt = run(&small_cfg(Policy::CorrOptOnly, 0.75));
+        let combined = run(&small_cfg(Policy::LgPlusCorrOpt, 0.75));
+        let mean_cap = |r: &FabricSimResult| {
+            r.samples.iter().map(|s| s.least_capacity).sum::<f64>() / r.samples.len() as f64
+        };
+        // the combined policy trades a little capacity (Fig 16b) ...
+        assert!(mean_cap(&combined) <= mean_cap(&corropt) + 1e-12);
+        // ... but only a little (paper: ≤ a few tenths of a percent)
+        assert!(mean_cap(&corropt) - mean_cap(&combined) < 0.02);
+    }
+
+    #[test]
+    fn same_seed_same_trace_shape() {
+        let a = run(&small_cfg(Policy::CorrOptOnly, 0.75));
+        let b = run(&small_cfg(Policy::CorrOptOnly, 0.75));
+        assert_eq!(a.counts.corruption_events, b.counts.corruption_events);
+        assert_eq!(a.samples.len(), b.samples.len());
+    }
+
+    #[test]
+    fn stricter_constraint_defers_more_links() {
+        // higher required capacity ⇒ fewer links can be disabled
+        let cfg90 = FabricSimConfig {
+            constraint: 0.995,
+            ..small_cfg(Policy::CorrOptOnly, 0.0)
+        };
+        let strict = run(&cfg90);
+        let loose = run(&small_cfg(Policy::CorrOptOnly, 0.50));
+        assert!(
+            strict.counts.deferred > loose.counts.deferred,
+            "strict {} vs loose {}",
+            strict.counts.deferred,
+            loose.counts.deferred
+        );
+    }
+}

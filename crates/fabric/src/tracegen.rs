@@ -1,0 +1,164 @@
+//! Link-corruption trace generation (Appendix D).
+//!
+//! Each link's time-to-corruption is Weibull with shape β = 1 (corruption
+//! is caused by memoryless external events) and scale η = MTTF =
+//! 10,000 hours (Meza et al., IMC'18). Loss rates are drawn from the
+//! bucket distribution observed in Microsoft's datacenters (Table 1),
+//! log-uniform within each bucket. Repairs take ~2 days for 80% of links
+//! and ~4 days for the rest (§4.8).
+
+use crate::topology::LinkId;
+use lg_sim::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hours per simulated time unit: the fabric simulation runs on a coarse
+/// clock of hours (f64).
+pub type Hours = f64;
+
+/// Link mean-time-to-failure (hours).
+pub const MTTF_HOURS: f64 = 10_000.0;
+/// Weibull shape parameter (β = 1 → exponential).
+pub const WEIBULL_BETA: f64 = 1.0;
+
+/// Table 1: corruption loss-rate buckets and their link fractions.
+pub const LOSS_BUCKETS: [(f64, f64, f64); 4] = [
+    // (low, high, probability)
+    (1e-8, 1e-5, 0.4723),
+    (1e-5, 1e-4, 0.1843),
+    (1e-4, 1e-3, 0.2166),
+    (1e-3, 1e-2, 0.1267),
+];
+
+/// One corruption event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorruptionEvent {
+    /// When the link starts corrupting (hours from simulation start).
+    pub at_hours: Hours,
+    /// Which link.
+    pub link: LinkId,
+    /// Frame loss rate drawn from Table 1.
+    pub loss_rate: f64,
+}
+
+/// Draw a loss rate from the Table 1 distribution (log-uniform within the
+/// selected bucket).
+pub fn sample_loss_rate(rng: &mut Rng) -> f64 {
+    let u = rng.f64();
+    let mut acc = 0.0;
+    let mut chosen = LOSS_BUCKETS[LOSS_BUCKETS.len() - 1];
+    for &bucket in &LOSS_BUCKETS {
+        acc += bucket.2;
+        if u <= acc {
+            chosen = bucket;
+            break;
+        }
+    }
+    let (lo, hi, _) = chosen;
+    let v = rng.f64();
+    (lo.ln() + v * (hi.ln() - lo.ln())).exp()
+}
+
+/// Which Table 1 bucket a loss rate falls into (for the Table 1 check).
+pub fn bucket_of(rate: f64) -> usize {
+    match rate {
+        r if r < 1e-5 => 0,
+        r if r < 1e-4 => 1,
+        r if r < 1e-3 => 2,
+        _ => 3,
+    }
+}
+
+/// Draw the time until a (re)enabled link next starts corrupting.
+pub fn sample_time_to_corruption(rng: &mut Rng) -> Hours {
+    rng.weibull(WEIBULL_BETA, MTTF_HOURS)
+}
+
+/// Draw a repair duration: ~2 days for 80% of links, ~4 days for the rest.
+pub fn sample_repair_hours(rng: &mut Rng) -> Hours {
+    if rng.bernoulli(0.8) {
+        48.0
+    } else {
+        96.0
+    }
+}
+
+/// Generate the corruption events for `n_links` links over `horizon`
+/// hours — only each link's *first* corruption; subsequent failures after
+/// repair are drawn online by the simulation.
+pub fn initial_trace(n_links: u32, horizon: Hours, rng: &mut Rng) -> Vec<CorruptionEvent> {
+    let mut events = Vec::new();
+    for i in 0..n_links {
+        let t = sample_time_to_corruption(rng);
+        if t <= horizon {
+            events.push(CorruptionEvent {
+                at_hours: t,
+                link: LinkId(i),
+                loss_rate: sample_loss_rate(rng),
+            });
+        }
+    }
+    events.sort_by(|a, b| a.at_hours.partial_cmp(&b.at_hours).expect("no NaN"));
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_rates_match_table1_buckets() {
+        let mut rng = Rng::new(42);
+        let mut counts = [0u32; 4];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[bucket_of(sample_loss_rate(&mut rng))] += 1;
+        }
+        for (i, &(_, _, p)) in LOSS_BUCKETS.iter().enumerate() {
+            let frac = counts[i] as f64 / n as f64;
+            assert!(
+                (frac - p).abs() < 0.01,
+                "bucket {i}: {frac} expected {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn loss_rates_within_support() {
+        let mut rng = Rng::new(1);
+        for _ in 0..100_000 {
+            let r = sample_loss_rate(&mut rng);
+            assert!((1e-8..=1e-2).contains(&r), "{r:e}");
+        }
+    }
+
+    #[test]
+    fn mttf_matches_meza() {
+        let mut rng = Rng::new(2);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| sample_time_to_corruption(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - MTTF_HOURS).abs() / MTTF_HOURS < 0.02, "{mean}");
+    }
+
+    #[test]
+    fn repair_time_mix() {
+        let mut rng = Rng::new(3);
+        let n = 100_000;
+        let two_day = (0..n)
+            .filter(|_| sample_repair_hours(&mut rng) < 60.0)
+            .count();
+        let frac = two_day as f64 / n as f64;
+        assert!((frac - 0.8).abs() < 0.01, "{frac}");
+    }
+
+    #[test]
+    fn initial_trace_sorted_and_scaled() {
+        let mut rng = Rng::new(4);
+        let horizon = 8_760.0; // one year
+        let events = initial_trace(100_000, horizon, &mut rng);
+        // expected fraction failing within a year: 1 - exp(-8760/10000) ≈ 0.584
+        let frac = events.len() as f64 / 100_000.0;
+        assert!((frac - 0.584).abs() < 0.01, "{frac}");
+        assert!(events.windows(2).all(|w| w[0].at_hours <= w[1].at_hours));
+        assert!(events.iter().all(|e| e.at_hours <= horizon));
+    }
+}

@@ -1,0 +1,175 @@
+//! A working frame-group FEC codec: XOR-style erasure coding at the
+//! granularity of whole frames (erasures are known from sequence gaps, so
+//! `r` parity frames recover any `≤ r` lost frames in a group — the MDS
+//! property Wharf gets from its Reed–Solomon code).
+
+use lg_sim::Rng;
+
+/// Encoder/decoder state for one link direction.
+#[derive(Debug)]
+pub struct GroupFec {
+    /// Data frames per group.
+    pub k: u32,
+    /// Parity frames per group.
+    pub r: u32,
+}
+
+/// Result of decoding one group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupOutcome {
+    /// Data frames delivered (either directly or via recovery).
+    pub delivered: u32,
+    /// Data frames lost unrecoverably.
+    pub lost: u32,
+    /// True if recovery was needed and succeeded.
+    pub recovered: bool,
+}
+
+impl GroupFec {
+    /// A `(k, r)` group code.
+    pub fn new(k: u32, r: u32) -> GroupFec {
+        assert!(k > 0);
+        GroupFec { k, r }
+    }
+
+    /// Fraction of link capacity spent on parity.
+    pub fn overhead(&self) -> f64 {
+        self.r as f64 / (self.k + self.r) as f64
+    }
+
+    /// Decode a group given which of the `k + r` frames survived
+    /// (`survived[i]` for data frames `i < k`, parity after).
+    pub fn decode(&self, survived: &[bool]) -> GroupOutcome {
+        assert_eq!(survived.len() as u32, self.k + self.r);
+        let total_lost = survived.iter().filter(|s| !**s).count() as u32;
+        let data_lost = survived[..self.k as usize]
+            .iter()
+            .filter(|s| !**s)
+            .count() as u32;
+        if total_lost <= self.r {
+            // MDS: any <= r erasures recoverable
+            GroupOutcome {
+                delivered: self.k,
+                lost: 0,
+                recovered: data_lost > 0,
+            }
+        } else {
+            GroupOutcome {
+                delivered: self.k - data_lost,
+                lost: data_lost,
+                recovered: false,
+            }
+        }
+    }
+
+    /// Monte-Carlo residual data-frame loss rate under i.i.d. frame loss
+    /// `p`, over `groups` simulated groups.
+    pub fn residual_loss_rate(&self, p: f64, groups: u32, rng: &mut Rng) -> f64 {
+        let n = (self.k + self.r) as usize;
+        let mut data_lost = 0u64;
+        let mut survived = vec![true; n];
+        for _ in 0..groups {
+            for s in survived.iter_mut() {
+                *s = !rng.bernoulli(p);
+            }
+            data_lost += self.decode(&survived).lost as u64;
+        }
+        data_lost as f64 / (groups as u64 * self.k as u64) as f64
+    }
+
+    /// Analytic residual data-loss rate under i.i.d. frame loss `p`:
+    /// the expected fraction of data frames lost after decoding.
+    pub fn residual_loss_rate_analytic(&self, p: f64) -> f64 {
+        let n = (self.k + self.r) as f64;
+        // P[data frame lost] = p * P[more than r-1 of the other n-1 frames lost]
+        // computed by direct binomial summation (n is small).
+        let others = n - 1.0;
+        let mut tail = 0.0;
+        for j in (self.r as i64)..=(others as i64) {
+            tail += binom_pmf(others as u64, j as u64, p);
+        }
+        p * tail
+    }
+}
+
+fn binom_pmf(n: u64, k: u64, p: f64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let mut ln = 0.0f64;
+    for i in 0..k {
+        ln += ((n - i) as f64).ln() - ((i + 1) as f64).ln();
+    }
+    (ln + k as f64 * p.ln() + (n - k) as f64 * (-p).ln_1p()).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_loss_passes_through() {
+        let fec = GroupFec::new(10, 2);
+        let out = fec.decode(&vec![true; 12]);
+        assert_eq!(out.delivered, 10);
+        assert_eq!(out.lost, 0);
+        assert!(!out.recovered);
+    }
+
+    #[test]
+    fn recovers_up_to_r_losses() {
+        let fec = GroupFec::new(10, 2);
+        let mut survived = vec![true; 12];
+        survived[3] = false;
+        survived[7] = false;
+        let out = fec.decode(&survived);
+        assert_eq!(out.delivered, 10);
+        assert!(out.recovered);
+        // parity losses alone don't even need recovery of data
+        let mut survived = vec![true; 12];
+        survived[10] = false;
+        survived[11] = false;
+        let out = fec.decode(&survived);
+        assert_eq!(out.lost, 0);
+        assert!(!out.recovered);
+    }
+
+    #[test]
+    fn fails_beyond_r_losses() {
+        let fec = GroupFec::new(10, 2);
+        let mut survived = vec![true; 12];
+        survived[0] = false;
+        survived[1] = false;
+        survived[10] = false;
+        let out = fec.decode(&survived);
+        assert_eq!(out.lost, 2);
+        assert_eq!(out.delivered, 8);
+    }
+
+    #[test]
+    fn overhead_fraction() {
+        assert!((GroupFec::new(21, 2).overhead() - 2.0 / 23.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_matches_analytic() {
+        let fec = GroupFec::new(10, 2);
+        let p = 0.02;
+        let mut rng = Rng::new(7);
+        let mc = fec.residual_loss_rate(p, 2_000_000, &mut rng);
+        let an = fec.residual_loss_rate_analytic(p);
+        assert!(
+            (mc - an).abs() / an < 0.15,
+            "monte carlo {mc:e} vs analytic {an:e}"
+        );
+    }
+
+    #[test]
+    fn analytic_residual_improves_on_raw_loss() {
+        let fec = GroupFec::new(10, 2);
+        for p in [1e-4, 1e-3, 1e-2] {
+            let res = fec.residual_loss_rate_analytic(p);
+            assert!(res < p / 10.0, "p={p:e} residual={res:e}");
+        }
+    }
+}

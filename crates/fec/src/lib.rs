@@ -1,0 +1,20 @@
+//! `lg-fec` — the Wharf link-local FEC baseline (Giesen et al.,
+//! NetCompute'18), the paper's Table 3 comparator.
+//!
+//! Wharf groups Ethernet frames into blocks of `k` data frames plus `r`
+//! parity frames. A group survives if at most `r` of its `k + r` frames
+//! are lost. Redundancy is added to *all* traffic regardless of the loss
+//! rate (the drawback §2 highlights), and a meter drops `r/(k+r)` of the
+//! offered load to signal the reduced link capacity to the transport.
+//!
+//! The paper could not run Wharf (no FPGA access) and reproduced its
+//! results numerically from Wharf's best-reported parameters per loss
+//! rate (§4.7); [`WharfModel::goodput_gbps`] is that numerical model, and
+//! [`GroupFec`] is a working packet-level codec used for failure-injection
+//! tests.
+
+pub mod group;
+pub mod wharf;
+
+pub use group::GroupFec;
+pub use wharf::{WharfModel, WharfParams};

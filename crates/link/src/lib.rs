@@ -1,0 +1,20 @@
+//! `lg-link` — link models for the LinkGuardian reproduction.
+//!
+//! * [`speed`]: Ethernet link speeds and serialization arithmetic.
+//! * [`loss`]: corruption loss processes — i.i.d., Gilbert–Elliott bursty,
+//!   and scripted traces for failure injection — plus consecutive-loss
+//!   run-length statistics (paper Fig 20).
+//! * [`phy`]: the optical attenuation → BER model behind Figure 1.
+//! * [`fec`]: IEEE 802.3 RS-FEC (KR4/KP4) codeword-error model.
+//! * [`link`]: the link abstraction the testbed schedules packets over.
+
+pub mod fec;
+pub mod link;
+pub mod loss;
+pub mod phy;
+pub mod speed;
+
+pub use link::{LinkConfig, LinkDirection};
+pub use loss::{LossModel, LossProcess, RunLengthStats};
+pub use phy::Transceiver;
+pub use speed::LinkSpeed;

@@ -1,0 +1,97 @@
+//! Property tests for the link models.
+
+use lg_link::fec::RsFec;
+use lg_link::loss::LossProcess;
+use lg_link::phy::at_least_one;
+use lg_link::{LossModel, RunLengthStats, Transceiver};
+use lg_sim::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    /// Observed loss rate of the i.i.d. model converges to the configured
+    /// rate (law of large numbers at test scale).
+    #[test]
+    fn iid_rate_in_confidence_band(rate_exp in 1u32..3, seed in any::<u64>()) {
+        let rate = 10f64.powi(-(rate_exp as i32)); // 0.1 or 0.01
+        let mut p = LossProcess::new(LossModel::Iid { rate }, Rng::new(seed));
+        let n = 200_000u64;
+        for _ in 0..n {
+            p.should_drop();
+        }
+        let observed = p.observed_rate();
+        // ±5 standard deviations of a binomial
+        let sd = (rate * (1.0 - rate) / n as f64).sqrt();
+        prop_assert!(
+            (observed - rate).abs() < 5.0 * sd + 1e-9,
+            "observed {observed} configured {rate}"
+        );
+    }
+
+    /// Gilbert–Elliott stationary rate matches the closed form for any
+    /// parameterization.
+    #[test]
+    fn ge_mean_rate_formula(rate in 1e-3f64..0.2, burst in 1.0f64..10.0) {
+        let model = LossModel::bursty(rate, burst);
+        prop_assert!((model.mean_rate() - rate).abs() / rate < 1e-9);
+    }
+
+    /// Run-length bookkeeping: counts × lengths add up to total losses.
+    #[test]
+    fn run_lengths_conserve_losses(outcomes in proptest::collection::vec(any::<bool>(), 1..2000)) {
+        let mut rl = RunLengthStats::new();
+        for &lost in &outcomes {
+            rl.record(lost);
+        }
+        let counts = rl.finish();
+        let total_from_runs: u64 = counts
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| (k as u64 + 1) * c)
+            .sum();
+        let total_losses = outcomes.iter().filter(|&&l| l).count() as u64;
+        prop_assert_eq!(total_from_runs, total_losses);
+    }
+
+    /// `at_least_one` is a probability, monotone in both arguments.
+    #[test]
+    fn at_least_one_properties(p in 0f64..1.0, n in 1f64..100_000.0) {
+        let v = at_least_one(p, n);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!(at_least_one(p, n + 1.0) >= v - 1e-15);
+        prop_assert!(at_least_one((p + 0.01).min(1.0), n) >= v - 1e-15);
+        // union bound
+        prop_assert!(v <= (p * n).min(1.0) + 1e-12);
+    }
+
+    /// FEC codeword error rate is a probability, monotone in BER, and
+    /// never worse than the uncoded symbol-block failure probability.
+    #[test]
+    fn fec_codeword_error_sane(ber_exp in 2u32..8) {
+        let ber = 10f64.powi(-(ber_exp as i32));
+        for fec in [RsFec::kr4(), RsFec::kp4()] {
+            let p = fec.codeword_error_rate(ber);
+            prop_assert!((0.0..=1.0).contains(&p));
+            let uncoded = at_least_one(fec.symbol_error_rate(ber), fec.n as f64);
+            prop_assert!(p <= uncoded + 1e-12, "coding can't hurt");
+            prop_assert!(p <= fec.codeword_error_rate(ber * 10.0) + 1e-300);
+        }
+    }
+
+    /// PHY: packet loss rate is monotone in attenuation for every
+    /// transceiver, and always a probability.
+    #[test]
+    fn phy_monotone_in_attenuation(step in 1u32..40) {
+        for t in [
+            Transceiver::base10g_sr(),
+            Transceiver::base25g_sr(),
+            Transceiver::base25g_sr_fec(),
+            Transceiver::base50g_sr_fec(),
+        ] {
+            let a0 = step as f64 * 0.5;
+            let p0 = t.packet_loss_rate(a0, 1518);
+            let p1 = t.packet_loss_rate(a0 + 0.5, 1518);
+            prop_assert!((0.0..=1.0).contains(&p0));
+            prop_assert!(p1 >= p0 - 1e-15, "{}: {p0:e} -> {p1:e}", t.name);
+        }
+    }
+}

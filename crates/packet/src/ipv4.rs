@@ -1,0 +1,188 @@
+//! Minimal IPv4 header with ECN support.
+
+use crate::wire::{internet_checksum, ParseError, Reader, Result, Writer};
+use serde::{Deserialize, Serialize};
+
+/// ECN codepoints (RFC 3168). DCTCP requires ECT marking on data packets
+/// and CE marking by switches above the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Ecn {
+    /// Not ECN-capable transport.
+    #[default]
+    NotEct = 0b00,
+    /// ECN-capable transport (1).
+    Ect1 = 0b01,
+    /// ECN-capable transport (0).
+    Ect0 = 0b10,
+    /// Congestion experienced.
+    Ce = 0b11,
+}
+
+impl Ecn {
+    /// Parse from the 2-bit field.
+    pub fn from_bits(v: u8) -> Ecn {
+        match v & 0b11 {
+            0b00 => Ecn::NotEct,
+            0b01 => Ecn::Ect1,
+            0b10 => Ecn::Ect0,
+            _ => Ecn::Ce,
+        }
+    }
+
+    /// True if this packet may be CE-marked by a congested queue.
+    pub fn is_ect(self) -> bool {
+        matches!(self, Ecn::Ect0 | Ecn::Ect1 | Ecn::Ce)
+    }
+}
+
+/// Transport protocol numbers used in this repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum IpProtocol {
+    /// TCP.
+    Tcp = 6,
+    /// UDP (also carries RoCEv2).
+    Udp = 17,
+}
+
+impl IpProtocol {
+    fn from_u8(v: u8) -> Result<IpProtocol> {
+        match v {
+            6 => Ok(IpProtocol::Tcp),
+            17 => Ok(IpProtocol::Udp),
+            _ => Err(ParseError::Malformed),
+        }
+    }
+}
+
+/// IPv4 header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ipv4Repr {
+    /// Source address.
+    pub src: [u8; 4],
+    /// Destination address.
+    pub dst: [u8; 4],
+    /// Payload protocol.
+    pub protocol: IpProtocol,
+    /// Payload length in bytes (excluding this header).
+    pub payload_len: u16,
+    /// ECN codepoint.
+    pub ecn: Ecn,
+    /// Time to live.
+    pub ttl: u8,
+}
+
+impl Ipv4Repr {
+    /// Serialized length (no options).
+    pub const LEN: usize = 20;
+
+    /// Write into `buf` (at least 20 bytes), computing the header checksum.
+    pub fn emit(&self, buf: &mut [u8]) {
+        {
+            let mut w = Writer::new(buf);
+            w.u8(0x45); // version 4, IHL 5
+            w.u8(self.ecn as u8); // DSCP 0 + ECN
+            w.u16(self.payload_len + Self::LEN as u16);
+            w.u16(0); // identification
+            w.u16(0); // flags + fragment offset
+            w.u8(self.ttl);
+            w.u8(self.protocol as u8);
+            w.u16(0); // checksum placeholder
+            w.bytes(&self.src);
+            w.bytes(&self.dst);
+        }
+        let ck = internet_checksum(&buf[..Self::LEN]);
+        buf[10..12].copy_from_slice(&ck.to_be_bytes());
+    }
+
+    /// Parse from `buf`, verifying version, IHL and checksum.
+    pub fn parse(buf: &[u8]) -> Result<Ipv4Repr> {
+        if buf.len() < Self::LEN {
+            return Err(ParseError::Truncated);
+        }
+        if internet_checksum(&buf[..Self::LEN]) != 0 {
+            return Err(ParseError::BadChecksum);
+        }
+        let mut r = Reader::new(buf);
+        let ver_ihl = r.u8()?;
+        if ver_ihl != 0x45 {
+            return Err(ParseError::Malformed);
+        }
+        let tos = r.u8()?;
+        let total_len = r.u16()?;
+        if (total_len as usize) < Self::LEN {
+            return Err(ParseError::Malformed);
+        }
+        let _id = r.u16()?;
+        let _frag = r.u16()?;
+        let ttl = r.u8()?;
+        let protocol = IpProtocol::from_u8(r.u8()?)?;
+        let _ck = r.u16()?;
+        let mut src = [0u8; 4];
+        src.copy_from_slice(r.bytes(4)?);
+        let mut dst = [0u8; 4];
+        dst.copy_from_slice(r.bytes(4)?);
+        Ok(Ipv4Repr {
+            src,
+            dst,
+            protocol,
+            payload_len: total_len - Self::LEN as u16,
+            ecn: Ecn::from_bits(tos),
+            ttl,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Ipv4Repr {
+        Ipv4Repr {
+            src: [10, 0, 0, 1],
+            dst: [10, 0, 0, 2],
+            protocol: IpProtocol::Tcp,
+            payload_len: 100,
+            ecn: Ecn::Ect0,
+            ttl: 64,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let h = sample();
+        let mut buf = [0u8; 20];
+        h.emit(&mut buf);
+        assert_eq!(Ipv4Repr::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn checksum_corruption_detected() {
+        let mut buf = [0u8; 20];
+        sample().emit(&mut buf);
+        buf[15] ^= 0xFF;
+        assert_eq!(Ipv4Repr::parse(&buf), Err(ParseError::BadChecksum));
+    }
+
+    #[test]
+    fn ecn_bits() {
+        assert_eq!(Ecn::from_bits(0b11), Ecn::Ce);
+        assert_eq!(Ecn::from_bits(0b10), Ecn::Ect0);
+        assert!(Ecn::Ect0.is_ect());
+        assert!(Ecn::Ce.is_ect());
+        assert!(!Ecn::NotEct.is_ect());
+        // CE survives a round trip
+        let mut h = sample();
+        h.ecn = Ecn::Ce;
+        let mut buf = [0u8; 20];
+        h.emit(&mut buf);
+        assert_eq!(Ipv4Repr::parse(&buf).unwrap().ecn, Ecn::Ce);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let buf = [0u8; 10];
+        assert_eq!(Ipv4Repr::parse(&buf), Err(ParseError::Truncated));
+    }
+}

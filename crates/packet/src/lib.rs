@@ -1,0 +1,29 @@
+//! `lg-packet` — wire formats and the simulator's packet representation.
+//!
+//! Follows the smoltcp idiom: every header has a typed `Repr` with
+//! `emit`/`parse` over raw bytes (round-trip and malformed-input tested),
+//! and the simulator exchanges [`Packet`] structs whose on-wire lengths are
+//! derived from those real encodings.
+//!
+//! LinkGuardian-specific formats (§3.5 / Appendix A of the paper):
+//!
+//! * [`lg::LgData`] — the 3-byte data header (16-bit seqNo + era + type);
+//! * [`lg::LgAck`] — the 3-byte ACK header (cumulative `latestRxSeqNo`);
+//! * [`lg::LossNotification`], [`lg::PauseFrame`] — control packets;
+//! * [`seqno::SeqNo`] — era-corrected sequence-number arithmetic.
+
+pub mod eth;
+pub mod ipv4;
+pub mod lg;
+pub mod packet;
+pub mod rdma;
+pub mod seqno;
+pub mod tcp;
+pub mod udp;
+pub mod wire;
+
+pub use ipv4::Ecn;
+pub use packet::{
+    FlowId, LgControl, NodeId, Packet, Payload, RdmaAck, RdmaSegment, TcpSegment, UdpDatagram,
+};
+pub use seqno::SeqNo;

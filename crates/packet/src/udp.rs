@@ -1,0 +1,80 @@
+//! UDP header (also the carrier for RoCEv2).
+
+use crate::wire::{ParseError, Reader, Result, Writer};
+use serde::{Deserialize, Serialize};
+
+/// The IANA destination port for RoCEv2.
+pub const ROCEV2_PORT: u16 = 4791;
+
+/// UDP header representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UdpRepr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload length in bytes (excluding this header).
+    pub payload_len: u16,
+}
+
+impl UdpRepr {
+    /// Serialized length.
+    pub const LEN: usize = 8;
+
+    /// Write into `buf` (at least 8 bytes).
+    pub fn emit(&self, buf: &mut [u8]) {
+        let mut w = Writer::new(buf);
+        w.u16(self.src_port);
+        w.u16(self.dst_port);
+        w.u16(self.payload_len + Self::LEN as u16);
+        w.u16(0); // checksum elided in simulation
+    }
+
+    /// Parse from `buf`.
+    pub fn parse(buf: &[u8]) -> Result<UdpRepr> {
+        let mut r = Reader::new(buf);
+        let src_port = r.u16()?;
+        let dst_port = r.u16()?;
+        let len = r.u16()?;
+        if (len as usize) < Self::LEN {
+            return Err(ParseError::Malformed);
+        }
+        let _ck = r.u16()?;
+        Ok(UdpRepr {
+            src_port,
+            dst_port,
+            payload_len: len - Self::LEN as u16,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let h = UdpRepr {
+            src_port: 1234,
+            dst_port: ROCEV2_PORT,
+            payload_len: 999,
+        };
+        let mut buf = [0u8; 8];
+        h.emit(&mut buf);
+        assert_eq!(UdpRepr::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn short_length_rejected() {
+        let mut buf = [0u8; 8];
+        UdpRepr {
+            src_port: 1,
+            dst_port: 2,
+            payload_len: 0,
+        }
+        .emit(&mut buf);
+        buf[4] = 0;
+        buf[5] = 4; // total length 4 < 8
+        assert_eq!(UdpRepr::parse(&buf), Err(ParseError::Malformed));
+    }
+}

@@ -1,0 +1,233 @@
+//! Byte-level emit/parse helpers shared by all wire formats.
+
+use core::fmt;
+
+/// Errors raised when parsing a wire representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer is shorter than the fixed header.
+    Truncated,
+    /// A field holds a value the format does not allow.
+    Malformed,
+    /// A checksum failed verification.
+    BadChecksum,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Truncated => write!(f, "buffer truncated"),
+            ParseError::Malformed => write!(f, "malformed field"),
+            ParseError::BadChecksum => write!(f, "checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for parse operations.
+pub type Result<T> = core::result::Result<T, ParseError>;
+
+/// A cursor for writing big-endian fields into a byte buffer.
+pub struct Writer<'a> {
+    buf: &'a mut [u8],
+    pos: usize,
+}
+
+impl<'a> Writer<'a> {
+    /// Start writing at the beginning of `buf`.
+    pub fn new(buf: &'a mut [u8]) -> Writer<'a> {
+        Writer { buf, pos: 0 }
+    }
+
+    /// Bytes written so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf[self.pos] = v;
+        self.pos += 1;
+    }
+
+    /// Write a big-endian u16.
+    pub fn u16(&mut self, v: u16) {
+        self.buf[self.pos..self.pos + 2].copy_from_slice(&v.to_be_bytes());
+        self.pos += 2;
+    }
+
+    /// Write a big-endian u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf[self.pos..self.pos + 4].copy_from_slice(&v.to_be_bytes());
+        self.pos += 4;
+    }
+
+    /// Write the low 24 bits of `v` big-endian.
+    pub fn u24(&mut self, v: u32) {
+        debug_assert!(v < (1 << 24));
+        let b = v.to_be_bytes();
+        self.buf[self.pos..self.pos + 3].copy_from_slice(&b[1..4]);
+        self.pos += 3;
+    }
+
+    /// Write raw bytes.
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf[self.pos..self.pos + v.len()].copy_from_slice(v);
+        self.pos += v.len();
+    }
+}
+
+/// A cursor for reading big-endian fields from a byte buffer.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn need(&self, n: usize) -> Result<()> {
+        if self.remaining() < n {
+            Err(ParseError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        self.need(1)?;
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    /// Read a big-endian u16.
+    pub fn u16(&mut self) -> Result<u16> {
+        self.need(2)?;
+        let v = u16::from_be_bytes([self.buf[self.pos], self.buf[self.pos + 1]]);
+        self.pos += 2;
+        Ok(v)
+    }
+
+    /// Read a big-endian 24-bit value into a u32.
+    pub fn u24(&mut self) -> Result<u32> {
+        self.need(3)?;
+        let v = u32::from_be_bytes([
+            0,
+            self.buf[self.pos],
+            self.buf[self.pos + 1],
+            self.buf[self.pos + 2],
+        ]);
+        self.pos += 3;
+        Ok(v)
+    }
+
+    /// Read a big-endian u32.
+    pub fn u32(&mut self) -> Result<u32> {
+        self.need(4)?;
+        let v = u32::from_be_bytes([
+            self.buf[self.pos],
+            self.buf[self.pos + 1],
+            self.buf[self.pos + 2],
+            self.buf[self.pos + 3],
+        ]);
+        self.pos += 4;
+        Ok(v)
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.need(n)?;
+        let v = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(v)
+    }
+}
+
+/// RFC 1071 Internet checksum over `data`.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        sum += u16::from_be_bytes([*last, 0]) as u32;
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let mut buf = [0u8; 16];
+        let mut w = Writer::new(&mut buf);
+        w.u8(0xAB);
+        w.u16(0x1234);
+        w.u24(0xABCDEF);
+        w.u32(0xDEADBEEF);
+        w.bytes(&[1, 2, 3]);
+        assert_eq!(w.pos(), 13);
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 0xAB);
+        assert_eq!(r.u16().unwrap(), 0x1234);
+        assert_eq!(r.u24().unwrap(), 0xABCDEF);
+        assert_eq!(r.u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.bytes(3).unwrap(), &[1, 2, 3]);
+        assert_eq!(r.remaining(), 3);
+    }
+
+    #[test]
+    fn reader_truncation_detected() {
+        let buf = [1u8, 2];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32(), Err(ParseError::Truncated));
+        assert_eq!(r.u16().unwrap(), 0x0102);
+        assert_eq!(r.u8(), Err(ParseError::Truncated));
+    }
+
+    #[test]
+    fn checksum_known_vector() {
+        // Example from RFC 1071: the checksum of this sequence
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let sum = internet_checksum(&data);
+        assert_eq!(sum, !0xddf2u16);
+    }
+
+    #[test]
+    fn checksum_validates_to_zero() {
+        let mut data = vec![0x45u8, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let ck = internet_checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert_eq!(internet_checksum(&data), 0);
+    }
+
+    #[test]
+    fn checksum_odd_length() {
+        let data = [0xFFu8, 0x00, 0xAB];
+        // manual: 0xFF00 + 0xAB00 = 0x1AA00 -> 0xAA01 -> !0xAA01
+        assert_eq!(internet_checksum(&data), !0xAA01);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests for wire formats and sequence-number arithmetic.
+
+use lg_packet::eth::{EthernetRepr, EtherType, MacAddr};
+use lg_packet::ipv4::{Ecn, IpProtocol, Ipv4Repr};
+use lg_packet::lg::{LgAck, LgData, LgPacketType, LossNotification, MAX_CONSECUTIVE_LOSSES};
+use lg_packet::rdma::{psn_before, Bth, RdmaOpcode, PSN_SPACE};
+use lg_packet::seqno::{SeqNo, MAX_VALID_DISTANCE};
+use lg_packet::tcp::{SackBlock, TcpFlags, TcpRepr};
+use lg_packet::udp::UdpRepr;
+use proptest::prelude::*;
+
+fn arb_seqno() -> impl Strategy<Value = SeqNo> {
+    (any::<u16>(), any::<bool>()).prop_map(|(raw, era)| SeqNo::new(raw, era))
+}
+
+proptest! {
+    #[test]
+    fn seqno_advance_is_ordered(start in arb_seqno(), k in 1u32..(MAX_VALID_DISTANCE as u32)) {
+        let later = start.advance(k);
+        prop_assert!(start.is_before(later), "{start} < {later} for k={k}");
+        prop_assert!(later.is_after(start));
+        prop_assert_eq!(later.forward_dist(start) as u32, k);
+    }
+
+    #[test]
+    fn seqno_comparison_antisymmetric(a in arb_seqno(), k in 1u32..(MAX_VALID_DISTANCE as u32)) {
+        let b = a.advance(k);
+        prop_assert!(!(a.is_after(b) && a.is_before(b)));
+        prop_assert!(b.is_after(a) && !b.is_before(a));
+    }
+
+    #[test]
+    fn seqno_wire_round_trip(s in arb_seqno()) {
+        prop_assert_eq!(SeqNo::from_wire(s.to_wire()), s);
+    }
+
+    #[test]
+    fn seqno_succ_equals_advance_one(s in arb_seqno()) {
+        prop_assert_eq!(s.succ(), s.advance(1));
+    }
+
+    #[test]
+    fn lg_data_round_trip(s in arb_seqno(), kind in 0u8..3) {
+        let kind = match kind {
+            0 => LgPacketType::Original,
+            1 => LgPacketType::Retransmit,
+            _ => LgPacketType::Dummy,
+        };
+        let h = LgData { seq: s, kind };
+        let mut buf = [0u8; 3];
+        h.emit(&mut buf);
+        prop_assert_eq!(LgData::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn lg_ack_round_trip(s in arb_seqno(), explicit in any::<bool>()) {
+        let h = LgAck { latest_rx: s, explicit };
+        let mut buf = [0u8; 3];
+        h.emit(&mut buf);
+        prop_assert_eq!(LgAck::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn loss_notification_round_trip(
+        first in arb_seqno(),
+        count in 1u16..=MAX_CONSECUTIVE_LOSSES,
+        latest in arb_seqno(),
+    ) {
+        let n = LossNotification { first_lost: first, count, latest_rx: latest };
+        let mut buf = [0u8; LossNotification::LEN];
+        n.emit(&mut buf);
+        prop_assert_eq!(LossNotification::parse(&buf).unwrap(), n);
+    }
+
+    #[test]
+    fn ethernet_round_trip(d in any::<[u8;6]>(), s in any::<[u8;6]>(), et in 0usize..3) {
+        let ethertype = [EtherType::Ipv4, EtherType::MacControl, EtherType::LinkGuardian][et];
+        let h = EthernetRepr { dst: MacAddr(d), src: MacAddr(s), ethertype };
+        let mut buf = [0u8; 14];
+        h.emit(&mut buf);
+        prop_assert_eq!(EthernetRepr::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn ipv4_round_trip(
+        src in any::<[u8;4]>(),
+        dst in any::<[u8;4]>(),
+        len in 0u16..1480,
+        ecn in 0u8..4,
+        ttl in 1u8..=255,
+        proto in any::<bool>(),
+    ) {
+        let h = Ipv4Repr {
+            src, dst,
+            protocol: if proto { IpProtocol::Tcp } else { IpProtocol::Udp },
+            payload_len: len,
+            ecn: Ecn::from_bits(ecn),
+            ttl,
+        };
+        let mut buf = [0u8; 20];
+        h.emit(&mut buf);
+        prop_assert_eq!(Ipv4Repr::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn ipv4_bit_flip_detected(flip_byte in 0usize..20, flip_bit in 0u8..8) {
+        let h = Ipv4Repr {
+            src: [10,0,0,1], dst: [10,0,0,2],
+            protocol: IpProtocol::Tcp, payload_len: 64,
+            ecn: Ecn::Ect0, ttl: 64,
+        };
+        let mut buf = [0u8; 20];
+        h.emit(&mut buf);
+        buf[flip_byte] ^= 1 << flip_bit;
+        // a single bit flip must never parse back to the identical header
+        match Ipv4Repr::parse(&buf) {
+            Ok(parsed) => prop_assert_ne!(parsed, h),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn tcp_round_trip(
+        sp in any::<u16>(), dp in any::<u16>(),
+        seq in any::<u32>(), ack in any::<u32>(),
+        win in any::<u16>(),
+        nblocks in 0usize..=3,
+        flag_bits in 0u8..64,
+    ) {
+        let sack: Vec<SackBlock> = (0..nblocks)
+            .map(|i| SackBlock { start: seq.wrapping_add(1000 * i as u32), end: seq.wrapping_add(1000 * i as u32 + 99) })
+            .collect();
+        let h = TcpRepr {
+            src_port: sp, dst_port: dp, seq, ack,
+            flags: TcpFlags {
+                syn: flag_bits & 1 != 0,
+                ack: flag_bits & 2 != 0,
+                fin: flag_bits & 4 != 0,
+                psh: flag_bits & 8 != 0,
+                ece: flag_bits & 16 != 0,
+                cwr: flag_bits & 32 != 0,
+            },
+            window: win,
+            sack,
+        };
+        let mut buf = vec![0u8; h.header_len()];
+        h.emit(&mut buf);
+        prop_assert_eq!(TcpRepr::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn udp_round_trip(sp in any::<u16>(), dp in any::<u16>(), len in 0u16..1472) {
+        let h = UdpRepr { src_port: sp, dst_port: dp, payload_len: len };
+        let mut buf = [0u8; 8];
+        h.emit(&mut buf);
+        prop_assert_eq!(UdpRepr::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn bth_round_trip(qp in 0u32..(1<<24), psn in 0u32..(1<<24), ack_req in any::<bool>(), op in 0usize..5) {
+        let opcode = [
+            RdmaOpcode::WriteFirst, RdmaOpcode::WriteMiddle,
+            RdmaOpcode::WriteLast, RdmaOpcode::WriteOnly, RdmaOpcode::Acknowledge,
+        ][op];
+        let h = Bth { opcode, dest_qp: qp, psn, ack_req };
+        let mut buf = [0u8; Bth::LEN];
+        h.emit(&mut buf);
+        prop_assert_eq!(Bth::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn psn_ordering_within_window(base in 0u32..PSN_SPACE, step in 1u32..(PSN_SPACE/2)) {
+        let next = (base + step) % PSN_SPACE;
+        prop_assert!(psn_before(base, next));
+        prop_assert!(!psn_before(next, base));
+    }
+
+    #[test]
+    fn truncated_parses_never_panic(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        // Whatever the bytes, parsers must return Ok/Err, never panic.
+        let _ = EthernetRepr::parse(&data);
+        let _ = Ipv4Repr::parse(&data);
+        let _ = TcpRepr::parse(&data);
+        let _ = UdpRepr::parse(&data);
+        let _ = Bth::parse(&data);
+        let _ = LgData::parse(&data);
+        let _ = LgAck::parse(&data);
+        let _ = LossNotification::parse(&data);
+    }
+}

@@ -1,0 +1,215 @@
+//! The discrete-event queue and simulation driver.
+//!
+//! The kernel is generic over the event payload type `E`. Events scheduled
+//! for the same instant are delivered in the order they were scheduled
+//! (FIFO tie-break on a monotonically increasing sequence number), which
+//! keeps simulations fully deterministic.
+
+use crate::time::{Duration, Time};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Handle to a scheduled event; can be used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
+
+struct Scheduled<E> {
+    at: Time,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    // Reverse ordering: BinaryHeap is a max-heap, we want earliest-first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+///
+/// `pop` returns events in (time, schedule-order) order and advances the
+/// simulation clock. Cancellation is lazy: cancelled handles are recorded
+/// and the matching event is skipped when it reaches the head of the heap.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: Time,
+    next_seq: u64,
+    cancelled: std::collections::HashSet<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: Time::ZERO,
+            next_seq: 0,
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// The current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `payload` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (before the current clock).
+    pub fn schedule_at(&mut self, at: Time, payload: E) -> EventHandle {
+        assert!(
+            at >= self.now,
+            "cannot schedule in the past: at={at} now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+        EventHandle(seq)
+    }
+
+    /// Schedule `payload` after delay `d` from now.
+    pub fn schedule_after(&mut self, d: Duration, payload: E) -> EventHandle {
+        let at = self.now + d;
+        self.schedule_at(at, payload)
+    }
+
+    /// Cancel a previously scheduled event. Returns true if the event was
+    /// still pending (i.e. had not already fired or been cancelled).
+    pub fn cancel(&mut self, h: EventHandle) -> bool {
+        if h.0 >= self.next_seq {
+            return false;
+        }
+        self.cancelled.insert(h.0)
+    }
+
+    /// Pop the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        while let Some(ev) = self.heap.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now);
+            self.now = ev.at;
+            return Some((ev.at, ev.payload));
+        }
+        None
+    }
+
+    /// Peek at the timestamp of the next pending event without popping it.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        // Drop cancelled events from the head so the peek is accurate.
+        while let Some(head) = self.heap.peek() {
+            if self.cancelled.contains(&head.seq) {
+                let ev = self.heap.pop().expect("peeked");
+                self.cancelled.remove(&ev.seq);
+                continue;
+            }
+            return Some(head.at);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_ns(30), "c");
+        q.schedule_at(Time::from_ns(10), "a");
+        q.schedule_at(Time::from_ns(20), "b");
+        assert_eq!(q.pop(), Some((Time::from_ns(10), "a")));
+        assert_eq!(q.pop(), Some((Time::from_ns(20), "b")));
+        assert_eq!(q.pop(), Some((Time::from_ns(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_time_events_are_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_ns(5);
+        for i in 0..100 {
+            q.schedule_at(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_after(Duration::from_ns(7), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::from_ns(7));
+        // schedule_after is now relative to the new clock
+        q.schedule_after(Duration::from_ns(3), ());
+        assert_eq!(q.pop(), Some((Time::from_ns(10), ())));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_ns(10), ());
+        q.pop();
+        q.schedule_at(Time::from_ns(5), ());
+    }
+
+    #[test]
+    fn cancellation_skips_event() {
+        let mut q = EventQueue::new();
+        let h1 = q.schedule_at(Time::from_ns(1), 1);
+        q.schedule_at(Time::from_ns(2), 2);
+        assert!(q.cancel(h1));
+        assert!(!q.cancel(h1), "double-cancel reports false");
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Time::from_ns(2), 2)));
+    }
+
+    #[test]
+    fn peek_time_sees_through_cancelled_events() {
+        let mut q = EventQueue::new();
+        let h = q.schedule_at(Time::from_ns(1), 1);
+        q.schedule_at(Time::from_ns(9), 2);
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(Time::from_ns(9)));
+        assert_eq!(q.pop(), Some((Time::from_ns(9), 2)));
+    }
+}

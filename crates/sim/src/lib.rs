@@ -1,0 +1,27 @@
+//! `lg-sim` — deterministic discrete-event simulation kernel.
+//!
+//! This crate provides the foundation every other crate in the LinkGuardian
+//! reproduction builds on:
+//!
+//! * [`time`]: integer-picosecond [`Time`]/[`Duration`] and exact [`Rate`]
+//!   arithmetic (serialization delays).
+//! * [`event`]: the deterministic [`EventQueue`] (time order with FIFO
+//!   tie-break).
+//! * [`rng`]: seeded xoshiro256** [`Rng`] with the distributions the paper
+//!   needs (Bernoulli loss, Weibull link lifetimes, exponential arrivals).
+//! * [`stats`]: percentile samples, log histograms, time series and rate
+//!   meters used to regenerate the paper's tables and figures.
+//!
+//! Design follows the event-driven, allocation-light, "no surprises" style
+//! of smoltcp: components are pure state machines, all randomness is owned
+//! and seeded, and two runs with the same seed are bit-identical.
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use event::{EventHandle, EventQueue};
+pub use rng::Rng;
+pub use stats::{LogHistogram, RateMeter, Samples, TimeSeries};
+pub use time::{Duration, Rate, Time};

@@ -1,0 +1,388 @@
+//! Measurement utilities: exact-sample percentiles, log-bucketed
+//! histograms, CDFs and time-series recorders used by the experiment
+//! harnesses.
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// An exact-sample collector with percentile queries.
+///
+/// Stores every sample; right for FCT experiments (up to a few hundred
+/// thousand trials). For unbounded streams use [`LogHistogram`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Samples {
+    values: Vec<f64>,
+    sorted: bool,
+}
+
+impl Samples {
+    /// Empty collector.
+    pub fn new() -> Samples {
+        Samples::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        self.values.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.values
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) by the nearest-rank method.
+    pub fn quantile(&mut self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        assert!(!self.is_empty(), "quantile of empty sample set");
+        self.ensure_sorted();
+        let n = self.values.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.values[rank - 1]
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.is_empty());
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        let m = self.mean();
+        let var =
+            self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64;
+        var.sqrt()
+    }
+
+    /// Minimum sample.
+    pub fn min(&mut self) -> f64 {
+        self.ensure_sorted();
+        self.values[0]
+    }
+
+    /// Maximum sample.
+    pub fn max(&mut self) -> f64 {
+        self.ensure_sorted();
+        *self.values.last().expect("non-empty")
+    }
+
+    /// Empirical CDF as (value, cumulative fraction) points, one per sample.
+    pub fn ecdf(&mut self) -> Vec<(f64, f64)> {
+        self.ensure_sorted();
+        let n = self.values.len() as f64;
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// ECDF restricted to the top `frac` tail (e.g. 0.01 for the "top 1%"
+    /// plots in the paper, which show the CDF from the 99th percentile up).
+    pub fn tail_ecdf(&mut self, frac: f64) -> Vec<(f64, f64)> {
+        let full = self.ecdf();
+        let cut = 1.0 - frac;
+        full.into_iter().filter(|&(_, p)| p >= cut).collect()
+    }
+
+    /// Borrow the raw samples (unsorted order not guaranteed).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Log-bucketed histogram for unbounded streams (e.g. per-packet delays).
+///
+/// Buckets are `sub_buckets` linear subdivisions of each power-of-two
+/// magnitude, HdrHistogram-style, giving a bounded relative error of
+/// `1/sub_buckets` while using O(64 * sub_buckets) memory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LogHistogram {
+    sub_buckets: u32,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    max: u64,
+    min: u64,
+}
+
+impl LogHistogram {
+    /// Histogram with the given per-magnitude resolution (e.g. 32).
+    pub fn new(sub_buckets: u32) -> LogHistogram {
+        assert!(sub_buckets.is_power_of_two() && sub_buckets >= 2);
+        LogHistogram {
+            sub_buckets,
+            counts: vec![0; (65 * sub_buckets) as usize],
+            total: 0,
+            sum: 0.0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn index(&self, v: u64) -> usize {
+        if v < self.sub_buckets as u64 {
+            return v as usize;
+        }
+        let mag = 63 - v.leading_zeros();
+        let shift = mag - self.sub_buckets.trailing_zeros();
+        let offset = (v >> shift) - self.sub_buckets as u64;
+        ((shift + 1) as u64 * self.sub_buckets as u64 + offset) as usize
+    }
+
+    fn bucket_value(&self, idx: usize) -> u64 {
+        let sb = self.sub_buckets as u64;
+        let idx = idx as u64;
+        if idx < sb {
+            return idx;
+        }
+        let shift = idx / sb - 1;
+        let offset = idx % sb + sb;
+        // representative value: top of bucket
+        ((offset + 1) << shift) - 1
+    }
+
+    /// Record one integer-valued sample (e.g. picoseconds or bytes).
+    pub fn record(&mut self, v: u64) {
+        let idx = self.index(v);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += v as f64;
+        self.max = self.max.max(v);
+        self.min = self.min.min(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Mean of recorded samples.
+    pub fn mean(&self) -> f64 {
+        assert!(self.total > 0);
+        self.sum / self.total as f64
+    }
+
+    /// Exact maximum recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact minimum recorded value.
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Approximate `q`-quantile (within one bucket width).
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q));
+        assert!(self.total > 0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return self.bucket_value(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+}
+
+/// A recorder of (time, value) points for time-series plots (Fig 9/21).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(Time, f64)>,
+}
+
+impl TimeSeries {
+    /// Empty series.
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Append a point; times must be non-decreasing.
+    pub fn push(&mut self, t: Time, v: f64) {
+        if let Some(&(last, _)) = self.points.last() {
+            debug_assert!(t >= last, "time series must be monotonic");
+        }
+        self.points.push((t, v));
+    }
+
+    /// All recorded points.
+    pub fn points(&self) -> &[(Time, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// A windowed rate meter: turns (time, byte-count) increments into a
+/// throughput time series with the given sampling interval.
+#[derive(Debug, Clone)]
+pub struct RateMeter {
+    window: crate::time::Duration,
+    window_start: Time,
+    bytes_in_window: u64,
+    series: TimeSeries,
+}
+
+impl RateMeter {
+    /// Meter with the given averaging window.
+    pub fn new(window: crate::time::Duration) -> RateMeter {
+        RateMeter {
+            window,
+            window_start: Time::ZERO,
+            bytes_in_window: 0,
+            series: TimeSeries::new(),
+        }
+    }
+
+    /// Record `bytes` delivered at time `t`. Closes any elapsed windows.
+    pub fn record(&mut self, t: Time, bytes: u64) {
+        self.roll_to(t);
+        self.bytes_in_window += bytes;
+    }
+
+    /// Advance the meter to time `t`, emitting zero-rate windows if idle.
+    pub fn roll_to(&mut self, t: Time) {
+        while t >= self.window_start + self.window {
+            let end = self.window_start + self.window;
+            let gbps = (self.bytes_in_window as f64 * 8.0) / self.window.as_secs_f64() / 1e9;
+            self.series.push(end, gbps);
+            self.bytes_in_window = 0;
+            self.window_start = end;
+        }
+    }
+
+    /// The throughput series accumulated so far (Gb/s per window).
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Duration;
+
+    #[test]
+    fn samples_quantiles_nearest_rank() {
+        let mut s = Samples::new();
+        for v in 1..=100 {
+            s.record(v as f64);
+        }
+        assert_eq!(s.quantile(0.5), 50.0);
+        assert_eq!(s.quantile(0.99), 99.0);
+        assert_eq!(s.quantile(1.0), 100.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 100.0);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_ecdf_shape() {
+        let mut s = Samples::new();
+        for v in [3.0, 1.0, 2.0] {
+            s.record(v);
+        }
+        let e = s.ecdf();
+        assert_eq!(e.len(), 3);
+        assert_eq!(e[0], (1.0, 1.0 / 3.0));
+        assert_eq!(e[2], (3.0, 1.0));
+        let tail = s.tail_ecdf(0.34);
+        assert_eq!(tail.len(), 2);
+    }
+
+    #[test]
+    fn std_dev_of_constant_is_zero() {
+        let mut s = Samples::new();
+        for _ in 0..10 {
+            s.record(4.0);
+        }
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn log_histogram_small_values_exact() {
+        let mut h = LogHistogram::new(32);
+        for v in 0..32 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 15);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 31);
+    }
+
+    #[test]
+    fn log_histogram_quantile_bounded_error() {
+        let mut h = LogHistogram::new(64);
+        // uniform over [0, 1e6)
+        let mut r = crate::rng::Rng::new(3);
+        for _ in 0..100_000 {
+            h.record(r.below(1_000_000));
+        }
+        let p50 = h.quantile(0.5) as f64;
+        assert!(
+            (p50 - 500_000.0).abs() / 500_000.0 < 0.05,
+            "p50 {p50} too far from 500k"
+        );
+        let p999 = h.quantile(0.999) as f64;
+        assert!(
+            (p999 - 999_000.0).abs() / 999_000.0 < 0.05,
+            "p99.9 {p999} off"
+        );
+    }
+
+    #[test]
+    fn rate_meter_windows() {
+        let mut m = RateMeter::new(Duration::from_ms(1));
+        // 125_000 bytes in the first millisecond = 1 Gb/s
+        m.record(Time::from_us(100), 62_500);
+        m.record(Time::from_us(900), 62_500);
+        m.roll_to(Time::from_ms(3));
+        let pts = m.series().points();
+        assert_eq!(pts.len(), 3);
+        assert!((pts[0].1 - 1.0).abs() < 1e-9, "first window 1 Gb/s");
+        assert_eq!(pts[1].1, 0.0);
+        assert_eq!(pts[2].1, 0.0);
+    }
+
+    #[test]
+    fn time_series_monotonic_push() {
+        let mut ts = TimeSeries::new();
+        ts.push(Time::from_us(1), 1.0);
+        ts.push(Time::from_us(1), 2.0);
+        ts.push(Time::from_us(2), 3.0);
+        assert_eq!(ts.len(), 3);
+    }
+}

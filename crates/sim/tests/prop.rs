@@ -1,0 +1,123 @@
+//! Property tests for the simulation kernel.
+
+use lg_sim::{Duration, EventQueue, LogHistogram, Rate, Rng, Samples, Time};
+use proptest::prelude::*;
+
+proptest! {
+    /// Events pop in (time, insertion-order) order whatever the schedule.
+    #[test]
+    fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(Time::from_ps(t), i);
+        }
+        let mut popped: Vec<(Time, usize)> = Vec::new();
+        while let Some(ev) = q.pop() {
+            popped.push(ev);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break");
+            }
+        }
+    }
+
+    /// Cancelled events never pop; everything else does.
+    #[test]
+    fn cancellation_is_exact(n in 1usize..100, cancel_mask in proptest::collection::vec(any::<bool>(), 100)) {
+        let mut q = EventQueue::new();
+        let handles: Vec<_> = (0..n).map(|i| q.schedule_at(Time::from_ns(i as u64), i)).collect();
+        let mut expect: Vec<usize> = Vec::new();
+        for (i, h) in handles.into_iter().enumerate() {
+            if cancel_mask[i] {
+                prop_assert!(q.cancel(h));
+            } else {
+                expect.push(i);
+            }
+        }
+        let mut got = Vec::new();
+        while let Some((_, i)) = q.pop() {
+            got.push(i);
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Rate arithmetic: serialize/bytes_in round-trips and is monotone.
+    #[test]
+    fn rate_round_trip(gbps in 1u64..800, bytes in 1u64..1_000_000) {
+        let r = Rate::from_gbps(gbps);
+        let d = r.serialize(bytes);
+        let back = r.bytes_in(d);
+        prop_assert!(back <= bytes && bytes - back <= 1, "{bytes} -> {back}");
+        prop_assert!(r.serialize(bytes + 1) >= d);
+    }
+
+    /// Exact-sample quantiles bracket every recorded value and are
+    /// monotone in q.
+    #[test]
+    fn samples_quantile_monotone(values in proptest::collection::vec(0f64..1e9, 1..300)) {
+        let mut s = Samples::new();
+        for &v in &values {
+            s.record(v);
+        }
+        let qs = [0.0, 0.25, 0.5, 0.9, 0.99, 1.0];
+        let mut last = f64::NEG_INFINITY;
+        for &q in &qs {
+            let v = s.quantile(q);
+            prop_assert!(v >= last);
+            prop_assert!(values.contains(&v), "quantile is an actual sample");
+            last = v;
+        }
+        prop_assert_eq!(s.quantile(1.0), s.max());
+        prop_assert_eq!(s.quantile(0.0), s.min());
+    }
+
+    /// LogHistogram quantiles stay within the recorded min/max and carry
+    /// bounded relative error vs exact samples.
+    #[test]
+    fn log_histogram_bounded_error(values in proptest::collection::vec(1u64..1_000_000_000, 50..500)) {
+        let mut h = LogHistogram::new(64);
+        let mut s = Samples::new();
+        for &v in &values {
+            h.record(v);
+            s.record(v as f64);
+        }
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let approx = h.quantile(q) as f64;
+            let exact = s.quantile(q);
+            prop_assert!(approx >= h.min() as f64 && approx <= h.max() as f64);
+            // one sub-bucket of relative error (1/64) plus rank slack
+            prop_assert!(
+                (approx - exact).abs() <= exact * 0.05 + 2.0,
+                "q={q}: approx {approx} exact {exact}"
+            );
+        }
+    }
+
+    /// Deterministic streams: forked children differ from parents but are
+    /// reproducible.
+    #[test]
+    fn rng_fork_reproducible(seed in any::<u64>()) {
+        let mut a = Rng::new(seed);
+        let mut b = Rng::new(seed);
+        let mut ca = a.fork();
+        let mut cb = b.fork();
+        for _ in 0..100 {
+            prop_assert_eq!(ca.next_u64(), cb.next_u64());
+        }
+        prop_assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    /// Duration arithmetic saturates instead of overflowing.
+    #[test]
+    fn duration_saturation(a in any::<u64>(), b in any::<u64>()) {
+        let x = Duration::from_ps(a);
+        let y = Duration::from_ps(b);
+        let sum = x + y;
+        prop_assert!(sum.as_ps() >= a.max(b) || sum == Duration::MAX);
+        let diff = x - y;
+        prop_assert_eq!(diff.as_ps(), a.saturating_sub(b));
+    }
+}

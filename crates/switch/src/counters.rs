@@ -1,0 +1,94 @@
+//! Per-port MAC counters, matching what `corruptd` polls from the switch
+//! driver (Appendix C): `framesRxOk` and `framesRxAll`, plus TX counters
+//! used by the experiment harnesses to measure rates and loss.
+
+use serde::{Deserialize, Serialize};
+
+/// Port statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortCounters {
+    /// Frames received with a good FCS.
+    pub frames_rx_ok: u64,
+    /// All frames that arrived at the MAC, including corrupted ones.
+    pub frames_rx_all: u64,
+    /// Frames transmitted.
+    pub frames_tx: u64,
+    /// Payload-carrying frame bytes transmitted (frame lengths).
+    pub bytes_tx: u64,
+    /// Frame bytes received OK.
+    pub bytes_rx_ok: u64,
+}
+
+impl PortCounters {
+    /// Record a good reception.
+    pub fn rx_ok(&mut self, frame_len: u32) {
+        self.frames_rx_all += 1;
+        self.frames_rx_ok += 1;
+        self.bytes_rx_ok += frame_len as u64;
+    }
+
+    /// Record a corrupted reception (FCS failure — frame dropped by MAC).
+    pub fn rx_corrupt(&mut self) {
+        self.frames_rx_all += 1;
+    }
+
+    /// Record a transmission.
+    pub fn tx(&mut self, frame_len: u32) {
+        self.frames_tx += 1;
+        self.bytes_tx += frame_len as u64;
+    }
+
+    /// The loss rate observed between two snapshots: corrupted / all.
+    pub fn loss_rate_since(&self, earlier: &PortCounters) -> f64 {
+        let all = self.frames_rx_all - earlier.frames_rx_all;
+        let ok = self.frames_rx_ok - earlier.frames_rx_ok;
+        if all == 0 {
+            0.0
+        } else {
+            (all - ok) as f64 / all as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting() {
+        let mut c = PortCounters::default();
+        c.rx_ok(100);
+        c.rx_ok(200);
+        c.rx_corrupt();
+        c.tx(300);
+        assert_eq!(c.frames_rx_all, 3);
+        assert_eq!(c.frames_rx_ok, 2);
+        assert_eq!(c.bytes_rx_ok, 300);
+        assert_eq!(c.frames_tx, 1);
+        assert_eq!(c.bytes_tx, 300);
+    }
+
+    #[test]
+    fn windowed_loss_rate() {
+        let mut c = PortCounters::default();
+        for _ in 0..90 {
+            c.rx_ok(100);
+        }
+        for _ in 0..10 {
+            c.rx_corrupt();
+        }
+        let snapshot = c;
+        assert!((c.loss_rate_since(&PortCounters::default()) - 0.1).abs() < 1e-12);
+        // a new clean window reads zero loss
+        for _ in 0..100 {
+            c.rx_ok(100);
+        }
+        assert_eq!(c.loss_rate_since(&snapshot), 0.0);
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let c = PortCounters::default();
+        assert_eq!(c.loss_rate_since(&c), 0.0);
+    }
+}

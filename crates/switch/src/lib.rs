@@ -1,0 +1,28 @@
+//! `lg-switch` — the packet-level switch model.
+//!
+//! Models the Tofino constructs LinkGuardian is built from:
+//!
+//! * [`queue::ByteQueue`] — byte-accounted drop-tail FIFOs with DCTCP-style
+//!   ECN marking;
+//! * [`port::EgressPort`] — strict-priority scheduling across traffic
+//!   classes with PFC-style per-class pause (Figure 5's queue layout);
+//! * [`recirc::RecircBuffer`] — recirculation-based packet buffering with
+//!   loop/bandwidth accounting (Table 4, Fig 14);
+//! * [`pktgen::PacketGen`] — the dataplane packet generator (stress
+//!   traffic and 10 Mpps timer packets);
+//! * [`counters::PortCounters`] — the MAC counters `corruptd` polls;
+//! * [`switch::Switch`] — forwarding + ports + counters + pipeline latency.
+
+pub mod counters;
+pub mod pktgen;
+pub mod port;
+pub mod queue;
+pub mod recirc;
+pub mod switch;
+
+pub use counters::PortCounters;
+pub use pktgen::PacketGen;
+pub use port::{Class, EgressPort, NUM_CLASSES};
+pub use queue::{ByteQueue, EnqueueOutcome};
+pub use recirc::{RecircBuffer, RecircStats};
+pub use switch::{PortId, Switch};

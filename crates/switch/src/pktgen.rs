@@ -1,0 +1,97 @@
+//! The switch packet generator.
+//!
+//! Tofino's packet generator produces packets at a configured rate from
+//! the dataplane. The paper uses it two ways: (i) line-rate MTU "stress
+//! test" traffic (§4.1), and (ii) 10 Mpps *timer packets* that give the
+//! receiver dataplane a time reference for the `ackNoTimeout` (§3.5,
+//! "Timertasks").
+
+use lg_sim::{Duration, Time};
+
+/// A fixed-interval packet source.
+#[derive(Debug, Clone)]
+pub struct PacketGen {
+    interval: Duration,
+    next_at: Time,
+    emitted: u64,
+    enabled: bool,
+}
+
+impl PacketGen {
+    /// A generator emitting every `interval`, first emission at `start`.
+    pub fn new(interval: Duration, start: Time) -> PacketGen {
+        assert!(interval > Duration::ZERO);
+        PacketGen {
+            interval,
+            next_at: start,
+            emitted: 0,
+            enabled: true,
+        }
+    }
+
+    /// A generator with the paper's 10 Mpps timer-packet rate.
+    pub fn timer_packets(start: Time) -> PacketGen {
+        PacketGen::new(Duration::from_ns(100), start)
+    }
+
+    /// The next emission instant, if enabled.
+    pub fn next_at(&self) -> Option<Time> {
+        self.enabled.then_some(self.next_at)
+    }
+
+    /// Mark one emission done and advance the schedule.
+    pub fn emit(&mut self) -> Time {
+        let t = self.next_at;
+        self.next_at = self.next_at + self.interval;
+        self.emitted += 1;
+        t
+    }
+
+    /// Packets emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Enable/disable the generator.
+    pub fn set_enabled(&mut self, on: bool, now: Time) {
+        if on && !self.enabled {
+            self.next_at = now;
+        }
+        self.enabled = on;
+    }
+
+    /// The emission interval.
+    pub fn interval(&self) -> Duration {
+        self.interval
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_interval_schedule() {
+        let mut g = PacketGen::new(Duration::from_ns(100), Time::ZERO);
+        assert_eq!(g.emit(), Time::ZERO);
+        assert_eq!(g.emit(), Time::from_ns(100));
+        assert_eq!(g.emit(), Time::from_ns(200));
+        assert_eq!(g.emitted(), 3);
+    }
+
+    #[test]
+    fn timer_packet_rate_is_10mpps() {
+        let g = PacketGen::timer_packets(Time::ZERO);
+        assert_eq!(g.interval(), Duration::from_ns(100)); // 10 Mpps
+    }
+
+    #[test]
+    fn disable_suppresses_next() {
+        let mut g = PacketGen::new(Duration::from_us(1), Time::ZERO);
+        g.emit();
+        g.set_enabled(false, Time::from_us(5));
+        assert_eq!(g.next_at(), None);
+        g.set_enabled(true, Time::from_us(9));
+        assert_eq!(g.next_at(), Some(Time::from_us(9)));
+    }
+}

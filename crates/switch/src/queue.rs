@@ -1,0 +1,205 @@
+//! Byte-accounted FIFO queues with drop-tail and DCTCP-style ECN marking.
+
+use lg_packet::{Ecn, Packet};
+use std::collections::VecDeque;
+
+/// Outcome of an enqueue attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueOutcome {
+    /// Stored; `marked` is true if the packet was CE-marked on entry.
+    Stored {
+        /// ECN CE mark applied (queue above threshold and packet ECT).
+        marked: bool,
+    },
+    /// Dropped: the queue's byte capacity would be exceeded.
+    Dropped,
+}
+
+/// A FIFO queue bounded in bytes, with an optional ECN marking threshold.
+///
+/// Marking follows DCTCP's single-threshold scheme: an arriving ECT packet
+/// is CE-marked when the instantaneous queue depth (including itself) is at
+/// or above the threshold.
+#[derive(Debug)]
+pub struct ByteQueue {
+    items: VecDeque<Packet>,
+    bytes: u64,
+    capacity_bytes: u64,
+    ecn_threshold: Option<u64>,
+    drops: u64,
+    enqueued: u64,
+    marked: u64,
+    high_watermark: u64,
+}
+
+impl ByteQueue {
+    /// A queue holding up to `capacity_bytes` of frames.
+    pub fn new(capacity_bytes: u64) -> ByteQueue {
+        ByteQueue {
+            items: VecDeque::new(),
+            bytes: 0,
+            capacity_bytes,
+            ecn_threshold: None,
+            drops: 0,
+            enqueued: 0,
+            marked: 0,
+            high_watermark: 0,
+        }
+    }
+
+    /// Enable ECN marking at the given queue-depth threshold in bytes
+    /// (the paper uses 100 KB for DCTCP on its testbed).
+    pub fn with_ecn_threshold(mut self, threshold_bytes: u64) -> ByteQueue {
+        self.ecn_threshold = Some(threshold_bytes);
+        self
+    }
+
+    /// Attempt to enqueue; drop-tail on overflow.
+    pub fn push(&mut self, mut pkt: Packet) -> EnqueueOutcome {
+        let len = pkt.frame_len() as u64;
+        if self.bytes + len > self.capacity_bytes {
+            self.drops += 1;
+            return EnqueueOutcome::Dropped;
+        }
+        self.bytes += len;
+        self.high_watermark = self.high_watermark.max(self.bytes);
+        self.enqueued += 1;
+        let mut did_mark = false;
+        if let Some(th) = self.ecn_threshold {
+            if self.bytes >= th && pkt.ecn.is_ect() {
+                pkt.ecn = Ecn::Ce;
+                did_mark = true;
+                self.marked += 1;
+            }
+        }
+        self.items.push_back(pkt);
+        EnqueueOutcome::Stored { marked: did_mark }
+    }
+
+    /// Dequeue the head packet.
+    pub fn pop(&mut self) -> Option<Packet> {
+        let pkt = self.items.pop_front()?;
+        self.bytes -= pkt.frame_len() as u64;
+        Some(pkt)
+    }
+
+    /// Peek at the head packet.
+    pub fn peek(&self) -> Option<&Packet> {
+        self.items.front()
+    }
+
+    /// Current depth in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Current depth in packets.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Packets dropped due to overflow.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Packets CE-marked.
+    pub fn marked(&self) -> u64 {
+        self.marked
+    }
+
+    /// Deepest the queue has ever been, in bytes.
+    pub fn high_watermark(&self) -> u64 {
+        self.high_watermark
+    }
+
+    /// Byte capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lg_packet::NodeId;
+    use lg_sim::Time;
+
+    fn pkt(frame_len: u32) -> Packet {
+        Packet::raw(NodeId(0), NodeId(1), frame_len, Time::ZERO)
+    }
+
+    fn ect_pkt(frame_len: u32) -> Packet {
+        let mut p = pkt(frame_len);
+        p.ecn = Ecn::Ect0;
+        p
+    }
+
+    #[test]
+    fn fifo_order_and_byte_accounting() {
+        let mut q = ByteQueue::new(10_000);
+        for i in 0..3 {
+            let mut p = pkt(100 + i);
+            p.uid = i as u64 + 1;
+            assert_eq!(q.push(p), EnqueueOutcome::Stored { marked: false });
+        }
+        assert_eq!(q.bytes(), 303);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().uid, 1);
+        assert_eq!(q.bytes(), 203);
+        assert_eq!(q.pop().unwrap().uid, 2);
+        assert_eq!(q.pop().unwrap().uid, 3);
+        assert!(q.pop().is_none());
+        assert_eq!(q.bytes(), 0);
+    }
+
+    #[test]
+    fn drop_tail_on_overflow() {
+        let mut q = ByteQueue::new(250);
+        assert_eq!(q.push(pkt(100)), EnqueueOutcome::Stored { marked: false });
+        assert_eq!(q.push(pkt(100)), EnqueueOutcome::Stored { marked: false });
+        assert_eq!(q.push(pkt(100)), EnqueueOutcome::Dropped);
+        assert_eq!(q.drops(), 1);
+        assert_eq!(q.len(), 2);
+        // draining frees capacity again
+        q.pop();
+        assert_eq!(q.push(pkt(100)), EnqueueOutcome::Stored { marked: false });
+    }
+
+    #[test]
+    fn ecn_marking_above_threshold() {
+        let mut q = ByteQueue::new(10_000).with_ecn_threshold(250);
+        assert_eq!(q.push(ect_pkt(100)), EnqueueOutcome::Stored { marked: false });
+        assert_eq!(q.push(ect_pkt(100)), EnqueueOutcome::Stored { marked: false });
+        // third packet brings depth to 300 >= 250: marked
+        assert_eq!(q.push(ect_pkt(100)), EnqueueOutcome::Stored { marked: true });
+        assert_eq!(q.marked(), 1);
+        // the marked packet carries CE
+        q.pop();
+        q.pop();
+        assert_eq!(q.pop().unwrap().ecn, Ecn::Ce);
+    }
+
+    #[test]
+    fn not_ect_packets_never_marked() {
+        let mut q = ByteQueue::new(10_000).with_ecn_threshold(50);
+        assert_eq!(q.push(pkt(100)), EnqueueOutcome::Stored { marked: false });
+        assert_eq!(q.pop().unwrap().ecn, Ecn::NotEct);
+    }
+
+    #[test]
+    fn high_watermark_tracks_peak() {
+        let mut q = ByteQueue::new(1_000);
+        q.push(pkt(400));
+        q.push(pkt(400));
+        q.pop();
+        q.pop();
+        q.push(pkt(100));
+        assert_eq!(q.high_watermark(), 800);
+    }
+}

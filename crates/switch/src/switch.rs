@@ -1,0 +1,153 @@
+//! The switch: forwarding table, egress ports, per-port counters and
+//! pipeline latency. Event scheduling (serialization completion, pipeline
+//! traversal) is interpreted by the testbed crate; this struct holds the
+//! state machines.
+
+use crate::counters::PortCounters;
+use crate::port::{Class, EgressPort};
+use crate::queue::EnqueueOutcome;
+use lg_packet::{NodeId, Packet};
+use lg_sim::Duration;
+use std::collections::HashMap;
+
+/// Index of a switch port.
+pub type PortId = usize;
+
+/// Tofino-class ingress+egress pipeline latency.
+pub const DEFAULT_PIPELINE_LATENCY: Duration = Duration(400_000); // 400 ns
+
+/// A switch with `n` egress ports.
+#[derive(Debug)]
+pub struct Switch {
+    /// Human-readable name for traces.
+    pub name: String,
+    ports: Vec<EgressPort>,
+    counters: Vec<PortCounters>,
+    fib: HashMap<NodeId, PortId>,
+    /// One-way pipeline traversal latency.
+    pub pipeline_latency: Duration,
+}
+
+impl Switch {
+    /// A switch with `n_ports` default ports.
+    pub fn new(name: impl Into<String>, n_ports: usize) -> Switch {
+        Switch {
+            name: name.into(),
+            ports: (0..n_ports).map(|_| EgressPort::new()).collect(),
+            counters: vec![PortCounters::default(); n_ports],
+            fib: HashMap::new(),
+            pipeline_latency: DEFAULT_PIPELINE_LATENCY,
+        }
+    }
+
+    /// Install a forwarding entry: traffic to `dst` leaves via `port`.
+    pub fn add_route(&mut self, dst: NodeId, port: PortId) {
+        assert!(port < self.ports.len());
+        self.fib.insert(dst, port);
+    }
+
+    /// Look up the egress port for a destination.
+    pub fn route(&self, dst: NodeId) -> Option<PortId> {
+        self.fib.get(&dst).copied()
+    }
+
+    /// Number of ports.
+    pub fn n_ports(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Mutable access to a port.
+    pub fn port_mut(&mut self, p: PortId) -> &mut EgressPort {
+        &mut self.ports[p]
+    }
+
+    /// Shared access to a port.
+    pub fn port(&self, p: PortId) -> &EgressPort {
+        &self.ports[p]
+    }
+
+    /// Replace a port's configuration (capacities/ECN) wholesale.
+    pub fn set_port(&mut self, p: PortId, port: EgressPort) {
+        self.ports[p] = port;
+    }
+
+    /// Enqueue a packet for egress on `port` in `class`, counting TX on
+    /// eventual dequeue (see [`Switch::tx_complete`]).
+    pub fn enqueue(&mut self, port: PortId, class: Class, pkt: Packet) -> EnqueueOutcome {
+        self.ports[port].enqueue(class, pkt)
+    }
+
+    /// Dequeue the next eligible packet from `port`.
+    pub fn dequeue(&mut self, port: PortId) -> Option<(Class, Packet)> {
+        self.ports[port].dequeue()
+    }
+
+    /// Record a completed transmission on `port`.
+    pub fn tx_complete(&mut self, port: PortId, frame_len: u32) {
+        self.counters[port].tx(frame_len);
+    }
+
+    /// Record a good reception on `port`.
+    pub fn rx_ok(&mut self, port: PortId, frame_len: u32) {
+        self.counters[port].rx_ok(frame_len);
+    }
+
+    /// Record a corrupted (MAC-dropped) reception on `port`.
+    pub fn rx_corrupt(&mut self, port: PortId) {
+        self.counters[port].rx_corrupt();
+    }
+
+    /// Counter snapshot for `port`.
+    pub fn counters(&self, port: PortId) -> PortCounters {
+        self.counters[port]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lg_sim::Time;
+
+    fn pkt(dst: u32) -> Packet {
+        Packet::raw(NodeId(0), NodeId(dst), 100, Time::ZERO)
+    }
+
+    #[test]
+    fn routing() {
+        let mut sw = Switch::new("sw1", 4);
+        sw.add_route(NodeId(7), 2);
+        sw.add_route(NodeId(8), 3);
+        assert_eq!(sw.route(NodeId(7)), Some(2));
+        assert_eq!(sw.route(NodeId(8)), Some(3));
+        assert_eq!(sw.route(NodeId(9)), None);
+    }
+
+    #[test]
+    fn enqueue_dequeue_and_counters() {
+        let mut sw = Switch::new("sw1", 2);
+        sw.enqueue(0, Class::Normal, pkt(1));
+        let (class, p) = sw.dequeue(0).unwrap();
+        assert_eq!(class, Class::Normal);
+        sw.tx_complete(0, p.frame_len());
+        assert_eq!(sw.counters(0).frames_tx, 1);
+        assert_eq!(sw.counters(0).bytes_tx, 100);
+        assert!(sw.dequeue(0).is_none());
+    }
+
+    #[test]
+    fn rx_counters_distinguish_corruption() {
+        let mut sw = Switch::new("sw1", 1);
+        sw.rx_ok(0, 1518);
+        sw.rx_corrupt(0);
+        let c = sw.counters(0);
+        assert_eq!(c.frames_rx_all, 2);
+        assert_eq!(c.frames_rx_ok, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn route_to_invalid_port_panics() {
+        let mut sw = Switch::new("sw1", 1);
+        sw.add_route(NodeId(1), 5);
+    }
+}

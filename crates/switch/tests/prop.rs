@@ -1,0 +1,124 @@
+//! Property tests for the switch building blocks.
+
+use lg_packet::{NodeId, Packet};
+use lg_sim::Time;
+use lg_switch::{ByteQueue, Class, EgressPort, EnqueueOutcome, RecircBuffer};
+use proptest::prelude::*;
+
+fn pkt(len: u32) -> Packet {
+    Packet::raw(NodeId(0), NodeId(1), len.clamp(64, 9000), Time::ZERO)
+}
+
+proptest! {
+    /// Byte accounting: after any sequence of pushes and pops, the queue's
+    /// byte count equals the sum of frame lengths of resident packets, and
+    /// capacity is never exceeded.
+    #[test]
+    fn byte_queue_accounting(ops in proptest::collection::vec((any::<bool>(), 64u32..2000), 1..200)) {
+        let cap = 20_000u64;
+        let mut q = ByteQueue::new(cap);
+        let mut model: std::collections::VecDeque<u32> = Default::default();
+        for (push, len) in ops {
+            if push {
+                let p = pkt(len);
+                let flen = p.frame_len();
+                match q.push(p) {
+                    EnqueueOutcome::Stored { .. } => model.push_back(flen),
+                    EnqueueOutcome::Dropped => {
+                        prop_assert!(model.iter().map(|&l| l as u64).sum::<u64>() + flen as u64 > cap);
+                    }
+                }
+            } else if let Some(p) = q.pop() {
+                let expect = model.pop_front().expect("model in sync");
+                prop_assert_eq!(p.frame_len(), expect, "FIFO order");
+            } else {
+                prop_assert!(model.is_empty());
+            }
+            let bytes: u64 = model.iter().map(|&l| l as u64).sum();
+            prop_assert_eq!(q.bytes(), bytes);
+            prop_assert!(q.bytes() <= cap);
+        }
+    }
+
+    /// Strict priority: whatever the interleaving of enqueues, a dequeue
+    /// never returns a lower-priority packet while a higher-priority one
+    /// waits, and pausing a class removes only that class.
+    #[test]
+    fn strict_priority_invariant(
+        ops in proptest::collection::vec((0u8..3, 64u32..1500), 1..100),
+        pause_normal in any::<bool>(),
+    ) {
+        let mut port = EgressPort::new();
+        let mut counts = [0i64; 3];
+        for (c, len) in &ops {
+            let class = [Class::Control, Class::Normal, Class::Low][*c as usize];
+            if matches!(port.enqueue(class, pkt(*len)), EnqueueOutcome::Stored { .. }) {
+                counts[*c as usize] += 1;
+            }
+        }
+        port.set_paused(Class::Normal, pause_normal);
+        let mut last_class = 0usize;
+        let mut drained = [0i64; 3];
+        while let Some((class, _)) = port.dequeue() {
+            let idx = class as usize;
+            if pause_normal {
+                prop_assert_ne!(idx, Class::Normal as usize, "paused class held");
+            }
+            // Since nothing is enqueued during the drain, class indices
+            // must be non-decreasing.
+            prop_assert!(idx >= last_class, "priority inversion: {idx} after {last_class}");
+            last_class = idx;
+            drained[idx] += 1;
+        }
+        for i in 0..3 {
+            if pause_normal && i == Class::Normal as usize {
+                prop_assert_eq!(drained[i], 0);
+            } else {
+                prop_assert_eq!(drained[i], counts[i], "class {} fully drained", i);
+            }
+        }
+    }
+
+    /// RecircBuffer: remove_up_to returns keys in order and leaves exactly
+    /// the keys above the threshold.
+    #[test]
+    fn recirc_remove_up_to(keys in proptest::collection::btree_set(0u64..1000, 1..60), cut in 0u64..1000) {
+        let mut b = RecircBuffer::new(10_000_000);
+        for &k in &keys {
+            b.insert(k, pkt(100), Time::ZERO).unwrap();
+        }
+        let removed = b.remove_up_to(cut, Time::from_us(1));
+        let removed_keys: Vec<u64> = removed.iter().map(|(k, _)| *k).collect();
+        let mut expect: Vec<u64> = keys.iter().copied().filter(|&k| k <= cut).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(removed_keys, expect);
+        prop_assert_eq!(b.len(), keys.iter().filter(|&&k| k > cut).count());
+        if let Some(min) = b.min_key() {
+            prop_assert!(min > cut);
+        }
+    }
+
+    /// ECN marking: packets are CE-marked iff the queue depth at arrival
+    /// (including the packet) meets the threshold, and only ECT packets.
+    #[test]
+    fn ecn_threshold_semantics(sizes in proptest::collection::vec(64u32..1500, 1..60), th in 100u64..30_000) {
+        let mut q = ByteQueue::new(10_000_000).with_ecn_threshold(th);
+        let mut depth = 0u64;
+        let mut expected_marks = 0u64;
+        for len in sizes {
+            let mut p = pkt(len);
+            p.ecn = lg_packet::Ecn::Ect0;
+            let flen = p.frame_len() as u64;
+            depth += flen;
+            let should_mark = depth >= th;
+            match q.push(p) {
+                EnqueueOutcome::Stored { marked } => {
+                    prop_assert_eq!(marked, should_mark);
+                    if marked { expected_marks += 1; }
+                }
+                EnqueueOutcome::Dropped => unreachable!("huge capacity"),
+            }
+        }
+        prop_assert_eq!(q.marked(), expected_marks);
+    }
+}

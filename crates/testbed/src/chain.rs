@@ -1,0 +1,775 @@
+//! A multi-hop testbed: a chain of switches with *multiple corrupting
+//! links on one path* (paper §5 "Multiple corrupting links on a path").
+//!
+//! ```text
+//!  host0 ──► sw0 ══link0══► sw1 ══link1══► ... ══► swN-1 ──► host1
+//! ```
+//!
+//! Each switch-to-switch link direction can corrupt independently, and
+//! each link can carry its own LinkGuardian instance (sender on the
+//! upstream switch, receiver on the downstream one) — LinkGuardian
+//! "naturally handles such a scenario since it operates on each link
+//! independently" (§5). The paper could not evaluate this for lack of
+//! optical hardware; here we can.
+//!
+//! This module reuses every state machine from the two-switch
+//! [`crate::world`] but generalizes the event loop to `N` hops. Only the
+//! forward direction is protected (like the main testbed); reverse
+//! traffic carries ACKs and LinkGuardian control.
+
+use lg_link::{LinkConfig, LinkDirection, LinkSpeed, LossModel};
+use lg_packet::{FlowId, NodeId, Packet, Payload};
+use lg_sim::{Duration, EventQueue, Rng, Time};
+use lg_switch::{Class, PortId, Switch};
+use lg_transport::{
+    CcVariant, RdmaConfig, RdmaRequester, RdmaResponder, TcpConfig, TcpReceiver, TcpSender,
+    TransportAction,
+};
+use lg_workload::FctCollector;
+use linkguardian::{LgConfig, LgReceiver, LgSender, ReceiverAction, SenderAction};
+
+/// Toward host0 (decreasing switch index).
+pub const PORT_LEFT: PortId = 0;
+/// Toward host1 (increasing switch index).
+pub const PORT_RIGHT: PortId = 1;
+
+/// Host addresses.
+pub const C_HOST0: NodeId = NodeId(0);
+/// Receiver-side host.
+pub const C_HOST1: NodeId = NodeId(1);
+
+/// Events of the chain world.
+#[derive(Debug)]
+pub enum CEv {
+    /// Enqueue on switch `sw`'s `port` in `class` (post-pipeline).
+    PortEnqueue {
+        /// Switch index.
+        sw: usize,
+        /// Egress port.
+        port: PortId,
+        /// Class.
+        class: Class,
+        /// Packet.
+        pkt: Packet,
+    },
+    /// A frame finished serializing out of `sw`'s `port`.
+    PortTxDone {
+        /// Switch index.
+        sw: usize,
+        /// Egress port.
+        port: PortId,
+        /// The frame.
+        pkt: Packet,
+    },
+    /// A frame arrived at switch `sw` over the link on its `from_right`
+    /// side (false = from the left neighbour).
+    WireArrive {
+        /// Switch index.
+        sw: usize,
+        /// True when the frame came from the right-hand link.
+        from_right: bool,
+        /// The frame.
+        pkt: Packet,
+    },
+    /// A frame arrived at a host.
+    HostArrive {
+        /// 0 or 1.
+        host: usize,
+        /// The frame.
+        pkt: Packet,
+    },
+    /// Host NIC finished serializing.
+    HostTxDone {
+        /// 0 or 1.
+        host: usize,
+    },
+    /// Transport timer.
+    HostWake {
+        /// 0 or 1.
+        host: usize,
+    },
+    /// LinkGuardian receiver ackNoTimeout on hop `hop`.
+    LgTimeout {
+        /// Protected hop index.
+        hop: usize,
+        /// Stall generation.
+        generation: u64,
+    },
+    /// Backpressure timer-packet evaluation on hop `hop`.
+    LgBpTimer {
+        /// Protected hop index.
+        hop: usize,
+    },
+    /// PFC pause/resume applies at hop `hop`'s sender queue.
+    PauseApply {
+        /// Protected hop index.
+        hop: usize,
+        /// Pause or resume.
+        pause: bool,
+    },
+    /// Dummy keepalive for hop `hop`.
+    DummyRefresh {
+        /// Protected hop index.
+        hop: usize,
+    },
+    /// Start the next trial.
+    TrialStart,
+}
+
+/// One protected hop: LinkGuardian pair guarding `links[hop]`'s forward
+/// direction (sender on switch `hop`, receiver on switch `hop + 1`).
+struct Hop {
+    lg_tx: LgSender,
+    lg_rx: LgReceiver,
+    dummy_refresh_armed: bool,
+}
+
+/// Traffic driver for the chain.
+#[derive(Debug, Clone)]
+pub enum ChainApp {
+    /// Serial TCP messages host0 → host1.
+    TcpTrials {
+        /// CC variant.
+        variant: CcVariant,
+        /// Message bytes.
+        msg_len: u32,
+        /// Trials.
+        trials: u32,
+    },
+    /// Serial RDMA WRITEs host0 → host1.
+    RdmaTrials {
+        /// Message bytes.
+        msg_len: u32,
+        /// Trials.
+        trials: u32,
+    },
+}
+
+/// Chain configuration.
+pub struct ChainConfig {
+    /// Link speed everywhere.
+    pub speed: LinkSpeed,
+    /// Per-hop forward-direction loss models (length = switches − 1).
+    pub losses: Vec<LossModel>,
+    /// Which hops get a LinkGuardian pair (same length).
+    pub protected: Vec<bool>,
+    /// Host stack delay (7 µs ⇒ ~30 µs RTT on a 2-switch path; each
+    /// extra hop adds ~2×(serialization + pipeline)).
+    pub host_stack_delay: Duration,
+    /// Traffic.
+    pub app: ChainApp,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl ChainConfig {
+    /// A chain with the given per-hop loss models, all protected.
+    pub fn protected_chain(speed: LinkSpeed, losses: Vec<LossModel>, app: ChainApp) -> ChainConfig {
+        let n = losses.len();
+        ChainConfig {
+            speed,
+            losses,
+            protected: vec![true; n],
+            host_stack_delay: Duration::from_us(7),
+            app,
+            seed: 1,
+        }
+    }
+}
+
+/// Host endpoint state (chain flavour).
+struct CHost {
+    nic_queue: std::collections::VecDeque<Packet>,
+    busy: bool,
+    tcp_tx: Option<TcpSender>,
+    tcp_rx: Option<TcpReceiver>,
+    rdma_tx: Option<RdmaRequester>,
+    rdma_rx: Option<RdmaResponder>,
+}
+
+/// The multi-hop world.
+pub struct ChainWorld {
+    cfg: ChainConfig,
+    /// Event queue.
+    pub q: EventQueue<CEv>,
+    switches: Vec<Switch>,
+    /// links[i].0 = forward (sw i → sw i+1), links[i].1 = reverse.
+    links: Vec<(LinkDirection, LinkDirection)>,
+    hops: Vec<Option<Hop>>,
+    hosts: [CHost; 2],
+    /// Completed-flow FCTs.
+    pub fct: FctCollector,
+    /// Transport retransmissions observed.
+    pub e2e_retx: u64,
+    trials_remaining: u32,
+    next_flow: u64,
+}
+
+impl ChainWorld {
+    /// Build a chain of `losses.len() + 1` switches.
+    pub fn new(cfg: ChainConfig) -> ChainWorld {
+        let n_links = cfg.losses.len();
+        assert!(n_links >= 1);
+        assert_eq!(cfg.protected.len(), n_links);
+        let n_sw = n_links + 1;
+        let mut rng = Rng::new(cfg.seed);
+        let link_cfg = LinkConfig::new(cfg.speed);
+
+        let mut switches = Vec::with_capacity(n_sw);
+        for i in 0..n_sw {
+            let mut sw = Switch::new(format!("sw{i}"), 2);
+            sw.add_route(C_HOST1, PORT_RIGHT);
+            sw.add_route(C_HOST0, PORT_LEFT);
+            switches.push(sw);
+        }
+        let links: Vec<(LinkDirection, LinkDirection)> = cfg
+            .losses
+            .iter()
+            .map(|m| {
+                (
+                    LinkDirection::corrupting(link_cfg, m.clone(), rng.fork()),
+                    LinkDirection::healthy(link_cfg, rng.fork()),
+                )
+            })
+            .collect();
+        let hops: Vec<Option<Hop>> = (0..n_links)
+            .map(|i| {
+                if !cfg.protected[i] {
+                    return None;
+                }
+                let actual = cfg.losses[i].mean_rate().max(1e-9);
+                let lg_cfg = LgConfig::for_speed(cfg.speed, actual);
+                // distinct synthetic addresses per hop
+                let a = NodeId(100 + 2 * i as u32);
+                let b = NodeId(101 + 2 * i as u32);
+                let mut lg_tx = LgSender::new(lg_cfg.clone(), a, b);
+                let mut lg_rx = LgReceiver::new(lg_cfg, b, a);
+                lg_tx.activate(actual);
+                lg_rx.activate();
+                Some(Hop {
+                    lg_tx,
+                    lg_rx,
+                    dummy_refresh_armed: false,
+                })
+            })
+            .collect();
+
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::ZERO, CEv::TrialStart);
+        let trials_remaining = match cfg.app {
+            ChainApp::TcpTrials { trials, .. } | ChainApp::RdmaTrials { trials, .. } => trials,
+        };
+        ChainWorld {
+            cfg,
+            q,
+            switches,
+            links,
+            hops,
+            hosts: [
+                CHost {
+                    nic_queue: Default::default(),
+                    busy: false,
+                    tcp_tx: None,
+                    tcp_rx: None,
+                    rdma_tx: None,
+                    rdma_rx: None,
+                },
+                CHost {
+                    nic_queue: Default::default(),
+                    busy: false,
+                    tcp_tx: None,
+                    tcp_rx: None,
+                    rdma_tx: None,
+                    rdma_rx: None,
+                },
+            ],
+            fct: FctCollector::new(),
+            e2e_retx: 0,
+            trials_remaining,
+            next_flow: 1,
+        }
+    }
+
+    /// Number of switches.
+    pub fn n_switches(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Sum of LinkGuardian recoveries across hops.
+    pub fn total_recovered(&self) -> u64 {
+        self.hops
+            .iter()
+            .flatten()
+            .map(|h| h.lg_rx.stats().recovered)
+            .sum()
+    }
+
+    /// Sum of receiver timeouts across hops.
+    pub fn total_lg_timeouts(&self) -> u64 {
+        self.hops
+            .iter()
+            .flatten()
+            .map(|h| h.lg_rx.stats().timeouts)
+            .sum()
+    }
+
+    /// Run until no events remain.
+    pub fn run_to_completion(&mut self) {
+        while let Some((now, ev)) = self.q.pop() {
+            self.handle(ev, now);
+        }
+    }
+
+    fn handle(&mut self, ev: CEv, now: Time) {
+        match ev {
+            CEv::PortEnqueue {
+                sw,
+                port,
+                class,
+                pkt,
+            } => {
+                self.switches[sw].enqueue(port, class, pkt);
+                self.kick_port(sw, port);
+            }
+            CEv::PortTxDone { sw, port, pkt } => {
+                self.switches[sw].port_mut(port).busy = false;
+                self.switches[sw].tx_complete(port, pkt.frame_len());
+                self.deliver_from_port(sw, port, pkt);
+                self.kick_port(sw, port);
+            }
+            CEv::WireArrive {
+                sw,
+                from_right,
+                pkt,
+            } => self.on_wire_arrive(sw, from_right, pkt, now),
+            CEv::HostArrive { host, pkt } => self.on_host_arrive(host, pkt, now),
+            CEv::HostTxDone { host } => {
+                self.hosts[host].busy = false;
+                self.kick_host(host);
+            }
+            CEv::HostWake { host } => {
+                let mut actions = Vec::new();
+                if let Some(t) = self.hosts[host].tcp_tx.as_mut() {
+                    actions.extend(t.on_timer(now));
+                }
+                if let Some(r) = self.hosts[host].rdma_tx.as_mut() {
+                    actions.extend(r.on_timer(now));
+                }
+                self.apply_transport_actions(host, actions, now);
+            }
+            CEv::LgTimeout { hop, generation } => {
+                let actions = match self.hops[hop].as_mut() {
+                    Some(h) => h.lg_rx.on_timeout(generation, now),
+                    None => Vec::new(),
+                };
+                self.apply_receiver_actions(hop, actions, now);
+            }
+            CEv::LgBpTimer { hop } => {
+                let actions = match self.hops[hop].as_mut() {
+                    Some(h) => h.lg_rx.on_bp_timer(now),
+                    None => Vec::new(),
+                };
+                self.apply_receiver_actions(hop, actions, now);
+            }
+            CEv::PauseApply { hop, pause } => {
+                self.switches[hop]
+                    .port_mut(PORT_RIGHT)
+                    .set_paused(Class::Normal, pause);
+                self.kick_port(hop, PORT_RIGHT);
+            }
+            CEv::DummyRefresh { hop } => {
+                if let Some(h) = self.hops[hop].as_mut() {
+                    h.dummy_refresh_armed = false;
+                }
+                self.kick_port(hop, PORT_RIGHT);
+            }
+            CEv::TrialStart => self.start_trial(now),
+        }
+    }
+
+    /// The protected hop whose sender sits on (sw, PORT_RIGHT), if any.
+    fn hop_for_tx(&self, sw: usize, port: PortId) -> Option<usize> {
+        (port == PORT_RIGHT && sw < self.hops.len() && self.hops[sw].is_some()).then_some(sw)
+    }
+
+    /// The protected hop whose receiver piggybacks ACKs on (sw, PORT_LEFT):
+    /// hop `sw - 1` (reverse traffic toward that hop's sender).
+    fn hop_for_rx_egress(&self, sw: usize, port: PortId) -> Option<usize> {
+        if port != PORT_LEFT || sw == 0 {
+            return None;
+        }
+        let hop = sw - 1;
+        self.hops[hop].is_some().then_some(hop)
+    }
+
+    fn kick_port(&mut self, sw: usize, port: PortId) {
+        let now = self.q.now();
+        if self.switches[sw].port(port).busy {
+            return;
+        }
+        let mut next = self.switches[sw].dequeue(port);
+        if next.is_none() {
+            // idle fillers
+            if let Some(hop) = self.hop_for_tx(sw, port) {
+                let h = self.hops[hop].as_mut().expect("protected");
+                let dummies = h.lg_tx.make_dummies(now);
+                let got = !dummies.is_empty();
+                for d in dummies {
+                    self.switches[sw].enqueue(port, Class::Low, d);
+                }
+                let h = self.hops[hop].as_mut().expect("protected");
+                if h.lg_tx.has_unacked()
+                    && h.lg_tx.config().dummy_copies > 0
+                    && !h.dummy_refresh_armed
+                {
+                    h.dummy_refresh_armed = true;
+                    self.q
+                        .schedule_after(Duration::from_ns(400), CEv::DummyRefresh { hop });
+                }
+                if got {
+                    next = self.switches[sw].dequeue(port);
+                }
+            } else if let Some(hop) = self.hop_for_rx_egress(sw, port) {
+                let h = self.hops[hop].as_mut().expect("protected");
+                let acks = h.lg_rx.make_explicit_acks(now);
+                let got = !acks.is_empty();
+                for a in acks {
+                    self.switches[sw].enqueue(port, Class::Low, a);
+                }
+                if got {
+                    next = self.switches[sw].dequeue(port);
+                }
+            }
+        }
+        let Some((_class, mut pkt)) = next else { return };
+        if let Some(hop) = self.hop_for_tx(sw, port) {
+            self.hops[hop]
+                .as_mut()
+                .expect("protected")
+                .lg_tx
+                .on_transmit(&mut pkt, now);
+        } else if let Some(hop) = self.hop_for_rx_egress(sw, port) {
+            if pkt.lg_ack.is_none() {
+                self.hops[hop]
+                    .as_mut()
+                    .expect("protected")
+                    .lg_rx
+                    .stamp_ack(&mut pkt);
+            }
+        }
+        self.switches[sw].port_mut(port).busy = true;
+        let ser = self.cfg.speed.serialize(pkt.wire_len());
+        self.q.schedule_after(ser, CEv::PortTxDone { sw, port, pkt });
+    }
+
+    fn deliver_from_port(&mut self, sw: usize, port: PortId, pkt: Packet) {
+        let n_sw = self.switches.len();
+        match port {
+            PORT_RIGHT if sw + 1 < n_sw => {
+                // forward link sw → sw+1
+                let (fwd, _) = &mut self.links[sw];
+                let prop = fwd.propagation();
+                if fwd.deliver() {
+                    self.q.schedule_after(
+                        prop,
+                        CEv::WireArrive {
+                            sw: sw + 1,
+                            from_right: false,
+                            pkt,
+                        },
+                    );
+                } else {
+                    self.switches[sw + 1].rx_corrupt(PORT_LEFT);
+                }
+            }
+            PORT_LEFT if sw > 0 => {
+                let (_, rev) = &mut self.links[sw - 1];
+                let prop = rev.propagation();
+                if rev.deliver() {
+                    self.q.schedule_after(
+                        prop,
+                        CEv::WireArrive {
+                            sw: sw - 1,
+                            from_right: true,
+                            pkt,
+                        },
+                    );
+                } else {
+                    self.switches[sw - 1].rx_corrupt(PORT_RIGHT);
+                }
+            }
+            PORT_RIGHT => {
+                // rightmost switch → host1
+                let delay = Duration::from_ns(100) + self.cfg.host_stack_delay;
+                self.q.schedule_after(delay, CEv::HostArrive { host: 1, pkt });
+            }
+            _ => {
+                let delay = Duration::from_ns(100) + self.cfg.host_stack_delay;
+                self.q.schedule_after(delay, CEv::HostArrive { host: 0, pkt });
+            }
+        }
+    }
+
+    fn on_wire_arrive(&mut self, sw: usize, from_right: bool, pkt: Packet, now: Time) {
+        let pipeline = self.switches[sw].pipeline_latency;
+        if !from_right {
+            // forward arrival over link (sw-1 → sw): hop sw-1's receiver
+            self.switches[sw].rx_ok(PORT_LEFT, pkt.frame_len());
+            let hop = sw - 1;
+            if self.hops[hop].is_some() {
+                let actions = self.hops[hop]
+                    .as_mut()
+                    .expect("protected")
+                    .lg_rx
+                    .on_protected_rx(pkt, now);
+                self.apply_receiver_actions(hop, actions, now);
+            } else {
+                // unprotected hop: plain forwarding
+                self.q.schedule_after(
+                    pipeline,
+                    CEv::PortEnqueue {
+                        sw,
+                        port: PORT_RIGHT,
+                        class: Class::Normal,
+                        pkt,
+                    },
+                );
+            }
+        } else {
+            // reverse arrival over link (sw+1 → sw): hop sw's sender
+            self.switches[sw].rx_ok(PORT_RIGHT, pkt.frame_len());
+            let hop = sw;
+            if self.hops[hop].is_some() {
+                let (fwd, actions) = self.hops[hop]
+                    .as_mut()
+                    .expect("protected")
+                    .lg_tx
+                    .on_reverse_rx(pkt, now);
+                if let Some(p) = fwd {
+                    self.q.schedule_after(
+                        pipeline,
+                        CEv::PortEnqueue {
+                            sw,
+                            port: PORT_LEFT,
+                            class: Class::Normal,
+                            pkt: p,
+                        },
+                    );
+                }
+                self.apply_sender_actions(hop, actions);
+            } else {
+                self.q.schedule_after(
+                    pipeline,
+                    CEv::PortEnqueue {
+                        sw,
+                        port: PORT_LEFT,
+                        class: Class::Normal,
+                        pkt,
+                    },
+                );
+            }
+        }
+    }
+
+    fn apply_receiver_actions(&mut self, hop: usize, actions: Vec<ReceiverAction>, _now: Time) {
+        // the receiver of hop `hop` lives on switch hop+1
+        let sw = hop + 1;
+        let pipeline = self.switches[sw].pipeline_latency;
+        for a in actions {
+            match a {
+                ReceiverAction::Deliver(pkt) => {
+                    self.q.schedule_after(
+                        pipeline,
+                        CEv::PortEnqueue {
+                            sw,
+                            port: PORT_RIGHT,
+                            class: Class::Normal,
+                            pkt,
+                        },
+                    );
+                }
+                ReceiverAction::SendReverse { pkt, class } => {
+                    self.switches[sw].enqueue(PORT_LEFT, class, pkt);
+                }
+                ReceiverAction::ArmTimeout {
+                    deadline,
+                    generation,
+                } => {
+                    self.q.schedule_at(
+                        deadline.max(self.q.now()),
+                        CEv::LgTimeout { hop, generation },
+                    );
+                }
+                ReceiverAction::ArmBpTimer { at } => {
+                    self.q
+                        .schedule_at(at.max(self.q.now()), CEv::LgBpTimer { hop });
+                }
+            }
+        }
+        self.kick_port(sw, PORT_LEFT);
+    }
+
+    fn apply_sender_actions(&mut self, hop: usize, actions: Vec<SenderAction>) {
+        let sw = hop; // sender lives on switch `hop`
+        let pipeline = self.switches[sw].pipeline_latency;
+        for a in actions {
+            match a {
+                SenderAction::Emit { pkt, class, delay } => {
+                    self.q.schedule_after(
+                        delay + pipeline,
+                        CEv::PortEnqueue {
+                            sw,
+                            port: PORT_RIGHT,
+                            class,
+                            pkt,
+                        },
+                    );
+                }
+                SenderAction::PauseNormal(pause) => {
+                    self.q
+                        .schedule_after(Duration::from_ns(1_100), CEv::PauseApply { hop, pause });
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- hosts
+
+    fn on_host_arrive(&mut self, host: usize, pkt: Packet, now: Time) {
+        let mut actions: Vec<TransportAction> = Vec::new();
+        let mut reply: Option<Packet> = None;
+        {
+            let h = &mut self.hosts[host];
+            match &pkt.payload {
+                Payload::Tcp(seg) => {
+                    if seg.payload_len > 0 {
+                        if let Some(rx) = h.tcp_rx.as_mut() {
+                            if rx.flow() == seg.flow {
+                                reply = Some(rx.on_data(seg, pkt.ecn, now));
+                            }
+                        }
+                    } else if let Some(tx) = h.tcp_tx.as_mut() {
+                        if tx.flow() == seg.flow {
+                            actions = tx.on_ack(seg, now);
+                        }
+                    }
+                }
+                Payload::Rdma(seg) => {
+                    if let Some(rx) = h.rdma_rx.as_mut() {
+                        if rx.flow() == seg.flow {
+                            reply = rx.on_data(seg, now);
+                        }
+                    }
+                }
+                Payload::RdmaAck(ack) => {
+                    if let Some(tx) = h.rdma_tx.as_mut() {
+                        if tx.flow() == ack.flow {
+                            actions = tx.on_ack(ack, now);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(r) = reply {
+            self.host_send(host, r);
+        }
+        self.apply_transport_actions(host, actions, now);
+    }
+
+    fn apply_transport_actions(&mut self, host: usize, actions: Vec<TransportAction>, now: Time) {
+        for a in actions {
+            match a {
+                TransportAction::Send(pkt) => {
+                    if let Payload::Tcp(t) = &pkt.payload {
+                        if t.is_retx {
+                            self.e2e_retx += 1;
+                        }
+                    }
+                    self.host_send(host, pkt);
+                }
+                TransportAction::WakeAt { deadline } => {
+                    self.q.schedule_at(deadline.max(now), CEv::HostWake { host });
+                }
+                TransportAction::Complete {
+                    started, completed, ..
+                } => {
+                    self.fct.record(completed.saturating_since(started));
+                    self.finish_trial(host);
+                }
+            }
+        }
+    }
+
+    fn host_send(&mut self, host: usize, pkt: Packet) {
+        self.hosts[host].nic_queue.push_back(pkt);
+        self.kick_host(host);
+    }
+
+    fn kick_host(&mut self, host: usize) {
+        if self.hosts[host].busy {
+            return;
+        }
+        let Some(pkt) = self.hosts[host].nic_queue.pop_front() else {
+            return;
+        };
+        self.hosts[host].busy = true;
+        let ser = self.cfg.speed.serialize(pkt.wire_len());
+        let sw = if host == 0 {
+            0
+        } else {
+            self.switches.len() - 1
+        };
+        let port = if host == 0 { PORT_RIGHT } else { PORT_LEFT };
+        let arrive = self.cfg.host_stack_delay + ser + Duration::from_ns(100)
+            + self.switches[sw].pipeline_latency;
+        self.q.schedule_after(
+            arrive,
+            CEv::PortEnqueue {
+                sw,
+                port,
+                class: Class::Normal,
+                pkt,
+            },
+        );
+        self.q.schedule_after(ser, CEv::HostTxDone { host });
+    }
+
+    fn start_trial(&mut self, now: Time) {
+        if self.trials_remaining == 0 {
+            return;
+        }
+        let flow = FlowId(self.next_flow);
+        self.next_flow += 1;
+        match self.cfg.app.clone() {
+            ChainApp::TcpTrials {
+                variant, msg_len, ..
+            } => {
+                self.hosts[1].tcp_rx = Some(TcpReceiver::new(flow, C_HOST1, C_HOST0));
+                let mut tx =
+                    TcpSender::new(TcpConfig::default(), variant, flow, C_HOST0, C_HOST1, msg_len);
+                let actions = tx.start(now);
+                self.hosts[0].tcp_tx = Some(tx);
+                self.apply_transport_actions(0, actions, now);
+            }
+            ChainApp::RdmaTrials { msg_len, .. } => {
+                self.hosts[1].rdma_rx = Some(RdmaResponder::new(flow, C_HOST1, C_HOST0, false));
+                let mut tx =
+                    RdmaRequester::new(RdmaConfig::default(), flow, C_HOST0, C_HOST1, msg_len);
+                let actions = tx.start(now);
+                self.hosts[0].rdma_tx = Some(tx);
+                self.apply_transport_actions(0, actions, now);
+            }
+        }
+    }
+
+    fn finish_trial(&mut self, host: usize) {
+        self.hosts[host].tcp_tx = None;
+        self.hosts[host].rdma_tx = None;
+        self.trials_remaining = self.trials_remaining.saturating_sub(1);
+        if self.trials_remaining > 0 {
+            let at = self.q.now() + Duration::from_us(10);
+            self.q.schedule_at(at, CEv::TrialStart);
+        }
+    }
+}

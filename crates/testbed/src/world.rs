@@ -1,0 +1,1146 @@
+//! The simulated testbed of Figure 7: a sender host, the LinkGuardian
+//! sender switch ("sw2"), the corrupting optical link (the VOA), the
+//! LinkGuardian receiver switch ("sw6"), and a receiver host.
+//!
+//! ```text
+//!  host0 ──► sw_tx ══(corrupting link)══► sw_rx ──► host1
+//!        ◄──       ◄═(clean reverse)════╡       ◄──
+//! ```
+//!
+//! All components are the pure state machines from the other crates; this
+//! module owns the event loop that binds them: serialization and
+//! propagation timing, pipeline latencies, the PFC pause path, the
+//! self-replenishing dummy/ACK queues (port-idle fillers), LinkGuardian
+//! timeouts, host NIC pacing and transport timers.
+
+use lg_link::{LinkConfig, LinkDirection, LinkSpeed, LossModel};
+use lg_packet::{FlowId, NodeId, Packet, Payload};
+use lg_sim::{Duration, EventQueue, RateMeter, Rng, Time, TimeSeries};
+use lg_switch::{Class, EgressPort, PortId, Switch};
+use lg_transport::{
+    CcVariant, RdmaConfig, RdmaRequester, RdmaResponder, TcpConfig, TcpReceiver, TcpSender,
+    TransportAction,
+};
+use lg_workload::FctCollector;
+use linkguardian::{LgConfig, LgReceiver, LgSender, ReceiverAction, SenderAction};
+
+/// Which switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The LinkGuardian sender switch (upstream of the corrupting link).
+    Tx,
+    /// The LinkGuardian receiver switch (downstream).
+    Rx,
+}
+
+/// Which LinkGuardian instance, named by its protected direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LgInstance {
+    /// The forward instance: sender at the Tx switch (the outer tunnel).
+    Forward,
+    /// The reverse instance (bidirectional mode): sender at the Rx switch.
+    Reverse,
+}
+
+/// Port 0 of each switch faces the protected link; port 1 faces its host.
+pub const PORT_LINK: PortId = 0;
+/// Host-facing port.
+pub const PORT_HOST: PortId = 1;
+
+/// Node addresses.
+pub const HOST0: NodeId = NodeId(0);
+/// Receiver-side host.
+pub const HOST1: NodeId = NodeId(1);
+/// The sender switch (control-packet origin).
+pub const SW_TX: NodeId = NodeId(100);
+/// The receiver switch (control-packet origin).
+pub const SW_RX: NodeId = NodeId(101);
+
+/// Events of the testbed world.
+#[derive(Debug)]
+pub enum Ev {
+    /// A packet enters a switch egress queue (after pipeline traversal).
+    PortEnqueue {
+        /// Which switch.
+        side: Side,
+        /// Egress port.
+        port: PortId,
+        /// Traffic class.
+        class: Class,
+        /// The packet.
+        pkt: Packet,
+    },
+    /// A frame finished serializing out of a port.
+    PortTxDone {
+        /// Which switch.
+        side: Side,
+        /// Egress port.
+        port: PortId,
+        /// The frame that completed.
+        pkt: Packet,
+    },
+    /// A frame fully arrived at a switch from a wire.
+    WireArrive {
+        /// The switch it arrived at.
+        side: Side,
+        /// True if it came over the protected (forward or reverse) link.
+        from_link: bool,
+        /// The frame.
+        pkt: Packet,
+    },
+    /// A frame fully arrived at a host NIC (stack delay included).
+    HostArrive {
+        /// Host index (0 or 1).
+        host: usize,
+        /// The frame.
+        pkt: Packet,
+    },
+    /// A host NIC finished serializing a frame.
+    HostTxDone {
+        /// Host index.
+        host: usize,
+    },
+    /// Transport timer wake-up.
+    HostWake {
+        /// Host index.
+        host: usize,
+    },
+    /// LinkGuardian receiver ackNoTimeout.
+    LgTimeout {
+        /// Stall generation.
+        generation: u64,
+        /// Which instance's receiver.
+        instance: LgInstance,
+    },
+    /// Timer-packet evaluation of the backpressure state while paused.
+    LgBpTimer {
+        /// Which instance's receiver.
+        instance: LgInstance,
+    },
+    /// PFC pause/resume takes effect at the sender's normal queue.
+    PauseApply {
+        /// Pause or resume.
+        pause: bool,
+        /// Which instance's sender (Forward → Tx switch, Reverse → Rx).
+        instance: LgInstance,
+    },
+    /// Re-offer a dummy while data is unACKed (paced stand-in for the
+    /// continuously self-replenishing dummy queue).
+    DummyRefresh {
+        /// Which instance's sender.
+        instance: LgInstance,
+    },
+    /// Activate LinkGuardian on the corrupting link.
+    ActivateLg,
+    /// Change the forward loss model (the "VOA knob").
+    SetLoss(LossModel),
+    /// Periodic probe sample.
+    Sample,
+    /// Start the next FCT trial.
+    TrialStart,
+}
+
+/// Per-host state: NIC pacing plus at most one active transport each way.
+pub struct Host {
+    /// This host's address.
+    pub node: NodeId,
+    nic_queue: std::collections::VecDeque<Packet>,
+    busy: bool,
+    /// TCP sender of the current trial.
+    pub tcp_tx: Option<TcpSender>,
+    /// TCP receiver of the current trial.
+    pub tcp_rx: Option<TcpReceiver>,
+    /// RDMA requester of the current trial.
+    pub rdma_tx: Option<RdmaRequester>,
+    /// RDMA responder of the current trial.
+    pub rdma_rx: Option<RdmaResponder>,
+    /// Bytes of application payload received.
+    pub payload_rx_bytes: u64,
+    /// Raw/UDP stress frames received.
+    pub stress_rx_frames: u64,
+    /// Raw/UDP stress wire bytes received.
+    pub stress_rx_wire_bytes: u64,
+}
+
+impl Host {
+    fn new(node: NodeId) -> Host {
+        Host {
+            node,
+            nic_queue: std::collections::VecDeque::new(),
+            busy: false,
+            tcp_tx: None,
+            tcp_rx: None,
+            rdma_tx: None,
+            rdma_rx: None,
+            payload_rx_bytes: 0,
+            stress_rx_frames: 0,
+            stress_rx_wire_bytes: 0,
+        }
+    }
+}
+
+/// Traffic drivers.
+#[derive(Debug, Clone)]
+pub enum App {
+    /// No application traffic (stress mode injects at the switch).
+    None,
+    /// Serial fixed-size TCP messages host0 → host1.
+    TcpTrials {
+        /// Congestion control variant.
+        variant: CcVariant,
+        /// Message size in bytes.
+        msg_len: u32,
+        /// Number of trials.
+        trials: u32,
+        /// Gap between a completion and the next start.
+        gap: Duration,
+    },
+    /// Serial fixed-size RDMA WRITEs host0 → host1.
+    RdmaTrials {
+        /// Message size in bytes.
+        msg_len: u32,
+        /// Number of trials.
+        trials: u32,
+        /// Gap between trials.
+        gap: Duration,
+        /// Selective-repeat mode.
+        selective_repeat: bool,
+    },
+    /// Continuous TCP stream (iperf): back-to-back `chunk` -byte messages
+    /// until the world clock passes `end`.
+    TcpStream {
+        /// Congestion control variant.
+        variant: CcVariant,
+        /// Bytes per chained message.
+        chunk: u32,
+        /// Stop starting new chunks after this time.
+        end: Time,
+    },
+}
+
+/// World configuration.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Link speed of every link in the testbed.
+    pub speed: LinkSpeed,
+    /// Forward-direction corruption model at t = 0.
+    pub loss: LossModel,
+    /// Reverse-direction corruption model (None unless studying
+    /// bidirectional corruption, §5).
+    pub rev_loss: LossModel,
+    /// LinkGuardian configuration; `None` removes LinkGuardian entirely.
+    pub lg: Option<LgConfig>,
+    /// Run a parallel LinkGuardian instance protecting the *reverse*
+    /// direction as well (§5 "Handling bidirectional corruption"). The
+    /// forward instance is the outer tunnel: reverse-instance control
+    /// riding the forward direction is itself protected.
+    pub bidirectional: bool,
+    /// Activate LinkGuardian at t = 0 (otherwise schedule [`Ev::ActivateLg`]).
+    pub lg_active_from_start: bool,
+    /// ECN marking threshold on the protected port's normal queue
+    /// (the paper's DCTCP experiments use 100 KB).
+    pub ecn_threshold: Option<u64>,
+    /// Host stack delay applied on transmit and on receive (7 µs each
+    /// makes the unloaded TCP RTT ≈ 30 µs, §4).
+    pub host_stack_delay: Duration,
+    /// Traffic driver.
+    pub app: App,
+    /// Probe sampling interval (None = no probes).
+    pub sample_interval: Option<Duration>,
+    /// Pacing interval of the dummy-refresh keepalive.
+    pub dummy_refresh: Duration,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorldConfig {
+    /// A quiet testbed at the given speed with LinkGuardian configured
+    /// (active from the start) and no traffic.
+    pub fn new(speed: LinkSpeed, loss: LossModel) -> WorldConfig {
+        let actual = loss.mean_rate().max(1e-9);
+        WorldConfig {
+            speed,
+            loss,
+            rev_loss: LossModel::None,
+            lg: Some(LgConfig::for_speed(speed, actual)),
+            bidirectional: false,
+            lg_active_from_start: true,
+            ecn_threshold: None,
+            host_stack_delay: Duration::from_us(7),
+            app: App::None,
+            sample_interval: None,
+            dummy_refresh: Duration::from_ns(400),
+            seed: 1,
+        }
+    }
+}
+
+/// Probe time series (Figs 9/21).
+#[derive(Debug, Default)]
+pub struct Probes {
+    /// Protected-port normal-queue depth (bytes) — the paper's "qdepth".
+    pub qdepth: TimeSeries,
+    /// LinkGuardian receiver reordering-buffer occupancy (bytes).
+    pub rx_buffer: TimeSeries,
+    /// LinkGuardian sender Tx-buffer occupancy (bytes).
+    pub tx_buffer: TimeSeries,
+    /// Host1 delivered-goodput meter.
+    pub goodput: Option<RateMeter>,
+    /// End-to-end (transport) retransmissions per sample window.
+    pub e2e_retx: TimeSeries,
+}
+
+/// Experiment results accumulated by the world.
+#[derive(Debug, Default)]
+pub struct Outcomes {
+    /// FCTs of completed trials.
+    pub fct: FctCollector,
+    /// Per-trial flow traces (TCP) for the Fig 13 classification.
+    pub tcp_traces: Vec<lg_transport::FlowTrace>,
+    /// Per-trial RDMA traces.
+    pub rdma_traces: Vec<lg_transport::RdmaTrace>,
+    /// Stress frames injected.
+    pub stress_tx_frames: u64,
+    /// Transport-level retransmitted segments observed leaving host0.
+    pub e2e_retx_total: u64,
+}
+
+/// The simulated testbed.
+pub struct World {
+    /// Configuration (immutable after construction).
+    pub cfg: WorldConfig,
+    /// Event queue.
+    pub q: EventQueue<Ev>,
+    /// Sender switch.
+    pub sw_tx: Switch,
+    /// Receiver switch.
+    pub sw_rx: Switch,
+    /// LinkGuardian sender instance (forward direction, at the Tx switch).
+    pub lg_tx: LgSender,
+    /// LinkGuardian receiver instance (forward direction, at the Rx switch).
+    pub lg_rx: LgReceiver,
+    /// Reverse-direction sender (at the Rx switch), bidirectional mode.
+    pub lg2_tx: Option<LgSender>,
+    /// Reverse-direction receiver (at the Tx switch), bidirectional mode.
+    pub lg2_rx: Option<LgReceiver>,
+    fwd_link: LinkDirection,
+    rev_link: LinkDirection,
+    /// Hosts 0 (sender side) and 1 (receiver side).
+    pub hosts: Vec<Host>,
+    /// Probe series.
+    pub probes: Probes,
+    /// Results.
+    pub out: Outcomes,
+    stress: Option<u32>, // frame_len when stress mode active
+    stress_seq: u64,
+    next_flow: u64,
+    trials_remaining: u32,
+    dummy_refresh_armed: [bool; 2],
+    e2e_retx_window: u64,
+    rng: Rng,
+}
+
+impl World {
+    /// Build the testbed.
+    pub fn new(cfg: WorldConfig) -> World {
+        let mut rng = Rng::new(cfg.seed);
+        let link_cfg = LinkConfig::new(cfg.speed);
+        let fwd_link = LinkDirection::corrupting(link_cfg, cfg.loss.clone(), rng.fork());
+        let rev_link = LinkDirection::corrupting(link_cfg, cfg.rev_loss.clone(), rng.fork());
+
+        let mut sw_tx = Switch::new("sw_tx", 2);
+        let mut sw_rx = Switch::new("sw_rx", 2);
+        sw_tx.add_route(HOST1, PORT_LINK);
+        sw_tx.add_route(HOST0, PORT_HOST);
+        sw_rx.add_route(HOST0, PORT_LINK);
+        sw_rx.add_route(HOST1, PORT_HOST);
+        if let Some(th) = cfg.ecn_threshold {
+            sw_tx.set_port(PORT_LINK, EgressPort::new().with_ecn_threshold(th));
+        }
+
+        let lg_cfg = cfg
+            .lg
+            .clone()
+            .unwrap_or_else(|| LgConfig::for_speed(cfg.speed, 1e-9));
+        let mut lg_tx = LgSender::new(lg_cfg.clone(), SW_TX, SW_RX);
+        let mut lg_rx = LgReceiver::new(lg_cfg.clone(), SW_RX, SW_TX);
+        if cfg.lg.is_some() && cfg.lg_active_from_start {
+            lg_tx.activate(cfg.loss.mean_rate().max(1e-9));
+            lg_rx.activate();
+        }
+        let (lg2_tx, lg2_rx) = if cfg.bidirectional && cfg.lg.is_some() {
+            // Control packets cross un-tunneled; under bidirectional
+            // corruption they rely on replication (§5).
+            let mut cfg2 = lg_cfg.clone();
+            cfg2.control_copies = cfg2.control_copies.max(3);
+            cfg2.dummy_copies = cfg2.dummy_copies.max(2);
+            let mut t = LgSender::new(cfg2.clone(), SW_RX, SW_TX);
+            let mut r = LgReceiver::new(cfg2, SW_TX, SW_RX);
+            if cfg.lg_active_from_start {
+                t.activate(cfg.rev_loss.mean_rate().max(1e-9));
+                r.activate();
+            }
+            (Some(t), Some(r))
+        } else {
+            (None, None)
+        };
+
+        let mut q = EventQueue::new();
+        if let Some(interval) = cfg.sample_interval {
+            q.schedule_after(interval, Ev::Sample);
+        }
+        let mut probes = Probes::default();
+        if let Some(interval) = cfg.sample_interval {
+            probes.goodput = Some(RateMeter::new(interval));
+        }
+        match cfg.app {
+            App::None => {}
+            _ => {
+                q.schedule_at(Time::ZERO, Ev::TrialStart);
+            }
+        }
+        let trials_remaining = match cfg.app {
+            App::TcpTrials { trials, .. } | App::RdmaTrials { trials, .. } => trials,
+            App::TcpStream { .. } => u32::MAX,
+            App::None => 0,
+        };
+
+        World {
+            cfg,
+            q,
+            sw_tx,
+            sw_rx,
+            lg_tx,
+            lg_rx,
+            lg2_tx,
+            lg2_rx,
+            fwd_link,
+            rev_link,
+            hosts: vec![Host::new(HOST0), Host::new(HOST1)],
+            probes,
+            out: Outcomes::default(),
+            stress: None,
+            stress_seq: 0,
+            next_flow: 1,
+            trials_remaining,
+            dummy_refresh_armed: [false; 2],
+            e2e_retx_window: 0,
+            rng,
+        }
+    }
+
+    /// Enable switch-pktgen stress mode: keep the protected port's normal
+    /// queue backlogged with `frame_len`-byte frames addressed to host1.
+    pub fn enable_stress(&mut self, frame_len: u32) {
+        self.stress = Some(frame_len);
+        self.refill_stress();
+        self.kick_port(Side::Tx, PORT_LINK);
+    }
+
+    fn refill_stress(&mut self) {
+        let Some(frame_len) = self.stress else { return };
+        let now = self.q.now();
+        while self.sw_tx.port(PORT_LINK).queue(Class::Normal).len() < 4 {
+            let dg = lg_packet::UdpDatagram {
+                flow: FlowId(0),
+                payload_len: frame_len - 46, // headers: 14+20+8+4
+                seq: self.stress_seq,
+            };
+            self.stress_seq += 1;
+            self.out.stress_tx_frames += 1;
+            let pkt = Packet::udp(HOST0, HOST1, dg, now);
+            debug_assert_eq!(pkt.frame_len(), frame_len);
+            self.sw_tx.enqueue(PORT_LINK, Class::Normal, pkt);
+        }
+    }
+
+    // ---------------------------------------------------------- event loop
+
+    /// Run until the queue is empty or the clock passes `until`.
+    pub fn run_until(&mut self, until: Time) {
+        while let Some(at) = self.q.peek_time() {
+            if at > until {
+                break;
+            }
+            let (now, ev) = self.q.pop().expect("peeked");
+            self.handle(ev, now);
+        }
+    }
+
+    /// Run until no events remain (traffic drivers finished and drained).
+    pub fn run_to_completion(&mut self) {
+        while let Some((now, ev)) = self.q.pop() {
+            self.handle(ev, now);
+        }
+    }
+
+    /// Public wrapper over the event dispatcher (used by profiling tools).
+    pub fn handle_pub(&mut self, ev: Ev, now: Time) {
+        self.handle(ev, now);
+    }
+
+    fn handle(&mut self, ev: Ev, now: Time) {
+        match ev {
+            Ev::PortEnqueue {
+                side,
+                port,
+                class,
+                pkt,
+            } => {
+                self.switch_mut(side).enqueue(port, class, pkt);
+                self.kick_port(side, port);
+            }
+            Ev::PortTxDone { side, port, pkt } => {
+                self.switch_mut(side).port_mut(port).busy = false;
+                self.switch_mut(side).tx_complete(port, pkt.frame_len());
+                self.deliver_from_port(side, port, pkt, now);
+                if side == Side::Tx && port == PORT_LINK {
+                    self.refill_stress();
+                }
+                self.kick_port(side, port);
+            }
+            Ev::WireArrive {
+                side,
+                from_link,
+                pkt,
+            } => self.on_wire_arrive(side, from_link, pkt, now),
+            Ev::HostArrive { host, pkt } => self.on_host_arrive(host, pkt, now),
+            Ev::HostTxDone { host } => {
+                self.hosts[host].busy = false;
+                self.kick_host(host);
+            }
+            Ev::HostWake { host } => {
+                let mut actions = Vec::new();
+                if let Some(t) = self.hosts[host].tcp_tx.as_mut() {
+                    actions.extend(t.on_timer(now));
+                }
+                if let Some(r) = self.hosts[host].rdma_tx.as_mut() {
+                    actions.extend(r.on_timer(now));
+                }
+                self.apply_transport_actions(host, actions, now);
+            }
+            Ev::LgTimeout { generation, instance } => {
+                let actions = match instance {
+                    LgInstance::Forward => self.lg_rx.on_timeout(generation, now),
+                    LgInstance::Reverse => self
+                        .lg2_rx
+                        .as_mut()
+                        .map(|r| r.on_timeout(generation, now))
+                        .unwrap_or_default(),
+                };
+                self.apply_receiver_actions(actions, instance, now);
+            }
+            Ev::LgBpTimer { instance } => {
+                let actions = match instance {
+                    LgInstance::Forward => self.lg_rx.on_bp_timer(now),
+                    LgInstance::Reverse => self
+                        .lg2_rx
+                        .as_mut()
+                        .map(|r| r.on_bp_timer(now))
+                        .unwrap_or_default(),
+                };
+                self.apply_receiver_actions(actions, instance, now);
+            }
+            Ev::PauseApply { pause, instance } => {
+                let side = match instance {
+                    LgInstance::Forward => Side::Tx,
+                    LgInstance::Reverse => Side::Rx,
+                };
+                self.switch_mut(side)
+                    .port_mut(PORT_LINK)
+                    .set_paused(Class::Normal, pause);
+                self.kick_port(side, PORT_LINK);
+            }
+            Ev::DummyRefresh { instance } => {
+                let side = match instance {
+                    LgInstance::Forward => Side::Tx,
+                    LgInstance::Reverse => Side::Rx,
+                };
+                self.dummy_refresh_armed[instance as usize] = false;
+                self.kick_port(side, PORT_LINK);
+            }
+            Ev::ActivateLg => {
+                let rate = self.fwd_link.loss().model().mean_rate().max(1e-9);
+                self.lg_tx.activate(rate);
+                self.lg_rx.activate();
+                let rev_rate = self.rev_link.loss().model().mean_rate().max(1e-9);
+                if let Some(t) = self.lg2_tx.as_mut() {
+                    t.activate(rev_rate);
+                }
+                if let Some(r) = self.lg2_rx.as_mut() {
+                    r.activate();
+                }
+                self.kick_port(Side::Tx, PORT_LINK);
+                self.kick_port(Side::Rx, PORT_LINK);
+            }
+            Ev::SetLoss(model) => {
+                self.fwd_link.set_loss_model(model);
+            }
+            Ev::Sample => self.on_sample(now),
+            Ev::TrialStart => self.start_trial(now),
+        }
+    }
+
+    fn switch_mut(&mut self, side: Side) -> &mut Switch {
+        match side {
+            Side::Tx => &mut self.sw_tx,
+            Side::Rx => &mut self.sw_rx,
+        }
+    }
+
+    // -------------------------------------------------------- port service
+
+    /// Start serializing the next eligible frame on a port, engaging the
+    /// idle fillers (dummy / explicit-ACK queues) when the port runs dry.
+    fn kick_port(&mut self, side: Side, port: PortId) {
+        let now = self.q.now();
+        if self.switch_mut(side).port(port).busy {
+            return;
+        }
+        let mut next = self.switch_mut(side).dequeue(port);
+        if next.is_none() && port == PORT_LINK {
+            // Self-replenishing strictly-low-priority queues (Fig 5):
+            // dummies from this side's sender instance, explicit ACKs from
+            // this side's receiver instance (the latter only exists on the
+            // Rx switch unless running bidirectionally).
+            let mut filler: Vec<Packet> = Vec::new();
+            match side {
+                Side::Tx => {
+                    filler.extend(self.lg_tx.make_dummies(now));
+                    if let Some(r) = self.lg2_rx.as_mut() {
+                        filler.extend(r.make_explicit_acks(now));
+                    }
+                    if self.lg_tx.has_unacked()
+                        && self.lg_tx.config().dummy_copies > 0
+                        && !self.dummy_refresh_armed[LgInstance::Forward as usize]
+                    {
+                        self.dummy_refresh_armed[LgInstance::Forward as usize] = true;
+                        self.q.schedule_after(
+                            self.cfg.dummy_refresh,
+                            Ev::DummyRefresh {
+                                instance: LgInstance::Forward,
+                            },
+                        );
+                    }
+                }
+                Side::Rx => {
+                    filler.extend(self.lg_rx.make_explicit_acks(now));
+                    if let Some(t) = self.lg2_tx.as_mut() {
+                        filler.extend(t.make_dummies(now));
+                        if t.has_unacked()
+                            && t.config().dummy_copies > 0
+                            && !self.dummy_refresh_armed[LgInstance::Reverse as usize]
+                        {
+                            self.dummy_refresh_armed[LgInstance::Reverse as usize] = true;
+                            self.q.schedule_after(
+                                self.cfg.dummy_refresh,
+                                Ev::DummyRefresh {
+                                    instance: LgInstance::Reverse,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            let got = !filler.is_empty();
+            for f in filler {
+                self.switch_mut(side).enqueue(PORT_LINK, Class::Low, f);
+            }
+            if got {
+                next = self.switch_mut(side).dequeue(port);
+            }
+        }
+        let Some((_class, mut pkt)) = next else { return };
+        // Egress hooks: piggyback the *other* direction's ACK first so it
+        // rides inside this direction's protection, then stamp.
+        if side == Side::Tx && port == PORT_LINK {
+            if pkt.lg_ack.is_none() {
+                if let Some(r) = self.lg2_rx.as_mut() {
+                    r.stamp_ack(&mut pkt);
+                }
+            }
+            self.lg_tx.on_transmit(&mut pkt, now);
+        } else if side == Side::Rx && port == PORT_LINK {
+            if pkt.lg_ack.is_none() {
+                // Piggyback the cumulative ACK on reverse-direction traffic.
+                self.lg_rx.stamp_ack(&mut pkt);
+            }
+            if let Some(t) = self.lg2_tx.as_mut() {
+                t.on_transmit(&mut pkt, now);
+            }
+        }
+        self.switch_mut(side).port_mut(port).busy = true;
+        let ser = self.cfg.speed.serialize(pkt.wire_len());
+        self.q
+            .schedule_after(ser, Ev::PortTxDone { side, port, pkt });
+    }
+
+    /// A frame left a port: apply wire loss and schedule arrival.
+    fn deliver_from_port(&mut self, side: Side, port: PortId, pkt: Packet, _now: Time) {
+        match (side, port) {
+            (Side::Tx, PORT_LINK) => {
+                // forward over the corrupting link
+                let prop = self.fwd_link.propagation();
+                if self.fwd_link.deliver() {
+                    self.q.schedule_after(
+                        prop,
+                        Ev::WireArrive {
+                            side: Side::Rx,
+                            from_link: true,
+                            pkt,
+                        },
+                    );
+                } else {
+                    self.sw_rx.rx_corrupt(PORT_LINK);
+                }
+            }
+            (Side::Rx, PORT_LINK) => {
+                let prop = self.rev_link.propagation();
+                if self.rev_link.deliver() {
+                    self.q.schedule_after(
+                        prop,
+                        Ev::WireArrive {
+                            side: Side::Tx,
+                            from_link: true,
+                            pkt,
+                        },
+                    );
+                } else {
+                    self.sw_tx.rx_corrupt(PORT_LINK);
+                }
+            }
+            (Side::Tx, _) => {
+                // toward host0
+                let delay = Duration::from_ns(100) + self.cfg.host_stack_delay;
+                self.q.schedule_after(delay, Ev::HostArrive { host: 0, pkt });
+            }
+            (Side::Rx, _) => {
+                let delay = Duration::from_ns(100) + self.cfg.host_stack_delay;
+                self.q.schedule_after(delay, Ev::HostArrive { host: 1, pkt });
+            }
+        }
+    }
+
+    // ----------------------------------------------------- switch ingress
+
+    fn on_wire_arrive(&mut self, side: Side, from_link: bool, pkt: Packet, now: Time) {
+        assert!(from_link, "host links deliver straight to hosts");
+        match side {
+            Side::Rx => {
+                // Forward arrivals: the forward receiver is the outer
+                // tunnel; its in-order deliveries then pass through the
+                // reverse-instance sender (ACK absorption) before routing.
+                self.sw_rx.rx_ok(PORT_LINK, pkt.frame_len());
+                let actions = self.lg_rx.on_protected_rx(pkt, now);
+                self.apply_receiver_actions(actions, LgInstance::Forward, now);
+            }
+            Side::Tx => {
+                self.sw_tx.rx_ok(PORT_LINK, pkt.frame_len());
+                if self.lg2_rx.is_some() {
+                    // Bidirectional: reverse-instance receiver first, its
+                    // deliveries then reach the forward sender.
+                    let actions = self
+                        .lg2_rx
+                        .as_mut()
+                        .expect("checked")
+                        .on_protected_rx(pkt, now);
+                    self.apply_receiver_actions(actions, LgInstance::Reverse, now);
+                } else {
+                    self.forward_sender_rx(pkt, now);
+                }
+            }
+        }
+    }
+
+    /// Hand a packet that arrived at the Tx switch to the forward-instance
+    /// sender (ACK/notification/pause absorption) and route any surviving
+    /// tenant packet onward.
+    fn forward_sender_rx(&mut self, pkt: Packet, now: Time) {
+        let pipeline = self.sw_tx.pipeline_latency;
+        let (fwd, actions) = self.lg_tx.on_reverse_rx(pkt, now);
+        if let Some(p) = fwd {
+            let port = self.sw_tx.route(p.dst).expect("route");
+            self.q.schedule_after(
+                pipeline,
+                Ev::PortEnqueue {
+                    side: Side::Tx,
+                    port,
+                    class: Class::Normal,
+                    pkt: p,
+                },
+            );
+        }
+        self.apply_sender_actions(actions, LgInstance::Forward, now);
+    }
+
+    /// Hand a packet delivered by the forward receiver (at the Rx switch)
+    /// to the reverse-instance sender and route any surviving tenant
+    /// packet onward.
+    fn reverse_sender_rx(&mut self, pkt: Packet, now: Time) {
+        let pipeline = self.sw_rx.pipeline_latency;
+        let Some(t) = self.lg2_tx.as_mut() else {
+            // Unidirectional: forward deliveries route directly.
+            let port = self.sw_rx.route(pkt.dst).expect("route");
+            self.q.schedule_after(
+                pipeline,
+                Ev::PortEnqueue {
+                    side: Side::Rx,
+                    port,
+                    class: Class::Normal,
+                    pkt,
+                },
+            );
+            return;
+        };
+        let (fwd, actions) = t.on_reverse_rx(pkt, now);
+        if let Some(p) = fwd {
+            let port = self.sw_rx.route(p.dst).expect("route");
+            self.q.schedule_after(
+                pipeline,
+                Ev::PortEnqueue {
+                    side: Side::Rx,
+                    port,
+                    class: Class::Normal,
+                    pkt: p,
+                },
+            );
+        }
+        self.apply_sender_actions(actions, LgInstance::Reverse, now);
+    }
+
+    fn apply_receiver_actions(
+        &mut self,
+        actions: Vec<ReceiverAction>,
+        instance: LgInstance,
+        now: Time,
+    ) {
+        // The side hosting this instance's receiver (where its control
+        // packets and deliveries originate).
+        let rx_side = match instance {
+            LgInstance::Forward => Side::Rx,
+            LgInstance::Reverse => Side::Tx,
+        };
+        for a in actions {
+            match a {
+                ReceiverAction::Deliver(pkt) => match instance {
+                    // Deliveries pass through the co-located sender of the
+                    // opposite direction (ACK absorption), then route.
+                    LgInstance::Forward => self.reverse_sender_rx(pkt, now),
+                    LgInstance::Reverse => self.forward_sender_rx(pkt, now),
+                },
+                ReceiverAction::SendReverse { pkt, class } => {
+                    // Ingress-mirrored control (loss notifications, pause
+                    // frames) reaches the reverse egress queue immediately;
+                    // enqueueing it before the port is kicked guarantees it
+                    // beats the self-replenishing explicit-ACK queue, as
+                    // strict priority does in hardware.
+                    self.switch_mut(rx_side).enqueue(PORT_LINK, class, pkt);
+                }
+                ReceiverAction::ArmTimeout {
+                    deadline,
+                    generation,
+                } => {
+                    self.q.schedule_at(
+                        deadline.max(self.q.now()),
+                        Ev::LgTimeout {
+                            generation,
+                            instance,
+                        },
+                    );
+                }
+                ReceiverAction::ArmBpTimer { at } => {
+                    self.q
+                        .schedule_at(at.max(self.q.now()), Ev::LgBpTimer { instance });
+                }
+            }
+        }
+        // The receiver may now owe an explicit ACK; if its egress port is
+        // idle, the self-replenishing ACK queue must transmit it.
+        self.kick_port(rx_side, PORT_LINK);
+    }
+
+    fn apply_sender_actions(
+        &mut self,
+        actions: Vec<SenderAction>,
+        instance: LgInstance,
+        _now: Time,
+    ) {
+        // The side hosting this instance's sender (where retransmissions
+        // are re-enqueued and pauses apply).
+        let tx_side = match instance {
+            LgInstance::Forward => Side::Tx,
+            LgInstance::Reverse => Side::Rx,
+        };
+        let pipeline = self.switch_mut(tx_side).pipeline_latency;
+        for a in actions {
+            match a {
+                SenderAction::Emit { pkt, class, delay } => {
+                    self.q.schedule_after(
+                        delay + pipeline,
+                        Ev::PortEnqueue {
+                            side: tx_side,
+                            port: PORT_LINK,
+                            class,
+                            pkt,
+                        },
+                    );
+                }
+                SenderAction::PauseNormal(pause) => {
+                    // RX MAC absorbs the PFC frame and applies it after the
+                    // MAC/scheduler processing delay; with the reverse-path
+                    // latency this reproduces the paper's measured
+                    // tflight_resume of 1.6-1.9 us (Appendix B.1).
+                    self.q.schedule_after(
+                        Duration::from_ns(1_100),
+                        Ev::PauseApply { pause, instance },
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- hosts
+
+    fn on_host_arrive(&mut self, host: usize, pkt: Packet, now: Time) {
+        let mut actions: Vec<TransportAction> = Vec::new();
+        let mut reply: Option<Packet> = None;
+        let mut rx_bytes: u64 = 0;
+        {
+            let h = &mut self.hosts[host];
+            match &pkt.payload {
+                Payload::Tcp(seg) => {
+                    if seg.payload_len > 0 {
+                        // Data segment → receiver. Stale segments from an
+                        // earlier trial carry an older flow id: dropped.
+                        if let Some(rx) = h.tcp_rx.as_mut() {
+                            if rx.flow() == seg.flow {
+                                rx_bytes = seg.payload_len as u64;
+                                reply = Some(rx.on_data(seg, pkt.ecn, now));
+                            }
+                        }
+                    } else if let Some(tx) = h.tcp_tx.as_mut() {
+                        if tx.flow() == seg.flow {
+                            actions = tx.on_ack(seg, now);
+                        }
+                    }
+                }
+                Payload::Rdma(seg) => {
+                    if let Some(rx) = h.rdma_rx.as_mut() {
+                        if rx.flow() == seg.flow {
+                            rx_bytes = seg.payload_len as u64;
+                            reply = rx.on_data(seg, now);
+                        }
+                    }
+                }
+                Payload::RdmaAck(ack) => {
+                    // A straggler ACK/NAK from an earlier trial must not
+                    // touch the current queue pair's window.
+                    if let Some(tx) = h.rdma_tx.as_mut() {
+                        if tx.flow() == ack.flow {
+                            actions = tx.on_ack(ack, now);
+                        }
+                    }
+                }
+                Payload::Udp(_) | Payload::Raw => {
+                    h.stress_rx_frames += 1;
+                    h.stress_rx_wire_bytes += pkt.wire_len() as u64;
+                    rx_bytes = pkt.payload_len() as u64;
+                }
+                Payload::Lg(_) => {}
+            }
+            h.payload_rx_bytes += rx_bytes;
+        }
+        if let Some(m) = self.probes.goodput.as_mut() {
+            if host == 1 {
+                m.record(now, pkt.payload_len() as u64);
+            }
+        }
+        if let Some(r) = reply {
+            self.host_send(host, r);
+        }
+        self.apply_transport_actions(host, actions, now);
+    }
+
+    fn apply_transport_actions(&mut self, host: usize, actions: Vec<TransportAction>, now: Time) {
+        for a in actions {
+            match a {
+                TransportAction::Send(pkt) => {
+                    if let Payload::Tcp(t) = &pkt.payload {
+                        if t.is_retx {
+                            self.out.e2e_retx_total += 1;
+                            self.e2e_retx_window += 1;
+                        }
+                    }
+                    if let Payload::Rdma(_) = &pkt.payload {
+                        // counted via traces at trial end
+                    }
+                    self.host_send(host, pkt);
+                }
+                TransportAction::WakeAt { deadline } => {
+                    self.q
+                        .schedule_at(deadline.max(now), Ev::HostWake { host });
+                }
+                TransportAction::Complete {
+                    started, completed, ..
+                } => {
+                    self.out
+                        .fct
+                        .record(completed.saturating_since(started));
+                    self.finish_trial(host, now);
+                }
+            }
+        }
+    }
+
+    fn host_send(&mut self, host: usize, pkt: Packet) {
+        self.hosts[host].nic_queue.push_back(pkt);
+        self.kick_host(host);
+    }
+
+    fn kick_host(&mut self, host: usize) {
+        if self.hosts[host].busy {
+            return;
+        }
+        let Some(pkt) = self.hosts[host].nic_queue.pop_front() else {
+            return;
+        };
+        self.hosts[host].busy = true;
+        let ser = self.cfg.speed.serialize(pkt.wire_len());
+        // frame reaches the switch after stack delay + serialization + prop
+        let side = if host == 0 { Side::Tx } else { Side::Rx };
+        let arrive = self.cfg.host_stack_delay + ser + Duration::from_ns(100);
+        let pipeline = self.switch_mut(side).pipeline_latency;
+        let port = match (side, pkt.dst) {
+            (Side::Tx, d) => self.sw_tx.route(d).expect("route"),
+            (Side::Rx, d) => self.sw_rx.route(d).expect("route"),
+        };
+        self.q.schedule_after(
+            arrive + pipeline,
+            Ev::PortEnqueue {
+                side,
+                port,
+                class: Class::Normal,
+                pkt,
+            },
+        );
+        self.q.schedule_after(ser, Ev::HostTxDone { host });
+    }
+
+    // ----------------------------------------------------------- trials
+
+    fn start_trial(&mut self, now: Time) {
+        if self.trials_remaining == 0 {
+            return;
+        }
+        let flow = FlowId(self.next_flow);
+        self.next_flow += 1;
+        match self.cfg.app.clone() {
+            App::None => {}
+            App::TcpTrials {
+                variant, msg_len, ..
+            } => {
+                self.hosts[1].tcp_rx = Some(TcpReceiver::new(flow, HOST1, HOST0));
+                let mut tx =
+                    TcpSender::new(TcpConfig::default(), variant, flow, HOST0, HOST1, msg_len);
+                let actions = tx.start(now);
+                self.hosts[0].tcp_tx = Some(tx);
+                self.apply_transport_actions(0, actions, now);
+            }
+            App::RdmaTrials {
+                msg_len,
+                selective_repeat,
+                ..
+            } => {
+                self.hosts[1].rdma_rx =
+                    Some(RdmaResponder::new(flow, HOST1, HOST0, selective_repeat));
+                let mut tx = RdmaRequester::new(
+                    RdmaConfig {
+                        selective_repeat,
+                        ..RdmaConfig::default()
+                    },
+                    flow,
+                    HOST0,
+                    HOST1,
+                    msg_len,
+                );
+                let actions = tx.start(now);
+                self.hosts[0].rdma_tx = Some(tx);
+                self.apply_transport_actions(0, actions, now);
+            }
+            App::TcpStream { variant, chunk, end } => {
+                if now > end {
+                    self.trials_remaining = 0;
+                    return;
+                }
+                self.hosts[1].tcp_rx = Some(TcpReceiver::new(flow, HOST1, HOST0));
+                let mut tx =
+                    TcpSender::new(TcpConfig::default(), variant, flow, HOST0, HOST1, chunk);
+                let actions = tx.start(now);
+                self.hosts[0].tcp_tx = Some(tx);
+                self.apply_transport_actions(0, actions, now);
+            }
+        }
+    }
+
+    fn finish_trial(&mut self, host: usize, now: Time) {
+        if let Some(tx) = self.hosts[host].tcp_tx.take() {
+            self.out.tcp_traces.push(tx.trace());
+        }
+        if let Some(tx) = self.hosts[host].rdma_tx.take() {
+            self.out.rdma_traces.push(tx.trace());
+        }
+        if self.trials_remaining != u32::MAX {
+            self.trials_remaining = self.trials_remaining.saturating_sub(1);
+        }
+        if self.trials_remaining > 0 {
+            let gap = match self.cfg.app {
+                App::TcpTrials { gap, .. } | App::RdmaTrials { gap, .. } => gap,
+                App::TcpStream { .. } => Duration::ZERO,
+                App::None => Duration::ZERO,
+            };
+            let at = self.q.now() + gap;
+            let _ = now;
+            self.q.schedule_at(at, Ev::TrialStart);
+        }
+    }
+
+    // ------------------------------------------------------------ probes
+
+    fn on_sample(&mut self, now: Time) {
+        let interval = self.cfg.sample_interval.expect("sampling enabled");
+        self.probes.qdepth.push(
+            now,
+            self.sw_tx.port(PORT_LINK).queue(Class::Normal).bytes() as f64,
+        );
+        self.probes
+            .rx_buffer
+            .push(now, self.lg_rx.rx_buffer_bytes() as f64);
+        self.probes
+            .tx_buffer
+            .push(now, self.lg_tx.tx_buffer_bytes() as f64);
+        self.probes
+            .e2e_retx
+            .push(now, self.e2e_retx_window as f64);
+        self.e2e_retx_window = 0;
+        if let Some(m) = self.probes.goodput.as_mut() {
+            m.roll_to(now);
+        }
+        self.q.schedule_after(interval, Ev::Sample);
+    }
+
+    /// Stop injecting stress frames (the tail drains normally).
+    pub fn disable_stress(&mut self) {
+        self.stress = None;
+    }
+
+    /// Unique stress frames delivered end-to-end.
+    pub fn stress_delivered(&self) -> u64 {
+        self.hosts[1].stress_rx_frames
+    }
+
+    /// A deterministic child RNG for experiment drivers.
+    pub fn fork_rng(&mut self) -> Rng {
+        self.rng.fork()
+    }
+}
+

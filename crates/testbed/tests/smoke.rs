@@ -1,0 +1,157 @@
+//! End-to-end smoke tests of the simulated testbed.
+
+use lg_link::{LinkSpeed, LossModel};
+use lg_sim::Duration;
+use lg_testbed::{fct_experiment, stress_test, FctTransport, Protection};
+use lg_transport::CcVariant;
+
+#[test]
+fn clean_link_stress_delivers_everything() {
+    let r = stress_test(
+        LinkSpeed::G25,
+        LossModel::None,
+        Protection::Lg,
+        Duration::from_ms(5),
+        1,
+    );
+    assert!(r.sent > 1000, "sent {}", r.sent);
+    assert_eq!(r.unrecovered, 0, "no losses on a clean link");
+    assert!(
+        r.effective_speed > 0.99,
+        "effective speed {} on clean link",
+        r.effective_speed
+    );
+    assert_eq!(r.timeouts, 0);
+}
+
+#[test]
+fn lossy_link_without_lg_loses_frames() {
+    let r = stress_test(
+        LinkSpeed::G25,
+        LossModel::Iid { rate: 1e-3 },
+        Protection::Off,
+        Duration::from_ms(20),
+        2,
+    );
+    assert!(r.sent > 10_000);
+    let rate = r.unrecovered as f64 / r.sent as f64;
+    assert!(
+        (rate - 1e-3).abs() / 1e-3 < 0.5,
+        "loss rate {rate:e} should be ~1e-3"
+    );
+}
+
+#[test]
+fn lg_masks_losses_on_stress() {
+    let r = stress_test(
+        LinkSpeed::G25,
+        LossModel::Iid { rate: 1e-3 },
+        Protection::Lg,
+        Duration::from_ms(20),
+        3,
+    );
+    assert!(r.sent > 10_000);
+    assert_eq!(r.n_copies, 2, "Eq. 2 at 1e-3 toward 1e-8");
+    assert_eq!(
+        r.unrecovered, 0,
+        "all {} wire losses recovered (timeouts {})",
+        r.wire_losses, r.timeouts
+    );
+    assert!(r.wire_losses > 0, "the link did corrupt");
+    assert!(
+        r.effective_speed > 0.8,
+        "effective speed {}",
+        r.effective_speed
+    );
+}
+
+#[test]
+fn tcp_fct_clean_link_is_about_one_rtt() {
+    let r = fct_experiment(
+        LinkSpeed::G100,
+        LossModel::None,
+        Protection::Off,
+        FctTransport::Tcp(CcVariant::Dctcp),
+        143,
+        200,
+        4,
+    );
+    // single-packet flow: data path + ack path ≈ 30 us RTT
+    assert!(
+        r.report.p99_us > 20.0 && r.report.p99_us < 60.0,
+        "p99 {} us",
+        r.report.p99_us
+    );
+    assert_eq!(r.e2e_retx, 0);
+}
+
+#[test]
+fn rdma_fct_clean_link_completes() {
+    let r = fct_experiment(
+        LinkSpeed::G100,
+        LossModel::None,
+        Protection::Off,
+        FctTransport::Rdma,
+        143,
+        200,
+        5,
+    );
+    assert!(
+        r.report.p99_us > 15.0 && r.report.p99_us < 60.0,
+        "p99 {} us",
+        r.report.p99_us
+    );
+}
+
+#[test]
+fn lossy_tcp_tail_shows_rto_and_lg_removes_it() {
+    let lossy = fct_experiment(
+        LinkSpeed::G100,
+        LossModel::Iid { rate: 5e-3 },
+        Protection::Off,
+        FctTransport::Tcp(CcVariant::Dctcp),
+        143,
+        2_000,
+        6,
+    );
+    // tail losses cause ≥1ms FCTs (RTO floor is 1 ms)
+    assert!(
+        lossy.report.p999_us > 500.0,
+        "p99.9 {} us should show RTO",
+        lossy.report.p999_us
+    );
+    let masked = fct_experiment(
+        LinkSpeed::G100,
+        LossModel::Iid { rate: 5e-3 },
+        Protection::Lg,
+        FctTransport::Tcp(CcVariant::Dctcp),
+        143,
+        2_000,
+        6,
+    );
+    assert!(
+        masked.report.p999_us < 100.0,
+        "LG p99.9 {} us should look lossless",
+        masked.report.p999_us
+    );
+    assert!(masked.report.p999_us * 5.0 < lossy.report.p999_us);
+}
+
+#[test]
+fn rdma_gets_ordered_recovery() {
+    let masked = fct_experiment(
+        LinkSpeed::G100,
+        LossModel::Iid { rate: 5e-3 },
+        Protection::Lg,
+        FctTransport::Rdma,
+        24_387,
+        1_000,
+        7,
+    );
+    assert!(
+        masked.report.p999_us < 200.0,
+        "LG RDMA p99.9 {} us",
+        masked.report.p999_us
+    );
+    assert_eq!(masked.e2e_retx, 0, "ordered LG hides loss from go-back-N");
+}

@@ -1,0 +1,519 @@
+//! Congestion-control algorithms behind the TCP sender: DCTCP, CUBIC and
+//! a simplified BBR.
+//!
+//! The reliability core (`tcp_tx`) owns sequencing, SACK, RACK/TLP and
+//! RTO; these objects own only the congestion window / pacing decisions,
+//! mirroring the Linux split the paper's testbed uses.
+
+use crate::types::CcVariant;
+use lg_sim::{Duration, Rate};
+
+/// Events the sender feeds its congestion controller.
+pub trait CongestionControl: core::fmt::Debug {
+    /// Bytes newly acknowledged (cumulative + SACK growth), with the
+    /// fraction of those bytes that carried CE marks and the latest RTT
+    /// sample if available.
+    fn on_ack(&mut self, acked_bytes: u32, ce_bytes: u32, rtt: Option<Duration>);
+    /// A loss was detected (entering fast recovery). Called once per
+    /// recovery episode.
+    fn on_loss(&mut self);
+    /// The retransmission timer fired (full collapse).
+    fn on_rto(&mut self);
+    /// Current congestion window in bytes.
+    fn cwnd(&self) -> u32;
+    /// Pacing rate if the algorithm paces (BBR); `None` = window-limited.
+    fn pacing_rate(&self) -> Option<Rate>;
+    /// Number of window reductions so far (Fig 13 bookkeeping).
+    fn reductions(&self) -> u32;
+}
+
+/// Build the chosen variant with a hard window cap in segments — the
+/// receive-window / kernel-autotuning limit growth can never exceed.
+pub fn build(
+    variant: CcVariant,
+    mss: u32,
+    init_cwnd_segs: u32,
+    max_cwnd_segs: u32,
+) -> Box<dyn CongestionControl> {
+    let max = mss.saturating_mul(max_cwnd_segs);
+    match variant {
+        CcVariant::Dctcp => Box::new(Dctcp::new(mss, init_cwnd_segs).with_max(max)),
+        CcVariant::Cubic => Box::new(Cubic::new(mss, init_cwnd_segs).with_max(max)),
+        CcVariant::Bbr => Box::new(Bbr::new(mss, init_cwnd_segs).with_max(max)),
+    }
+}
+
+// ---------------------------------------------------------------- DCTCP
+
+/// DCTCP: slow start + AIMD with ECN-fraction-proportional reduction
+/// (Alizadeh et al., SIGCOMM 2010). `α ← (1−g)α + g·F` per window,
+/// `cwnd ← cwnd·(1−α/2)` once per window with marks.
+#[derive(Debug)]
+pub struct Dctcp {
+    mss: u32,
+    max_cwnd: u32,
+    cwnd: u32,
+    ssthresh: u32,
+    alpha: f64,
+    window_acked: u32,
+    window_marked: u32,
+    window_end_bytes: u64,
+    bytes_acked_total: u64,
+    ca_acc: u32,
+    reductions: u32,
+}
+
+/// DCTCP EWMA gain (1/16).
+const DCTCP_G: f64 = 1.0 / 16.0;
+
+impl Dctcp {
+    /// New instance with the given MSS and initial window.
+    pub fn new(mss: u32, init_cwnd_segs: u32) -> Dctcp {
+        Dctcp {
+            mss,
+            max_cwnd: u32::MAX,
+            cwnd: mss * init_cwnd_segs,
+            ssthresh: u32::MAX,
+            alpha: 0.0,
+            window_acked: 0,
+            window_marked: 0,
+            window_end_bytes: 0,
+            bytes_acked_total: 0,
+            ca_acc: 0,
+            reductions: 0,
+        }
+    }
+
+    /// The current ECN-fraction estimate.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Clamp the window at the receive-window limit.
+    pub fn with_max(mut self, max: u32) -> Dctcp {
+        self.max_cwnd = max;
+        self
+    }
+}
+
+impl CongestionControl for Dctcp {
+    fn on_ack(&mut self, acked_bytes: u32, ce_bytes: u32, _rtt: Option<Duration>) {
+        self.bytes_acked_total += acked_bytes as u64;
+        self.window_acked += acked_bytes;
+        self.window_marked += ce_bytes;
+        // growth: slow start or 1 MSS per window, capped at the rwnd limit
+        if self.cwnd < self.ssthresh {
+            self.cwnd = (self.cwnd + acked_bytes.min(self.mss)).min(self.max_cwnd);
+        } else {
+            self.ca_acc += acked_bytes;
+            if self.ca_acc >= self.cwnd {
+                self.ca_acc -= self.cwnd;
+                self.cwnd = (self.cwnd + self.mss).min(self.max_cwnd);
+            }
+        }
+        // one observation window ≈ one cwnd of acked bytes
+        if self.bytes_acked_total >= self.window_end_bytes {
+            let f = if self.window_acked == 0 {
+                0.0
+            } else {
+                self.window_marked as f64 / self.window_acked as f64
+            };
+            self.alpha = (1.0 - DCTCP_G) * self.alpha + DCTCP_G * f;
+            if self.window_marked > 0 {
+                let new = (self.cwnd as f64 * (1.0 - self.alpha / 2.0)) as u32;
+                self.cwnd = new.max(2 * self.mss);
+                self.ssthresh = self.cwnd;
+                self.reductions += 1;
+            }
+            self.window_acked = 0;
+            self.window_marked = 0;
+            self.window_end_bytes = self.bytes_acked_total + self.cwnd as u64;
+        }
+    }
+
+    fn on_loss(&mut self) {
+        self.ssthresh = (self.cwnd / 2).max(2 * self.mss);
+        self.cwnd = self.ssthresh;
+        self.reductions += 1;
+    }
+
+    fn on_rto(&mut self) {
+        self.ssthresh = (self.cwnd / 2).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.reductions += 1;
+    }
+
+    fn cwnd(&self) -> u32 {
+        self.cwnd
+    }
+
+    fn pacing_rate(&self) -> Option<Rate> {
+        None
+    }
+
+    fn reductions(&self) -> u32 {
+        self.reductions
+    }
+}
+
+// ---------------------------------------------------------------- CUBIC
+
+/// CUBIC (RFC 8312): cubic window growth around the last-max window,
+/// multiplicative decrease β = 0.7.
+#[derive(Debug)]
+pub struct Cubic {
+    mss: u32,
+    max_cwnd: u32,
+    cwnd: u32,
+    ssthresh: u32,
+    w_max: f64,
+    k: f64,
+    epoch_bytes: u64,
+    bytes_acked_total: u64,
+    reductions: u32,
+    // virtual time: CUBIC needs elapsed time since the loss epoch; we
+    // track it via accumulated RTT samples
+    epoch_elapsed: f64,
+}
+
+const CUBIC_C: f64 = 0.4;
+const CUBIC_BETA: f64 = 0.7;
+
+impl Cubic {
+    /// Clamp the window at the receive-window limit.
+    pub fn with_max(mut self, max: u32) -> Cubic {
+        self.max_cwnd = max;
+        self
+    }
+}
+
+impl Cubic {
+    /// New instance with the given MSS and initial window.
+    pub fn new(mss: u32, init_cwnd_segs: u32) -> Cubic {
+        Cubic {
+            mss,
+            max_cwnd: u32::MAX,
+            cwnd: mss * init_cwnd_segs,
+            ssthresh: u32::MAX,
+            w_max: 0.0,
+            k: 0.0,
+            epoch_bytes: 0,
+            bytes_acked_total: 0,
+            reductions: 0,
+            epoch_elapsed: 0.0,
+        }
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn on_ack(&mut self, acked_bytes: u32, _ce_bytes: u32, rtt: Option<Duration>) {
+        self.bytes_acked_total += acked_bytes as u64;
+        if self.cwnd < self.ssthresh {
+            self.cwnd = (self.cwnd + acked_bytes.min(self.mss)).min(self.max_cwnd);
+            return;
+        }
+        // advance epoch time by the proportion of a window this ACK covers
+        if let Some(rtt) = rtt {
+            self.epoch_elapsed += rtt.as_secs_f64() * acked_bytes as f64 / self.cwnd.max(1) as f64;
+        }
+        let t = self.epoch_elapsed;
+        let target_mss = CUBIC_C * (t - self.k).powi(3) + self.w_max;
+        let target = (target_mss * self.mss as f64) as u32;
+        if target > self.cwnd {
+            // approach the cubic target over one window
+            let delta = ((target - self.cwnd) as u64 * acked_bytes as u64
+                / self.cwnd.max(1) as u64) as u32;
+            self.cwnd = (self.cwnd + delta.max(1)).min(self.max_cwnd);
+        } else {
+            self.epoch_bytes += acked_bytes as u64;
+            if self.epoch_bytes >= 100 * self.cwnd as u64 {
+                self.epoch_bytes = 0;
+                // minimal reno-friendly growth
+                self.cwnd = (self.cwnd + self.mss).min(self.max_cwnd);
+            }
+        }
+    }
+
+    fn on_loss(&mut self) {
+        self.w_max = self.cwnd as f64 / self.mss as f64;
+        self.cwnd = ((self.cwnd as f64 * CUBIC_BETA) as u32).max(2 * self.mss);
+        self.ssthresh = self.cwnd;
+        self.k = (self.w_max * (1.0 - CUBIC_BETA) / CUBIC_C).cbrt();
+        self.epoch_elapsed = 0.0;
+        self.reductions += 1;
+    }
+
+    fn on_rto(&mut self) {
+        self.on_loss();
+        self.cwnd = self.mss;
+    }
+
+    fn cwnd(&self) -> u32 {
+        self.cwnd
+    }
+
+    fn pacing_rate(&self) -> Option<Rate> {
+        None
+    }
+
+    fn reductions(&self) -> u32 {
+        self.reductions
+    }
+}
+
+// ----------------------------------------------------------------- BBR
+
+/// Simplified BBRv1: windowed-max bandwidth estimate, startup with 2.89×
+/// gain until the bandwidth plateaus, then ProbeBW gain cycling. Loss- and
+/// ECN-agnostic (the paper uses BBR as the delay-based representative).
+#[derive(Debug)]
+pub struct Bbr {
+    mss: u32,
+    max_cwnd: u32,
+    cwnd: u32,
+    /// Windowed max delivery rate in bytes/sec.
+    bw_est: f64,
+    min_rtt: Option<Duration>,
+    mode: BbrMode,
+    full_bw: f64,
+    full_bw_rounds: u32,
+    cycle_index: usize,
+    cycle_bytes: u64,
+    bytes_acked_total: u64,
+    reductions: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BbrMode {
+    Startup,
+    ProbeBw,
+}
+
+const BBR_STARTUP_GAIN: f64 = 2.885;
+const BBR_CYCLE: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+
+impl Bbr {
+    /// New instance with the given MSS and initial window.
+    pub fn new(mss: u32, init_cwnd_segs: u32) -> Bbr {
+        Bbr {
+            mss,
+            max_cwnd: u32::MAX,
+            cwnd: mss * init_cwnd_segs,
+            bw_est: 0.0,
+            min_rtt: None,
+            mode: BbrMode::Startup,
+            full_bw: 0.0,
+            full_bw_rounds: 0,
+            cycle_index: 0,
+            cycle_bytes: 0,
+            bytes_acked_total: 0,
+            reductions: 0,
+        }
+    }
+
+    /// Clamp the window at the receive-window limit.
+    pub fn with_max(mut self, max: u32) -> Bbr {
+        self.max_cwnd = max;
+        self
+    }
+
+    fn bdp_bytes(&self) -> f64 {
+        match self.min_rtt {
+            Some(rtt) if self.bw_est > 0.0 => self.bw_est * rtt.as_secs_f64(),
+            _ => (self.cwnd) as f64,
+        }
+    }
+}
+
+impl CongestionControl for Bbr {
+    fn on_ack(&mut self, acked_bytes: u32, _ce_bytes: u32, rtt: Option<Duration>) {
+        self.bytes_acked_total += acked_bytes as u64;
+        if let Some(rtt) = rtt {
+            if self.min_rtt.is_none_or(|m| rtt < m) {
+                self.min_rtt = Some(rtt);
+            }
+            // delivery-rate sample: acked bytes per rtt
+            let sample = acked_bytes as f64 / rtt.as_secs_f64().max(1e-9);
+            // windowed max with mild decay
+            self.bw_est = self.bw_est.max(sample).max(self.bw_est * 0.999);
+        }
+        match self.mode {
+            BbrMode::Startup => {
+                self.cwnd = ((self.cwnd as u64 + acked_bytes as u64) as u32)
+                    .min(self.max_cwnd);
+                if self.bw_est > self.full_bw * 1.25 {
+                    self.full_bw = self.bw_est;
+                    self.full_bw_rounds = 0;
+                } else {
+                    self.full_bw_rounds += 1;
+                    if self.full_bw_rounds >= 3 {
+                        self.mode = BbrMode::ProbeBw;
+                    }
+                }
+            }
+            BbrMode::ProbeBw => {
+                self.cycle_bytes += acked_bytes as u64;
+                let gain = BBR_CYCLE[self.cycle_index];
+                self.cwnd = ((2.0 * gain * self.bdp_bytes()) as u32)
+                    .max(4 * self.mss)
+                    .min(self.max_cwnd);
+                if self.cycle_bytes as f64 >= self.bdp_bytes() {
+                    self.cycle_bytes = 0;
+                    self.cycle_index = (self.cycle_index + 1) % BBR_CYCLE.len();
+                }
+            }
+        }
+    }
+
+    fn on_loss(&mut self) {
+        // loss-agnostic
+    }
+
+    fn on_rto(&mut self) {
+        // conservative restart after a full timeout
+        self.cwnd = (4 * self.mss).max(self.cwnd / 2);
+        self.reductions += 1;
+    }
+
+    fn cwnd(&self) -> u32 {
+        self.cwnd
+    }
+
+    fn pacing_rate(&self) -> Option<Rate> {
+        if self.bw_est <= 0.0 {
+            return None;
+        }
+        let gain = match self.mode {
+            BbrMode::Startup => BBR_STARTUP_GAIN,
+            BbrMode::ProbeBw => BBR_CYCLE[self.cycle_index],
+        };
+        Some(Rate::from_bps((self.bw_est * gain * 8.0) as u64))
+    }
+
+    fn reductions(&self) -> u32 {
+        self.reductions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u32 = 1460;
+
+    #[test]
+    fn dctcp_slow_start_doubles() {
+        let mut d = Dctcp::new(MSS, 10);
+        let w0 = d.cwnd();
+        // one window of clean ACKs roughly doubles cwnd in slow start
+        for _ in 0..10 {
+            d.on_ack(MSS, 0, Some(Duration::from_us(30)));
+        }
+        assert!(d.cwnd() >= w0 + 10 * MSS - MSS, "cwnd {} from {}", d.cwnd(), w0);
+    }
+
+    #[test]
+    fn dctcp_alpha_tracks_marking() {
+        let mut d = Dctcp::new(MSS, 10);
+        // several fully-marked windows drive alpha toward 1
+        for _ in 0..2000 {
+            d.on_ack(MSS, MSS, Some(Duration::from_us(30)));
+        }
+        assert!(d.alpha() > 0.5, "alpha {}", d.alpha());
+        assert!(d.reductions() > 0);
+        // clean windows decay alpha
+        for _ in 0..5000 {
+            d.on_ack(MSS, 0, Some(Duration::from_us(30)));
+        }
+        assert!(d.alpha() < 0.1, "alpha {}", d.alpha());
+    }
+
+    #[test]
+    fn dctcp_mild_marking_mild_reduction() {
+        let mut a = Dctcp::new(MSS, 100);
+        let mut b = Dctcp::new(MSS, 100);
+        // a: 10% marks; b: 100% marks — b must reduce far more
+        for i in 0..3000 {
+            a.on_ack(MSS, if i % 10 == 0 { MSS } else { 0 }, None);
+            b.on_ack(MSS, MSS, None);
+        }
+        assert!(a.cwnd() > b.cwnd(), "a {} !> b {}", a.cwnd(), b.cwnd());
+    }
+
+    #[test]
+    fn dctcp_loss_halves() {
+        let mut d = Dctcp::new(MSS, 100);
+        let before = d.cwnd();
+        d.on_loss();
+        assert_eq!(d.cwnd(), before / 2);
+        d.on_rto();
+        assert_eq!(d.cwnd(), MSS);
+    }
+
+    #[test]
+    fn cubic_reduces_by_beta_and_regrows() {
+        let mut c = Cubic::new(MSS, 100);
+        // leave slow start
+        c.on_loss();
+        let after_loss = c.cwnd();
+        assert_eq!(after_loss, (100 * MSS) * 7 / 10);
+        // ACK for a while: cwnd should grow back toward w_max
+        for _ in 0..5000 {
+            c.on_ack(MSS, 0, Some(Duration::from_ms(1)));
+        }
+        assert!(c.cwnd() > after_loss, "regrew: {} > {}", c.cwnd(), after_loss);
+    }
+
+    #[test]
+    fn bbr_ignores_loss() {
+        let mut b = Bbr::new(MSS, 10);
+        for _ in 0..100 {
+            b.on_ack(MSS, 0, Some(Duration::from_us(30)));
+        }
+        let w = b.cwnd();
+        b.on_loss();
+        assert_eq!(b.cwnd(), w, "BBR is loss-agnostic");
+        assert_eq!(b.reductions(), 0);
+    }
+
+    #[test]
+    fn bbr_estimates_bandwidth_and_paces() {
+        let mut b = Bbr::new(MSS, 10);
+        // 1460B per 30us ≈ 389 Mb/s delivery rate
+        for _ in 0..200 {
+            b.on_ack(MSS, 0, Some(Duration::from_us(30)));
+        }
+        let rate = b.pacing_rate().expect("pacing once bw estimated");
+        assert!(rate.bps() > 100_000_000, "rate {rate}");
+    }
+
+    #[test]
+    fn bbr_exits_startup_on_plateau() {
+        let mut b = Bbr::new(MSS, 10);
+        for _ in 0..500 {
+            b.on_ack(MSS, 0, Some(Duration::from_us(30)));
+        }
+        assert_eq!(b.mode, BbrMode::ProbeBw);
+    }
+
+    #[test]
+    fn build_selects_variant() {
+        assert!(build(CcVariant::Dctcp, MSS, 10, 1024).pacing_rate().is_none());
+        assert!(build(CcVariant::Cubic, MSS, 10, 1024).pacing_rate().is_none());
+        let _ = build(CcVariant::Bbr, MSS, 10, 1024);
+    }
+
+    #[test]
+    fn window_cap_is_enforced() {
+        let mut d = build(CcVariant::Dctcp, MSS, 10, 64);
+        for _ in 0..10_000 {
+            d.on_ack(MSS, 0, Some(Duration::from_us(30)));
+        }
+        assert!(d.cwnd() <= 64 * MSS, "cwnd {} beyond rwnd cap", d.cwnd());
+        let mut c = build(CcVariant::Cubic, MSS, 10, 64);
+        for _ in 0..10_000 {
+            c.on_ack(MSS, 0, Some(Duration::from_us(30)));
+        }
+        assert!(c.cwnd() <= 64 * MSS);
+    }
+}

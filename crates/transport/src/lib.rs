@@ -1,0 +1,24 @@
+//! `lg-transport` — transport endpoints for the LinkGuardian evaluation.
+//!
+//! * [`tcp_tx`]/[`tcp_rx`]: an event-driven TCP with SACK, fast recovery,
+//!   tail-loss probe and a 1 ms-floored RTO, carrying one message per
+//!   flow — the unit the paper's FCT experiments measure;
+//! * [`cc`]: DCTCP, CUBIC and simplified-BBR congestion control — the
+//!   ECN-, loss- and rate-based representatives of §4.2;
+//! * [`rdma`]: RoCEv2 RC `RDMA_WRITE` with go-back-N (and the §5
+//!   selective-repeat extension).
+//!
+//! Endpoints are pure state machines: packets and timer wakes in,
+//! [`types::TransportAction`]s out. The testbed crate owns NIC
+//! serialization and event scheduling.
+
+pub mod cc;
+pub mod rdma;
+pub mod tcp_rx;
+pub mod tcp_tx;
+pub mod types;
+
+pub use rdma::{RdmaConfig, RdmaRequester, RdmaResponder, RdmaTrace, ROCE_MTU};
+pub use tcp_rx::TcpReceiver;
+pub use tcp_tx::TcpSender;
+pub use types::{CcVariant, FlowTrace, TcpConfig, TransportAction};

@@ -1,0 +1,273 @@
+//! TCP receiver: cumulative ACK + SACK generation with per-packet ECN
+//! echo (the accurate feedback DCTCP relies on).
+
+use lg_packet::tcp::{SackBlock, TcpFlags, MAX_SACK_BLOCKS};
+use lg_packet::{Ecn, FlowId, NodeId, Packet, TcpSegment};
+use lg_sim::Time;
+use std::collections::BTreeMap;
+
+/// The TCP receiver state machine for one message.
+#[derive(Debug)]
+pub struct TcpReceiver {
+    flow: FlowId,
+    src: NodeId,
+    dst: NodeId,
+    /// Next expected byte.
+    rcv_nxt: u32,
+    /// Out-of-order byte ranges: start → end.
+    ooo: BTreeMap<u32, u32>,
+    /// Most recently changed range start (reported first in SACK).
+    last_changed: Option<u32>,
+    bytes_received: u64,
+    dup_segments: u64,
+    reordered_segments: u64,
+}
+
+impl TcpReceiver {
+    /// A receiver for flow `flow`; ACKs go from `src` (this host) to
+    /// `dst` (the sender).
+    pub fn new(flow: FlowId, src: NodeId, dst: NodeId) -> TcpReceiver {
+        TcpReceiver {
+            flow,
+            src,
+            dst,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            last_changed: None,
+            bytes_received: 0,
+            dup_segments: 0,
+            reordered_segments: 0,
+        }
+    }
+
+    /// Process a data segment; returns the ACK packet to send.
+    pub fn on_data(&mut self, seg: &TcpSegment, ecn: Ecn, now: Time) -> Packet {
+        let start = seg.seq;
+        let end = seg.seq + seg.payload_len;
+        if end <= self.rcv_nxt {
+            self.dup_segments += 1;
+        } else if start <= self.rcv_nxt {
+            // advances the cumulative point
+            self.rcv_nxt = end;
+            self.bytes_received += seg.payload_len as u64;
+            // merge any now-contiguous out-of-order ranges
+            while let Some((&s, &e)) = self.ooo.iter().next() {
+                if s > self.rcv_nxt {
+                    break;
+                }
+                self.ooo.remove(&s);
+                if e > self.rcv_nxt {
+                    self.rcv_nxt = e;
+                }
+            }
+            self.last_changed = None;
+        } else {
+            // out of order: store, merging overlaps
+            self.reordered_segments += 1;
+            self.bytes_received += seg.payload_len as u64;
+            let mut s = start;
+            let mut e = end;
+            // merge with predecessor
+            if let Some((&ps, &pe)) = self.ooo.range(..=s).next_back() {
+                if pe >= s {
+                    self.ooo.remove(&ps);
+                    s = ps;
+                    e = e.max(pe);
+                }
+            }
+            // merge with successors
+            while let Some((&ns, &ne)) = self.ooo.range(s..).next() {
+                if ns > e {
+                    break;
+                }
+                self.ooo.remove(&ns);
+                e = e.max(ne);
+            }
+            self.ooo.insert(s, e);
+            self.last_changed = Some(s);
+        }
+        self.make_ack(ecn, now)
+    }
+
+    fn make_ack(&self, data_ecn: Ecn, now: Time) -> Packet {
+        let mut sack: Vec<SackBlock> = Vec::new();
+        // RFC 2018: the block containing the most recently received segment
+        // first, then other blocks.
+        if let Some(lc) = self.last_changed {
+            if let Some((&s, &e)) = self.ooo.range(..=lc).next_back() {
+                sack.push(SackBlock { start: s, end: e });
+            }
+        }
+        for (&s, &e) in self.ooo.iter() {
+            if sack.len() >= MAX_SACK_BLOCKS {
+                break;
+            }
+            if sack.iter().any(|b| b.start == s) {
+                continue;
+            }
+            sack.push(SackBlock { start: s, end: e });
+        }
+        let seg = TcpSegment {
+            flow: self.flow,
+            seq: 0,
+            payload_len: 0,
+            ack: self.rcv_nxt,
+            flags: TcpFlags {
+                ack: true,
+                // accurate per-packet CE echo (DCTCP-style)
+                ece: data_ecn == Ecn::Ce,
+                ..Default::default()
+            },
+            sack,
+            is_retx: false,
+        };
+        Packet::tcp(self.src, self.dst, seg, Ecn::NotEct, now)
+    }
+
+    /// The flow this receiver serves.
+    pub fn flow(&self) -> FlowId {
+        self.flow
+    }
+
+    /// Next expected byte (cumulative ACK value).
+    pub fn rcv_nxt(&self) -> u32 {
+        self.rcv_nxt
+    }
+
+    /// Out-of-order segments observed.
+    pub fn reordered(&self) -> u64 {
+        self.reordered_segments
+    }
+
+    /// Duplicate segments observed.
+    pub fn duplicates(&self) -> u64 {
+        self.dup_segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lg_packet::Payload;
+
+    const MSS: u32 = 1460;
+
+    fn seg(seq: u32, len: u32) -> TcpSegment {
+        TcpSegment {
+            flow: FlowId(1),
+            seq,
+            payload_len: len,
+            ack: 0,
+            flags: TcpFlags::default(),
+            sack: vec![],
+            is_retx: false,
+        }
+    }
+
+    fn ack_of(p: &Packet) -> (u32, Vec<SackBlock>, bool) {
+        match &p.payload {
+            Payload::Tcp(t) => (t.ack, t.sack.clone(), t.flags.ece),
+            _ => panic!("not tcp"),
+        }
+    }
+
+    fn rx() -> TcpReceiver {
+        TcpReceiver::new(FlowId(1), NodeId(2), NodeId(1))
+    }
+
+    #[test]
+    fn in_order_data_advances_cumack() {
+        let mut r = rx();
+        let a1 = r.on_data(&seg(0, MSS), Ecn::Ect0, Time::ZERO);
+        assert_eq!(ack_of(&a1), (MSS, vec![], false));
+        let a2 = r.on_data(&seg(MSS, MSS), Ecn::Ect0, Time::ZERO);
+        assert_eq!(ack_of(&a2).0, 2 * MSS);
+    }
+
+    #[test]
+    fn out_of_order_generates_sack() {
+        let mut r = rx();
+        r.on_data(&seg(0, MSS), Ecn::Ect0, Time::ZERO);
+        // seg 1 missing; segs 2 and 3 arrive
+        let a = r.on_data(&seg(2 * MSS, MSS), Ecn::Ect0, Time::ZERO);
+        let (ack, sack, _) = ack_of(&a);
+        assert_eq!(ack, MSS, "cumack stalls at the hole");
+        assert_eq!(
+            sack,
+            vec![SackBlock {
+                start: 2 * MSS,
+                end: 3 * MSS
+            }]
+        );
+        let a = r.on_data(&seg(3 * MSS, MSS), Ecn::Ect0, Time::ZERO);
+        let (_, sack, _) = ack_of(&a);
+        assert_eq!(
+            sack,
+            vec![SackBlock {
+                start: 2 * MSS,
+                end: 4 * MSS
+            }],
+            "contiguous OOO ranges merge"
+        );
+        assert_eq!(r.reordered(), 2);
+    }
+
+    #[test]
+    fn hole_fill_merges_and_advances() {
+        let mut r = rx();
+        r.on_data(&seg(0, MSS), Ecn::Ect0, Time::ZERO);
+        r.on_data(&seg(2 * MSS, MSS), Ecn::Ect0, Time::ZERO);
+        r.on_data(&seg(3 * MSS, MSS), Ecn::Ect0, Time::ZERO);
+        // the retransmitted hole arrives
+        let a = r.on_data(&seg(MSS, MSS), Ecn::Ect0, Time::ZERO);
+        let (ack, sack, _) = ack_of(&a);
+        assert_eq!(ack, 4 * MSS);
+        assert!(sack.is_empty());
+    }
+
+    #[test]
+    fn multiple_holes_report_multiple_blocks() {
+        let mut r = rx();
+        r.on_data(&seg(0, MSS), Ecn::Ect0, Time::ZERO);
+        r.on_data(&seg(2 * MSS, MSS), Ecn::Ect0, Time::ZERO);
+        let a = r.on_data(&seg(4 * MSS, MSS), Ecn::Ect0, Time::ZERO);
+        let (_, sack, _) = ack_of(&a);
+        assert_eq!(sack.len(), 2);
+        // most recently changed block first
+        assert_eq!(sack[0].start, 4 * MSS);
+        assert_eq!(sack[1].start, 2 * MSS);
+    }
+
+    #[test]
+    fn ce_marked_data_echoes_ece() {
+        let mut r = rx();
+        let a = r.on_data(&seg(0, MSS), Ecn::Ce, Time::ZERO);
+        assert!(ack_of(&a).2, "ECE echoed");
+        let a = r.on_data(&seg(MSS, MSS), Ecn::Ect0, Time::ZERO);
+        assert!(!ack_of(&a).2, "per-packet accuracy");
+    }
+
+    #[test]
+    fn duplicates_counted_and_reacked() {
+        let mut r = rx();
+        r.on_data(&seg(0, MSS), Ecn::Ect0, Time::ZERO);
+        let a = r.on_data(&seg(0, MSS), Ecn::Ect0, Time::ZERO);
+        assert_eq!(ack_of(&a).0, MSS, "dup still generates an ACK");
+        assert_eq!(r.duplicates(), 1);
+    }
+
+    #[test]
+    fn overlapping_ooo_ranges_merge() {
+        let mut r = rx();
+        r.on_data(&seg(2 * MSS, 2 * MSS), Ecn::Ect0, Time::ZERO);
+        let a = r.on_data(&seg(3 * MSS, 2 * MSS), Ecn::Ect0, Time::ZERO);
+        let (_, sack, _) = ack_of(&a);
+        assert_eq!(
+            sack,
+            vec![SackBlock {
+                start: 2 * MSS,
+                end: 5 * MSS
+            }]
+        );
+    }
+}

@@ -1,0 +1,149 @@
+//! Shared endpoint types: actions, configuration, timing constants.
+
+use lg_packet::{FlowId, Packet};
+use lg_sim::{Duration, Time};
+use serde::{Deserialize, Serialize};
+
+/// Side effects an endpoint state machine requests from the testbed.
+#[derive(Debug)]
+pub enum TransportAction {
+    /// Transmit this packet (the host NIC serializes it onto the access
+    /// link; TSO bursts come out as consecutive Sends).
+    Send(Packet),
+    /// Wake the endpoint at `deadline` (it re-checks its internal timer
+    /// deadlines; spurious wakes are no-ops).
+    WakeAt {
+        /// When to call `on_timer`.
+        deadline: Time,
+    },
+    /// The message is fully delivered and acknowledged.
+    Complete {
+        /// Flow that finished.
+        flow: FlowId,
+        /// When the message was posted.
+        started: Time,
+        /// When the final acknowledgment arrived.
+        completed: Time,
+    },
+}
+
+impl TransportAction {
+    /// Message/flow completion time, if this is a completion.
+    pub fn fct(&self) -> Option<Duration> {
+        match self {
+            TransportAction::Complete {
+                started, completed, ..
+            } => Some(completed.saturating_since(*started)),
+            _ => None,
+        }
+    }
+}
+
+/// TCP sender configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TcpConfig {
+    /// Maximum segment size (payload bytes per packet).
+    pub mss: u32,
+    /// Initial window in segments (Linux default 10).
+    pub init_cwnd_segs: u32,
+    /// Minimum retransmission timeout (the paper's testbed sets 1 ms).
+    pub rto_min: Duration,
+    /// SACK'd-segments threshold for fast retransmit (classic dupthresh).
+    pub dup_thresh: u32,
+    /// Enable a RACK-style time-based reordering window (reo_wnd = srtt/4)
+    /// so out-of-order retransmissions inside the window don't trigger
+    /// spurious recovery.
+    pub rack: bool,
+    /// Enable tail loss probes (RACK-TLP): after 2·SRTT of silence with
+    /// unacked data, re-send the last segment to provoke SACK feedback.
+    pub tlp: bool,
+    /// Maximum slow-start cwnd in segments (receive-window stand-in).
+    pub max_cwnd_segs: u32,
+}
+
+impl Default for TcpConfig {
+    fn default() -> TcpConfig {
+        TcpConfig {
+            mss: 1460,
+            init_cwnd_segs: 10,
+            rto_min: Duration::from_ms(1),
+            dup_thresh: 3,
+            rack: true,
+            tlp: true,
+            // ~375 KB: a tuned receive window of ~4x the testbed's 25G BDP
+            max_cwnd_segs: 256,
+        }
+    }
+}
+
+/// Congestion-control variants evaluated in the paper (§4.2): DCTCP (ECN),
+/// CUBIC (loss) and BBR (rate/delay).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CcVariant {
+    /// Data Center TCP: ECN-fraction-proportional window reduction.
+    Dctcp,
+    /// CUBIC: loss-based with cubic window growth.
+    Cubic,
+    /// Simplified BBR: bandwidth-probing, loss-agnostic.
+    Bbr,
+}
+
+/// Per-flow diagnostics used by the paper's Fig 13 classification and the
+/// e2e-retransmission counters of Fig 9.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct FlowTrace {
+    /// End-to-end (transport) retransmissions performed.
+    pub e2e_retx: u32,
+    /// Did the retransmission timer fire?
+    pub rto_fired: bool,
+    /// Did a tail-loss probe fire?
+    pub tlp_fired: bool,
+    /// Largest number of SACK'd bytes outstanding at any instant.
+    pub max_sacked_bytes: u32,
+    /// Bytes still unsent the first time SACK'd bytes exceeded 2 MSS
+    /// (the paper's `pendingTxBytes`); `u32::MAX` = never exceeded.
+    pub pending_bytes_at_big_sack: u32,
+    /// Number of congestion-window reductions.
+    pub cwnd_reductions: u32,
+    /// Was any of the flow's last 3 segments ever marked lost/retransmitted
+    /// ("tail loss" in Fig 13)?
+    pub tail_loss: bool,
+}
+
+impl FlowTrace {
+    /// New empty trace with the `pending` sentinel set.
+    pub fn new() -> FlowTrace {
+        FlowTrace {
+            pending_bytes_at_big_sack: u32::MAX,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fct_accessor() {
+        let a = TransportAction::Complete {
+            flow: FlowId(1),
+            started: Time::from_us(10),
+            completed: Time::from_us(35),
+        };
+        assert_eq!(a.fct(), Some(Duration::from_us(25)));
+        assert!(TransportAction::WakeAt {
+            deadline: Time::ZERO
+        }
+        .fct()
+        .is_none());
+    }
+
+    #[test]
+    fn default_config_matches_paper_testbed() {
+        let c = TcpConfig::default();
+        assert_eq!(c.rto_min, Duration::from_ms(1));
+        assert_eq!(c.mss, 1460);
+        assert!(c.rack && c.tlp);
+    }
+}

@@ -1,0 +1,230 @@
+//! Property tests: TCP and RDMA endpoints driven through an in-memory
+//! channel with arbitrary loss must always deliver the message intact.
+
+use lg_packet::{Ecn, FlowId, NodeId, Packet, Payload};
+use lg_sim::{Duration, Time};
+use lg_transport::{
+    CcVariant, RdmaConfig, RdmaRequester, RdmaResponder, TcpConfig, TcpReceiver, TcpSender,
+    TransportAction,
+};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Drive a TcpSender/TcpReceiver pair over a channel that drops data
+/// segments per `drop_pattern` (first transmission only — retransmissions
+/// always get through, so the test terminates). Returns (fct_us, e2e_retx).
+fn run_tcp(
+    variant: CcVariant,
+    msg_len: u32,
+    drop_pattern: &[bool],
+) -> (f64, u32) {
+    let flow = FlowId(1);
+    let mut tx = TcpSender::new(TcpConfig::default(), variant, flow, NodeId(0), NodeId(1), msg_len);
+    let mut rx = TcpReceiver::new(flow, NodeId(1), NodeId(0));
+    let mut now = Time::ZERO;
+    let rtt2 = Duration::from_us(15);
+
+    // event list: (deliver_at, packet, to_receiver)
+    let mut wire: VecDeque<(Time, Packet, bool)> = VecDeque::new();
+    let mut wakes: Vec<Time> = Vec::new();
+    let mut drops = 0usize;
+    let mut fct = None;
+
+    let handle = |actions: Vec<TransportAction>,
+                      now: Time,
+                      wire: &mut VecDeque<(Time, Packet, bool)>,
+                      wakes: &mut Vec<Time>,
+                      drops: &mut usize,
+                      fct: &mut Option<Duration>| {
+        for a in actions {
+            match a {
+                TransportAction::Send(p) => {
+                    let is_data = matches!(&p.payload, Payload::Tcp(t) if t.payload_len > 0);
+                    let is_first = matches!(&p.payload, Payload::Tcp(t) if !t.is_retx);
+                    if is_data && is_first {
+                        let dropped = drop_pattern.get(*drops).copied().unwrap_or(false);
+                        *drops += 1;
+                        if dropped {
+                            continue;
+                        }
+                    }
+                    wire.push_back((now + rtt2, p, is_data));
+                }
+                TransportAction::WakeAt { deadline } => wakes.push(deadline),
+                TransportAction::Complete { started, completed, .. } => {
+                    *fct = Some(completed.saturating_since(started));
+                }
+            }
+        }
+    };
+
+    handle(tx.start(now), now, &mut wire, &mut wakes, &mut drops, &mut fct);
+    let mut steps = 0;
+    while fct.is_none() {
+        steps += 1;
+        assert!(steps < 100_000, "livelock");
+        // next event: earliest wire delivery or wake
+        let next_wire = wire.iter().map(|(t, _, _)| *t).min();
+        let next_wake = wakes.iter().copied().min();
+        let t = match (next_wire, next_wake) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => panic!("deadlock: nothing scheduled"),
+        };
+        now = t.max(now);
+        // deliver due wire packets
+        let mut due: Vec<(Packet, bool)> = Vec::new();
+        wire.retain(|(at, p, to_rx)| {
+            if *at <= now {
+                due.push((p.clone(), *to_rx));
+                false
+            } else {
+                true
+            }
+        });
+        for (p, to_rx) in due {
+            if to_rx {
+                if let Payload::Tcp(seg) = &p.payload {
+                    if seg.payload_len > 0 {
+                        let ack = rx.on_data(seg, Ecn::NotEct, now);
+                        wire.push_back((now + rtt2, ack, false));
+                    }
+                }
+            } else if let Payload::Tcp(seg) = &p.payload {
+                let acts = tx.on_ack(seg, now);
+                handle(acts, now, &mut wire, &mut wakes, &mut drops, &mut fct);
+            }
+        }
+        // fire due wakes
+        if wakes.iter().any(|&w| w <= now) {
+            wakes.retain(|&w| w > now);
+            let acts = tx.on_timer(now);
+            handle(acts, now, &mut wire, &mut wakes, &mut drops, &mut fct);
+        }
+    }
+    (fct.unwrap().as_us_f64(), tx.trace().e2e_retx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever single-transmission losses occur, every TCP message
+    /// completes within a bounded number of RTO epochs, and a clean run
+    /// never retransmits. (A lossy run can occasionally finish *faster*
+    /// than a clean one — SACK-clocked recovery releases pipe earlier
+    /// than pure slow start — so no ordering is asserted.)
+    #[test]
+    fn tcp_always_completes(
+        msg_segs in 1u32..60,
+        drop_pattern in proptest::collection::vec(any::<bool>(), 0..64),
+        variant_pick in 0u8..3,
+    ) {
+        let variant = [CcVariant::Dctcp, CcVariant::Cubic, CcVariant::Bbr][variant_pick as usize];
+        let msg_len = msg_segs * 1460;
+        let (fct_lossy, _) = run_tcp(variant, msg_len, &drop_pattern);
+        let (fct_clean, retx_clean) = run_tcp(variant, msg_len, &[]);
+        prop_assert_eq!(retx_clean, 0, "clean runs never retransmit");
+        prop_assert!(fct_clean < 10_000.0, "clean fct {fct_clean} us bounded");
+        // worst case: every drop costs at most ~an RTO epoch (with backoff
+        // headroom for consecutive losses of the same segment)
+        prop_assert!(
+            fct_lossy < 10_000.0 + 40_000.0 * drop_pattern.len() as f64,
+            "lossy fct {fct_lossy} us out of bounds"
+        );
+    }
+
+    /// RDMA: the requester+responder pair completes under any loss of
+    /// first transmissions, and the responder never advances past a hole.
+    #[test]
+    fn rdma_always_completes_in_order(
+        npkts in 1u32..80,
+        drop in proptest::collection::vec(any::<bool>(), 0..96),
+        selective in any::<bool>(),
+    ) {
+        let flow = FlowId(2);
+        let mut req = RdmaRequester::new(
+            RdmaConfig { selective_repeat: selective, ..RdmaConfig::default() },
+            flow, NodeId(0), NodeId(1), npkts * 1024,
+        );
+        let mut rsp = RdmaResponder::new(flow, NodeId(1), NodeId(0), selective);
+        let mut now = Time::ZERO;
+        let rtt2 = Duration::from_us(15);
+        let mut wire: VecDeque<(Time, Packet, bool)> = VecDeque::new();
+        let mut wakes: Vec<Time> = Vec::new();
+        let mut first_tx_count = 0usize;
+        let mut done = false;
+        let mut highest_sent_seen = 0u32;
+
+        let push_actions = |acts: Vec<TransportAction>, now: Time,
+                                wire: &mut VecDeque<(Time, Packet, bool)>,
+                                wakes: &mut Vec<Time>, first_tx: &mut usize,
+                                done: &mut bool, highest: &mut u32| {
+            for a in acts {
+                match a {
+                    TransportAction::Send(p) => {
+                        if let Payload::Rdma(seg) = &p.payload {
+                            let is_first = seg.psn >= *highest;
+                            *highest = (*highest).max(seg.psn + 1);
+                            if is_first {
+                                let lost = drop.get(*first_tx).copied().unwrap_or(false);
+                                *first_tx += 1;
+                                if lost { continue; }
+                            }
+                        }
+                        wire.push_back((now + rtt2, p, true));
+                    }
+                    TransportAction::WakeAt { deadline } => wakes.push(deadline),
+                    TransportAction::Complete { .. } => *done = true,
+                }
+            }
+        };
+
+        push_actions(req.start(now), now, &mut wire, &mut wakes,
+                     &mut first_tx_count, &mut done, &mut highest_sent_seen);
+        let mut steps = 0;
+        while !done {
+            steps += 1;
+            prop_assert!(steps < 200_000, "livelock");
+            let next_wire = wire.iter().map(|(t, _, _)| *t).min();
+            let next_wake = wakes.iter().copied().min();
+            let t = match (next_wire, next_wake) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => return Err(TestCaseError::fail("deadlock")),
+            };
+            now = t.max(now);
+            let mut due: Vec<Packet> = Vec::new();
+            wire.retain(|(at, p, _)| {
+                if *at <= now { due.push(p.clone()); false } else { true }
+            });
+            for p in due {
+                match &p.payload {
+                    Payload::Rdma(seg) => {
+                        let before = rsp.expected();
+                        if let Some(reply) = rsp.on_data(seg, now) {
+                            wire.push_back((now + rtt2, reply, true));
+                        }
+                        // responder only ever advances contiguously
+                        prop_assert!(rsp.expected() == before || rsp.expected() > before);
+                    }
+                    Payload::RdmaAck(a) => {
+                        let acts = req.on_ack(a, now);
+                        push_actions(acts, now, &mut wire, &mut wakes,
+                                     &mut first_tx_count, &mut done, &mut highest_sent_seen);
+                    }
+                    _ => {}
+                }
+            }
+            if wakes.iter().any(|&w| w <= now) {
+                wakes.retain(|&w| w > now);
+                let acts = req.on_timer(now);
+                push_actions(acts, now, &mut wire, &mut wakes,
+                             &mut first_tx_count, &mut done, &mut highest_sent_seen);
+            }
+        }
+        prop_assert!(req.is_complete());
+        prop_assert_eq!(rsp.expected(), npkts, "all packets placed in order");
+    }
+}

@@ -1,0 +1,74 @@
+//! Flow arrival processes.
+
+use lg_sim::{Duration, Rng, Time};
+use serde::{Deserialize, Serialize};
+
+/// How flows arrive.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Closed loop: the next flow starts `gap` after the previous one
+    /// completes (the paper's serial FCT trials).
+    ClosedLoop {
+        /// Think time between a completion and the next start.
+        gap: Duration,
+    },
+    /// Open-loop Poisson arrivals with the given mean inter-arrival time.
+    Poisson {
+        /// Mean inter-arrival time.
+        mean_gap: Duration,
+    },
+    /// Fixed-interval arrivals.
+    Periodic {
+        /// Constant inter-arrival time.
+        gap: Duration,
+    },
+}
+
+impl ArrivalProcess {
+    /// The start time of the next flow, given the reference instant
+    /// (previous completion for closed loop; previous arrival otherwise).
+    pub fn next_after(&self, reference: Time, rng: &mut Rng) -> Time {
+        match self {
+            ArrivalProcess::ClosedLoop { gap } | ArrivalProcess::Periodic { gap } => {
+                reference + *gap
+            }
+            ArrivalProcess::Poisson { mean_gap } => {
+                let d = rng.exp(mean_gap.as_ps() as f64);
+                reference + Duration::from_ps(d.round() as u64)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_and_periodic_are_deterministic() {
+        let mut rng = Rng::new(1);
+        let a = ArrivalProcess::ClosedLoop {
+            gap: Duration::from_us(5),
+        };
+        assert_eq!(a.next_after(Time::from_us(10), &mut rng), Time::from_us(15));
+        let p = ArrivalProcess::Periodic {
+            gap: Duration::from_us(2),
+        };
+        assert_eq!(p.next_after(Time::from_us(10), &mut rng), Time::from_us(12));
+    }
+
+    #[test]
+    fn poisson_mean_converges() {
+        let mut rng = Rng::new(2);
+        let a = ArrivalProcess::Poisson {
+            mean_gap: Duration::from_us(10),
+        };
+        let mut t = Time::ZERO;
+        let n = 100_000;
+        for _ in 0..n {
+            t = a.next_after(t, &mut rng);
+        }
+        let mean_us = t.as_us_f64() / n as f64;
+        assert!((mean_us - 10.0).abs() < 0.2, "mean gap {mean_us}");
+    }
+}

@@ -1,0 +1,286 @@
+//! Flow-size distributions for the datacenter workloads of Figure 2.
+//!
+//! The paper plots six published workloads spanning 2008–2019. The
+//! original traces are not public; each distribution here is an empirical
+//! CDF reconstructed from the shapes reported in the cited papers
+//! (Meta key-value: Atikoglu et al., SIGMETRICS'12; Google RPC: Sivaram
+//! memo '08; Meta Hadoop: Roy et al., SIGCOMM'15; Alibaba storage: Li et
+//! al., SIGCOMM'19 (HPCC); DCTCP web search: Alizadeh et al., SIGCOMM'10).
+//! The anchor points the paper itself calls out are preserved exactly:
+//! 143 B is the most frequent size in the Google all-RPC workload, 24,387 B
+//! the most frequent in DCTCP web search, and 2 MB the maximum in Alibaba
+//! storage — and the headline property that the majority of flows fit in a
+//! single 1,500 B packet holds for the RPC/key-value workloads.
+
+use lg_sim::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A flow/message size distribution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum FlowSizeDist {
+    /// Every flow has the same size (the paper's FCT experiments use
+    /// fixed 143 B / 24,387 B / 2 MB flows).
+    Fixed(u32),
+    /// Piecewise log-linear empirical CDF: sorted `(size, cum_prob)`
+    /// points, `cum_prob` ending at 1.0.
+    Empirical {
+        /// Display name.
+        name: &'static str,
+        /// Sorted (size_bytes, cumulative_probability) anchor points.
+        points: Vec<(u32, f64)>,
+    },
+}
+
+impl FlowSizeDist {
+    /// Draw one flow size.
+    pub fn sample(&self, rng: &mut Rng) -> u32 {
+        match self {
+            FlowSizeDist::Fixed(s) => *s,
+            FlowSizeDist::Empirical { points, .. } => {
+                let u = rng.f64();
+                // find the bracketing anchor points
+                let mut prev = (1u32, 0.0f64);
+                for &(size, p) in points {
+                    if u <= p {
+                        // log-linear interpolation between prev and this
+                        let (s0, p0) = prev;
+                        let frac = if p - p0 > 1e-12 {
+                            (u - p0) / (p - p0)
+                        } else {
+                            1.0
+                        };
+                        let ls0 = (s0.max(1) as f64).ln();
+                        let ls1 = (size as f64).ln();
+                        return (ls0 + frac * (ls1 - ls0)).exp().round().max(1.0) as u32;
+                    }
+                    prev = (size, p);
+                }
+                points.last().expect("non-empty").0
+            }
+        }
+    }
+
+    /// The distribution's CDF evaluated at `size` (for Fig 2 plotting).
+    pub fn cdf(&self, size: u32) -> f64 {
+        match self {
+            FlowSizeDist::Fixed(s) => {
+                if size >= *s {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            FlowSizeDist::Empirical { points, .. } => {
+                let mut prev = (1u32, 0.0f64);
+                for &(s, p) in points {
+                    if size < s {
+                        let (s0, p0) = prev;
+                        if size <= s0 {
+                            return p0;
+                        }
+                        let frac = ((size as f64).ln() - (s0.max(1) as f64).ln())
+                            / ((s as f64).ln() - (s0.max(1) as f64).ln());
+                        return p0 + frac * (p - p0);
+                    }
+                    prev = (s, p);
+                }
+                1.0
+            }
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FlowSizeDist::Fixed(_) => "fixed",
+            FlowSizeDist::Empirical { name, .. } => name,
+        }
+    }
+
+    /// Fraction of flows that fit in a single 1,500-byte packet.
+    pub fn single_packet_fraction(&self) -> f64 {
+        self.cdf(1500)
+    }
+
+    // ----- the six Figure 2 workloads -----
+
+    /// Meta (Facebook) key-value store messages (2012): dominated by tiny
+    /// get/set operations of tens to hundreds of bytes.
+    pub fn meta_key_value() -> FlowSizeDist {
+        FlowSizeDist::Empirical {
+            name: "Meta key-value",
+            points: vec![
+                (2, 0.05),
+                (15, 0.30),
+                (50, 0.60),
+                (150, 0.80),
+                (500, 0.95),
+                (1_024, 0.99),
+                (10_000, 1.0),
+            ],
+        }
+    }
+
+    /// Google search RPC messages (2008): small requests, kilobyte-scale
+    /// responses.
+    pub fn google_search_rpc() -> FlowSizeDist {
+        FlowSizeDist::Empirical {
+            name: "Google search RPC",
+            points: vec![
+                (64, 0.10),
+                (143, 0.35),
+                (512, 0.60),
+                (2_048, 0.85),
+                (8_192, 0.96),
+                (65_536, 1.0),
+            ],
+        }
+    }
+
+    /// Google all-RPC traffic (2008): 143 B is the most frequent size
+    /// (used by the paper's single-packet FCT experiment, §4.3).
+    pub fn google_all_rpc() -> FlowSizeDist {
+        FlowSizeDist::Empirical {
+            name: "Google all RPC",
+            points: vec![
+                (64, 0.12),
+                (143, 0.55),
+                (366, 0.75),
+                (1_024, 0.90),
+                (4_096, 0.97),
+                (100_000, 1.0),
+            ],
+        }
+    }
+
+    /// Meta (Facebook) Hadoop traffic (2015): kilobyte-to-megabyte shuffle
+    /// transfers.
+    pub fn meta_hadoop() -> FlowSizeDist {
+        FlowSizeDist::Empirical {
+            name: "Meta Hadoop",
+            points: vec![
+                (256, 0.05),
+                (1_024, 0.20),
+                (10_240, 0.50),
+                (102_400, 0.80),
+                (1_048_576, 0.95),
+                (10_485_760, 1.0),
+            ],
+        }
+    }
+
+    /// Alibaba storage traffic (2019): capped at 2 MB — the maximum the
+    /// paper uses for its long-flow FCT experiment (§4.3).
+    pub fn alibaba_storage() -> FlowSizeDist {
+        FlowSizeDist::Empirical {
+            name: "Alibaba storage",
+            points: vec![
+                (512, 0.10),
+                (4_096, 0.35),
+                (32_768, 0.60),
+                (131_072, 0.80),
+                (524_288, 0.92),
+                (2_097_152, 1.0),
+            ],
+        }
+    }
+
+    /// DCTCP web search workload (2010): 24,387 B is the most frequent
+    /// flow size (used by the paper's multi-packet FCT experiment, §4.3).
+    pub fn dctcp_web_search() -> FlowSizeDist {
+        FlowSizeDist::Empirical {
+            name: "DCTCP web search",
+            points: vec![
+                (5_000, 0.0),
+                (6_000, 0.15),
+                (13_000, 0.35),
+                (24_387, 0.62),
+                (102_400, 0.80),
+                (1_048_576, 0.95),
+                (31_457_280, 1.0),
+            ],
+        }
+    }
+
+    /// All six Figure 2 workloads.
+    pub fn figure2() -> Vec<FlowSizeDist> {
+        vec![
+            FlowSizeDist::meta_key_value(),
+            FlowSizeDist::google_search_rpc(),
+            FlowSizeDist::google_all_rpc(),
+            FlowSizeDist::meta_hadoop(),
+            FlowSizeDist::alibaba_storage(),
+            FlowSizeDist::dctcp_web_search(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_always_same() {
+        let d = FlowSizeDist::Fixed(143);
+        let mut rng = Rng::new(1);
+        assert!((0..100).all(|_| d.sample(&mut rng) == 143));
+        assert_eq!(d.cdf(142), 0.0);
+        assert_eq!(d.cdf(143), 1.0);
+    }
+
+    #[test]
+    fn samples_match_cdf_anchors() {
+        let d = FlowSizeDist::google_all_rpc();
+        let mut rng = Rng::new(2);
+        let n = 200_000;
+        let below_143 = (0..n).filter(|_| d.sample(&mut rng) <= 143).count();
+        let frac = below_143 as f64 / n as f64;
+        assert!((frac - 0.55).abs() < 0.01, "P[size<=143] = {frac}");
+    }
+
+    #[test]
+    fn cdf_is_monotonic() {
+        for d in FlowSizeDist::figure2() {
+            let mut last = 0.0;
+            for exp in 0..25 {
+                let size = 1u32 << exp;
+                let c = d.cdf(size);
+                assert!(
+                    c >= last - 1e-12,
+                    "{}: cdf({size}) = {c} < {last}",
+                    d.name()
+                );
+                last = c;
+            }
+            assert!((d.cdf(u32::MAX) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rpc_workloads_are_mostly_single_packet() {
+        // the paper's core premise (§1): most flows fit in one packet
+        assert!(FlowSizeDist::meta_key_value().single_packet_fraction() > 0.9);
+        assert!(FlowSizeDist::google_all_rpc().single_packet_fraction() > 0.5);
+        // and the bulk workloads are not
+        assert!(FlowSizeDist::meta_hadoop().single_packet_fraction() < 0.3);
+        assert!(FlowSizeDist::dctcp_web_search().single_packet_fraction() < 0.1);
+    }
+
+    #[test]
+    fn alibaba_storage_max_is_2mb() {
+        let d = FlowSizeDist::alibaba_storage();
+        let mut rng = Rng::new(3);
+        assert!((0..50_000).all(|_| d.sample(&mut rng) <= 2_097_152));
+    }
+
+    #[test]
+    fn samples_within_support() {
+        let mut rng = Rng::new(4);
+        for d in FlowSizeDist::figure2() {
+            for _ in 0..10_000 {
+                let s = d.sample(&mut rng);
+                assert!(s >= 1, "{}: sample {s}", d.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Why RDMA needs *ordered* recovery: RoCEv2 RC uses go-back-N, so a
+//! single out-of-sequence packet rewinds the whole window. LinkGuardian's
+//! reordering buffer makes corruption invisible to the NIC; the
+//! non-blocking variant only removes the RTO tails.
+//!
+//! Run: `cargo run --release --example rdma_ordered_recovery`
+
+use lg_link::{LinkSpeed, LossModel};
+use lg_testbed::{fct_experiment, FctTransport, Protection};
+
+fn main() {
+    let speed = LinkSpeed::G100;
+    let loss = LossModel::Iid { rate: 2e-3 };
+    let msg = 65_536; // a 64 KB RDMA WRITE (64 packets)
+    let trials = 3_000;
+
+    println!("64KB RDMA_WRITE over a corrupting (2e-3) 100G link, {trials} trials\n");
+    println!(
+        "{:<24} {:>10} {:>12} {:>12} {:>14}",
+        "configuration", "p99 (us)", "p99.9 (us)", "p99.99 (us)", "go-back-N retx"
+    );
+    for (label, loss_model, prot) in [
+        ("healthy link", LossModel::None, Protection::Off),
+        ("corrupting, unprotected", loss.clone(), Protection::Off),
+        ("corrupting + LG_NB", loss.clone(), Protection::LgNb),
+        ("corrupting + LG (ordered)", loss.clone(), Protection::Lg),
+    ] {
+        let r = fct_experiment(speed, loss_model, prot, FctTransport::Rdma, msg, trials, 7);
+        println!(
+            "{:<24} {:>10.1} {:>12.1} {:>12.1} {:>14}",
+            label, r.report.p99_us, r.report.p999_us, r.report.p9999_us, r.e2e_retx
+        );
+    }
+    println!("\nordered LinkGuardian shows zero go-back-N rewinds: the NIC never");
+    println!("sees an out-of-sequence PSN. LG_NB still recovers tail losses (no");
+    println!("~1ms RTO) but every mid-message recovery costs a window rewind.");
+}

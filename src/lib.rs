@@ -1,0 +1,16 @@
+//! Root crate: re-exports for examples and integration tests.
+//!
+//! See the workspace crates for the actual implementation; this package
+//! hosts the cross-crate integration tests (`tests/`) and runnable
+//! examples (`examples/`).
+
+pub use lg_fabric;
+pub use lg_fec;
+pub use lg_link;
+pub use lg_packet;
+pub use lg_sim;
+pub use lg_switch;
+pub use lg_testbed;
+pub use lg_transport;
+pub use lg_workload;
+pub use linkguardian;

@@ -1,0 +1,93 @@
+//! Validation of Eq. 1's exponent law, `effective = actual^(N+1)`, at
+//! loss rates high enough to observe unrecovered events directly.
+//!
+//! The paper's evaluation points (1e-5..1e-3 → effective 1e-8..1e-10)
+//! would need >1e10 frames to measure; instead we verify the *law* where
+//! events are plentiful and rely on it — exactly as the paper's Fig 8
+//! analysis does — for the deep-tail numbers.
+
+use lg_link::{LinkSpeed, LossModel};
+use lg_sim::Duration;
+use linkguardian::{effective_loss_rate, retx_copies, LgConfig};
+
+/// Run a stress test with an explicit retransmission-copy count by
+/// setting the target so Eq. 2 yields `n`.
+fn run_with_copies(actual: f64, n: u32, seed: u64) -> (u64, u64, u64) {
+    // choose a target that makes retx_copies(actual, target) == n
+    let target = actual.powi(n as i32 + 1) * 1.5;
+    assert_eq!(retx_copies(actual, target), n, "target selection");
+    let mut cfg =
+        lg_testbed::world::WorldConfig::new(LinkSpeed::G100, LossModel::Iid { rate: actual });
+    let mut lg = LgConfig::for_speed(LinkSpeed::G100, actual);
+    lg.target_loss_rate = target;
+    lg.actual_loss_rate = actual;
+    cfg.lg = Some(lg);
+    cfg.seed = seed;
+    let mut w = lg_testbed::world::World::new(cfg);
+    // make sure activation recomputes N from our config
+    assert_eq!(w.lg_tx.n_copies(), n);
+    w.enable_stress(1518);
+    w.run_until(lg_sim::Time::ZERO + Duration::from_ms(60));
+    w.disable_stress();
+    w.run_until(lg_sim::Time::ZERO + Duration::from_ms(65));
+    let sent = w.lg_tx.stats().protected_sent;
+    let delivered = w.stress_delivered();
+    (sent, sent - delivered, w.lg_rx.stats().timeouts)
+}
+
+#[test]
+fn one_copy_squares_the_loss_rate() {
+    // actual 3%: expected effective 9e-4 with N = 1
+    let actual = 0.03;
+    let (sent, unrecovered, _) = run_with_copies(actual, 1, 300);
+    let measured = unrecovered as f64 / sent as f64;
+    let expected = effective_loss_rate(actual, 1);
+    assert!(
+        measured > 0.0,
+        "need observable failures at this rate/volume"
+    );
+    let ratio = measured / expected;
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "measured {measured:e} vs expected {expected:e} (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn two_copies_cube_the_loss_rate() {
+    // actual 8%: expected effective 5.1e-4 with N = 2
+    let actual = 0.08;
+    let (sent, unrecovered, _) = run_with_copies(actual, 2, 301);
+    let measured = unrecovered as f64 / sent as f64;
+    let expected = effective_loss_rate(actual, 2);
+    assert!(measured > 0.0);
+    let ratio = measured / expected;
+    assert!(
+        (0.3..3.0).contains(&ratio),
+        "measured {measured:e} vs expected {expected:e} (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn more_copies_strictly_reduce_unrecovered_losses() {
+    let actual = 0.05;
+    let (s1, u1, _) = run_with_copies(actual, 1, 302);
+    let (s2, u2, _) = run_with_copies(actual, 2, 302);
+    let r1 = u1 as f64 / s1 as f64;
+    let r2 = u2 as f64 / s2 as f64;
+    assert!(
+        r2 < r1 / 3.0,
+        "N=2 ({r2:e}) must beat N=1 ({r1:e}) by ~an order"
+    );
+}
+
+#[test]
+fn timeouts_track_unrecovered_losses_in_ordered_mode() {
+    // Every unrecovered packet in ordered mode is released by exactly one
+    // ackNoTimeout skip (the Fig 8 "timeouts in practice" accounting).
+    let (_, unrecovered, timeouts) = run_with_copies(0.03, 1, 303);
+    assert!(
+        timeouts >= unrecovered,
+        "timeouts {timeouts} must cover unrecovered {unrecovered}"
+    );
+}

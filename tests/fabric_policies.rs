@@ -1,0 +1,100 @@
+//! Large-scale policy invariants across the fabric simulation.
+
+use lg_fabric::{run, FabricSimConfig, Policy};
+
+fn cfg(policy: Policy, constraint: f64) -> FabricSimConfig {
+    FabricSimConfig {
+        pods: 30,
+        horizon_hours: 24.0 * 60.0, // two months
+        constraint,
+        policy,
+        sample_interval_hours: 4.0,
+        target_loss_rate: 1e-8,
+        seed: 777,
+    }
+}
+
+#[test]
+fn capacity_constraint_never_violated() {
+    for constraint in [0.5, 0.75] {
+        for policy in [Policy::CorrOptOnly, Policy::LgPlusCorrOpt] {
+            let r = run(&cfg(policy, constraint));
+            for s in &r.samples {
+                assert!(
+                    s.least_paths >= constraint - 1e-9,
+                    "{policy:?}@{constraint}: paths {} at t={}",
+                    s.least_paths,
+                    s.t_hours
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn joint_policy_reduces_penalty_by_orders_of_magnitude() {
+    let co = run(&cfg(Policy::CorrOptOnly, 0.75));
+    let lg = run(&cfg(Policy::LgPlusCorrOpt, 0.75));
+    let mean = |r: &lg_fabric::FabricSimResult| {
+        r.samples.iter().map(|s| s.total_penalty).sum::<f64>() / r.samples.len() as f64
+    };
+    let (pc, pl) = (mean(&co), mean(&lg));
+    assert!(pc > 0.0, "constraint must bind somewhere in two months");
+    assert!(
+        pc / pl.max(1e-300) > 1e4,
+        "gain {:.1e} must be ≥4 orders (paper's headline)",
+        pc / pl.max(1e-300)
+    );
+}
+
+#[test]
+fn stricter_constraint_increases_corropt_penalty() {
+    let loose = run(&cfg(Policy::CorrOptOnly, 0.5));
+    let strict = run(&cfg(Policy::CorrOptOnly, 0.75));
+    let mean = |r: &lg_fabric::FabricSimResult| {
+        r.samples.iter().map(|s| s.total_penalty).sum::<f64>() / r.samples.len() as f64
+    };
+    assert!(
+        mean(&strict) >= mean(&loose),
+        "75% constraint defers more corrupting links than 50%"
+    );
+}
+
+#[test]
+fn lg_capacity_cost_is_small() {
+    let co = run(&cfg(Policy::CorrOptOnly, 0.75));
+    let lg = run(&cfg(Policy::LgPlusCorrOpt, 0.75));
+    let worst_drop = co
+        .samples
+        .iter()
+        .zip(lg.samples.iter())
+        .map(|(a, b)| a.least_capacity - b.least_capacity)
+        .fold(0.0f64, f64::max);
+    assert!(
+        worst_drop < 0.01,
+        "worst per-pod capacity cost {worst_drop:.4} must stay below 1%"
+    );
+}
+
+#[test]
+fn concurrent_lg_links_per_switch_stay_small() {
+    // §5: the paper observed at most 2 (50%) / 4 (75%) concurrently
+    // LinkGuardian-enabled links per switch pipe.
+    let lg = run(&cfg(Policy::LgPlusCorrOpt, 0.75));
+    assert!(
+        lg.counts.peak_lg_per_fabric_switch <= 8,
+        "peak {} concurrently-protected links per fabric switch",
+        lg.counts.peak_lg_per_fabric_switch
+    );
+}
+
+#[test]
+fn repairs_conserve_links() {
+    let r = run(&cfg(Policy::CorrOptOnly, 0.5));
+    assert_eq!(
+        r.counts.disabled_immediately + r.counts.optimizer_disabled,
+        r.counts.repairs
+            + (r.samples.last().map(|s| s.disabled).unwrap_or(0) as u64),
+        "every disabled link is either repaired or still in repair at the end"
+    );
+}

@@ -1,0 +1,245 @@
+//! Failure injection: lost retransmissions, lost dummies, bursty losses,
+//! bidirectional corruption, sequence-number wrap-around, and the
+//! backpressure-off catastrophe.
+
+use lg_link::{LinkSpeed, LossModel};
+use lg_sim::{Duration, Time};
+use lg_testbed::world::{World, WorldConfig};
+use lg_testbed::{stress_test, Protection};
+use linkguardian::LgConfig;
+
+#[test]
+fn era_wraparound_survives_full_seq_space() {
+    // Push far more than 65,536 protected packets through the link so the
+    // 16-bit wire sequence number wraps multiple times (with era bits).
+    let r = stress_test(
+        LinkSpeed::G100,
+        LossModel::Iid { rate: 1e-3 },
+        Protection::Lg,
+        Duration::from_ms(25), // ≈ 203K MTU packets at 100G
+        200,
+    );
+    assert!(r.sent > 2 * 65_536, "sent {} spans multiple eras", r.sent);
+    assert_eq!(r.unrecovered, 0, "wrap-around must not lose packets");
+}
+
+#[test]
+fn unreasonably_high_loss_forces_timeouts_but_not_stalls() {
+    // At 5% i.i.d. loss with N = ceil(8/1.301)-1 = 6 copies, some losses
+    // still kill every copy; the ackNoTimeout must skip them and keep the
+    // link flowing.
+    let r = stress_test(
+        LinkSpeed::G25,
+        LossModel::Iid { rate: 0.05 },
+        Protection::Lg,
+        Duration::from_ms(30),
+        201,
+    );
+    assert!(r.wire_losses > 1_000);
+    assert!(
+        r.delivered as f64 / r.sent as f64 > 0.99,
+        "most packets still delivered ({}/{})",
+        r.delivered,
+        r.sent
+    );
+    // the effective loss rate collapsed by many orders of magnitude
+    assert!(
+        r.effective_loss_rate < 0.05 / 100.0,
+        "effective {:e}",
+        r.effective_loss_rate
+    );
+}
+
+#[test]
+fn bursty_loss_without_backpressure_overflows_rx_buffer() {
+    // Fig 9b's catastrophe: line rate + bursty corruption + no pause.
+    let mut cfg = WorldConfig::new(LinkSpeed::G100, LossModel::bursty(2e-3, 3.0));
+    let mut lg = LgConfig::for_speed(LinkSpeed::G100, 2e-3);
+    lg.pause_threshold = u64::MAX;
+    lg.resume_threshold = 0;
+    cfg.lg = Some(lg);
+    let mut w = World::new(cfg);
+    w.enable_stress(1518);
+    w.run_until(Time::ZERO + Duration::from_ms(50));
+    assert!(
+        w.lg_rx.stats().rx_overflow_drops > 0,
+        "the reordering buffer must overflow without backpressure"
+    );
+}
+
+#[test]
+fn backpressure_prevents_the_same_overflow() {
+    let cfg = WorldConfig::new(LinkSpeed::G100, LossModel::bursty(2e-3, 3.0));
+    let mut w = World::new(cfg);
+    w.enable_stress(1518);
+    w.run_until(Time::ZERO + Duration::from_ms(50));
+    assert_eq!(
+        w.lg_rx.stats().rx_overflow_drops,
+        0,
+        "backpressure keeps the buffer under its cap"
+    );
+    assert!(w.lg_rx.stats().pauses_sent > 0, "pauses actually engaged");
+    assert!(
+        w.lg_rx.rx_buffer_stats().high_watermark <= 200 * 1024,
+        "peak {} within the 200KB restriction",
+        w.lg_rx.rx_buffer_stats().high_watermark
+    );
+}
+
+#[test]
+fn bidirectional_corruption_with_control_copies() {
+    // Corruption in both directions (§5): loss notifications, ACKs and
+    // pause frames can be lost too; hardened with control_copies = 3.
+    let mut cfg = WorldConfig::new(LinkSpeed::G25, LossModel::Iid { rate: 2e-3 });
+    cfg.rev_loss = LossModel::Iid { rate: 2e-3 };
+    let mut lg = LgConfig::for_speed(LinkSpeed::G25, 2e-3);
+    lg.control_copies = 3;
+    lg.dummy_copies = 2;
+    cfg.lg = Some(lg);
+    let mut w = World::new(cfg);
+    w.enable_stress(1518);
+    w.run_until(Time::ZERO + Duration::from_ms(40));
+    w.disable_stress();
+    w.run_until(Time::ZERO + Duration::from_ms(42));
+    let sent = w.lg_tx.stats().protected_sent;
+    let delivered = w.stress_delivered();
+    let unrecovered = sent - delivered;
+    // reverse losses may cost a few timeouts, but the link keeps working
+    assert!(
+        (unrecovered as f64) < sent as f64 * 1e-3,
+        "unrecovered {unrecovered} of {sent}"
+    );
+}
+
+#[test]
+fn tail_loss_without_dummies_stalls_until_transport_timeout() {
+    use lg_testbed::{fct_experiment, FctTransport};
+    use lg_transport::CcVariant;
+    // Ablation ReTx-only (no tail detection): the last packet's loss is
+    // invisible to the receiver switch, so recovery falls back to the
+    // transport's RTO/TLP (~1 ms).
+    let no_tail = fct_experiment(
+        LinkSpeed::G100,
+        LossModel::Iid { rate: 5e-3 },
+        Protection::Ablation {
+            tail: false,
+            order: false,
+        },
+        FctTransport::Tcp(CcVariant::Dctcp),
+        143,
+        3_000,
+        202,
+    );
+    assert!(
+        no_tail.report.p999_us > 500.0,
+        "p99.9 {} must show the RTO floor",
+        no_tail.report.p999_us
+    );
+    let with_tail = fct_experiment(
+        LinkSpeed::G100,
+        LossModel::Iid { rate: 5e-3 },
+        Protection::Ablation {
+            tail: true,
+            order: false,
+        },
+        FctTransport::Tcp(CcVariant::Dctcp),
+        143,
+        3_000,
+        202,
+    );
+    assert!(
+        with_tail.report.p999_us < 100.0,
+        "dummies fix it: {}",
+        with_tail.report.p999_us
+    );
+}
+
+#[test]
+fn deterministic_replay_same_seed_same_results() {
+    let a = stress_test(
+        LinkSpeed::G25,
+        LossModel::Iid { rate: 1e-3 },
+        Protection::Lg,
+        Duration::from_ms(10),
+        42,
+    );
+    let b = stress_test(
+        LinkSpeed::G25,
+        LossModel::Iid { rate: 1e-3 },
+        Protection::Lg,
+        Duration::from_ms(10),
+        42,
+    );
+    assert_eq!(a.sent, b.sent);
+    assert_eq!(a.delivered, b.delivered);
+    assert_eq!(a.wire_losses, b.wire_losses);
+    assert_eq!(a.effective_speed, b.effective_speed);
+    // and a different seed gives a different loss pattern
+    let c = stress_test(
+        LinkSpeed::G25,
+        LossModel::Iid { rate: 1e-3 },
+        Protection::Lg,
+        Duration::from_ms(10),
+        43,
+    );
+    assert_ne!(a.wire_losses, c.wire_losses);
+}
+
+#[test]
+fn full_bidirectional_protection_masks_both_directions() {
+    // §5 "Handling bidirectional corruption": a parallel LinkGuardian
+    // instance protects the reverse direction, so even loss notifications
+    // and ACKs are recovered rather than merely replicated.
+    let mut cfg = WorldConfig::new(LinkSpeed::G25, LossModel::Iid { rate: 2e-3 });
+    cfg.rev_loss = LossModel::Iid { rate: 2e-3 };
+    cfg.bidirectional = true;
+    let mut w = World::new(cfg);
+    w.enable_stress(1518);
+    w.run_until(Time::ZERO + Duration::from_ms(40));
+    w.disable_stress();
+    w.run_until(Time::ZERO + Duration::from_ms(45));
+    let sent = w.lg_tx.stats().protected_sent;
+    let delivered = w.stress_delivered();
+    assert!(sent > 50_000);
+    assert_eq!(sent - delivered, 0, "forward losses all masked");
+    // LinkGuardian control crosses un-tunneled but replicated; the reverse
+    // instance stands ready for reverse *data* (none in a one-way stress).
+    assert!(w.lg2_tx.as_ref().expect("reverse instance").is_active());
+}
+
+#[test]
+fn bidirectional_tcp_flows_see_no_loss_either_way() {
+    use lg_testbed::App;
+    use lg_transport::CcVariant;
+    // TCP data flows forward, ACKs reverse; both directions corrupt.
+    let mut cfg = WorldConfig::new(LinkSpeed::G25, LossModel::Iid { rate: 2e-3 });
+    cfg.rev_loss = LossModel::Iid { rate: 2e-3 };
+    cfg.bidirectional = true;
+    cfg.app = App::TcpTrials {
+        variant: CcVariant::Dctcp,
+        msg_len: 24_387,
+        trials: 1_500,
+        gap: Duration::from_us(10),
+    };
+    let mut w = World::new(cfg);
+    w.run_to_completion();
+    assert_eq!(w.out.fct.len(), 1_500, "all trials complete");
+    assert_eq!(
+        w.out.e2e_retx_total, 0,
+        "neither data nor ACK losses reach the transport"
+    );
+    let rev = w.lg2_tx.as_ref().expect("reverse instance").stats();
+    assert!(rev.protected_sent > 10_000, "TCP ACKs ride the reverse tunnel");
+    assert!(
+        rev.retx_packets > 0,
+        "reverse (ACK) losses recovered link-locally: {} of {}",
+        rev.retx_packets,
+        rev.protected_sent
+    );
+    let mut fct = std::mem::take(&mut w.out.fct);
+    assert!(
+        fct.quantile_us(0.999) < 150.0,
+        "p99.9 {} us",
+        fct.quantile_us(0.999)
+    );
+}
