@@ -1,0 +1,57 @@
+//! `any::<T>()` and the `Arbitrary` implementations the workspace uses.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draw an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy for the whole domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> [T; N] {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}

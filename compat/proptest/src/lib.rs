@@ -1,0 +1,125 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate implements the subset of its API that
+//! the workspace's property tests use — `proptest!`, `prop_assert*`,
+//! integer/float range strategies, `any::<T>()`, tuples, `prop_map`,
+//! `collection::vec` and `collection::btree_set` — as a deterministic
+//! random tester (no shrinking). Failing cases print the generated
+//! inputs and the case seed before propagating the panic, so failures
+//! are reproducible and debuggable.
+//!
+//! Tests written against this subset compile unchanged against the real
+//! crates.io `proptest`.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports: `any`, `Strategy`, and the `proptest!` /
+/// `prop_assert*` macros (re-exported from the crate root).
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Assert inside a property body (panics like `assert!`; the runner
+/// prints the generated inputs before propagating).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over deterministically
+/// generated inputs. An optional leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` sets the case
+/// count for the whole block.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cases = ($cfg).cases;
+                for case in 0..cases {
+                    let mut rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )+
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            move || -> $crate::test_runner::TestCaseResult {
+                                $body
+                                Ok(())
+                            },
+                        ),
+                    );
+                    match outcome {
+                        Ok(Ok(())) => {}
+                        Ok(Err(reason)) => {
+                            panic!(
+                                "proptest {}: case {}/{} failed ({}) with inputs: {}",
+                                stringify!($name),
+                                case + 1,
+                                cases,
+                                reason,
+                                inputs
+                            );
+                        }
+                        Err(panic) => {
+                            eprintln!(
+                                "proptest {}: case {}/{} failed with inputs: {}",
+                                stringify!($name),
+                                case + 1,
+                                cases,
+                                inputs
+                            );
+                            ::std::panic::resume_unwind(panic);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}

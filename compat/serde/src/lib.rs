@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the real `serde` cannot be fetched. The workspace only uses serde as
+//! `#[derive(Serialize, Deserialize)]` annotations (no value is ever
+//! actually serialized), so this crate provides the two marker traits and
+//! re-exports no-op derive macros under the same names. Swapping the
+//! workspace dependency back to the real crates.io `serde` requires no
+//! source changes.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

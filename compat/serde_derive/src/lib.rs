@@ -1,0 +1,19 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` must expand to
+//! *something* for annotated types to compile; since nothing in the
+//! workspace ever serializes a value, expanding to nothing is sufficient.
+
+use proc_macro::TokenStream;
+
+/// Accept and discard a `#[derive(Serialize)]` annotation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept and discard a `#[derive(Deserialize)]` annotation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

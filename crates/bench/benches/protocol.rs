@@ -75,5 +75,10 @@ fn bench_world_stress(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sender_path, bench_receiver_path, bench_world_stress);
+criterion_group!(
+    benches,
+    bench_sender_path,
+    bench_receiver_path,
+    bench_world_stress
+);
 criterion_main!(benches);

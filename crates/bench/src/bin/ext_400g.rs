@@ -21,7 +21,12 @@ fn main() {
         "{:<6} {:<6} {:>10} {:>12} {:>12} {:>12} {:>10}",
         "speed", "mode", "losses", "unrecovered", "eff.speed", "rx peak(KB)", "timeouts"
     );
-    for speed in [LinkSpeed::G10, LinkSpeed::G25, LinkSpeed::G100, LinkSpeed::G400] {
+    for speed in [
+        LinkSpeed::G10,
+        LinkSpeed::G25,
+        LinkSpeed::G100,
+        LinkSpeed::G400,
+    ] {
         for (label, prot) in [("LG", Protection::Lg), ("LG_NB", Protection::LgNb)] {
             let r = stress_test(speed, LossModel::Iid { rate: 1e-3 }, prot, duration, 400);
             println!(

@@ -27,11 +27,7 @@ fn main() {
             Protection::Off,
             FctTransport::Rdma,
         ),
-        (
-            "go-back-N + LG_NB",
-            Protection::LgNb,
-            FctTransport::Rdma,
-        ),
+        ("go-back-N + LG_NB", Protection::LgNb, FctTransport::Rdma),
         (
             "go-back-N + LG (ordered)",
             Protection::Lg,

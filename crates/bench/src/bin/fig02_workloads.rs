@@ -7,7 +7,10 @@ use lg_bench::banner;
 use lg_workload::FlowSizeDist;
 
 fn main() {
-    banner("Figure 2", "flow size distributions of datacenter workloads");
+    banner(
+        "Figure 2",
+        "flow size distributions of datacenter workloads",
+    );
     let dists = FlowSizeDist::figure2();
     let sizes: Vec<u32> = (0..=23).map(|e| 1u32 << e).collect();
     print!("{:<10}", "bytes");
@@ -25,7 +28,11 @@ fn main() {
     println!();
     println!("single-packet (<=1500B) fraction per workload:");
     for d in &dists {
-        println!("  {:<22} {:>6.1}%", d.name(), d.single_packet_fraction() * 100.0);
+        println!(
+            "  {:<22} {:>6.1}%",
+            d.name(),
+            d.single_packet_fraction() * 100.0
+        );
     }
     println!();
     println!("paper: most RPC/key-value flows fit in a single packet;");

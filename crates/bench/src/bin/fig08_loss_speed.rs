@@ -3,7 +3,10 @@
 //! for 25G and 100G links at actual loss rates 1e-5, 1e-4, 1e-3.
 //!
 //! Usage: `cargo run --release -p lg-bench --bin fig08_loss_speed
-//! [--secs 1.0] [--seed 1]`
+//! [--secs 1.0] [--seed 1] [--threads N]`
+//!
+//! The 12 sweep points (speed × rate × mode) run in parallel; output is
+//! identical at any `--threads` value.
 //!
 //! The paper's effective loss rates (1e-8..1e-10) need >1e10 frames to
 //! observe directly; like the paper's own analysis we report the measured
@@ -11,7 +14,7 @@
 //! (the exponent law is separately validated at inflated loss rates by
 //! `tests/exponent_law.rs`).
 
-use lg_bench::{arg, banner};
+use lg_bench::{arg, banner, sweep};
 use lg_link::{LinkSpeed, LossModel};
 use lg_sim::Duration;
 use lg_testbed::{stress_test, Protection};
@@ -27,32 +30,40 @@ fn main() {
 
     println!(
         "{:<6} {:<10} {:<6} {:>8} {:>12} {:>14} {:>14} {:>10} {:>9}",
-        "speed", "actual", "mode", "N", "losses", "eff.loss(meas)", "eff.loss(exp)", "eff.speed", "timeouts"
+        "speed",
+        "actual",
+        "mode",
+        "N",
+        "losses",
+        "eff.loss(meas)",
+        "eff.loss(exp)",
+        "eff.speed",
+        "timeouts"
     );
+    let mut points = Vec::new();
     for speed in [LinkSpeed::G25, LinkSpeed::G100] {
         for rate in [1e-5, 1e-4, 1e-3] {
             for (label, protection) in [("LG", Protection::Lg), ("LG_NB", Protection::LgNb)] {
-                let r = stress_test(
-                    speed,
-                    LossModel::Iid { rate },
-                    protection,
-                    duration,
-                    seed,
-                );
-                println!(
-                    "{:<6} {:<10.0e} {:<6} {:>8} {:>12} {:>14.3e} {:>14.3e} {:>9.2}% {:>9}",
-                    speed.name(),
-                    rate,
-                    label,
-                    r.n_copies,
-                    r.wire_losses,
-                    r.effective_loss_rate,
-                    r.expected_loss_rate,
-                    r.effective_speed * 100.0,
-                    r.timeouts,
-                );
+                points.push((speed, rate, label, protection));
             }
         }
+    }
+    let results = sweep::run(&points, |&(speed, rate, _, protection)| {
+        stress_test(speed, LossModel::Iid { rate }, protection, duration, seed)
+    });
+    for (&(speed, rate, label, _), r) in points.iter().zip(&results) {
+        println!(
+            "{:<6} {:<10.0e} {:<6} {:>8} {:>12} {:>14.3e} {:>14.3e} {:>9.2}% {:>9}",
+            speed.name(),
+            rate,
+            label,
+            r.n_copies,
+            r.wire_losses,
+            r.effective_loss_rate,
+            r.expected_loss_rate,
+            r.effective_speed * 100.0,
+            r.timeouts,
+        );
     }
     println!();
     println!("paper: LG_NB >= LG effective speed; both ~100% at <=1e-4;");

@@ -16,7 +16,7 @@
 //! catastrophe (reordering-buffer overflow, mass end-to-end
 //! retransmissions) clearly.
 
-use lg_bench::{arg, banner, flag};
+use lg_bench::{arg, banner, flag, sweep};
 use lg_link::{LinkSpeed, LossModel};
 use lg_sim::{Duration, Time};
 use lg_testbed::{time_series, TimeSeriesScenario};
@@ -51,9 +51,17 @@ fn main() {
         total_ms / 6,
         total_ms / 2,
         total_ms,
-        if disable_backpressure { "DISABLED (Fig 9b)" } else { "enabled (Fig 9a)" }
+        if disable_backpressure {
+            "DISABLED (Fig 9b)"
+        } else {
+            "enabled (Fig 9a)"
+        }
     );
-    let r = time_series(&s);
+    // A single scenario, but routed through the sweep driver so every
+    // figure binary shares one execution path (and honors --threads).
+    let r = sweep::run(std::slice::from_ref(&s), time_series)
+        .pop()
+        .expect("one result for one scenario");
     println!(
         "{:>8} {:>12} {:>12} {:>12} {:>10}",
         "t(ms)", "rate(Gbps)", "qdepth(KB)", "rxbuf(KB)", "e2e_retx"

@@ -3,24 +3,48 @@
 //! each: no loss, +LG, +LG_NB, loss-unprotected.
 //!
 //! Usage: `cargo run --release -p lg-bench --bin fig10_fct_143b
-//! [--trials 30000]`
+//! [--trials 30000] [--threads N]`
+//!
+//! All transport × curve points run in parallel; output is identical at
+//! any `--threads` value.
 
-use lg_bench::{arg, banner};
+use lg_bench::{arg, banner, sweep};
 use lg_link::{LinkSpeed, LossModel};
 use lg_testbed::{fct_experiment, FctTransport, Protection};
 use lg_transport::CcVariant;
 
 fn main() {
-    banner("Figure 10", "top 1% FCTs for 143B flows on a 100G link (1e-3 loss)");
+    banner(
+        "Figure 10",
+        "top 1% FCTs for 143B flows on a 100G link (1e-3 loss)",
+    );
     let trials: u32 = arg("--trials", 30_000u32);
     let seed: u64 = arg("--seed", 10);
     let speed = LinkSpeed::G100;
     let loss = LossModel::Iid { rate: 1e-3 };
 
-    for (tname, transport) in [
+    let transports = [
         ("DCTCP", FctTransport::Tcp(CcVariant::Dctcp)),
         ("RDMA_WR", FctTransport::Rdma),
-    ] {
+    ];
+    let curves = [
+        ("no loss", LossModel::None, Protection::Off),
+        ("+LG (1e-3)", loss.clone(), Protection::Lg),
+        ("+LG_NB (1e-3)", loss.clone(), Protection::LgNb),
+        ("loss (1e-3)", loss.clone(), Protection::Off),
+    ];
+    let mut points = Vec::new();
+    for (_, transport) in &transports {
+        for (_, lm, prot) in &curves {
+            points.push((*transport, lm.clone(), *prot));
+        }
+    }
+    let results = sweep::run(&points, |(transport, lm, prot)| {
+        fct_experiment(speed, lm.clone(), *prot, *transport, 143, trials, seed)
+    });
+
+    let mut rows = results.iter();
+    for (tname, _) in &transports {
         println!("--- {tname} ---");
         println!(
             "{:<18} {:>10} {:>10} {:>10} {:>10} {:>10}",
@@ -28,13 +52,8 @@ fn main() {
         );
         let mut noloss_p999 = 0.0;
         let mut loss_p999 = 0.0;
-        for (label, lm, prot) in [
-            ("no loss", LossModel::None, Protection::Off),
-            ("+LG (1e-3)", loss.clone(), Protection::Lg),
-            ("+LG_NB (1e-3)", loss.clone(), Protection::LgNb),
-            ("loss (1e-3)", loss.clone(), Protection::Off),
-        ] {
-            let r = fct_experiment(speed, lm, prot, transport, 143, trials, seed);
+        for (label, _, _) in &curves {
+            let r = rows.next().expect("one result per point");
             println!(
                 "{:<18} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>10}",
                 label,
@@ -44,7 +63,7 @@ fn main() {
                 r.report.p99999_us,
                 r.e2e_retx
             );
-            if label == "no loss" {
+            if *label == "no loss" {
                 noloss_p999 = r.report.p999_us;
             }
             if label.starts_with("loss") {
@@ -53,11 +72,13 @@ fn main() {
         }
         println!(
             "p99.9 improvement of LG over raw loss (≈ paper's {}x): {:.0}x vs no-loss baseline {:.1} us",
-            if tname == "DCTCP" { 51 } else { 66 },
+            if *tname == "DCTCP" { 51 } else { 66 },
             loss_p999 / noloss_p999,
             noloss_p999
         );
         println!();
     }
-    println!("paper: LG/LG_NB curves indistinguishable from no-loss; raw loss has a ~1ms RTO tail.");
+    println!(
+        "paper: LG/LG_NB curves indistinguishable from no-loss; raw loss has a ~1ms RTO tail."
+    );
 }

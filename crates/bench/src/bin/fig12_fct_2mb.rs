@@ -2,15 +2,21 @@
 //! (the Alibaba storage maximum).
 //!
 //! Usage: `cargo run --release -p lg-bench --bin fig12_fct_2mb
-//! [--trials 2000]`
+//! [--trials 2000] [--threads N]`
+//!
+//! The four curves run in parallel; output is identical at any
+//! `--threads` value.
 
-use lg_bench::{arg, banner};
+use lg_bench::{arg, banner, sweep};
 use lg_link::{LinkSpeed, LossModel};
 use lg_testbed::{fct_experiment, FctTransport, Protection};
 use lg_transport::CcVariant;
 
 fn main() {
-    banner("Figure 12", "top 5% FCTs for 2MB DCTCP flows on a 100G link (1e-3 loss)");
+    banner(
+        "Figure 12",
+        "top 5% FCTs for 2MB DCTCP flows on a 100G link (1e-3 loss)",
+    );
     let trials: u32 = arg("--trials", 2_000u32);
     let seed: u64 = arg("--seed", 12);
     let speed = LinkSpeed::G100;
@@ -19,13 +25,24 @@ fn main() {
         "{:<18} {:>10} {:>10} {:>10} {:>12} {:>10}",
         "curve", "p95(us)", "p99(us)", "p99.9(us)", "affected(%)", "e2e_retx"
     );
-    for (label, lm, prot) in [
+    let curves = [
         ("no loss", LossModel::None, Protection::Off),
         ("+LG (1e-3)", loss.clone(), Protection::Lg),
         ("+LG_NB (1e-3)", loss.clone(), Protection::LgNb),
         ("loss (1e-3)", loss.clone(), Protection::Off),
-    ] {
-        let r = fct_experiment(speed, lm, prot, FctTransport::Tcp(CcVariant::Dctcp), 2_097_152, trials, seed);
+    ];
+    let results = sweep::run(&curves, |(_, lm, prot)| {
+        fct_experiment(
+            speed,
+            lm.clone(),
+            *prot,
+            FctTransport::Tcp(CcVariant::Dctcp),
+            2_097_152,
+            trials,
+            seed,
+        )
+    });
+    for ((label, _, _), r) in curves.iter().zip(&results) {
         let p95 = r.tail_cdf.first().map(|p| p.0).unwrap_or(0.0);
         let affected = r
             .traces

@@ -25,11 +25,7 @@ fn main() {
         trials,
         arg("--seed", 13),
     );
-    let affected = r
-        .traces
-        .iter()
-        .filter(|t| t.max_sacked_bytes > 0)
-        .count();
+    let affected = r.traces.iter().filter(|t| t.max_sacked_bytes > 0).count();
     println!("trials: {trials}, affected flows (received >=1 SACK): {affected}");
     let groups = classify_fig13(&r.traces, 1460);
     for (g, n) in &groups {

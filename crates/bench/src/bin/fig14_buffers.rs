@@ -9,7 +9,10 @@ use lg_sim::Duration;
 use lg_testbed::{stress_test, Protection};
 
 fn main() {
-    banner("Figure 14", "LinkGuardian packet buffer usage (line-rate stress)");
+    banner(
+        "Figure 14",
+        "LinkGuardian packet buffer usage (line-rate stress)",
+    );
     let secs: f64 = arg("--secs", 0.3);
     let duration = Duration::from_secs_f64(secs);
     println!(
@@ -19,7 +22,13 @@ fn main() {
     for speed in [LinkSpeed::G25, LinkSpeed::G100] {
         for rate in [1e-5, 1e-4, 1e-3] {
             let lg = stress_test(speed, LossModel::Iid { rate }, Protection::Lg, duration, 14);
-            let nb = stress_test(speed, LossModel::Iid { rate }, Protection::LgNb, duration, 14);
+            let nb = stress_test(
+                speed,
+                LossModel::Iid { rate },
+                Protection::LgNb,
+                duration,
+                14,
+            );
             println!(
                 "{:<6} {:<8.0e} {:>14.1} {:>14.1} {:>16.1}",
                 speed.name(),

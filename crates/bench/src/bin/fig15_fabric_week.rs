@@ -4,10 +4,13 @@
 //! constraints.
 //!
 //! Usage: `cargo run --release -p lg-bench --bin fig15_fabric_week
-//! [--pods 260] [--days 7]`
+//! [--pods 260] [--days 7] [--threads N]`
+//!
+//! The four constraint × policy simulations run in parallel; output is
+//! identical at any `--threads` value.
 
-use lg_bench::{arg, banner};
-use lg_fabric::{run, FabricSimConfig, Policy};
+use lg_bench::{arg, banner, sweep};
+use lg_fabric::{run_many, FabricSimConfig, Policy};
 
 fn main() {
     banner(
@@ -17,11 +20,11 @@ fn main() {
     let pods: u32 = arg("--pods", 260u32);
     let days: f64 = arg("--days", 7.0);
     let seed: u64 = arg("--seed", 15);
-    for constraint in [0.50, 0.75] {
-        println!("=== capacity constraint {:.0}% ===", constraint * 100.0);
-        let mut results = Vec::new();
+    let constraints = [0.50, 0.75];
+    let mut cfgs = Vec::new();
+    for constraint in constraints {
         for policy in [Policy::CorrOptOnly, Policy::LgPlusCorrOpt] {
-            let cfg = FabricSimConfig {
+            cfgs.push(FabricSimConfig {
                 pods,
                 horizon_hours: days * 24.0,
                 constraint,
@@ -29,9 +32,13 @@ fn main() {
                 sample_interval_hours: 6.0,
                 target_loss_rate: 1e-8,
                 seed,
-            };
-            results.push(run(&cfg));
+            });
         }
+    }
+    let all = run_many(&cfgs, sweep::threads());
+    for (i, constraint) in constraints.into_iter().enumerate() {
+        println!("=== capacity constraint {:.0}% ===", constraint * 100.0);
+        let results = &all[i * 2..i * 2 + 2];
         println!(
             "{:>8} | {:>13} {:>13} | {:>9} {:>9} | {:>9} {:>9}",
             "t(days)", "pen CorrOpt", "pen LG+CO", "paths CO", "paths LG", "cap CO", "cap LG"

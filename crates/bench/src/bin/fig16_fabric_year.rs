@@ -3,10 +3,13 @@
 //! LinkGuardian + CorrOpt vs vanilla CorrOpt at 50% and 75% constraints.
 //!
 //! Usage: `cargo run --release -p lg-bench --bin fig16_fabric_year
-//! [--pods 260] [--days 365] [--sample-hours 4]`
+//! [--pods 260] [--days 365] [--sample-hours 4] [--threads N]`
+//!
+//! The four constraint × policy simulations run in parallel; output is
+//! identical at any `--threads` value.
 
-use lg_bench::{arg, banner};
-use lg_fabric::{run, FabricSimConfig, Policy};
+use lg_bench::{arg, banner, sweep};
+use lg_fabric::{run_many, FabricSimConfig, Policy};
 
 fn main() {
     banner(
@@ -18,18 +21,24 @@ fn main() {
     let sample_hours: f64 = arg("--sample-hours", 4.0);
     let seed: u64 = arg("--seed", 16);
 
-    for constraint in [0.50, 0.75] {
-        let mk = |policy| FabricSimConfig {
-            pods,
-            horizon_hours: days * 24.0,
-            constraint,
-            policy,
-            sample_interval_hours: sample_hours,
-            target_loss_rate: 1e-8,
-            seed,
-        };
-        let co = run(&mk(Policy::CorrOptOnly));
-        let lg = run(&mk(Policy::LgPlusCorrOpt));
+    let constraints = [0.50, 0.75];
+    let mut cfgs = Vec::new();
+    for constraint in constraints {
+        for policy in [Policy::CorrOptOnly, Policy::LgPlusCorrOpt] {
+            cfgs.push(FabricSimConfig {
+                pods,
+                horizon_hours: days * 24.0,
+                constraint,
+                policy,
+                sample_interval_hours: sample_hours,
+                target_loss_rate: 1e-8,
+                seed,
+            });
+        }
+    }
+    let all = run_many(&cfgs, sweep::threads());
+    for (i, constraint) in constraints.into_iter().enumerate() {
+        let (co, lg) = (&all[i * 2], &all[i * 2 + 1]);
         let mut gains: Vec<f64> = co
             .samples
             .iter()
@@ -57,12 +66,19 @@ fn main() {
         for p in [0.10, 0.25, 0.35, 0.50, 0.75, 0.90, 0.99] {
             println!("    P{:>4.0} : {:>12.3e}", p * 100.0, q(&gains, p));
         }
-        let no_gain = gains.iter().filter(|&&g| g <= 1.0 + 1e-9).count() as f64
-            / gains.len() as f64;
-        println!("    fraction of time with no gain (all links disabled): {:.1}%", no_gain * 100.0);
+        let no_gain =
+            gains.iter().filter(|&&g| g <= 1.0 + 1e-9).count() as f64 / gains.len() as f64;
+        println!(
+            "    fraction of time with no gain (all links disabled): {:.1}%",
+            no_gain * 100.0
+        );
         println!("(b) decrease in least capacity per pod (percentage points):");
         for p in [0.50f64, 0.90, 0.99, 1.0] {
-            println!("    P{:>4.0} : {:>8.4}", p * 100.0, q(&cap_drop, p.min(0.999999)));
+            println!(
+                "    P{:>4.0} : {:>8.4}",
+                p * 100.0,
+                q(&cap_drop, p.min(0.999999))
+            );
         }
         println!();
     }

@@ -11,7 +11,10 @@ use lg_sim::Duration;
 use lg_testbed::{stress_test, Protection};
 
 fn main() {
-    banner("Figure 19", "loss-detection → retransmission-received delay");
+    banner(
+        "Figure 19",
+        "loss-detection → retransmission-received delay",
+    );
     let secs: f64 = arg("--secs", 0.5);
     println!(
         "{:<6} {:<10} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",

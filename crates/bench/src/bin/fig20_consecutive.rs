@@ -11,8 +11,8 @@
 //! [--frames 5000000]`
 
 use lg_bench::{arg, banner};
-use lg_link::{LossModel, RunLengthStats};
 use lg_link::loss::LossProcess;
+use lg_link::{LossModel, RunLengthStats};
 use lg_sim::Rng;
 
 fn run(model: LossModel, frames: u64, seed: u64) -> Vec<u64> {
@@ -25,12 +25,12 @@ fn run(model: LossModel, frames: u64, seed: u64) -> Vec<u64> {
 }
 
 fn main() {
-    banner("Figure 20", "distribution of consecutive packets lost (1518B)");
-    let frames: u64 = arg("--frames", 5_000_000u64);
-    println!(
-        "{:<28} {:>12} {}",
-        "model", "bursts", "CDF by run length 1..7"
+    banner(
+        "Figure 20",
+        "distribution of consecutive packets lost (1518B)",
     );
+    let frames: u64 = arg("--frames", 5_000_000u64);
+    println!("{:<28} {:>12} CDF by run length 1..7", "model", "bursts");
     for (name, model) in [
         ("iid 1%", LossModel::Iid { rate: 0.01 }),
         ("iid 5%", LossModel::Iid { rate: 0.05 }),

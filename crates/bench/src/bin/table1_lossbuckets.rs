@@ -9,7 +9,10 @@ use lg_fabric::tracegen::{bucket_of, sample_loss_rate, LOSS_BUCKETS};
 use lg_sim::Rng;
 
 fn main() {
-    banner("Table 1", "corruption loss rates drawn by the trace generator");
+    banner(
+        "Table 1",
+        "corruption loss rates drawn by the trace generator",
+    );
     let samples: u64 = arg("--samples", 1_000_000u64);
     let mut rng = Rng::new(arg("--seed", 42u64));
     let mut counts = [0u64; 4];

@@ -3,9 +3,12 @@
 //! (ReTx+Tail+Order = full LinkGuardian).
 //!
 //! Usage: `cargo run --release -p lg-bench --bin table2_ablation
-//! [--trials 20000]`
+//! [--trials 20000] [--threads N]`
+//!
+//! The six ablation rows run in parallel; output is identical at any
+//! `--threads` value.
 
-use lg_bench::{arg, banner};
+use lg_bench::{arg, banner, sweep};
 use lg_link::{LinkSpeed, LossModel};
 use lg_testbed::{fct_experiment, FctTransport, Protection};
 use lg_transport::CcVariant;
@@ -23,26 +26,56 @@ fn main() {
     let configs: [(&str, LossModel, Protection); 6] = [
         ("No Loss", LossModel::None, Protection::Off),
         ("Loss (1e-3)", loss.clone(), Protection::Off),
-        ("ReTx", loss.clone(), Protection::Ablation { tail: false, order: false }),
-        ("ReTx+Order", loss.clone(), Protection::Ablation { tail: false, order: true }),
-        ("ReTx+Tail", loss.clone(), Protection::Ablation { tail: true, order: false }),
-        ("ReTx+Tail+Order", loss.clone(), Protection::Ablation { tail: true, order: true }),
+        (
+            "ReTx",
+            loss.clone(),
+            Protection::Ablation {
+                tail: false,
+                order: false,
+            },
+        ),
+        (
+            "ReTx+Order",
+            loss.clone(),
+            Protection::Ablation {
+                tail: false,
+                order: true,
+            },
+        ),
+        (
+            "ReTx+Tail",
+            loss.clone(),
+            Protection::Ablation {
+                tail: true,
+                order: false,
+            },
+        ),
+        (
+            "ReTx+Tail+Order",
+            loss.clone(),
+            Protection::Ablation {
+                tail: true,
+                order: true,
+            },
+        ),
     ];
 
     println!(
         "{:<18} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "variant", "99.00%", "99.90%", "99.99%", "99.999%", "std dev"
     );
-    for (label, lm, prot) in configs {
-        let r = fct_experiment(
+    let results = sweep::run(&configs, |(_, lm, prot)| {
+        fct_experiment(
             speed,
-            lm,
-            prot,
+            lm.clone(),
+            *prot,
             FctTransport::Tcp(CcVariant::Dctcp),
             24_387,
             trials,
             seed,
-        );
+        )
+    });
+    for ((label, _, _), r) in configs.iter().zip(&results) {
         println!(
             "{:<18} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
             label,

@@ -9,7 +9,10 @@ use lg_sim::Duration;
 use lg_testbed::{stress_test, Protection};
 
 fn main() {
-    banner("Table 4", "recirculation overhead (% of pipe forwarding capacity)");
+    banner(
+        "Table 4",
+        "recirculation overhead (% of pipe forwarding capacity)",
+    );
     let secs: f64 = arg("--secs", 0.3);
     let duration = Duration::from_secs_f64(secs);
     println!(

@@ -8,21 +8,51 @@
 //! compares *shapes* (who wins, by what factor, where crossovers fall)
 //! against the paper.
 
+pub mod sweep;
+
 use std::env;
 
-/// Parse `--key value` style arguments with a default.
-pub fn arg<T: std::str::FromStr>(key: &str, default: T) -> T {
-    let args: Vec<String> = env::args().collect();
+/// Parse `--key value` from an explicit argument list.
+///
+/// Returns `Ok(None)` when `key` is absent, and `Err` with a
+/// human-readable message when the key is present but the value is
+/// missing or fails to parse — silently falling back to a default on a
+/// typo would run the wrong experiment.
+pub fn try_arg<T: std::str::FromStr>(args: &[String], key: &str) -> Result<Option<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
     for i in 0..args.len() {
         if args[i] == key {
-            if let Some(v) = args.get(i + 1) {
-                if let Ok(parsed) = v.parse() {
-                    return parsed;
-                }
-            }
+            let Some(v) = args.get(i + 1) else {
+                return Err(format!("missing value after {key}"));
+            };
+            return match v.parse::<T>() {
+                Ok(parsed) => Ok(Some(parsed)),
+                Err(e) => Err(format!("invalid value for {key}: {v:?} ({e})")),
+            };
         }
     }
-    default
+    Ok(None)
+}
+
+/// Parse `--key value` style arguments with a default.
+///
+/// A present-but-unparsable value is reported on stderr and exits with
+/// status 2 rather than being silently replaced by the default.
+pub fn arg<T: std::str::FromStr>(key: &str, default: T) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    let args: Vec<String> = env::args().collect();
+    match try_arg(&args, key) {
+        Ok(Some(parsed)) => parsed,
+        Ok(None) => default,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// Whether a bare flag is present.
@@ -45,5 +75,35 @@ mod tests {
     fn arg_default_used_when_missing() {
         assert_eq!(arg("--definitely-not-passed", 42u32), 42);
         assert!(!flag("--definitely-not-passed"));
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn try_arg_absent_is_none() {
+        let args = argv(&["bin", "--other", "3"]);
+        assert_eq!(try_arg::<u32>(&args, "--threads"), Ok(None));
+    }
+
+    #[test]
+    fn try_arg_parses_present_value() {
+        let args = argv(&["bin", "--threads", "8"]);
+        assert_eq!(try_arg::<u32>(&args, "--threads"), Ok(Some(8)));
+    }
+
+    #[test]
+    fn try_arg_reports_bad_value() {
+        let args = argv(&["bin", "--threads", "lots"]);
+        let err = try_arg::<u32>(&args, "--threads").unwrap_err();
+        assert!(err.contains("--threads") && err.contains("lots"), "{err}");
+    }
+
+    #[test]
+    fn try_arg_reports_missing_value() {
+        let args = argv(&["bin", "--threads"]);
+        let err = try_arg::<u32>(&args, "--threads").unwrap_err();
+        assert!(err.contains("missing value"), "{err}");
     }
 }

@@ -1,0 +1,48 @@
+//! Parallel sweep driver for the experiment binaries.
+//!
+//! Every figure/table binary is a *sweep*: an ordered list of
+//! independent points (speed × loss-rate × protection combinations,
+//! ablation rows, fabric-policy runs), each fully determined by its
+//! parameters and its own seed. [`run`] computes the points in parallel
+//! with [`lg_sim::par_map`] and hands results back in input order, so a
+//! binary's stdout is byte-identical at any `--threads` value — the
+//! thread count only changes how long you wait.
+//!
+//! Compute first, print after: binaries build the full point list,
+//! sweep it, then render rows serially from the returned `Vec`.
+
+/// Worker threads for sweeps: `--threads N` if given, else all
+/// available cores.
+///
+/// `--threads 1` gives the exact serial behavior (no worker pool).
+pub fn threads() -> usize {
+    crate::arg("--threads", default_threads()).max(1)
+}
+
+/// The default worker count (the machine's available parallelism).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Evaluate `f` over all sweep `points` on [`threads`] workers,
+/// returning results in input order.
+pub fn run<P, R, F>(points: &[P], f: F) -> Vec<R>
+where
+    P: Sync,
+    R: Send,
+    F: Fn(&P) -> R + Sync,
+{
+    lg_sim::par_map(points, threads(), |_, p| f(p))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn sweep_preserves_point_order() {
+        let points: Vec<u32> = (0..50).collect();
+        let out = super::run(&points, |&p| p * 2);
+        assert_eq!(out, points.iter().map(|p| p * 2).collect::<Vec<_>>());
+    }
+}

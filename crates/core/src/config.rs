@@ -89,9 +89,7 @@ impl LgConfig {
             LinkSpeed::G400 => (Duration::from_ns(6_800), 36 * 1024),
         };
         let retx_extra_delay = match speed {
-            LinkSpeed::G25 | LinkSpeed::G10 => {
-                (Duration::from_ns(500), Duration::from_ns(3_300))
-            }
+            LinkSpeed::G25 | LinkSpeed::G10 => (Duration::from_ns(500), Duration::from_ns(3_300)),
             _ => (Duration::from_ns(800), Duration::from_ns(4_200)),
         };
         LgConfig {

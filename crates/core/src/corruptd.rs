@@ -103,7 +103,12 @@ impl Corruptd {
     /// Poll one port's counters. Returns a notice when the port crosses
     /// the activation threshold (deactivation notices are not modeled; the
     /// paper repairs links out of band, §3.6).
-    pub fn poll(&mut self, port: usize, counters: PortCounters, now: Time) -> Option<CorruptionNotice> {
+    pub fn poll(
+        &mut self,
+        port: usize,
+        counters: PortCounters,
+        now: Time,
+    ) -> Option<CorruptionNotice> {
         let mon = &mut self.ports[port];
         let rate = mon.poll(counters);
         if !mon.active && rate >= ACTIVATION_THRESHOLD && rate > 0.0 {
@@ -171,7 +176,11 @@ mod tests {
         let mut d = Corruptd::new(1, 2, 1e-8);
         for i in 1..=10 {
             assert!(d
-                .poll(0, counters(i * 1_000_000, i * 1_000_000), Time::from_secs(i))
+                .poll(
+                    0,
+                    counters(i * 1_000_000, i * 1_000_000),
+                    Time::from_secs(i)
+                )
                 .is_none());
         }
         assert!(!d.is_active(0));

@@ -189,7 +189,9 @@ mod tests {
         c.poll(1e-2, Time::from_secs(2));
         assert_eq!(c.level(), ProtectionLevel::NonBlocking);
         assert!(c.poll(1e-4, Time::from_secs(3)).is_none());
-        let d = c.poll(1e-4, Time::from_secs(4)).expect("promotion confirmed");
+        let d = c
+            .poll(1e-4, Time::from_secs(4))
+            .expect("promotion confirmed");
         assert_eq!(d.to, ProtectionLevel::Ordered);
     }
 

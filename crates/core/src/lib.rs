@@ -28,8 +28,8 @@ pub mod corruptd;
 pub mod eq;
 pub mod fallback;
 pub mod receiver;
-pub mod seqmap;
 pub mod sender;
+pub mod seqmap;
 
 pub use config::{LgConfig, Mechanisms, Mode};
 pub use corruptd::{Corruptd, CorruptionBus, CorruptionNotice};

@@ -235,8 +235,7 @@ impl LgReceiver {
             self.stats.gaps_detected += 1;
             let mut start = first_missing;
             while start <= new_latest {
-                let count =
-                    ((new_latest - start + 1) as u16).min(MAX_CONSECUTIVE_LOSSES);
+                let count = ((new_latest - start + 1) as u16).min(MAX_CONSECUTIVE_LOSSES);
                 for seq in start..start + count as u64 {
                     self.missing.insert(seq);
                     self.missing_since.insert(seq, now);
@@ -269,13 +268,7 @@ impl LgReceiver {
     }
 
     /// Algorithm 1 (ordered mode) / immediate forwarding (NB mode).
-    fn accept_data(
-        &mut self,
-        abs: u64,
-        pkt: Packet,
-        now: Time,
-        actions: &mut Vec<ReceiverAction>,
-    ) {
+    fn accept_data(&mut self, abs: u64, pkt: Packet, now: Time, actions: &mut Vec<ReceiverAction>) {
         if abs > self.latest_rx {
             self.latest_rx = abs;
             self.note_latest_changed();
@@ -817,7 +810,10 @@ mod tests {
         assert_eq!(r.stats().skipped, 1);
         assert_eq!(r.ack_no(), 4);
         // the late retx of 2 is now a harmless duplicate
-        let late = r.on_protected_rx(data(2, LgPacketType::Retransmit), deadline + Duration::from_us(1));
+        let late = r.on_protected_rx(
+            data(2, LgPacketType::Retransmit),
+            deadline + Duration::from_us(1),
+        );
         assert!(delivered(&late).is_empty());
         assert_eq!(r.stats().dup_drops, 1);
     }
@@ -857,7 +853,10 @@ mod tests {
         r.on_protected_rx(data(3, LgPacketType::Original), Time::ZERO);
         let a4 = r.on_protected_rx(data(4, LgPacketType::Original), Time::ZERO);
         assert!(
-            notifications(&a4).is_empty() && !a4.iter().any(|a| matches!(a, ReceiverAction::SendReverse { .. })),
+            notifications(&a4).is_empty()
+                && !a4
+                    .iter()
+                    .any(|a| matches!(a, ReceiverAction::SendReverse { .. })),
             "below pause threshold: no pause yet"
         );
         let a5 = r.on_protected_rx(data(5, LgPacketType::Original), Time::ZERO);
@@ -919,7 +918,7 @@ mod tests {
     #[test]
     fn rx_buffer_overflow_drops_packets() {
         let cfg = LgConfig {
-            rx_buffer_cap: 3_200, // fits two 1521B frames
+            rx_buffer_cap: 3_200,      // fits two 1521B frames
             pause_threshold: u64::MAX, // backpressure disabled (Fig 9b)
             resume_threshold: 0,
             ..LgConfig::for_speed(LinkSpeed::G25, 1e-3)
@@ -962,7 +961,9 @@ mod tests {
                 .iter()
                 .any(|x| matches!(x, ReceiverAction::SendReverse { pkt, .. }
                     if matches!(pkt.payload, Payload::Lg(LgControl::Pause(_))))));
-            assert!(!a.iter().any(|x| matches!(x, ReceiverAction::ArmTimeout { .. })));
+            assert!(!a
+                .iter()
+                .any(|x| matches!(x, ReceiverAction::ArmTimeout { .. })));
         }
         assert_eq!(r.stats().pauses_sent, 0);
     }

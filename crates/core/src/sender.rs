@@ -291,7 +291,8 @@ impl LgSender {
                     let ring_delay = RECIRC_DRAIN_RATE.serialize(self.tx_buffer.bytes() / 2);
                     let (lo, hi) = self.cfg.retx_extra_delay;
                     let jitter = Duration::from_ps(
-                        self.rng.range(lo.as_ps().min(hi.as_ps()), hi.as_ps().max(lo.as_ps())),
+                        self.rng
+                            .range(lo.as_ps().min(hi.as_ps()), hi.as_ps().max(lo.as_ps())),
                     );
                     let delay = self.tx_buffer.loop_latency() + ring_delay + jitter;
                     for _ in 0..self.n_copies {
@@ -377,7 +378,8 @@ mod tests {
     }
 
     fn ack(latest_abs: u64) -> Packet {
-        let mut p = Packet::lg_control(NodeId(101), NodeId(100), LgControl::ExplicitAck, Time::ZERO);
+        let mut p =
+            Packet::lg_control(NodeId(101), NodeId(100), LgControl::ExplicitAck, Time::ZERO);
         p.lg_ack = Some(LgAck {
             latest_rx: wire_of(latest_abs),
             explicit: true,

@@ -51,7 +51,7 @@ proptest! {
         let mut pending_retx: Vec<u64> = Vec::new();
         let mut t = Time::ZERO;
         for abs in 1..=n {
-            t = t + Duration::from_ns(130);
+            t += Duration::from_ns(130);
             let lost = loss_pattern
                 .get((abs % loss_pattern.len() as u64) as usize)
                 .is_some_and(|&v| v == 0);
@@ -64,7 +64,7 @@ proptest! {
             // retransmissions of everything reported missing arrive a
             // little later (always successfully), possibly duplicated
             for m in pending_retx.drain(..) {
-                t = t + Duration::from_ns(700);
+                t += Duration::from_ns(700);
                 let a = rx.on_protected_rx(data_pkt(m, LgPacketType::Retransmit), t);
                 out.extend(delivered_seqs(&a));
                 if m % dup_every == 0 {
@@ -75,13 +75,13 @@ proptest! {
         }
         // tail: anything still missing is recovered via dummy + retx
         if !pending_retx.is_empty() {
-            t = t + Duration::from_ns(200);
+            t += Duration::from_ns(200);
             let mut dummy = Packet::lg_control(NodeId(100), NodeId(101), LgControl::Dummy, t);
             dummy.lg_data = Some(LgData { seq: wire_of(n), kind: LgPacketType::Dummy });
             let a = rx.on_protected_rx(dummy, t);
             out.extend(delivered_seqs(&a));
             for m in pending_retx.drain(..) {
-                t = t + Duration::from_ns(700);
+                t += Duration::from_ns(700);
                 let a = rx.on_protected_rx(data_pkt(m, LgPacketType::Retransmit), t);
                 out.extend(delivered_seqs(&a));
             }
@@ -108,7 +108,7 @@ proptest! {
             if lost.contains(&abs) {
                 continue;
             }
-            t = t + Duration::from_ns(130);
+            t += Duration::from_ns(130);
             let actions = rx.on_protected_rx(data_pkt(abs, LgPacketType::Original), t);
             for a in &actions {
                 if let ReceiverAction::SendReverse { pkt, .. } = a {
@@ -144,7 +144,7 @@ proptest! {
         tx.activate(1e-4);
         let mut t = Time::ZERO;
         for i in 1..=n {
-            t = t + Duration::from_ns(500);
+            t += Duration::from_ns(500);
             let mut p = Packet::raw(NodeId(1), NodeId(2), 1518, t);
             tx.on_transmit(&mut p, t);
             if i % ack_step == 0 {
@@ -178,7 +178,7 @@ proptest! {
         tx.activate(actual);
         let mut t = Time::ZERO;
         for _ in 0..n_sent {
-            t = t + Duration::from_ns(130);
+            t += Duration::from_ns(130);
             let mut p = Packet::raw(NodeId(1), NodeId(2), 1518, t);
             tx.on_transmit(&mut p, t);
         }

@@ -12,14 +12,12 @@
 
 use crate::corropt::{CapacityConstraint, CorrOpt};
 use crate::topology::{Fabric, Link, LinkId, LinkState};
-use crate::tracegen::{
-    sample_loss_rate, sample_repair_hours, sample_time_to_corruption, Hours,
-};
+use crate::tracegen::{sample_loss_rate, sample_repair_hours, sample_time_to_corruption, Hours};
 use lg_sim::Rng;
 use linkguardian::eq::{effective_loss_rate, retx_copies};
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 /// Maintenance policy under evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -41,7 +39,13 @@ pub enum Policy {
 /// interpolated from the paper's Fig 8 measurements (ordered mode):
 /// ≈100% at 1e-5, ≈99% at 1e-4, ≈92% at 1e-3.
 pub fn lg_effective_speed(loss_rate: f64) -> f64 {
-    let anchors = [(1e-6, 1.0), (1e-5, 0.998), (1e-4, 0.99), (1e-3, 0.92), (1e-2, 0.70)];
+    let anchors = [
+        (1e-6, 1.0),
+        (1e-5, 0.998),
+        (1e-4, 0.99),
+        (1e-3, 0.92),
+        (1e-2, 0.70),
+    ];
     if loss_rate <= anchors[0].0 {
         return anchors[0].1;
     }
@@ -109,7 +113,7 @@ impl FabricSimConfig {
 }
 
 /// One metric sample (a point of Fig 15's three panels).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SamplePoint {
     /// Sample time (hours).
     pub t_hours: Hours,
@@ -126,7 +130,7 @@ pub struct SamplePoint {
 }
 
 /// Aggregate counters for one run.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct FabricSimCounts {
     /// Corruption onsets.
     pub corruption_events: u64,
@@ -144,7 +148,7 @@ pub struct FabricSimCounts {
 }
 
 /// Result of one run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FabricSimResult {
     /// Time series of samples.
     pub samples: Vec<SamplePoint>,
@@ -208,7 +212,11 @@ pub fn run(cfg: &FabricSimConfig) -> FabricSimResult {
         }
     }
 
-    let mut corrupting: HashMap<LinkId, (f64, bool)> = HashMap::new();
+    // BTreeMap, not HashMap: its LinkId-sorted iteration order makes the
+    // penalty float-sum and the optimizer backlog order reproducible.
+    // HashMap's per-instance random hash keys made both vary from run to
+    // run (and thread to thread), which breaks byte-identical sweeps.
+    let mut corrupting: BTreeMap<LinkId, (f64, bool)> = BTreeMap::new();
     let mut disabled_count: u32 = 0;
     let mut counts = FabricSimCounts::default();
     let mut samples = Vec::new();
@@ -221,16 +229,17 @@ pub fn run(cfg: &FabricSimConfig) -> FabricSimResult {
     let capable: Vec<bool> = match cfg.policy {
         Policy::CorrOptOnly => vec![false; n_links as usize],
         Policy::LgPlusCorrOpt => vec![true; n_links as usize],
-        Policy::PartialLg(f) => (0..n_links)
-            .map(|_| capability_rng.bernoulli(f))
-            .collect(),
+        Policy::PartialLg(f) => (0..n_links).map(|_| capability_rng.bernoulli(f)).collect(),
     };
 
     let effective_speed = |l: &Link| -> f64 {
         match l.state {
             LinkState::Up => 1.0,
             LinkState::Disabled => 0.0,
-            LinkState::Corrupting { loss_rate, lg_active } => {
+            LinkState::Corrupting {
+                loss_rate,
+                lg_active,
+            } => {
                 if lg_active {
                     lg_effective_speed(loss_rate)
                 } else {
@@ -240,46 +249,65 @@ pub fn run(cfg: &FabricSimConfig) -> FabricSimResult {
         }
     };
 
-    let take_sample =
-        |t: Hours,
-         fabric: &Fabric,
-         corrupting: &HashMap<LinkId, (f64, bool)>,
-         disabled_count: u32,
-         samples: &mut Vec<SamplePoint>| {
-            let total_penalty: f64 = corrupting
-                .values()
-                .map(|&(r, lg_on)| link_penalty_with(lg_on, r, cfg.target_loss_rate))
-                .sum::<f64>()
-                .max(0.0);
-            let mut least_paths: f64 = 1.0;
-            let mut least_capacity: f64 = 1.0;
-            for pod in 0..cfg.pods {
-                // skip pods with every link nominal
-                let any_non_up = fabric
-                    .pod_links(pod)
-                    .iter()
-                    .any(|l| l.state != LinkState::Up);
-                if !any_non_up {
-                    continue;
-                }
-                least_paths = least_paths.min(fabric.least_paths_fraction_in_pod(pod));
-                least_capacity =
-                    least_capacity.min(fabric.pod_capacity_fraction(pod, effective_speed));
+    let take_sample = |t: Hours,
+                       fabric: &Fabric,
+                       corrupting: &BTreeMap<LinkId, (f64, bool)>,
+                       disabled_count: u32,
+                       samples: &mut Vec<SamplePoint>| {
+        let total_penalty: f64 = corrupting
+            .values()
+            .map(|&(r, lg_on)| link_penalty_with(lg_on, r, cfg.target_loss_rate))
+            .sum::<f64>()
+            .max(0.0);
+        let mut least_paths: f64 = 1.0;
+        let mut least_capacity: f64 = 1.0;
+        for pod in 0..cfg.pods {
+            // skip pods with every link nominal
+            let any_non_up = fabric
+                .pod_links(pod)
+                .iter()
+                .any(|l| l.state != LinkState::Up);
+            if !any_non_up {
+                continue;
             }
-            samples.push(SamplePoint {
-                t_hours: t,
-                total_penalty,
-                least_paths,
-                least_capacity,
-                active_corrupting: corrupting.len() as u32,
-                disabled: disabled_count,
-            });
+            least_paths = least_paths.min(fabric.least_paths_fraction_in_pod(pod));
+            least_capacity = least_capacity.min(fabric.pod_capacity_fraction(pod, effective_speed));
+        }
+        samples.push(SamplePoint {
+            t_hours: t,
+            total_penalty,
+            least_paths,
+            least_capacity,
+            active_corrupting: corrupting.len() as u32,
+            disabled: disabled_count,
+        });
+    };
+
+    // Worst-case concurrent LG links per fabric switch (§5), maintained
+    // incrementally as links enter and leave the corrupting set.
+    // (Recomputing it from scratch after every event made the year-long
+    // LG runs quadratic in the corrupting-set size and dominated the
+    // whole sweep's wall clock.)
+    let switch_key = |fabric: &Fabric, l: LinkId| -> (u32, u8) {
+        let link = fabric.link(l);
+        let fswitch = match link.kind {
+            crate::topology::LinkKind::TorFabric { fabric, .. } => fabric,
+            crate::topology::LinkKind::FabricSpine { fabric, .. } => fabric,
         };
+        (link.pod, fswitch)
+    };
+    let mut lg_per_switch: HashMap<(u32, u8), u32> = HashMap::new();
 
     while let Some(Scheduled { at, ev, .. }) = heap.pop() {
         // emit samples up to this event
         while next_sample <= at && next_sample <= cfg.horizon_hours {
-            take_sample(next_sample, &fabric, &corrupting, disabled_count, &mut samples);
+            take_sample(
+                next_sample,
+                &fabric,
+                &corrupting,
+                disabled_count,
+                &mut samples,
+            );
             next_sample += cfg.sample_interval_hours;
         }
         if at > cfg.horizon_hours {
@@ -305,6 +333,11 @@ pub fn run(cfg: &FabricSimConfig) -> FabricSimResult {
                 } else {
                     counts.deferred += 1;
                     corrupting.insert(link, (rate, lg_on));
+                    if lg_on {
+                        let n = lg_per_switch.entry(switch_key(&fabric, link)).or_insert(0);
+                        *n += 1;
+                        counts.peak_lg_per_fabric_switch = counts.peak_lg_per_fabric_switch.max(*n);
+                    }
                 }
             }
             Ev::RepairDone(link) => {
@@ -313,46 +346,53 @@ pub fn run(cfg: &FabricSimConfig) -> FabricSimResult {
                 fabric.set_state(link, LinkState::Up);
                 let next_fail = sample_time_to_corruption(&mut link_rngs[link.0 as usize]);
                 if at + next_fail <= cfg.horizon_hours {
-                    push(&mut heap, &mut seq, at + next_fail, Ev::StartCorrupting(link));
+                    push(
+                        &mut heap,
+                        &mut seq,
+                        at + next_fail,
+                        Ev::StartCorrupting(link),
+                    );
                 }
                 // capacity returned: let the optimizer try the backlog
                 let backlog: Vec<(LinkId, f64)> =
                     corrupting.iter().map(|(&l, &(r, _))| (l, r)).collect();
                 for l in corropt.optimize(&mut fabric, &backlog) {
                     counts.optimizer_disabled += 1;
-                    corrupting.remove(&l);
+                    if let Some((_, true)) = corrupting.remove(&l) {
+                        if let Some(n) = lg_per_switch.get_mut(&switch_key(&fabric, l)) {
+                            *n -= 1;
+                        }
+                    }
                     disabled_count += 1;
                     let repair = sample_repair_hours(&mut link_rngs[l.0 as usize]);
                     push(&mut heap, &mut seq, at + repair, Ev::RepairDone(l));
                 }
             }
         }
-        // track worst-case concurrent LG links per fabric switch (§5)
-        if !matches!(cfg.policy, Policy::CorrOptOnly) {
-            let mut per_switch: HashMap<(u32, u8), u32> = HashMap::new();
-            for (&l, &(_, lg_on)) in corrupting.iter() {
-                if !lg_on {
-                    continue;
-                }
-                let link = fabric.link(l);
-                let fswitch = match link.kind {
-                    crate::topology::LinkKind::TorFabric { fabric, .. } => fabric,
-                    crate::topology::LinkKind::FabricSpine { fabric, .. } => fabric,
-                };
-                *per_switch.entry((link.pod, fswitch)).or_insert(0) += 1;
-            }
-            if let Some(&m) = per_switch.values().max() {
-                counts.peak_lg_per_fabric_switch = counts.peak_lg_per_fabric_switch.max(m);
-            }
-        }
     }
     // trailing samples
     while next_sample <= cfg.horizon_hours {
-        take_sample(next_sample, &fabric, &corrupting, disabled_count, &mut samples);
+        take_sample(
+            next_sample,
+            &fabric,
+            &corrupting,
+            disabled_count,
+            &mut samples,
+        );
         next_sample += cfg.sample_interval_hours;
     }
 
     FabricSimResult { samples, counts }
+}
+
+/// Run many independent configs, fanning them across up to `threads`
+/// worker threads.
+///
+/// Each config owns its master seed (all randomness forks from it), so
+/// runs are independent; results come back in `cfgs` order regardless
+/// of scheduling, making output byte-identical at any thread count.
+pub fn run_many(cfgs: &[FabricSimConfig], threads: usize) -> Vec<FabricSimResult> {
+    lg_sim::par_map(cfgs, threads, |_, cfg| run(cfg))
 }
 
 #[cfg(test)]
@@ -368,6 +408,29 @@ mod tests {
             sample_interval_hours: 6.0,
             target_loss_rate: 1e-8,
             seed: 7,
+        }
+    }
+
+    #[test]
+    fn run_many_is_deterministic_across_thread_counts() {
+        let cfgs: Vec<FabricSimConfig> = (0..6u64)
+            .map(|i| {
+                let mut c = small_cfg(
+                    if i % 2 == 0 {
+                        Policy::CorrOptOnly
+                    } else {
+                        Policy::LgPlusCorrOpt
+                    },
+                    if i < 3 { 0.5 } else { 0.75 },
+                );
+                c.horizon_hours = 24.0 * 7.0;
+                c.seed = 100 + i;
+                c
+            })
+            .collect();
+        let serial = run_many(&cfgs, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(serial, run_many(&cfgs, threads), "threads={threads}");
         }
     }
 

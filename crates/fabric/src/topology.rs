@@ -18,7 +18,8 @@ pub const UPLINKS_PER_FABRIC: usize = 48;
 /// Paths from each ToR to the spine layer.
 pub const PATHS_PER_TOR: usize = FABRICS_PER_POD * UPLINKS_PER_FABRIC; // 192
 /// Links per pod (ToR↔fabric + fabric↔spine).
-pub const LINKS_PER_POD: usize = TORS_PER_POD * FABRICS_PER_POD + FABRICS_PER_POD * UPLINKS_PER_FABRIC;
+pub const LINKS_PER_POD: usize =
+    TORS_PER_POD * FABRICS_PER_POD + FABRICS_PER_POD * UPLINKS_PER_FABRIC;
 
 /// Identifier of a link in the fabric.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -133,7 +134,7 @@ impl Fabric {
 
     /// Link ids of one pod.
     pub fn pod_link_ids(&self, pod: u32) -> impl Iterator<Item = LinkId> {
-        let start = pod as u32 * LINKS_PER_POD as u32;
+        let start = pod * LINKS_PER_POD as u32;
         (start..start + LINKS_PER_POD as u32).map(LinkId)
     }
 
@@ -204,12 +205,7 @@ mod tests {
         // find the link (tor 0, fabric 0)
         let id = f
             .pod_link_ids(0)
-            .find(|&id| {
-                matches!(
-                    f.link(id).kind,
-                    LinkKind::TorFabric { tor: 0, fabric: 0 }
-                )
-            })
+            .find(|&id| matches!(f.link(id).kind, LinkKind::TorFabric { tor: 0, fabric: 0 }))
             .unwrap();
         f.set_state(id, LinkState::Disabled);
         // ToR 0 loses one fabric switch = 48 of 192 paths
@@ -225,7 +221,10 @@ mod tests {
             .find(|&id| {
                 matches!(
                     f.link(id).kind,
-                    LinkKind::FabricSpine { fabric: 1, spine: 7 }
+                    LinkKind::FabricSpine {
+                        fabric: 1,
+                        spine: 7
+                    }
                 )
             })
             .unwrap();
@@ -259,7 +258,9 @@ mod tests {
             },
         );
         let cap = f.pod_capacity_fraction(0, |l| match l.state {
-            LinkState::Corrupting { lg_active: true, .. } => 0.92,
+            LinkState::Corrupting {
+                lg_active: true, ..
+            } => 0.92,
             LinkState::Disabled => 0.0,
             _ => 1.0,
         });

@@ -115,10 +115,7 @@ mod tests {
         }
         for (i, &(_, _, p)) in LOSS_BUCKETS.iter().enumerate() {
             let frac = counts[i] as f64 / n as f64;
-            assert!(
-                (frac - p).abs() < 0.01,
-                "bucket {i}: {frac} expected {p}"
-            );
+            assert!((frac - p).abs() < 0.01, "bucket {i}: {frac} expected {p}");
         }
     }
 
@@ -135,7 +132,10 @@ mod tests {
     fn mttf_matches_meza() {
         let mut rng = Rng::new(2);
         let n = 100_000;
-        let mean: f64 = (0..n).map(|_| sample_time_to_corruption(&mut rng)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_time_to_corruption(&mut rng))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - MTTF_HOURS).abs() / MTTF_HOURS < 0.02, "{mean}");
     }
 

@@ -42,10 +42,7 @@ impl GroupFec {
     pub fn decode(&self, survived: &[bool]) -> GroupOutcome {
         assert_eq!(survived.len() as u32, self.k + self.r);
         let total_lost = survived.iter().filter(|s| !**s).count() as u32;
-        let data_lost = survived[..self.k as usize]
-            .iter()
-            .filter(|s| !**s)
-            .count() as u32;
+        let data_lost = survived[..self.k as usize].iter().filter(|s| !**s).count() as u32;
         if total_lost <= self.r {
             // MDS: any <= r erasures recoverable
             GroupOutcome {
@@ -110,7 +107,7 @@ mod tests {
     #[test]
     fn no_loss_passes_through() {
         let fec = GroupFec::new(10, 2);
-        let out = fec.decode(&vec![true; 12]);
+        let out = fec.decode(&[true; 12]);
         assert_eq!(out.delivered, 10);
         assert_eq!(out.lost, 0);
         assert!(!out.recovered);

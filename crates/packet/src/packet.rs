@@ -9,7 +9,7 @@
 use crate::eth;
 use crate::ipv4::{Ecn, Ipv4Repr};
 use crate::lg::{LgAck, LgData, LossNotification, PauseFrame, ACK_HEADER_LEN, DATA_HEADER_LEN};
-use crate::rdma::{AethSyndrome, Aeth, Bth, RdmaOpcode};
+use crate::rdma::{Aeth, AethSyndrome, Bth, RdmaOpcode};
 use crate::tcp::{SackBlock, TcpFlags, TcpRepr};
 use crate::udp::UdpRepr;
 use lg_sim::Time;
@@ -410,7 +410,9 @@ mod tests {
         let p = Packet::lg_control(NodeId(1), NodeId(2), LgControl::ExplicitAck, Time::ZERO);
         assert_eq!(p.frame_len(), 64);
         assert!(!p.is_data());
-        assert!(Packet::lg_control(NodeId(1), NodeId(2), LgControl::Dummy, Time::ZERO).is_lg_dummy());
+        assert!(
+            Packet::lg_control(NodeId(1), NodeId(2), LgControl::Dummy, Time::ZERO).is_lg_dummy()
+        );
     }
 
     #[test]

@@ -26,10 +26,7 @@ pub struct SeqNo {
 
 impl SeqNo {
     /// The initial sequence number (raw 0, era 0).
-    pub const ZERO: SeqNo = SeqNo {
-        raw: 0,
-        era: false,
-    };
+    pub const ZERO: SeqNo = SeqNo { raw: 0, era: false };
 
     /// Construct from raw parts.
     pub const fn new(raw: u16, era: bool) -> SeqNo {

@@ -147,7 +147,7 @@ impl TcpRepr {
                 1 => continue, // NOP
                 5 => {
                     let len = r.u8()? as usize;
-                    if len < 2 || (len - 2) % 8 != 0 {
+                    if len < 2 || !(len - 2).is_multiple_of(8) {
                         return Err(ParseError::Malformed);
                     }
                     let n = (len - 2) / 8;
@@ -232,7 +232,10 @@ mod tests {
     #[test]
     fn header_len_includes_padding() {
         // 1 SACK block: 20 + ceil(10/4)*4 = 20 + 12 = 32
-        assert_eq!(sample(vec![SackBlock { start: 0, end: 1 }]).header_len(), 32);
+        assert_eq!(
+            sample(vec![SackBlock { start: 0, end: 1 }]).header_len(),
+            32
+        );
         // 3 blocks: 20 + ceil(26/4)*4 = 20 + 28 = 48
         let blocks = vec![SackBlock { start: 0, end: 1 }; 3];
         assert_eq!(sample(blocks).header_len(), 48);

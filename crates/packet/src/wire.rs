@@ -218,7 +218,9 @@ mod tests {
 
     #[test]
     fn checksum_validates_to_zero() {
-        let mut data = vec![0x45u8, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0];
+        let mut data = vec![
+            0x45u8, 0x00, 0x00, 0x1c, 0x12, 0x34, 0x00, 0x00, 0x40, 0x11, 0, 0,
+        ];
         let ck = internet_checksum(&data);
         data[10..12].copy_from_slice(&ck.to_be_bytes());
         assert_eq!(internet_checksum(&data), 0);

@@ -9,6 +9,9 @@
 //!   tie-break).
 //! * [`rng`]: seeded xoshiro256** [`Rng`] with the distributions the paper
 //!   needs (Bernoulli loss, Weibull link lifetimes, exponential arrivals).
+//! * [`par`]: deterministic [`par_map`] for fanning independent sweep
+//!   points across threads with input-order (thread-count-independent)
+//!   results.
 //! * [`stats`]: percentile samples, log histograms, time series and rate
 //!   meters used to regenerate the paper's tables and figures.
 //!
@@ -17,11 +20,13 @@
 //! and seeded, and two runs with the same seed are bit-identical.
 
 pub mod event;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventHandle, EventQueue};
+pub use par::par_map;
 pub use rng::Rng;
 pub use stats::{LogHistogram, RateMeter, Samples, TimeSeries};
 pub use time::{Duration, Rate, Time};

@@ -294,11 +294,11 @@ mod tests {
     #[test]
     fn duration_saturating_ops() {
         assert_eq!(Duration::MAX + Duration::from_ps(1), Duration::MAX);
+        assert_eq!(Duration::from_ps(5) - Duration::from_ps(10), Duration::ZERO);
         assert_eq!(
-            Duration::from_ps(5) - Duration::from_ps(10),
-            Duration::ZERO
+            Duration::from_us(3).saturating_mul(4),
+            Duration::from_us(12)
         );
-        assert_eq!(Duration::from_us(3).saturating_mul(4), Duration::from_us(12));
         assert_eq!(Duration::from_us(12).div(4), Duration::from_us(3));
     }
 }

@@ -1,0 +1,155 @@
+//! Minimizing differential fuzzer for the timer-wheel event queue.
+//!
+//! Ignored by default (the proptest in `prop.rs` covers the same ground
+//! on every run); run explicitly when debugging a divergence:
+//!
+//! ```text
+//! cargo test -p lg-sim --test fuzz_min -- --ignored --nocapture
+//! ```
+//!
+//! Unlike the proptest stand-in, this harness shrinks: it drops ops and
+//! halves delays until the failing sequence is locally minimal, then
+//! prints it. The rollover cascade bug fixed in the wheel's `advance`
+//! (cursor carried into a still-occupied higher-level slot) was found
+//! by the proptest and reduced to a 12-op reproduction by this fuzzer.
+
+use lg_sim::event::reference;
+use lg_sim::{EventQueue, Rng, Time};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Sched(u64), // delay in ps from wheel.now()
+    Cancel(usize),
+    Peek,
+    Pop,
+}
+
+fn run(ops: &[Op]) -> Result<(), String> {
+    let mut wheel = EventQueue::new();
+    let mut oracle = reference::EventQueue::new();
+    let mut wh = Vec::new();
+    let mut oh = Vec::new();
+    for (step, &op) in ops.iter().enumerate() {
+        match op {
+            Op::Sched(d) => {
+                let at = Time::from_ps(wheel.now().as_ps().saturating_add(d));
+                let tag = wh.len();
+                wh.push(wheel.schedule_at(at, tag));
+                oh.push(oracle.schedule_at(at, tag));
+            }
+            Op::Cancel(i) => {
+                if !wh.is_empty() {
+                    let i = i % wh.len();
+                    let (w, o) = (wheel.cancel(wh[i]), oracle.cancel(oh[i]));
+                    if w != o {
+                        return Err(format!("step {step}: cancel {w} vs {o}"));
+                    }
+                }
+            }
+            Op::Peek => {
+                let (w, o) = (wheel.peek_time(), oracle.peek_time());
+                if w != o {
+                    return Err(format!("step {step}: peek {w:?} vs {o:?}"));
+                }
+            }
+            Op::Pop => {
+                let (w, o) = (wheel.pop(), oracle.pop());
+                if w != o {
+                    return Err(format!("step {step}: pop {w:?} vs {o:?}"));
+                }
+            }
+        }
+        if wheel.len() != oracle.len() {
+            return Err(format!(
+                "step {step}: len {} vs {}",
+                wheel.len(),
+                oracle.len()
+            ));
+        }
+    }
+    loop {
+        let (w, o) = (wheel.pop(), oracle.pop());
+        if w != o {
+            return Err(format!("drain: pop {w:?} vs {o:?}"));
+        }
+        if w.is_none() {
+            return Ok(());
+        }
+    }
+}
+
+fn gen_ops(rng: &mut Rng, len: usize) -> Vec<Op> {
+    (0..len)
+        .map(|_| match rng.next_u64() % 12 {
+            k @ 0..=5 => {
+                let bits = [10, 14, 24, 34, 44, 60][k as usize];
+                Op::Sched(rng.next_u64() % (1u64 << bits))
+            }
+            6 | 7 => Op::Cancel(rng.next_u64() as usize),
+            8 => Op::Peek,
+            _ => Op::Pop,
+        })
+        .collect()
+}
+
+#[test]
+#[ignore]
+fn find_minimal_divergence() {
+    for seed in 0..20_000u64 {
+        let mut rng = Rng::new(seed);
+        let ops = gen_ops(&mut rng, 40);
+        if run(&ops).is_ok() {
+            continue;
+        }
+        // Shrink: repeatedly try dropping each op.
+        let mut best = ops;
+        loop {
+            let mut improved = false;
+            for i in 0..best.len() {
+                let mut cand = best.clone();
+                cand.remove(i);
+                if run(&cand).is_err() {
+                    best = cand;
+                    improved = true;
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        // Shrink delays toward zero by halving.
+        loop {
+            let mut improved = false;
+            for i in 0..best.len() {
+                if let Op::Sched(d) = best[i] {
+                    for nd in [d / 2, d - d / 4, d.saturating_sub(1)] {
+                        if nd == d {
+                            continue;
+                        }
+                        let mut cand = best.clone();
+                        cand[i] = Op::Sched(nd);
+                        if run(&cand).is_err() {
+                            best = cand;
+                            improved = true;
+                            break;
+                        }
+                    }
+                }
+                if improved {
+                    break;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        eprintln!("seed {seed}: minimal {} ops:", best.len());
+        for op in &best {
+            eprintln!("  {op:?}");
+        }
+        eprintln!("error: {}", run(&best).unwrap_err());
+        panic!("divergence found");
+    }
+    eprintln!("no divergence in 20k seeds");
+}

@@ -44,6 +44,64 @@ proptest! {
         prop_assert_eq!(got, expect);
     }
 
+    /// Differential test: the timer-wheel queue and the reference
+    /// binary-heap queue agree on every observable (popped events, clock,
+    /// cancel results, lengths, peeks) under arbitrary interleavings of
+    /// schedule / cancel / peek / pop across all wheel levels and the
+    /// overflow horizon.
+    #[test]
+    fn wheel_matches_reference_oracle(
+        ops in proptest::collection::vec((0u8..12, any::<u64>(), any::<u64>()), 1..400),
+    ) {
+        use lg_sim::event::reference;
+        let mut wheel = EventQueue::new();
+        let mut oracle = reference::EventQueue::new();
+        let mut wheel_handles = Vec::new();
+        let mut oracle_handles = Vec::new();
+        for &(op, a, b) in &ops {
+            match op {
+                // Schedule with horizons spanning sub-slot distances,
+                // every wheel level and the overflow heap.
+                0..=5 => {
+                    let horizon_bits = [10, 14, 24, 34, 44, 60][op as usize];
+                    let d = a % (1u64 << horizon_bits);
+                    let at = Time::from_ps(wheel.now().as_ps().saturating_add(d));
+                    let tag = wheel_handles.len();
+                    wheel_handles.push(wheel.schedule_at(at, tag));
+                    oracle_handles.push(oracle.schedule_at(at, tag));
+                }
+                // Cancel a random handle — possibly already fired or
+                // already cancelled.
+                6 | 7 => {
+                    if !wheel_handles.is_empty() {
+                        let i = (b as usize) % wheel_handles.len();
+                        prop_assert_eq!(
+                            wheel.cancel(wheel_handles[i]),
+                            oracle.cancel(oracle_handles[i])
+                        );
+                    }
+                }
+                8 => {
+                    prop_assert_eq!(wheel.peek_time(), oracle.peek_time());
+                }
+                _ => {
+                    prop_assert_eq!(wheel.pop(), oracle.pop());
+                    prop_assert_eq!(wheel.now(), oracle.now());
+                }
+            }
+            prop_assert_eq!(wheel.len(), oracle.len());
+            prop_assert_eq!(wheel.is_empty(), oracle.is_empty());
+        }
+        loop {
+            let (w, o) = (wheel.pop(), oracle.pop());
+            prop_assert_eq!(w, o);
+            prop_assert_eq!(wheel.now(), oracle.now());
+            if w.is_none() {
+                break;
+            }
+        }
+    }
+
     /// Rate arithmetic: serialize/bytes_in round-trips and is monotone.
     #[test]
     fn rate_round_trip(gbps in 1u64..800, bytes in 1u64..1_000_000) {

@@ -42,7 +42,7 @@ impl PacketGen {
     /// Mark one emission done and advance the schedule.
     pub fn emit(&mut self) -> Time {
         let t = self.next_at;
-        self.next_at = self.next_at + self.interval;
+        self.next_at += self.interval;
         self.emitted += 1;
         t
     }

@@ -174,10 +174,19 @@ mod tests {
     #[test]
     fn ecn_marking_above_threshold() {
         let mut q = ByteQueue::new(10_000).with_ecn_threshold(250);
-        assert_eq!(q.push(ect_pkt(100)), EnqueueOutcome::Stored { marked: false });
-        assert_eq!(q.push(ect_pkt(100)), EnqueueOutcome::Stored { marked: false });
+        assert_eq!(
+            q.push(ect_pkt(100)),
+            EnqueueOutcome::Stored { marked: false }
+        );
+        assert_eq!(
+            q.push(ect_pkt(100)),
+            EnqueueOutcome::Stored { marked: false }
+        );
         // third packet brings depth to 300 >= 250: marked
-        assert_eq!(q.push(ect_pkt(100)), EnqueueOutcome::Stored { marked: true });
+        assert_eq!(
+            q.push(ect_pkt(100)),
+            EnqueueOutcome::Stored { marked: true }
+        );
         assert_eq!(q.marked(), 1);
         // the marked packet carries CE
         q.pop();

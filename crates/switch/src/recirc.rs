@@ -100,7 +100,10 @@ impl RecircBuffer {
 
     fn account_departure(&mut self, e: &Entry, now: Time) {
         let resident = now.saturating_since(e.inserted_at);
-        let loops = resident.as_ps().div_ceil(self.loop_latency.as_ps().max(1)).max(1);
+        let loops = resident
+            .as_ps()
+            .div_ceil(self.loop_latency.as_ps().max(1))
+            .max(1);
         self.stats.loops += loops;
         self.stats.loop_bytes += loops * e.pkt.wire_len() as u64;
         self.bytes -= e.pkt.frame_len() as u64;
@@ -261,7 +264,7 @@ mod tests {
         let mut b = RecircBuffer::new(10_000).with_loop_latency(Duration::from_ns(1000));
         b.insert(1, pkt(100), Time::ZERO).unwrap();
         b.remove(1, Time::from_us(1)); // 1 loop... resident 1us/1us = 1 loop
-        // 1 loop over 1 us = 1e6 loops/s; at 1e9 pps capacity = 0.1%
+                                       // 1 loop over 1 us = 1e6 loops/s; at 1e9 pps capacity = 0.1%
         let f = b.overhead_fraction(Duration::from_us(1), 1e9);
         assert!((f - 1e-3).abs() < 1e-9, "{f}");
     }

@@ -441,7 +441,9 @@ impl ChainWorld {
                 }
             }
         }
-        let Some((_class, mut pkt)) = next else { return };
+        let Some((_class, mut pkt)) = next else {
+            return;
+        };
         if let Some(hop) = self.hop_for_tx(sw, port) {
             self.hops[hop]
                 .as_mut()
@@ -459,7 +461,8 @@ impl ChainWorld {
         }
         self.switches[sw].port_mut(port).busy = true;
         let ser = self.cfg.speed.serialize(pkt.wire_len());
-        self.q.schedule_after(ser, CEv::PortTxDone { sw, port, pkt });
+        self.q
+            .schedule_after(ser, CEv::PortTxDone { sw, port, pkt });
     }
 
     fn deliver_from_port(&mut self, sw: usize, port: PortId, pkt: Packet) {
@@ -501,11 +504,13 @@ impl ChainWorld {
             PORT_RIGHT => {
                 // rightmost switch → host1
                 let delay = Duration::from_ns(100) + self.cfg.host_stack_delay;
-                self.q.schedule_after(delay, CEv::HostArrive { host: 1, pkt });
+                self.q
+                    .schedule_after(delay, CEv::HostArrive { host: 1, pkt });
             }
             _ => {
                 let delay = Duration::from_ns(100) + self.cfg.host_stack_delay;
-                self.q.schedule_after(delay, CEv::HostArrive { host: 0, pkt });
+                self.q
+                    .schedule_after(delay, CEv::HostArrive { host: 0, pkt });
             }
         }
     }
@@ -689,7 +694,8 @@ impl ChainWorld {
                     self.host_send(host, pkt);
                 }
                 TransportAction::WakeAt { deadline } => {
-                    self.q.schedule_at(deadline.max(now), CEv::HostWake { host });
+                    self.q
+                        .schedule_at(deadline.max(now), CEv::HostWake { host });
                 }
                 TransportAction::Complete {
                     started, completed, ..
@@ -721,7 +727,9 @@ impl ChainWorld {
             self.switches.len() - 1
         };
         let port = if host == 0 { PORT_RIGHT } else { PORT_LEFT };
-        let arrive = self.cfg.host_stack_delay + ser + Duration::from_ns(100)
+        let arrive = self.cfg.host_stack_delay
+            + ser
+            + Duration::from_ns(100)
             + self.switches[sw].pipeline_latency;
         self.q.schedule_after(
             arrive,
@@ -746,8 +754,14 @@ impl ChainWorld {
                 variant, msg_len, ..
             } => {
                 self.hosts[1].tcp_rx = Some(TcpReceiver::new(flow, C_HOST1, C_HOST0));
-                let mut tx =
-                    TcpSender::new(TcpConfig::default(), variant, flow, C_HOST0, C_HOST1, msg_len);
+                let mut tx = TcpSender::new(
+                    TcpConfig::default(),
+                    variant,
+                    flow,
+                    C_HOST0,
+                    C_HOST1,
+                    msg_len,
+                );
                 let actions = tx.start(now);
                 self.hosts[0].tcp_tx = Some(tx);
                 self.apply_transport_actions(0, actions, now);

@@ -49,10 +49,22 @@ impl Protection {
             Protection::Off => "loss",
             Protection::Lg => "LG",
             Protection::LgNb => "LG_NB",
-            Protection::Ablation { tail: false, order: false } => "ReTx",
-            Protection::Ablation { tail: false, order: true } => "ReTx+Order",
-            Protection::Ablation { tail: true, order: false } => "ReTx+Tail",
-            Protection::Ablation { tail: true, order: true } => "ReTx+Tail+Order",
+            Protection::Ablation {
+                tail: false,
+                order: false,
+            } => "ReTx",
+            Protection::Ablation {
+                tail: false,
+                order: true,
+            } => "ReTx+Order",
+            Protection::Ablation {
+                tail: true,
+                order: false,
+            } => "ReTx+Tail",
+            Protection::Ablation {
+                tail: true,
+                order: true,
+            } => "ReTx+Tail+Order",
         }
     }
 }
@@ -154,16 +166,10 @@ pub fn stress_test(
         n_copies,
         tx_buffer_peak: w.lg_tx.tx_buffer_stats().high_watermark,
         rx_buffer_peak: w.lg_rx.rx_buffer_stats().high_watermark,
-        tx_recirc_overhead: w
-            .lg_tx
-            .tx_buffer_stats()
-            .loops as f64
+        tx_recirc_overhead: w.lg_tx.tx_buffer_stats().loops as f64
             / elapsed.as_secs_f64()
             / PIPE_CAPACITY_PPS,
-        rx_recirc_overhead: w
-            .lg_rx
-            .rx_buffer_stats()
-            .loops as f64
+        rx_recirc_overhead: w.lg_rx.rx_buffer_stats().loops as f64
             / elapsed.as_secs_f64()
             / PIPE_CAPACITY_PPS,
         retx_delay_ps: w.lg_rx.retx_delay_histogram().clone(),

@@ -17,9 +17,9 @@ pub mod chain;
 pub mod experiments;
 pub mod world;
 
-pub use experiments::{
-    classify_fig13, fct_experiment, stress_test, time_series, FctResult, FctTransport,
-    Fig13Group, Protection, StressResult, TimeSeriesResult, TimeSeriesScenario,
-};
 pub use chain::{ChainApp, ChainConfig, ChainWorld};
+pub use experiments::{
+    classify_fig13, fct_experiment, stress_test, time_series, FctResult, FctTransport, Fig13Group,
+    Protection, StressResult, TimeSeriesResult, TimeSeriesScenario,
+};
 pub use world::{App, Host, World, WorldConfig, HOST0, HOST1};

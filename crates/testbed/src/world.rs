@@ -519,7 +519,10 @@ impl World {
                 }
                 self.apply_transport_actions(host, actions, now);
             }
-            Ev::LgTimeout { generation, instance } => {
+            Ev::LgTimeout {
+                generation,
+                instance,
+            } => {
                 let actions = match instance {
                     LgInstance::Forward => self.lg_rx.on_timeout(generation, now),
                     LgInstance::Reverse => self
@@ -650,7 +653,9 @@ impl World {
                 next = self.switch_mut(side).dequeue(port);
             }
         }
-        let Some((_class, mut pkt)) = next else { return };
+        let Some((_class, mut pkt)) = next else {
+            return;
+        };
         // Egress hooks: piggyback the *other* direction's ACK first so it
         // rides inside this direction's protection, then stamp.
         if side == Side::Tx && port == PORT_LINK {
@@ -712,11 +717,13 @@ impl World {
             (Side::Tx, _) => {
                 // toward host0
                 let delay = Duration::from_ns(100) + self.cfg.host_stack_delay;
-                self.q.schedule_after(delay, Ev::HostArrive { host: 0, pkt });
+                self.q
+                    .schedule_after(delay, Ev::HostArrive { host: 0, pkt });
             }
             (Side::Rx, _) => {
                 let delay = Duration::from_ns(100) + self.cfg.host_stack_delay;
-                self.q.schedule_after(delay, Ev::HostArrive { host: 1, pkt });
+                self.q
+                    .schedule_after(delay, Ev::HostArrive { host: 1, pkt });
             }
         }
     }
@@ -977,15 +984,12 @@ impl World {
                     self.host_send(host, pkt);
                 }
                 TransportAction::WakeAt { deadline } => {
-                    self.q
-                        .schedule_at(deadline.max(now), Ev::HostWake { host });
+                    self.q.schedule_at(deadline.max(now), Ev::HostWake { host });
                 }
                 TransportAction::Complete {
                     started, completed, ..
                 } => {
-                    self.out
-                        .fct
-                        .record(completed.saturating_since(started));
+                    self.out.fct.record(completed.saturating_since(started));
                     self.finish_trial(host, now);
                 }
             }
@@ -1067,7 +1071,11 @@ impl World {
                 self.hosts[0].rdma_tx = Some(tx);
                 self.apply_transport_actions(0, actions, now);
             }
-            App::TcpStream { variant, chunk, end } => {
+            App::TcpStream {
+                variant,
+                chunk,
+                end,
+            } => {
                 if now > end {
                     self.trials_remaining = 0;
                     return;
@@ -1118,9 +1126,7 @@ impl World {
         self.probes
             .tx_buffer
             .push(now, self.lg_tx.tx_buffer_bytes() as f64);
-        self.probes
-            .e2e_retx
-            .push(now, self.e2e_retx_window as f64);
+        self.probes.e2e_retx.push(now, self.e2e_retx_window as f64);
         self.e2e_retx_window = 0;
         if let Some(m) = self.probes.goodput.as_mut() {
             m.roll_to(now);
@@ -1143,4 +1149,3 @@ impl World {
         self.rng.fork()
     }
 }
-

@@ -221,8 +221,8 @@ impl CongestionControl for Cubic {
         let target = (target_mss * self.mss as f64) as u32;
         if target > self.cwnd {
             // approach the cubic target over one window
-            let delta = ((target - self.cwnd) as u64 * acked_bytes as u64
-                / self.cwnd.max(1) as u64) as u32;
+            let delta =
+                ((target - self.cwnd) as u64 * acked_bytes as u64 / self.cwnd.max(1) as u64) as u32;
             self.cwnd = (self.cwnd + delta.max(1)).min(self.max_cwnd);
         } else {
             self.epoch_bytes += acked_bytes as u64;
@@ -339,8 +339,7 @@ impl CongestionControl for Bbr {
         }
         match self.mode {
             BbrMode::Startup => {
-                self.cwnd = ((self.cwnd as u64 + acked_bytes as u64) as u32)
-                    .min(self.max_cwnd);
+                self.cwnd = ((self.cwnd as u64 + acked_bytes as u64) as u32).min(self.max_cwnd);
                 if self.bw_est > self.full_bw * 1.25 {
                     self.full_bw = self.bw_est;
                     self.full_bw_rounds = 0;
@@ -409,7 +408,12 @@ mod tests {
         for _ in 0..10 {
             d.on_ack(MSS, 0, Some(Duration::from_us(30)));
         }
-        assert!(d.cwnd() >= w0 + 10 * MSS - MSS, "cwnd {} from {}", d.cwnd(), w0);
+        assert!(
+            d.cwnd() >= w0 + 10 * MSS - MSS,
+            "cwnd {} from {}",
+            d.cwnd(),
+            w0
+        );
     }
 
     #[test]
@@ -461,7 +465,12 @@ mod tests {
         for _ in 0..5000 {
             c.on_ack(MSS, 0, Some(Duration::from_ms(1)));
         }
-        assert!(c.cwnd() > after_loss, "regrew: {} > {}", c.cwnd(), after_loss);
+        assert!(
+            c.cwnd() > after_loss,
+            "regrew: {} > {}",
+            c.cwnd(),
+            after_loss
+        );
     }
 
     #[test]
@@ -498,8 +507,12 @@ mod tests {
 
     #[test]
     fn build_selects_variant() {
-        assert!(build(CcVariant::Dctcp, MSS, 10, 1024).pacing_rate().is_none());
-        assert!(build(CcVariant::Cubic, MSS, 10, 1024).pacing_rate().is_none());
+        assert!(build(CcVariant::Dctcp, MSS, 10, 1024)
+            .pacing_rate()
+            .is_none());
+        assert!(build(CcVariant::Cubic, MSS, 10, 1024)
+            .pacing_rate()
+            .is_none());
         let _ = build(CcVariant::Bbr, MSS, 10, 1024);
     }
 

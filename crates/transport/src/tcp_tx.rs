@@ -173,8 +173,7 @@ impl TcpSender {
     }
 
     fn cwnd_segs(&self) -> u32 {
-        (self.cc.cwnd() / self.cfg.mss)
-            .clamp(1, self.cfg.max_cwnd_segs)
+        (self.cc.cwnd() / self.cfg.mss).clamp(1, self.cfg.max_cwnd_segs)
     }
 
     fn send_eligible(&mut self, now: Time, actions: &mut Vec<TransportAction>) {
@@ -292,11 +291,7 @@ impl TcpSender {
                 // RACK reordering detection: this segment was never
                 // retransmitted by us, yet segments sent after it were
                 // already SACKed — the network reordered. Adapt reo_wnd.
-                if self.cfg.rack
-                    && st.retx_count == 0
-                    && !st.sacked
-                    && idx < self.highest_sacked
-                {
+                if self.cfg.rack && st.retx_count == 0 && !st.sacked && idx < self.highest_sacked {
                     if let Some(srtt) = self.srtt {
                         self.reo_wnd_mult = (self.reo_wnd_mult + 1).min(4);
                         self.reo_wnd = srtt.div(4).saturating_mul(self.reo_wnd_mult);
@@ -380,8 +375,7 @@ impl TcpSender {
         if sacked_bytes_outstanding > 2 * self.cfg.mss
             && self.trace.pending_bytes_at_big_sack == u32::MAX
         {
-            self.trace.pending_bytes_at_big_sack =
-                (self.nsegs - self.snd_nxt) * self.cfg.mss;
+            self.trace.pending_bytes_at_big_sack = (self.nsegs - self.snd_nxt) * self.cfg.mss;
         }
 
         // RTT estimator (RFC 6298).
@@ -393,12 +387,8 @@ impl TcpSender {
                 }
                 Some(srtt) => {
                     let delta = if srtt > r { srtt - r } else { r - srtt };
-                    self.rttvar = Duration::from_ps(
-                        (3 * self.rttvar.as_ps() + delta.as_ps()) / 4,
-                    );
-                    self.srtt = Some(Duration::from_ps(
-                        (7 * srtt.as_ps() + r.as_ps()) / 8,
-                    ));
+                    self.rttvar = Duration::from_ps((3 * self.rttvar.as_ps() + delta.as_ps()) / 4);
+                    self.srtt = Some(Duration::from_ps((7 * srtt.as_ps() + r.as_ps()) / 8));
                 }
             }
         }
@@ -770,7 +760,7 @@ mod tests {
         // repeatedly ack with ECE: cwnd must stop growing / shrink
         let mut acked = 0;
         for _ in 0..150 {
-            t = t + Duration::from_us(30);
+            t += Duration::from_us(30);
             acked += MSS;
             s.on_ack(&ack(acked, vec![], true), t);
         }
@@ -828,7 +818,7 @@ mod tests {
         let mut acked = 0u32;
         let mut t = Time::ZERO;
         while acked < 100 && outstanding > 0 {
-            t = t + Duration::from_us(30);
+            t += Duration::from_us(30);
             acked += outstanding;
             let a = s.on_ack(&ack(acked.min(100) * MSS, vec![], false), t);
             outstanding = sent_seqs(&a).len() as u32;

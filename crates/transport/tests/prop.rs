@@ -13,13 +13,16 @@ use std::collections::VecDeque;
 /// Drive a TcpSender/TcpReceiver pair over a channel that drops data
 /// segments per `drop_pattern` (first transmission only — retransmissions
 /// always get through, so the test terminates). Returns (fct_us, e2e_retx).
-fn run_tcp(
-    variant: CcVariant,
-    msg_len: u32,
-    drop_pattern: &[bool],
-) -> (f64, u32) {
+fn run_tcp(variant: CcVariant, msg_len: u32, drop_pattern: &[bool]) -> (f64, u32) {
     let flow = FlowId(1);
-    let mut tx = TcpSender::new(TcpConfig::default(), variant, flow, NodeId(0), NodeId(1), msg_len);
+    let mut tx = TcpSender::new(
+        TcpConfig::default(),
+        variant,
+        flow,
+        NodeId(0),
+        NodeId(1),
+        msg_len,
+    );
     let mut rx = TcpReceiver::new(flow, NodeId(1), NodeId(0));
     let mut now = Time::ZERO;
     let rtt2 = Duration::from_us(15);
@@ -31,11 +34,11 @@ fn run_tcp(
     let mut fct = None;
 
     let handle = |actions: Vec<TransportAction>,
-                      now: Time,
-                      wire: &mut VecDeque<(Time, Packet, bool)>,
-                      wakes: &mut Vec<Time>,
-                      drops: &mut usize,
-                      fct: &mut Option<Duration>| {
+                  now: Time,
+                  wire: &mut VecDeque<(Time, Packet, bool)>,
+                  wakes: &mut Vec<Time>,
+                  drops: &mut usize,
+                  fct: &mut Option<Duration>| {
         for a in actions {
             match a {
                 TransportAction::Send(p) => {
@@ -51,14 +54,23 @@ fn run_tcp(
                     wire.push_back((now + rtt2, p, is_data));
                 }
                 TransportAction::WakeAt { deadline } => wakes.push(deadline),
-                TransportAction::Complete { started, completed, .. } => {
+                TransportAction::Complete {
+                    started, completed, ..
+                } => {
                     *fct = Some(completed.saturating_since(started));
                 }
             }
         }
     };
 
-    handle(tx.start(now), now, &mut wire, &mut wakes, &mut drops, &mut fct);
+    handle(
+        tx.start(now),
+        now,
+        &mut wire,
+        &mut wakes,
+        &mut drops,
+        &mut fct,
+    );
     let mut steps = 0;
     while fct.is_none() {
         steps += 1;

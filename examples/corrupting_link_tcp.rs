@@ -25,7 +25,10 @@ fn main() {
     println!("single DCTCP flow on a 25G link");
     println!("t=10ms: the link starts corrupting (1e-3)   t=30ms: LinkGuardian activates\n");
     let r = time_series(&scenario);
-    println!("{:>7} {:>12} {:>12} {:>10}", "t(ms)", "rate(Gbps)", "qdepth(KB)", "e2e retx");
+    println!(
+        "{:>7} {:>12} {:>12} {:>10}",
+        "t(ms)", "rate(Gbps)", "qdepth(KB)", "e2e retx"
+    );
     for (i, &(t, gbps)) in r.goodput.points().iter().enumerate() {
         let q = r.qdepth.points().get(i).map(|p| p.1).unwrap_or(0.0) / 1024.0;
         let e = r.e2e_retx.points().get(i).map(|p| p.1).unwrap_or(0.0);

@@ -9,7 +9,10 @@ use lg_fabric::{run, FabricSimConfig, Policy};
 fn main() {
     let constraint = 0.75;
     println!("Facebook-fabric pod network, 30 pods (11,520 optical links), 90 days,");
-    println!("capacity constraint {:.0}% — CorrOpt alone vs LinkGuardian + CorrOpt\n", constraint * 100.0);
+    println!(
+        "capacity constraint {:.0}% — CorrOpt alone vs LinkGuardian + CorrOpt\n",
+        constraint * 100.0
+    );
 
     let mk = |policy| FabricSimConfig {
         pods: 30,
@@ -48,8 +51,10 @@ fn main() {
     );
     let gain = mean(&co, |s| s.total_penalty) / mean(&lg, |s| s.total_penalty).max(1e-300);
     println!("\npenalty reduction from adding LinkGuardian: {gain:.2e}x");
-    println!("peak concurrently-protected links per fabric switch: {}",
-        lg.counts.peak_lg_per_fabric_switch);
+    println!(
+        "peak concurrently-protected links per fabric switch: {}",
+        lg.counts.peak_lg_per_fabric_switch
+    );
     println!("\nthe joint strategy masks the deferred links' corruption (orders of");
     println!("magnitude lower penalty) at a fraction-of-a-percent capacity cost.");
 }

@@ -21,9 +21,7 @@ fn main() {
     let off = stress_test(speed, loss.clone(), Protection::Off, duration, 1);
     println!(
         "unprotected : {:>8} sent, {:>5} lost end-to-end (rate {:.1e})",
-        off.sent,
-        off.unrecovered,
-        off.effective_loss_rate
+        off.sent, off.unrecovered, off.effective_loss_rate
     );
 
     // With LinkGuardian: losses are recovered link-locally in ~2-6 us.

@@ -93,8 +93,7 @@ fn repairs_conserve_links() {
     let r = run(&cfg(Policy::CorrOptOnly, 0.5));
     assert_eq!(
         r.counts.disabled_immediately + r.counts.optimizer_disabled,
-        r.counts.repairs
-            + (r.samples.last().map(|s| s.disabled).unwrap_or(0) as u64),
+        r.counts.repairs + (r.samples.last().map(|s| s.disabled).unwrap_or(0) as u64),
         "every disabled link is either repaired or still in repair at the end"
     );
 }

@@ -229,7 +229,10 @@ fn bidirectional_tcp_flows_see_no_loss_either_way() {
         "neither data nor ACK losses reach the transport"
     );
     let rev = w.lg2_tx.as_ref().expect("reverse instance").stats();
-    assert!(rev.protected_sent > 10_000, "TCP ACKs ride the reverse tunnel");
+    assert!(
+        rev.protected_sent > 10_000,
+        "TCP ACKs ride the reverse tunnel"
+    );
     assert!(
         rev.retx_packets > 0,
         "reverse (ACK) losses recovered link-locally: {} of {}",

@@ -29,10 +29,7 @@ fn run_chain(losses: Vec<LossModel>, protected: bool, trials: u32, seed: u64) ->
 
 #[test]
 fn two_corrupting_hops_fully_masked() {
-    let losses = vec![
-        LossModel::Iid { rate: 2e-3 },
-        LossModel::Iid { rate: 2e-3 },
-    ];
+    let losses = vec![LossModel::Iid { rate: 2e-3 }, LossModel::Iid { rate: 2e-3 }];
     let (p999, e2e, recovered) = run_chain(losses, true, 2_000, 501);
     assert_eq!(e2e, 0, "both hops' losses recovered link-locally");
     assert!(recovered > 50, "recoveries happened on the chain");
@@ -44,10 +41,7 @@ fn unprotected_multi_hop_is_worse_than_single_hop() {
     // §5: "multiple corrupting links on a path would lead to a greater
     // fraction of the flows suffering corruption packet loss".
     let one = vec![LossModel::Iid { rate: 2e-3 }, LossModel::None];
-    let two = vec![
-        LossModel::Iid { rate: 2e-3 },
-        LossModel::Iid { rate: 2e-3 },
-    ];
+    let two = vec![LossModel::Iid { rate: 2e-3 }, LossModel::Iid { rate: 2e-3 }];
     let (_, retx_one, _) = run_chain(one, false, 3_000, 502);
     let (_, retx_two, _) = run_chain(two, false, 3_000, 502);
     assert!(
