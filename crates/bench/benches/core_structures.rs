@@ -7,8 +7,8 @@ use lg_link::fec::RsFec;
 use lg_link::loss::LossProcess;
 use lg_link::LossModel;
 use lg_packet::lg::{LgData, LgPacketType};
-use lg_packet::tcp::{SackBlock, TcpFlags, TcpRepr};
-use lg_packet::{NodeId, Packet, SeqNo};
+use lg_packet::tcp::{SackBlock, SackList, TcpFlags, TcpRepr};
+use lg_packet::{NodeId, Packet, PacketPool, SeqNo};
 use lg_sim::{Rng, Time};
 use lg_switch::{ByteQueue, RecircBuffer};
 use linkguardian::seqmap::{abs_of, wire_of};
@@ -53,10 +53,10 @@ fn bench_wire(c: &mut Criterion) {
                 ..Default::default()
             },
             window: 5,
-            sack: vec![
+            sack: SackList::from_blocks(&[
                 SackBlock { start: 0, end: 9 },
                 SackBlock { start: 20, end: 29 },
-            ],
+            ]),
         };
         let mut buf = vec![0u8; h.header_len()];
         b.iter(|| {
@@ -68,27 +68,33 @@ fn bench_wire(c: &mut Criterion) {
 
 fn bench_queues(c: &mut Criterion) {
     c.bench_function("queue/byte_queue_push_pop", |b| {
+        let mut pool = PacketPool::new();
         let mut q = ByteQueue::new(10 * 1024 * 1024);
         let pkt = Packet::raw(NodeId(0), NodeId(1), 1518, Time::ZERO);
         b.iter(|| {
             for _ in 0..64 {
-                q.push(pkt.clone());
+                let id = pool.insert(pkt.clone());
+                q.push(id, &mut pool);
             }
             for _ in 0..64 {
-                black_box(q.pop());
+                let id = q.pop().unwrap();
+                black_box(id);
+                pool.release(id);
             }
         })
     });
     c.bench_function("queue/recirc_insert_remove", |b| {
+        let mut pool = PacketPool::new();
         let mut buf = RecircBuffer::new(200 * 1024);
         let pkt = Packet::raw(NodeId(0), NodeId(1), 1518, Time::ZERO);
         let mut key = 0u64;
         b.iter(|| {
             for _ in 0..32 {
                 key += 1;
-                buf.insert(key, pkt.clone(), Time::from_us(key)).unwrap();
+                let id = pool.insert(pkt.clone());
+                buf.insert(key, id, Time::from_us(key), &pool).unwrap();
             }
-            black_box(buf.remove_up_to(key, Time::from_us(key + 1)));
+            black_box(buf.remove_up_to(key, Time::from_us(key + 1), &mut pool));
         })
     });
 }

@@ -3,10 +3,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use lg_link::{LinkSpeed, LossModel};
-use lg_packet::{NodeId, Packet};
+use lg_packet::{NodeId, Packet, PacketPool};
 use lg_sim::{Duration, Time};
 use lg_testbed::world::{World, WorldConfig};
-use linkguardian::{LgConfig, LgReceiver, LgSender};
+use linkguardian::{LgConfig, LgReceiver, LgSender, ReceiverAction, SenderAction};
 
 fn bench_sender_path(c: &mut Criterion) {
     let mut g = c.benchmark_group("lg_sender");
@@ -15,11 +15,15 @@ fn bench_sender_path(c: &mut Criterion) {
         let cfg = LgConfig::for_speed(LinkSpeed::G100, 1e-3);
         let mut s = LgSender::new(cfg, NodeId(100), NodeId(101));
         s.activate(1e-3);
+        let mut pool = PacketPool::new();
+        let mut actions: Vec<SenderAction> = Vec::new();
         let mut t = 0u64;
         b.iter(|| {
-            let mut p = Packet::raw(NodeId(0), NodeId(1), 1518, Time::from_ns(t));
             t += 123;
-            s.on_transmit(&mut p, Time::from_ns(t));
+            let id = pool.insert(Packet::raw(NodeId(0), NodeId(1), 1518, Time::from_ns(t)));
+            let id = s.on_transmit(id, Time::from_ns(t), &mut pool);
+            // the wire copy leaves; the Tx-buffer mirror keeps the slot
+            pool.release(id);
             // immediately ack so the buffer stays small
             let mut ack = Packet::lg_control(
                 NodeId(101),
@@ -31,7 +35,16 @@ fn bench_sender_path(c: &mut Criterion) {
                 latest_rx: linkguardian::seqmap::wire_of(s.last_sent()),
                 explicit: true,
             });
-            black_box(s.on_reverse_rx(ack, Time::from_ns(t)));
+            let ack_id = pool.insert(ack);
+            if let Some(rem) = s.on_reverse_rx(ack_id, Time::from_ns(t), &mut pool, &mut actions) {
+                pool.release(rem);
+            }
+            for a in actions.drain(..) {
+                if let SenderAction::Emit { id, .. } = a {
+                    pool.release(id);
+                }
+            }
+            black_box(pool.live())
         })
     });
     g.finish();
@@ -44,15 +57,26 @@ fn bench_receiver_path(c: &mut Criterion) {
         let cfg = LgConfig::for_speed(LinkSpeed::G100, 1e-3);
         let mut r = LgReceiver::new(cfg, NodeId(101), NodeId(100));
         r.activate();
+        let mut pool = PacketPool::new();
+        let mut actions: Vec<ReceiverAction> = Vec::new();
         let mut abs = 0u64;
         b.iter(|| {
             abs += 1;
-            let mut p = Packet::raw(NodeId(0), NodeId(1), 1518, Time::from_ns(abs));
-            p.lg_data = Some(lg_packet::lg::LgData {
+            let id = pool.insert(Packet::raw(NodeId(0), NodeId(1), 1518, Time::from_ns(abs)));
+            pool.get_mut(id).lg_data = Some(lg_packet::lg::LgData {
                 seq: linkguardian::seqmap::wire_of(abs),
                 kind: lg_packet::lg::LgPacketType::Original,
             });
-            black_box(r.on_protected_rx(p, Time::from_ns(abs * 123)));
+            r.on_protected_rx(id, Time::from_ns(abs * 123), &mut pool, &mut actions);
+            for a in actions.drain(..) {
+                match a {
+                    ReceiverAction::Deliver(id) | ReceiverAction::SendReverse { id, .. } => {
+                        pool.release(id)
+                    }
+                    ReceiverAction::ArmTimeout { .. } | ReceiverAction::ArmBpTimer { .. } => {}
+                }
+            }
+            black_box(pool.live())
         })
     });
     g.finish();

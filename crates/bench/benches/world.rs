@@ -1,0 +1,55 @@
+//! End-to-end testbed throughput: events/sec on a fig10-style FCT run
+//! (143 B DCTCP messages over a corrupting 100 G link protected by
+//! LinkGuardian). This is the whole-simulator hot path — packet pool,
+//! switch queues, LG state machines, transport, timer wheel — so it is
+//! the number `BENCH_world.json` tracks across performance PRs.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lg_link::{LinkSpeed, LossModel};
+use lg_sim::Duration;
+use lg_testbed::{App, World, WorldConfig};
+use lg_transport::CcVariant;
+use linkguardian::LgConfig;
+
+const TRIALS: u32 = 300;
+
+fn fig10_world(trials: u32) -> World {
+    let speed = LinkSpeed::G100;
+    let loss = LossModel::Iid { rate: 1e-3 };
+    let mut cfg = WorldConfig::new(speed, loss);
+    cfg.lg = Some(LgConfig::for_speed(speed, 1e-3));
+    cfg.seed = 10;
+    cfg.app = App::TcpTrials {
+        variant: CcVariant::Dctcp,
+        msg_len: 143,
+        trials,
+        gap: Duration::from_us(10),
+    };
+    World::new(cfg)
+}
+
+/// Drive the event loop by hand so we can count dispatched events.
+fn run_counting(mut w: World) -> u64 {
+    let mut events = 0u64;
+    while let Some((now, ev)) = w.q.pop() {
+        w.handle_pub(ev, now);
+        events += 1;
+    }
+    assert_eq!(w.out.fct.len() as u32, TRIALS, "every trial completed");
+    events
+}
+
+fn bench_world(c: &mut Criterion) {
+    // One calibration run to learn the event count; the run is
+    // deterministic, so every iteration dispatches exactly this many.
+    let events_per_run = run_counting(fig10_world(TRIALS));
+    let mut g = c.benchmark_group("world");
+    g.throughput(Throughput::Elements(events_per_run));
+    g.bench_function("fig10_fct_143b_dctcp_lg", |b| {
+        b.iter(|| black_box(run_counting(fig10_world(TRIALS))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_world);
+criterion_main!(benches);

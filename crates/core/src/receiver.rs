@@ -16,26 +16,32 @@
 //!   that buffer from overflowing (§3.3);
 //! * arms the **ackNoTimeout** so a retransmission that never arrives
 //!   cannot stall the link forever (§3.5).
+//!
+//! Packets are handled as [`PktId`]s into the testbed's [`PacketPool`].
+//! Delivery copy-on-writes the slot before stripping the data header (the
+//! sender's Tx-buffer mirror may still share it); absorbed packets
+//! (dummies, duplicates, overflow drops) are released here.
 
 use crate::config::{LgConfig, Mode};
 use crate::seqmap::{abs_of, wire_of};
 use lg_packet::lg::{LgAck, LgPacketType, LossNotification, PauseFrame, MAX_CONSECUTIVE_LOSSES};
-use lg_packet::{LgControl, NodeId, Packet};
+use lg_packet::{LgControl, NodeId, Packet, PacketPool, PktId};
 use lg_sim::{Duration, LogHistogram, Time};
 use lg_switch::{Class, RecircBuffer, RecircStats};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 
 /// Side effects the testbed must apply after feeding the receiver an input.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub enum ReceiverAction {
-    /// Forward this packet onward (LinkGuardian headers stripped).
-    Deliver(Packet),
+    /// Forward this packet onward (LinkGuardian headers stripped). The
+    /// action owns one pool reference.
+    Deliver(PktId),
     /// Enqueue a control packet on the reverse direction toward the
-    /// sender in the given class.
+    /// sender in the given class. The action owns one pool reference.
     SendReverse {
         /// The control packet (loss notification, pause/resume).
-        pkt: Packet,
+        id: PktId,
         /// Traffic class (loss notifications and pause frames ride the
         /// highest priority).
         class: Class,
@@ -180,15 +186,20 @@ impl LgReceiver {
     }
 
     /// Process a packet that survived the corrupting link (RX MAC passed
-    /// its FCS). Returns the actions to apply.
-    pub fn on_protected_rx(&mut self, pkt: Packet, now: Time) -> Vec<ReceiverAction> {
-        let mut actions = Vec::new();
-        let Some(hdr) = pkt.lg_data else {
+    /// its FCS). Appends the actions to apply to `actions`.
+    pub fn on_protected_rx(
+        &mut self,
+        id: PktId,
+        now: Time,
+        pool: &mut PacketPool,
+        actions: &mut Vec<ReceiverAction>,
+    ) {
+        let Some(hdr) = pool.get(id).lg_data else {
             // Unprotected traffic (LinkGuardian dormant at the sender):
             // plain forwarding.
-            actions.push(ReceiverAction::Deliver(pkt));
+            actions.push(ReceiverAction::Deliver(id));
             self.stats.delivered += 1;
-            return actions;
+            return;
         };
         let abs = abs_of(hdr.seq, self.latest_rx.max(1));
         match hdr.kind {
@@ -196,20 +207,20 @@ impl LgReceiver {
                 self.stats.dummies_rx += 1;
                 // A dummy carries the last *transmitted* seq: if it is
                 // ahead of what we saw, packets (latest, abs] are missing.
-                self.detect_gap(abs + 1, abs, now, &mut actions);
+                self.detect_gap(abs + 1, abs, now, pool, actions);
                 // absorb the dummy
+                pool.release(id);
             }
             LgPacketType::Original | LgPacketType::Retransmit => {
                 self.stats.protected_rx += 1;
                 // Gap: packets (latest, abs) are missing; the notification
                 // reports latestRxSeqNo = abs (the packet just received).
-                self.detect_gap(abs, abs, now, &mut actions);
-                self.accept_data(abs, pkt, now, &mut actions);
+                self.detect_gap(abs, abs, now, pool, actions);
+                self.accept_data(abs, id, now, pool, actions);
             }
         }
-        self.check_backpressure(&mut actions, now);
-        self.maybe_arm_timeout(now, &mut actions);
-        actions
+        self.check_backpressure(now, pool, actions);
+        self.maybe_arm_timeout(now, actions);
     }
 
     /// Detect and report packets missing strictly below `upto`, updating
@@ -221,6 +232,7 @@ impl LgReceiver {
         upto: u64,
         reported_latest: u64,
         now: Time,
+        pool: &mut PacketPool,
         actions: &mut Vec<ReceiverAction>,
     ) {
         if upto == 0 || upto - 1 <= self.latest_rx {
@@ -250,13 +262,14 @@ impl LgReceiver {
                 // the highest-priority queue on the reverse direction.
                 for _ in 0..self.cfg.control_copies.max(1) {
                     self.stats.notifications_sent += 1;
+                    let id = pool.insert(Packet::lg_control(
+                        self.node,
+                        self.peer,
+                        LgControl::LossNotification(notif),
+                        now,
+                    ));
                     actions.push(ReceiverAction::SendReverse {
-                        pkt: Packet::lg_control(
-                            self.node,
-                            self.peer,
-                            LgControl::LossNotification(notif),
-                            now,
-                        ),
+                        id,
                         class: Class::Control,
                     });
                 }
@@ -268,7 +281,14 @@ impl LgReceiver {
     }
 
     /// Algorithm 1 (ordered mode) / immediate forwarding (NB mode).
-    fn accept_data(&mut self, abs: u64, pkt: Packet, now: Time, actions: &mut Vec<ReceiverAction>) {
+    fn accept_data(
+        &mut self,
+        abs: u64,
+        id: PktId,
+        now: Time,
+        pool: &mut PacketPool,
+        actions: &mut Vec<ReceiverAction>,
+    ) {
         if abs > self.latest_rx {
             self.latest_rx = abs;
             self.note_latest_changed();
@@ -285,6 +305,7 @@ impl LgReceiver {
                 // are those at-or-below latest that were not missing.
                 if abs < self.ack_no {
                     self.stats.dup_drops += 1;
+                    pool.release(id);
                     return;
                 }
                 // NB mode has no ackNo hold; use ack_no as the dedup
@@ -295,6 +316,7 @@ impl LgReceiver {
                 // still-above-floor copies uses `delivered_above` below.
                 if self.delivered_above.contains(&abs) {
                     self.stats.dup_drops += 1;
+                    pool.release(id);
                     return;
                 }
                 self.delivered_above.insert(abs);
@@ -302,7 +324,7 @@ impl LgReceiver {
                 while self.delivered_above.remove(&self.ack_no) {
                     self.ack_no += 1;
                 }
-                self.deliver(pkt, actions);
+                self.deliver(id, pool, actions);
             }
             Mode::Ordered => {
                 use core::cmp::Ordering;
@@ -315,44 +337,52 @@ impl LgReceiver {
                         // between losses at line rate (Fig 6).
                         self.decay_draining(now);
                         if self.draining_bytes > 0 {
-                            self.note_draining(pkt.frame_len() as u64, now);
+                            self.note_draining(pool.get(id).frame_len() as u64, now);
                         }
-                        self.deliver(pkt, actions);
+                        self.deliver(id, pool, actions);
                         self.ack_no += 1;
-                        self.drain_in_order(now, actions);
+                        self.drain_in_order(now, pool, actions);
                     }
                     Ordering::Greater => {
                         if self.rx_buffer.contains(abs) {
                             self.stats.dup_drops += 1;
+                            pool.release(id);
                             return;
                         }
-                        match self.rx_buffer.insert(abs, pkt, now) {
+                        match self.rx_buffer.insert(abs, id, now, pool) {
                             Ok(()) => self.stats.buffered += 1,
-                            Err(_dropped) => {
+                            Err(dropped) => {
                                 // Reordering buffer overflow: the packet is
                                 // lost to the recirculation queue (this is
                                 // what Fig 9b shows when backpressure is
                                 // disabled).
                                 self.stats.rx_overflow_drops += 1;
+                                pool.release(dropped);
                             }
                         }
                     }
                     Ordering::Less => {
                         self.stats.dup_drops += 1;
+                        pool.release(id);
                     }
                 }
             }
         }
     }
 
-    fn drain_in_order(&mut self, now: Time, actions: &mut Vec<ReceiverAction>) {
+    fn drain_in_order(
+        &mut self,
+        now: Time,
+        pool: &mut PacketPool,
+        actions: &mut Vec<ReceiverAction>,
+    ) {
         while let Some(min) = self.rx_buffer.min_key() {
             if min != self.ack_no {
                 break;
             }
-            let pkt = self.rx_buffer.remove(min, now).expect("min key present");
-            self.note_draining(pkt.frame_len() as u64, now);
-            self.deliver(pkt, actions);
+            let id = self.rx_buffer.remove(min, now).expect("min key present");
+            self.note_draining(pool.get(id).frame_len() as u64, now);
+            self.deliver(id, pool, actions);
             self.ack_no += 1;
         }
         // Fresh progress invalidates any armed timeout.
@@ -388,18 +418,25 @@ impl LgReceiver {
         self.rx_buffer.bytes() + self.draining_bytes
     }
 
-    fn deliver(&mut self, mut pkt: Packet, actions: &mut Vec<ReceiverAction>) {
-        // Strip this instance's data header. A piggybacked ACK header, if
-        // present, belongs to the *other direction's* instance (it is only
-        // ever stamped onto traffic flowing toward that instance's sender)
-        // and is absorbed there.
-        pkt.lg_data = None;
+    fn deliver(&mut self, id: PktId, pool: &mut PacketPool, actions: &mut Vec<ReceiverAction>) {
+        // Strip this instance's data header. The sender's Tx-buffer mirror
+        // may still share the slot, so copy-on-write first. A piggybacked
+        // ACK header, if present, belongs to the *other direction's*
+        // instance (it is only ever stamped onto traffic flowing toward
+        // that instance's sender) and is absorbed there.
+        let id = pool.cow(id);
+        pool.get_mut(id).lg_data = None;
         self.stats.delivered += 1;
-        actions.push(ReceiverAction::Deliver(pkt));
+        actions.push(ReceiverAction::Deliver(id));
     }
 
     /// Algorithm 2: pause/resume based on reordering-buffer occupancy.
-    fn check_backpressure(&mut self, actions: &mut Vec<ReceiverAction>, now: Time) {
+    fn check_backpressure(
+        &mut self,
+        now: Time,
+        pool: &mut PacketPool,
+        actions: &mut Vec<ReceiverAction>,
+    ) {
         if self.cfg.mode != Mode::Ordered {
             return;
         }
@@ -407,7 +444,7 @@ impl LgReceiver {
         if depth >= self.cfg.pause_threshold && self.bp_state == BpState::Resumed {
             self.bp_state = BpState::Paused;
             self.stats.pauses_sent += 1;
-            self.send_pause(true, now, actions);
+            self.send_pause(true, now, pool, actions);
             // While paused, arrivals stop: keep Algorithm 2 running off
             // the timer packets.
             actions.push(ReceiverAction::ArmBpTimer {
@@ -416,22 +453,29 @@ impl LgReceiver {
         } else if depth <= self.cfg.resume_threshold && self.bp_state == BpState::Paused {
             self.bp_state = BpState::Resumed;
             self.stats.resumes_sent += 1;
-            self.send_pause(false, now, actions);
+            self.send_pause(false, now, pool, actions);
         }
     }
 
-    fn send_pause(&mut self, pause: bool, now: Time, actions: &mut Vec<ReceiverAction>) {
+    fn send_pause(
+        &mut self,
+        pause: bool,
+        now: Time,
+        pool: &mut PacketPool,
+        actions: &mut Vec<ReceiverAction>,
+    ) {
         for _ in 0..self.cfg.control_copies.max(1) {
+            let id = pool.insert(Packet::lg_control(
+                self.node,
+                self.peer,
+                LgControl::Pause(PauseFrame {
+                    pause,
+                    class: Class::Normal as u8,
+                }),
+                now,
+            ));
             actions.push(ReceiverAction::SendReverse {
-                pkt: Packet::lg_control(
-                    self.node,
-                    self.peer,
-                    LgControl::Pause(PauseFrame {
-                        pause,
-                        class: Class::Normal as u8,
-                    }),
-                    now,
-                ),
+                id,
                 class: Class::Control,
             });
         }
@@ -456,10 +500,15 @@ impl LgReceiver {
     }
 
     /// Fire a previously armed ackNoTimeout. Stale generations are no-ops.
-    pub fn on_timeout(&mut self, generation: u64, now: Time) -> Vec<ReceiverAction> {
-        let mut actions = Vec::new();
+    pub fn on_timeout(
+        &mut self,
+        generation: u64,
+        now: Time,
+        pool: &mut PacketPool,
+        actions: &mut Vec<ReceiverAction>,
+    ) {
         if generation != self.timeout_generation || self.cfg.mode != Mode::Ordered {
-            return actions;
+            return;
         }
         self.timeout_armed = false;
         let still_blocked = self
@@ -468,7 +517,7 @@ impl LgReceiver {
             .is_some_and(|min| min > self.ack_no)
             || self.missing.contains(&self.ack_no);
         if !still_blocked {
-            return actions;
+            return;
         }
         // Give up on the lost packet: increment ackNo and continue.
         self.stats.timeouts += 1;
@@ -476,25 +525,27 @@ impl LgReceiver {
         self.missing.remove(&self.ack_no);
         self.missing_since.remove(&self.ack_no);
         self.ack_no += 1;
-        self.drain_in_order(now, &mut actions);
-        self.check_backpressure(&mut actions, now);
-        self.maybe_arm_timeout(now, &mut actions);
-        actions
+        self.drain_in_order(now, pool, actions);
+        self.check_backpressure(now, pool, actions);
+        self.maybe_arm_timeout(now, actions);
     }
 
     /// Timer-packet driven re-evaluation of Algorithm 2 while paused.
-    pub fn on_bp_timer(&mut self, now: Time) -> Vec<ReceiverAction> {
-        let mut actions = Vec::new();
+    pub fn on_bp_timer(
+        &mut self,
+        now: Time,
+        pool: &mut PacketPool,
+        actions: &mut Vec<ReceiverAction>,
+    ) {
         if self.bp_state != BpState::Paused {
-            return actions;
+            return;
         }
-        self.check_backpressure(&mut actions, now);
+        self.check_backpressure(now, pool, actions);
         if self.bp_state == BpState::Paused {
             actions.push(ReceiverAction::ArmBpTimer {
                 at: now + BP_TIMER_INTERVAL,
             });
         }
-        actions
     }
 
     fn note_latest_changed(&mut self) {
@@ -517,27 +568,29 @@ impl LgReceiver {
     }
 
     /// Piggyback the cumulative ACK on a reverse-direction packet about to
-    /// be transmitted toward the sender (§3.1).
-    pub fn stamp_ack(&mut self, pkt: &mut Packet) {
+    /// be transmitted toward the sender (§3.1). Returns the (possibly
+    /// re-slotted) handle the caller must transmit.
+    pub fn stamp_ack(&mut self, id: PktId, pool: &mut PacketPool) -> PktId {
         if !self.active || self.latest_rx == 0 {
-            return;
+            return id;
         }
-        pkt.lg_ack = Some(LgAck {
+        let id = pool.cow(id);
+        pool.get_mut(id).lg_ack = Some(LgAck {
             latest_rx: wire_of(self.latest_rx),
             explicit: false,
         });
         self.pending_explicit_acks = 0;
+        id
     }
 
     /// The self-replenishing explicit-ACK queue: called when the reverse
-    /// direction idles. Returns minimum-sized ACK packets while an ACK is
-    /// owed (behaviourally identical to the paper's always-full queue:
-    /// extra explicit ACKs carry no new information).
-    pub fn make_explicit_acks(&mut self, now: Time) -> Vec<Packet> {
+    /// direction idles. Appends minimum-sized ACK packets to `out` while
+    /// an ACK is owed (behaviourally identical to the paper's always-full
+    /// queue: extra explicit ACKs carry no new information).
+    pub fn make_explicit_acks(&mut self, now: Time, pool: &mut PacketPool, out: &mut Vec<PktId>) {
         if !self.active || self.latest_rx == 0 || self.pending_explicit_acks == 0 {
-            return Vec::new();
+            return;
         }
-        let mut out = Vec::with_capacity(self.pending_explicit_acks as usize);
         for _ in 0..self.pending_explicit_acks {
             let mut p = Packet::lg_control(self.node, self.peer, LgControl::ExplicitAck, now);
             p.lg_ack = Some(LgAck {
@@ -545,10 +598,9 @@ impl LgReceiver {
                 explicit: true,
             });
             self.stats.explicit_acks_sent += 1;
-            out.push(p);
+            out.push(pool.insert(p));
         }
         self.pending_explicit_acks = 0;
-        out
     }
 
     /// Reordering-buffer occupancy in bytes (the "Rx buffer" series of
@@ -610,39 +662,62 @@ mod tests {
         r
     }
 
-    fn data(abs: u64, kind: LgPacketType) -> Packet {
+    fn data(pool: &mut PacketPool, abs: u64, kind: LgPacketType) -> PktId {
         let mut p = Packet::raw(NodeId(1), NodeId(2), 1518, Time::ZERO);
         p.lg_data = Some(LgData {
             seq: wire_of(abs),
             kind,
         });
-        p
+        pool.insert(p)
     }
 
-    fn dummy(last_sent: u64) -> Packet {
+    fn dummy(pool: &mut PacketPool, last_sent: u64) -> PktId {
         let mut p = Packet::lg_control(NodeId(100), NodeId(101), LgControl::Dummy, Time::ZERO);
         p.lg_data = Some(LgData {
             seq: wire_of(last_sent),
             kind: LgPacketType::Dummy,
         });
-        p
+        pool.insert(p)
     }
 
-    fn delivered(actions: &[ReceiverAction]) -> Vec<u64> {
+    fn rx(r: &mut LgReceiver, id: PktId, now: Time, pool: &mut PacketPool) -> Vec<ReceiverAction> {
+        let mut actions = Vec::new();
+        r.on_protected_rx(id, now, pool, &mut actions);
+        actions
+    }
+
+    fn timeout(
+        r: &mut LgReceiver,
+        generation: u64,
+        now: Time,
+        pool: &mut PacketPool,
+    ) -> Vec<ReceiverAction> {
+        let mut actions = Vec::new();
+        r.on_timeout(generation, now, pool, &mut actions);
+        actions
+    }
+
+    fn bp_timer(r: &mut LgReceiver, now: Time, pool: &mut PacketPool) -> Vec<ReceiverAction> {
+        let mut actions = Vec::new();
+        r.on_bp_timer(now, pool, &mut actions);
+        actions
+    }
+
+    fn delivered(actions: &[ReceiverAction], pool: &PacketPool) -> Vec<u64> {
         actions
             .iter()
             .filter_map(|a| match a {
-                ReceiverAction::Deliver(p) => Some(p.uid),
+                ReceiverAction::Deliver(id) => Some(pool.get(*id).uid),
                 _ => None,
             })
             .collect()
     }
 
-    fn notifications(actions: &[ReceiverAction]) -> Vec<LossNotification> {
+    fn notifications(actions: &[ReceiverAction], pool: &PacketPool) -> Vec<LossNotification> {
         actions
             .iter()
             .filter_map(|a| match a {
-                ReceiverAction::SendReverse { pkt, .. } => match &pkt.payload {
+                ReceiverAction::SendReverse { id, .. } => match &pool.get(*id).payload {
                     Payload::Lg(LgControl::LossNotification(n)) => Some(*n),
                     _ => None,
                 },
@@ -653,13 +728,14 @@ mod tests {
 
     #[test]
     fn in_order_stream_delivers_immediately() {
+        let mut pool = PacketPool::new();
         let mut r = ordered_rx();
         for i in 1..=5 {
-            let p = data(i, LgPacketType::Original);
-            let uid = p.uid;
-            let actions = r.on_protected_rx(p, Time::from_us(i));
-            assert_eq!(delivered(&actions), vec![uid]);
-            assert!(notifications(&actions).is_empty());
+            let p = data(&mut pool, i, LgPacketType::Original);
+            let uid = pool.get(p).uid;
+            let actions = rx(&mut r, p, Time::from_us(i), &mut pool);
+            assert_eq!(delivered(&actions, &pool), vec![uid]);
+            assert!(notifications(&actions, &pool).is_empty());
         }
         assert_eq!(r.ack_no(), 6);
         assert_eq!(r.latest_rx(), 5);
@@ -669,26 +745,49 @@ mod tests {
 
     #[test]
     fn delivered_packets_have_headers_stripped() {
+        let mut pool = PacketPool::new();
         let mut r = ordered_rx();
-        let actions = r.on_protected_rx(data(1, LgPacketType::Original), Time::ZERO);
+        let p = data(&mut pool, 1, LgPacketType::Original);
+        let actions = rx(&mut r, p, Time::ZERO, &mut pool);
         match &actions[0] {
-            ReceiverAction::Deliver(p) => {
-                assert!(p.lg_data.is_none());
-                assert!(p.lg_ack.is_none());
+            ReceiverAction::Deliver(id) => {
+                assert!(pool.get(*id).lg_data.is_none());
+                assert!(pool.get(*id).lg_ack.is_none());
             }
             other => panic!("expected Deliver, got {other:?}"),
         }
     }
 
     #[test]
-    fn gap_triggers_notification_and_buffering() {
+    fn deliver_copies_when_tx_mirror_shares_slot() {
+        let mut pool = PacketPool::new();
         let mut r = ordered_rx();
-        r.on_protected_rx(data(1, LgPacketType::Original), Time::ZERO);
-        r.on_protected_rx(data(2, LgPacketType::Original), Time::ZERO);
+        let p = data(&mut pool, 1, LgPacketType::Original);
+        pool.retain(p); // simulate the sender's Tx-buffer mirror
+        let actions = rx(&mut r, p, Time::ZERO, &mut pool);
+        let out = match &actions[0] {
+            ReceiverAction::Deliver(id) => *id,
+            other => panic!("expected Deliver, got {other:?}"),
+        };
+        assert_ne!(out, p, "delivery copied out of the shared slot");
+        assert!(pool.get(p).lg_data.is_some(), "mirror keeps its header");
+        assert!(pool.get(out).lg_data.is_none());
+        assert_eq!(pool.get(out).uid, pool.get(p).uid, "uid preserved");
+    }
+
+    #[test]
+    fn gap_triggers_notification_and_buffering() {
+        let mut pool = PacketPool::new();
+        let mut r = ordered_rx();
+        let p1 = data(&mut pool, 1, LgPacketType::Original);
+        rx(&mut r, p1, Time::ZERO, &mut pool);
+        let p2 = data(&mut pool, 2, LgPacketType::Original);
+        rx(&mut r, p2, Time::ZERO, &mut pool);
         // 3 lost; 4 arrives
-        let actions = r.on_protected_rx(data(4, LgPacketType::Original), Time::from_us(1));
-        assert!(delivered(&actions).is_empty(), "4 must be held");
-        let notifs = notifications(&actions);
+        let p4 = data(&mut pool, 4, LgPacketType::Original);
+        let actions = rx(&mut r, p4, Time::from_us(1), &mut pool);
+        assert!(delivered(&actions, &pool).is_empty(), "4 must be held");
+        let notifs = notifications(&actions, &pool);
         assert_eq!(notifs.len(), 1);
         assert_eq!(notifs[0].first_lost, wire_of(3));
         assert_eq!(notifs[0].count, 1);
@@ -703,13 +802,18 @@ mod tests {
 
     #[test]
     fn retransmission_releases_buffer_in_order() {
+        let mut pool = PacketPool::new();
         let mut r = ordered_rx();
-        r.on_protected_rx(data(1, LgPacketType::Original), Time::ZERO);
-        r.on_protected_rx(data(3, LgPacketType::Original), Time::from_us(1));
-        r.on_protected_rx(data(4, LgPacketType::Original), Time::from_us(2));
+        let p1 = data(&mut pool, 1, LgPacketType::Original);
+        rx(&mut r, p1, Time::ZERO, &mut pool);
+        let p3 = data(&mut pool, 3, LgPacketType::Original);
+        rx(&mut r, p3, Time::from_us(1), &mut pool);
+        let p4 = data(&mut pool, 4, LgPacketType::Original);
+        rx(&mut r, p4, Time::from_us(2), &mut pool);
         // retx of 2 arrives: 2, 3, 4 delivered in order
-        let actions = r.on_protected_rx(data(2, LgPacketType::Retransmit), Time::from_us(5));
-        assert_eq!(delivered(&actions).len(), 3);
+        let p2 = data(&mut pool, 2, LgPacketType::Retransmit);
+        let actions = rx(&mut r, p2, Time::from_us(5), &mut pool);
+        assert_eq!(delivered(&actions, &pool).len(), 3);
         assert_eq!(r.ack_no(), 5);
         assert_eq!(r.stats().recovered, 1);
         assert_eq!(r.rx_buffer_bytes(), 0);
@@ -719,66 +823,86 @@ mod tests {
 
     #[test]
     fn duplicate_retx_copies_deduplicated() {
+        let mut pool = PacketPool::new();
         let mut r = ordered_rx();
-        r.on_protected_rx(data(1, LgPacketType::Original), Time::ZERO);
-        r.on_protected_rx(data(3, LgPacketType::Original), Time::ZERO);
-        let a1 = r.on_protected_rx(data(2, LgPacketType::Retransmit), Time::from_us(1));
-        assert_eq!(delivered(&a1).len(), 2);
+        let p1 = data(&mut pool, 1, LgPacketType::Original);
+        rx(&mut r, p1, Time::ZERO, &mut pool);
+        let p3 = data(&mut pool, 3, LgPacketType::Original);
+        rx(&mut r, p3, Time::ZERO, &mut pool);
+        let p2 = data(&mut pool, 2, LgPacketType::Retransmit);
+        let a1 = rx(&mut r, p2, Time::from_us(1), &mut pool);
+        assert_eq!(delivered(&a1, &pool).len(), 2);
         // second copy of 2 (N=2) is a duplicate below ackNo
-        let a2 = r.on_protected_rx(data(2, LgPacketType::Retransmit), Time::from_us(2));
-        assert!(delivered(&a2).is_empty());
+        let p2b = data(&mut pool, 2, LgPacketType::Retransmit);
+        let a2 = rx(&mut r, p2b, Time::from_us(2), &mut pool);
+        assert!(delivered(&a2, &pool).is_empty());
         assert_eq!(r.stats().dup_drops, 1);
         assert_eq!(r.stats().delivered, 3);
     }
 
     #[test]
     fn duplicate_out_of_order_copy_deduplicated_in_buffer() {
+        let mut pool = PacketPool::new();
         let mut r = ordered_rx();
-        r.on_protected_rx(data(1, LgPacketType::Original), Time::ZERO);
+        let p1 = data(&mut pool, 1, LgPacketType::Original);
+        rx(&mut r, p1, Time::ZERO, &mut pool);
         // 2 lost, 3 buffered twice (e.g. two retx copies racing)
-        r.on_protected_rx(data(3, LgPacketType::Original), Time::ZERO);
-        r.on_protected_rx(data(3, LgPacketType::Retransmit), Time::ZERO);
+        let p3 = data(&mut pool, 3, LgPacketType::Original);
+        rx(&mut r, p3, Time::ZERO, &mut pool);
+        let p3b = data(&mut pool, 3, LgPacketType::Retransmit);
+        rx(&mut r, p3b, Time::ZERO, &mut pool);
         assert_eq!(r.stats().dup_drops, 1);
         assert_eq!(r.stats().buffered, 1);
     }
 
     #[test]
     fn dummy_detects_tail_loss() {
+        let mut pool = PacketPool::new();
         let mut r = ordered_rx();
-        r.on_protected_rx(data(1, LgPacketType::Original), Time::ZERO);
+        let p1 = data(&mut pool, 1, LgPacketType::Original);
+        rx(&mut r, p1, Time::ZERO, &mut pool);
         // packet 2 (the tail) lost; dummy carries last-sent = 2
-        let actions = r.on_protected_rx(dummy(2), Time::from_us(1));
-        let notifs = notifications(&actions);
+        let d = dummy(&mut pool, 2);
+        let actions = rx(&mut r, d, Time::from_us(1), &mut pool);
+        let notifs = notifications(&actions, &pool);
         assert_eq!(notifs.len(), 1);
         assert_eq!(notifs[0].first_lost, wire_of(2));
         assert_eq!(notifs[0].count, 1);
         assert_eq!(r.stats().dummies_rx, 1);
         assert_eq!(r.latest_rx(), 2, "latest advanced over the notified loss");
         // subsequent identical dummies cause no duplicate notification
-        let again = r.on_protected_rx(dummy(2), Time::from_us(2));
-        assert!(notifications(&again).is_empty());
+        let d2 = dummy(&mut pool, 2);
+        let again = rx(&mut r, d2, Time::from_us(2), &mut pool);
+        assert!(notifications(&again, &pool).is_empty());
         // retx of 2 recovers and delivers
-        let rec = r.on_protected_rx(data(2, LgPacketType::Retransmit), Time::from_us(3));
-        assert_eq!(delivered(&rec).len(), 1);
+        let p2 = data(&mut pool, 2, LgPacketType::Retransmit);
+        let rec = rx(&mut r, p2, Time::from_us(3), &mut pool);
+        assert_eq!(delivered(&rec, &pool).len(), 1);
         assert_eq!(r.stats().recovered, 1);
     }
 
     #[test]
     fn dummy_with_nothing_missing_is_inert() {
+        let mut pool = PacketPool::new();
         let mut r = ordered_rx();
-        r.on_protected_rx(data(1, LgPacketType::Original), Time::ZERO);
-        let actions = r.on_protected_rx(dummy(1), Time::from_us(1));
-        assert!(notifications(&actions).is_empty());
-        assert!(delivered(&actions).is_empty());
+        let p1 = data(&mut pool, 1, LgPacketType::Original);
+        rx(&mut r, p1, Time::ZERO, &mut pool);
+        let d = dummy(&mut pool, 1);
+        let actions = rx(&mut r, d, Time::from_us(1), &mut pool);
+        assert!(notifications(&actions, &pool).is_empty());
+        assert!(delivered(&actions, &pool).is_empty());
     }
 
     #[test]
     fn large_gap_split_into_max5_notifications() {
+        let mut pool = PacketPool::new();
         let mut r = ordered_rx();
-        r.on_protected_rx(data(1, LgPacketType::Original), Time::ZERO);
+        let p1 = data(&mut pool, 1, LgPacketType::Original);
+        rx(&mut r, p1, Time::ZERO, &mut pool);
         // packets 2..=13 lost (12 consecutive); 14 arrives
-        let actions = r.on_protected_rx(data(14, LgPacketType::Original), Time::from_us(1));
-        let notifs = notifications(&actions);
+        let p14 = data(&mut pool, 14, LgPacketType::Original);
+        let actions = rx(&mut r, p14, Time::from_us(1), &mut pool);
+        let notifs = notifications(&actions, &pool);
         assert_eq!(notifs.len(), 3, "12 losses → 5+5+2");
         assert_eq!(notifs[0].count, 5);
         assert_eq!(notifs[1].count, 5);
@@ -789,9 +913,12 @@ mod tests {
 
     #[test]
     fn ack_timeout_skips_unrecoverable_packet() {
+        let mut pool = PacketPool::new();
         let mut r = ordered_rx();
-        r.on_protected_rx(data(1, LgPacketType::Original), Time::ZERO);
-        let actions = r.on_protected_rx(data(3, LgPacketType::Original), Time::from_us(1));
+        let p1 = data(&mut pool, 1, LgPacketType::Original);
+        rx(&mut r, p1, Time::ZERO, &mut pool);
+        let p3 = data(&mut pool, 3, LgPacketType::Original);
+        let actions = rx(&mut r, p3, Time::from_us(1), &mut pool);
         let (deadline, generation) = actions
             .iter()
             .find_map(|a| match a {
@@ -804,25 +931,26 @@ mod tests {
             .expect("timeout armed");
         assert_eq!(deadline, Time::from_us(1) + Duration::from_ns(7_500));
         // all retx copies lost; the timeout fires
-        let fired = r.on_timeout(generation, deadline);
-        assert_eq!(delivered(&fired).len(), 1, "buffered 3 released");
+        let fired = timeout(&mut r, generation, deadline, &mut pool);
+        assert_eq!(delivered(&fired, &pool).len(), 1, "buffered 3 released");
         assert_eq!(r.stats().timeouts, 1);
         assert_eq!(r.stats().skipped, 1);
         assert_eq!(r.ack_no(), 4);
         // the late retx of 2 is now a harmless duplicate
-        let late = r.on_protected_rx(
-            data(2, LgPacketType::Retransmit),
-            deadline + Duration::from_us(1),
-        );
-        assert!(delivered(&late).is_empty());
+        let p2 = data(&mut pool, 2, LgPacketType::Retransmit);
+        let late = rx(&mut r, p2, deadline + Duration::from_us(1), &mut pool);
+        assert!(delivered(&late, &pool).is_empty());
         assert_eq!(r.stats().dup_drops, 1);
     }
 
     #[test]
     fn stale_timeout_generation_is_noop() {
+        let mut pool = PacketPool::new();
         let mut r = ordered_rx();
-        r.on_protected_rx(data(1, LgPacketType::Original), Time::ZERO);
-        let actions = r.on_protected_rx(data(3, LgPacketType::Original), Time::from_us(1));
+        let p1 = data(&mut pool, 1, LgPacketType::Original);
+        rx(&mut r, p1, Time::ZERO, &mut pool);
+        let p3 = data(&mut pool, 3, LgPacketType::Original);
+        let actions = rx(&mut r, p3, Time::from_us(1), &mut pool);
         let generation = actions
             .iter()
             .find_map(|a| match a {
@@ -831,16 +959,18 @@ mod tests {
             })
             .unwrap();
         // retx arrives in time
-        r.on_protected_rx(data(2, LgPacketType::Retransmit), Time::from_us(3));
+        let p2 = data(&mut pool, 2, LgPacketType::Retransmit);
+        rx(&mut r, p2, Time::from_us(3), &mut pool);
         assert_eq!(r.ack_no(), 4);
         // now the stale timeout fires: nothing happens
-        let fired = r.on_timeout(generation, Time::from_us(9));
+        let fired = timeout(&mut r, generation, Time::from_us(9), &mut pool);
         assert!(fired.is_empty());
         assert_eq!(r.stats().timeouts, 0);
     }
 
     #[test]
     fn backpressure_pause_and_resume() {
+        let mut pool = PacketPool::new();
         let cfg = LgConfig {
             pause_threshold: 4_000,
             resume_threshold: 1_500,
@@ -848,22 +978,26 @@ mod tests {
         };
         let mut r = LgReceiver::new(cfg, NodeId(101), NodeId(100));
         r.activate();
-        r.on_protected_rx(data(1, LgPacketType::Original), Time::ZERO);
+        let p1 = data(&mut pool, 1, LgPacketType::Original);
+        rx(&mut r, p1, Time::ZERO, &mut pool);
         // 2 lost; 3,4,5 arrive and buffer up (1521 bytes each incl. header)
-        r.on_protected_rx(data(3, LgPacketType::Original), Time::ZERO);
-        let a4 = r.on_protected_rx(data(4, LgPacketType::Original), Time::ZERO);
+        let p3 = data(&mut pool, 3, LgPacketType::Original);
+        rx(&mut r, p3, Time::ZERO, &mut pool);
+        let p4 = data(&mut pool, 4, LgPacketType::Original);
+        let a4 = rx(&mut r, p4, Time::ZERO, &mut pool);
         assert!(
-            notifications(&a4).is_empty()
+            notifications(&a4, &pool).is_empty()
                 && !a4
                     .iter()
                     .any(|a| matches!(a, ReceiverAction::SendReverse { .. })),
             "below pause threshold: no pause yet"
         );
-        let a5 = r.on_protected_rx(data(5, LgPacketType::Original), Time::ZERO);
+        let p5 = data(&mut pool, 5, LgPacketType::Original);
+        let a5 = rx(&mut r, p5, Time::ZERO, &mut pool);
         let pause_frames: Vec<_> = a5
             .iter()
             .filter_map(|a| match a {
-                ReceiverAction::SendReverse { pkt, .. } => match &pkt.payload {
+                ReceiverAction::SendReverse { id, .. } => match &pool.get(*id).payload {
                     Payload::Lg(LgControl::Pause(p)) => Some(*p),
                     _ => None,
                 },
@@ -876,15 +1010,16 @@ mod tests {
         // retx of 2 releases the buffer, but the released bytes still
         // drain through the 100G recirculation path: the resume comes from
         // a later timer-packet evaluation of Algorithm 2.
-        let rec = r.on_protected_rx(data(2, LgPacketType::Retransmit), Time::from_us(4));
-        assert_eq!(delivered(&rec).len(), 4);
+        let p2 = data(&mut pool, 2, LgPacketType::Retransmit);
+        let rec = rx(&mut r, p2, Time::from_us(4), &mut pool);
+        assert_eq!(delivered(&rec, &pool).len(), 4);
         assert_eq!(r.stats().resumes_sent, 0, "drain not finished yet");
         // ~6 KB at 100G drains in ~0.5 us; evaluate well after
-        let timer = r.on_bp_timer(Time::from_us(10));
+        let timer = bp_timer(&mut r, Time::from_us(10), &mut pool);
         let resumes: Vec<_> = timer
             .iter()
             .filter_map(|a| match a {
-                ReceiverAction::SendReverse { pkt, .. } => match &pkt.payload {
+                ReceiverAction::SendReverse { id, .. } => match &pool.get(*id).payload {
                     Payload::Lg(LgControl::Pause(p)) => Some(*p),
                     _ => None,
                 },
@@ -895,11 +1030,12 @@ mod tests {
         assert!(!resumes[0].pause);
         assert_eq!(r.stats().resumes_sent, 1);
         // once resumed, the timer chain stops
-        assert!(r.on_bp_timer(Time::from_us(11)).is_empty());
+        assert!(bp_timer(&mut r, Time::from_us(11), &mut pool).is_empty());
     }
 
     #[test]
     fn no_redundant_pause_messages() {
+        let mut pool = PacketPool::new();
         let cfg = LgConfig {
             pause_threshold: 3_000,
             resume_threshold: 1_500,
@@ -907,9 +1043,11 @@ mod tests {
         };
         let mut r = LgReceiver::new(cfg, NodeId(101), NodeId(100));
         r.activate();
-        r.on_protected_rx(data(1, LgPacketType::Original), Time::ZERO);
+        let p1 = data(&mut pool, 1, LgPacketType::Original);
+        rx(&mut r, p1, Time::ZERO, &mut pool);
         for s in 3..10 {
-            r.on_protected_rx(data(s, LgPacketType::Original), Time::ZERO);
+            let p = data(&mut pool, s, LgPacketType::Original);
+            rx(&mut r, p, Time::ZERO, &mut pool);
         }
         // buffer far above threshold, but only one pause sent (curr_state flag)
         assert_eq!(r.stats().pauses_sent, 1);
@@ -917,6 +1055,7 @@ mod tests {
 
     #[test]
     fn rx_buffer_overflow_drops_packets() {
+        let mut pool = PacketPool::new();
         let cfg = LgConfig {
             rx_buffer_cap: 3_200,      // fits two 1521B frames
             pause_threshold: u64::MAX, // backpressure disabled (Fig 9b)
@@ -925,42 +1064,56 @@ mod tests {
         };
         let mut r = LgReceiver::new(cfg, NodeId(101), NodeId(100));
         r.activate();
-        r.on_protected_rx(data(1, LgPacketType::Original), Time::ZERO);
-        r.on_protected_rx(data(3, LgPacketType::Original), Time::ZERO);
-        r.on_protected_rx(data(4, LgPacketType::Original), Time::ZERO);
-        r.on_protected_rx(data(5, LgPacketType::Original), Time::ZERO);
+        let p1 = data(&mut pool, 1, LgPacketType::Original);
+        rx(&mut r, p1, Time::ZERO, &mut pool);
+        for s in [3u64, 4, 5] {
+            let p = data(&mut pool, s, LgPacketType::Original);
+            rx(&mut r, p, Time::ZERO, &mut pool);
+        }
         assert_eq!(r.stats().buffered, 2);
         assert_eq!(r.stats().rx_overflow_drops, 1);
     }
 
     #[test]
     fn nb_mode_forwards_out_of_order_immediately() {
+        let mut pool = PacketPool::new();
         let mut r = nb_rx();
-        r.on_protected_rx(data(1, LgPacketType::Original), Time::ZERO);
-        let a3 = r.on_protected_rx(data(3, LgPacketType::Original), Time::from_us(1));
-        assert_eq!(delivered(&a3).len(), 1, "3 forwarded despite missing 2");
-        assert_eq!(notifications(&a3).len(), 1);
+        let p1 = data(&mut pool, 1, LgPacketType::Original);
+        rx(&mut r, p1, Time::ZERO, &mut pool);
+        let p3 = data(&mut pool, 3, LgPacketType::Original);
+        let a3 = rx(&mut r, p3, Time::from_us(1), &mut pool);
+        assert_eq!(
+            delivered(&a3, &pool).len(),
+            1,
+            "3 forwarded despite missing 2"
+        );
+        assert_eq!(notifications(&a3, &pool).len(), 1);
         assert_eq!(r.rx_buffer_bytes(), 0, "NB uses no reordering buffer");
         // retx of 2 forwarded out of order
-        let a2 = r.on_protected_rx(data(2, LgPacketType::Retransmit), Time::from_us(2));
-        assert_eq!(delivered(&a2).len(), 1);
+        let p2 = data(&mut pool, 2, LgPacketType::Retransmit);
+        let a2 = rx(&mut r, p2, Time::from_us(2), &mut pool);
+        assert_eq!(delivered(&a2, &pool).len(), 1);
         assert_eq!(r.stats().recovered, 1);
         // duplicate copy dropped
-        let dup = r.on_protected_rx(data(2, LgPacketType::Retransmit), Time::from_us(3));
-        assert!(delivered(&dup).is_empty());
+        let p2b = data(&mut pool, 2, LgPacketType::Retransmit);
+        let dup = rx(&mut r, p2b, Time::from_us(3), &mut pool);
+        assert!(delivered(&dup, &pool).is_empty());
         assert_eq!(r.stats().dup_drops, 1);
     }
 
     #[test]
     fn nb_mode_sends_no_pause_frames() {
+        let mut pool = PacketPool::new();
         let mut r = nb_rx();
-        r.on_protected_rx(data(1, LgPacketType::Original), Time::ZERO);
+        let p1 = data(&mut pool, 1, LgPacketType::Original);
+        rx(&mut r, p1, Time::ZERO, &mut pool);
         for s in 3..200 {
-            let a = r.on_protected_rx(data(s, LgPacketType::Original), Time::ZERO);
+            let p = data(&mut pool, s, LgPacketType::Original);
+            let a = rx(&mut r, p, Time::ZERO, &mut pool);
             assert!(!a
                 .iter()
-                .any(|x| matches!(x, ReceiverAction::SendReverse { pkt, .. }
-                    if matches!(pkt.payload, Payload::Lg(LgControl::Pause(_))))));
+                .any(|x| matches!(x, ReceiverAction::SendReverse { id, .. }
+                    if matches!(pool.get(*id).payload, Payload::Lg(LgControl::Pause(_))))));
             assert!(!a
                 .iter()
                 .any(|x| matches!(x, ReceiverAction::ArmTimeout { .. })));
@@ -970,55 +1123,73 @@ mod tests {
 
     #[test]
     fn explicit_acks_emitted_when_owed() {
+        let mut pool = PacketPool::new();
         let mut r = ordered_rx();
-        assert!(r.make_explicit_acks(Time::ZERO).is_empty(), "nothing yet");
-        r.on_protected_rx(data(1, LgPacketType::Original), Time::ZERO);
-        let acks = r.make_explicit_acks(Time::from_us(1));
+        let mut acks = Vec::new();
+        r.make_explicit_acks(Time::ZERO, &mut pool, &mut acks);
+        assert!(acks.is_empty(), "nothing yet");
+        let p1 = data(&mut pool, 1, LgPacketType::Original);
+        rx(&mut r, p1, Time::ZERO, &mut pool);
+        r.make_explicit_acks(Time::from_us(1), &mut pool, &mut acks);
         assert_eq!(acks.len(), 1);
-        let a = acks[0].lg_ack.unwrap();
+        let a = pool.get(acks[0]).lg_ack.unwrap();
         assert!(a.explicit);
         assert_eq!(a.latest_rx, wire_of(1));
         // no change since: queue stays quiet
-        assert!(r.make_explicit_acks(Time::from_us(2)).is_empty());
-        r.on_protected_rx(data(2, LgPacketType::Original), Time::from_us(3));
-        assert_eq!(r.make_explicit_acks(Time::from_us(4)).len(), 1);
+        acks.clear();
+        r.make_explicit_acks(Time::from_us(2), &mut pool, &mut acks);
+        assert!(acks.is_empty());
+        let p2 = data(&mut pool, 2, LgPacketType::Original);
+        rx(&mut r, p2, Time::from_us(3), &mut pool);
+        r.make_explicit_acks(Time::from_us(4), &mut pool, &mut acks);
+        assert_eq!(acks.len(), 1);
     }
 
     #[test]
     fn piggyback_stamp_covers_pending_ack() {
+        let mut pool = PacketPool::new();
         let mut r = ordered_rx();
-        r.on_protected_rx(data(1, LgPacketType::Original), Time::ZERO);
-        let mut rev = Packet::raw(NodeId(2), NodeId(1), 1518, Time::ZERO);
-        r.stamp_ack(&mut rev);
-        let a = rev.lg_ack.unwrap();
+        let p1 = data(&mut pool, 1, LgPacketType::Original);
+        rx(&mut r, p1, Time::ZERO, &mut pool);
+        let rev = pool.insert(Packet::raw(NodeId(2), NodeId(1), 1518, Time::ZERO));
+        let rev = r.stamp_ack(rev, &mut pool);
+        let a = pool.get(rev).lg_ack.unwrap();
         assert!(!a.explicit);
         assert_eq!(a.latest_rx, wire_of(1));
-        assert!(r.make_explicit_acks(Time::from_us(1)).is_empty());
+        let mut acks = Vec::new();
+        r.make_explicit_acks(Time::from_us(1), &mut pool, &mut acks);
+        assert!(acks.is_empty());
     }
 
     #[test]
     fn inactive_receiver_passes_unprotected_traffic() {
+        let mut pool = PacketPool::new();
         let cfg = LgConfig::for_speed(LinkSpeed::G25, 1e-3);
         let mut r = LgReceiver::new(cfg, NodeId(101), NodeId(100));
-        let p = Packet::raw(NodeId(1), NodeId(2), 1518, Time::ZERO);
-        let actions = r.on_protected_rx(p, Time::ZERO);
-        assert_eq!(delivered(&actions).len(), 1);
-        let mut rev = Packet::raw(NodeId(2), NodeId(1), 64, Time::ZERO);
-        r.stamp_ack(&mut rev);
-        assert!(rev.lg_ack.is_none(), "no stamping while dormant");
+        let p = pool.insert(Packet::raw(NodeId(1), NodeId(2), 1518, Time::ZERO));
+        let actions = rx(&mut r, p, Time::ZERO, &mut pool);
+        assert_eq!(delivered(&actions, &pool).len(), 1);
+        let rev = pool.insert(Packet::raw(NodeId(2), NodeId(1), 64, Time::ZERO));
+        let rev = r.stamp_ack(rev, &mut pool);
+        assert!(pool.get(rev).lg_ack.is_none(), "no stamping while dormant");
     }
 
     #[test]
     fn control_copies_replicate_notifications() {
+        let mut pool = PacketPool::new();
         let cfg = LgConfig {
             control_copies: 3,
             ..LgConfig::for_speed(LinkSpeed::G25, 1e-3)
         };
         let mut r = LgReceiver::new(cfg, NodeId(101), NodeId(100));
         r.activate();
-        r.on_protected_rx(data(1, LgPacketType::Original), Time::ZERO);
-        let a = r.on_protected_rx(data(3, LgPacketType::Original), Time::ZERO);
-        assert_eq!(notifications(&a).len(), 3, "bidirectional hardening");
-        assert_eq!(r.make_explicit_acks(Time::from_us(1)).len(), 3);
+        let p1 = data(&mut pool, 1, LgPacketType::Original);
+        rx(&mut r, p1, Time::ZERO, &mut pool);
+        let p3 = data(&mut pool, 3, LgPacketType::Original);
+        let a = rx(&mut r, p3, Time::ZERO, &mut pool);
+        assert_eq!(notifications(&a, &pool).len(), 3, "bidirectional hardening");
+        let mut acks = Vec::new();
+        r.make_explicit_acks(Time::from_us(1), &mut pool, &mut acks);
+        assert_eq!(acks.len(), 3);
     }
 }

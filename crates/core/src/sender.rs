@@ -14,24 +14,30 @@
 //!   (§3.2);
 //! * absorbs PFC pause/resume frames from the receiver's backpressure
 //!   mechanism, pausing only the normal packet queue (§3.3/§3.5).
+//!
+//! Packets are handled as [`PktId`]s into the testbed's [`PacketPool`]:
+//! the egress mirror *shares* the in-flight packet's buffer (one `retain`
+//! instead of a deep clone), and the `N` retransmitted copies share one
+//! buffer the same way.
 
 use crate::config::LgConfig;
 use crate::seqmap::{abs_of, wire_of};
 use lg_packet::lg::{LgAck, LgData, LgPacketType, LossNotification};
-use lg_packet::{LgControl, NodeId, Packet, Payload};
+use lg_packet::{LgControl, NodeId, Packet, PacketPool, Payload, PktId};
 use lg_sim::{Duration, Rng, Time};
 use lg_switch::recirc::{DEFAULT_LOOP_LATENCY, RECIRC_DRAIN_RATE};
 use lg_switch::{Class, RecircBuffer, RecircStats};
 use serde::{Deserialize, Serialize};
 
 /// Side effects the testbed must apply after feeding the sender an input.
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 pub enum SenderAction {
-    /// Enqueue `pkt` on the protected egress port in `class` after
-    /// `delay` (recirculation service time for retransmissions).
+    /// Enqueue `id` on the protected egress port in `class` after
+    /// `delay` (recirculation service time for retransmissions). The
+    /// action owns one pool reference to `id`.
     Emit {
         /// The packet to enqueue.
-        pkt: Packet,
+        id: PktId,
         /// Traffic class.
         class: Class,
         /// Extra dataplane delay before the packet reaches the queue.
@@ -130,12 +136,14 @@ impl LgSender {
     }
 
     /// Called by the testbed when a packet is dequeued for transmission on
-    /// the protected link. Stamps the data header and mirrors a copy into
-    /// the Tx buffer. Already-stamped packets (retransmitted copies,
-    /// dummies) pass through untouched.
-    pub fn on_transmit(&mut self, pkt: &mut Packet, now: Time) {
-        if !self.active || pkt.lg_data.is_some() {
-            return;
+    /// the protected link. Stamps the data header and mirrors the packet
+    /// into the Tx buffer — sharing the in-flight buffer via `retain`, not
+    /// copying. Already-stamped packets (retransmitted copies, dummies)
+    /// pass through untouched. Returns the (possibly re-slotted) handle
+    /// the caller must transmit.
+    pub fn on_transmit(&mut self, id: PktId, now: Time, pool: &mut PacketPool) -> PktId {
+        if !self.active || pool.get(id).lg_data.is_some() {
+            return id;
         }
         // Another instance's control (explicit ACKs, dummies, loss
         // notifications, pause frames) crosses un-tunneled: it is
@@ -144,25 +152,30 @@ impl LgSender {
         // tunneling it would chain each instance's ACKs into the other's
         // sequence space ad infinitum — and hold time-critical pause
         // frames behind reordering gaps.
-        if matches!(pkt.payload, Payload::Lg(_)) {
-            return;
+        if matches!(pool.get(id).payload, Payload::Lg(_)) {
+            return id;
         }
         self.next_seq += 1;
         let seq = self.next_seq;
-        pkt.lg_data = Some(LgData {
+        let id = pool.cow(id);
+        pool.get_mut(id).lg_data = Some(LgData {
             seq: wire_of(seq),
             kind: LgPacketType::Original,
         });
         self.stats.protected_sent += 1;
-        // Egress mirroring: buffer a copy (with the header) until ACKed.
-        if self.tx_buffer.insert(seq, pkt.clone(), now).is_err() {
+        // Egress mirroring: the Tx buffer shares the in-flight packet's
+        // slot (with the header) until ACKed.
+        pool.retain(id);
+        if let Err(extra) = self.tx_buffer.insert(seq, id, now, pool) {
+            pool.release(extra);
             self.stats.buffer_overflows += 1;
         }
+        id
     }
 
     /// Called when the protected egress port runs dry (normal and control
-    /// queues empty): the self-replenishing dummy queue transmits. Returns
-    /// the dummy packets to enqueue at strictly-lowest priority.
+    /// queues empty): the self-replenishing dummy queue transmits. Appends
+    /// the dummy packets to enqueue at strictly-lowest priority to `out`.
     ///
     /// Dummies carry the sequence number of the last protected packet so a
     /// tail loss shows up as a gap at the receiver. They are only useful
@@ -170,23 +183,22 @@ impl LgSender {
     /// everything the queue idles (behaviourally identical to the paper's
     /// continuously self-replenishing queue, whose extra dummies are
     /// no-ops at the receiver).
-    pub fn make_dummies(&mut self, now: Time) -> Vec<Packet> {
+    pub fn make_dummies(&mut self, now: Time, pool: &mut PacketPool, out: &mut Vec<PktId>) {
         if !self.active || self.cfg.dummy_copies == 0 {
-            return Vec::new();
+            return;
         }
         if self.next_seq == 0 || self.latest_rx >= self.next_seq {
-            return Vec::new();
+            return;
         }
         // Pace dummy bursts: the hardware queue replenishes via egress
         // mirroring (one recirculation pass between dummies); back-to-back
         // emission at 100 G would add nothing the receiver acts on.
         if let Some(last) = self.last_dummy_at {
             if now.saturating_since(last) < Duration::from_ns(300) {
-                return Vec::new();
+                return;
             }
         }
         self.last_dummy_at = Some(now);
-        let mut out = Vec::with_capacity(self.cfg.dummy_copies as usize);
         for _ in 0..self.cfg.dummy_copies {
             let mut p = Packet::lg_control(self.node, self.peer, LgControl::Dummy, now);
             p.lg_data = Some(LgData {
@@ -194,9 +206,8 @@ impl LgSender {
                 kind: LgPacketType::Dummy,
             });
             self.stats.dummies_sent += 1;
-            out.push(p);
+            out.push(pool.insert(p));
         }
-        out
     }
 
     /// True while some transmitted packet is not yet acknowledged.
@@ -206,35 +217,47 @@ impl LgSender {
 
     /// Called for every packet arriving on the reverse direction of the
     /// protected link. Absorbs LinkGuardian control (explicit ACKs, loss
-    /// notifications, pause frames) and strips piggybacked ACK headers.
+    /// notifications, pause frames — released back to the pool) and strips
+    /// piggybacked ACK headers.
     ///
     /// Returns the packet to forward onward (if it carries tenant data)
-    /// plus the side-effect actions.
+    /// and appends the side-effect actions to `actions`.
     pub fn on_reverse_rx(
         &mut self,
-        mut pkt: Packet,
+        id: PktId,
         now: Time,
-    ) -> (Option<Packet>, Vec<SenderAction>) {
-        let mut actions = Vec::new();
-        let ack = pkt.lg_ack.take();
+        pool: &mut PacketPool,
+        actions: &mut Vec<SenderAction>,
+    ) -> Option<PktId> {
+        let mut id = id;
+        let ack = if pool.get(id).lg_ack.is_some() {
+            id = pool.cow(id);
+            pool.get_mut(id).lg_ack.take()
+        } else {
+            None
+        };
         // A loss notification is applied before any piggybacked ACK in the
         // same frame: the requested packets must be retransmitted before
         // the cumulative ACK frees them (Appendix A.2 checks reTxReqs
         // before dropping).
-        if let Payload::Lg(LgControl::LossNotification(n)) = &pkt.payload {
+        if let Payload::Lg(LgControl::LossNotification(n)) = &pool.get(id).payload {
             let n = *n;
-            self.process_loss_notification(n, now, &mut actions);
+            self.process_loss_notification(n, now, pool, actions);
             if let Some(ack) = ack {
-                self.process_ack(ack, now);
+                self.process_ack(ack, now, pool);
             }
-            return (None, actions);
+            pool.release(id);
+            return None;
         }
         if let Some(ack) = ack {
-            self.process_ack(ack, now);
+            self.process_ack(ack, now, pool);
         }
-        match &pkt.payload {
+        match &pool.get(id).payload {
             Payload::Lg(LgControl::LossNotification(_)) => unreachable!("handled above"),
-            Payload::Lg(LgControl::ExplicitAck) => (None, actions),
+            Payload::Lg(LgControl::ExplicitAck) => {
+                pool.release(id);
+                None
+            }
             Payload::Lg(LgControl::Pause(p)) => {
                 if p.pause {
                     self.stats.pauses_rx += 1;
@@ -242,19 +265,23 @@ impl LgSender {
                     self.stats.resumes_rx += 1;
                 }
                 actions.push(SenderAction::PauseNormal(p.pause));
-                (None, actions)
+                pool.release(id);
+                None
             }
-            Payload::Lg(LgControl::Dummy) => (None, actions),
-            _ => (Some(pkt), actions),
+            Payload::Lg(LgControl::Dummy) => {
+                pool.release(id);
+                None
+            }
+            _ => Some(id),
         }
     }
 
-    fn process_ack(&mut self, ack: LgAck, now: Time) {
+    fn process_ack(&mut self, ack: LgAck, now: Time, pool: &mut PacketPool) {
         let abs = abs_of(ack.latest_rx, self.reference());
         if abs > self.latest_rx {
             self.latest_rx = abs;
             // Drop buffered copies of successfully delivered packets.
-            self.tx_buffer.remove_up_to(abs, now);
+            self.tx_buffer.remove_up_to(abs, now, pool);
         }
     }
 
@@ -262,6 +289,7 @@ impl LgSender {
         &mut self,
         n: LossNotification,
         now: Time,
+        pool: &mut PacketPool,
         actions: &mut Vec<SenderAction>,
     ) {
         self.stats.notifications_rx += 1;
@@ -274,20 +302,22 @@ impl LgSender {
         }
         for seq in first..first + n.count as u64 {
             match self.tx_buffer.remove(seq, now) {
-                Some(mut copy) => {
+                Some(copy) => {
                     self.stats.retx_packets += 1;
-                    if let Some(h) = copy.lg_data.as_mut() {
+                    let copy = pool.cow(copy);
+                    if let Some(h) = pool.get_mut(copy).lg_data.as_mut() {
                         h.kind = LgPacketType::Retransmit;
                     }
                     // Multicast primitive: N copies through the
-                    // high-priority queue. The buffered copy must first
-                    // come around the recirculation ring: with B bytes
-                    // recirculating, the requested packet is on average
-                    // half a ring away at the 100 G recirculation drain
-                    // rate — this is what makes the paper's measured
-                    // retransmission delay (Fig 19, 2–6 µs) far exceed
-                    // one pipeline pass, and it grows with Tx-buffer
-                    // occupancy (hence with link speed).
+                    // high-priority queue, all sharing one buffer. The
+                    // buffered copy must first come around the
+                    // recirculation ring: with B bytes recirculating, the
+                    // requested packet is on average half a ring away at
+                    // the 100 G recirculation drain rate — this is what
+                    // makes the paper's measured retransmission delay
+                    // (Fig 19, 2–6 µs) far exceed one pipeline pass, and
+                    // it grows with Tx-buffer occupancy (hence with link
+                    // speed).
                     let ring_delay = RECIRC_DRAIN_RATE.serialize(self.tx_buffer.bytes() / 2);
                     let (lo, hi) = self.cfg.retx_extra_delay;
                     let jitter = Duration::from_ps(
@@ -295,10 +325,13 @@ impl LgSender {
                             .range(lo.as_ps().min(hi.as_ps()), hi.as_ps().max(lo.as_ps())),
                     );
                     let delay = self.tx_buffer.loop_latency() + ring_delay + jitter;
-                    for _ in 0..self.n_copies {
+                    for i in 0..self.n_copies {
                         self.stats.retx_copies_sent += 1;
+                        if i > 0 {
+                            pool.retain(copy);
+                        }
                         actions.push(SenderAction::Emit {
-                            pkt: copy.clone(),
+                            id: copy,
                             class: Class::Control,
                             delay,
                         });
@@ -314,7 +347,7 @@ impl LgSender {
         }
         // Free any remaining acknowledged copies (not retransmitted).
         let latest_now = self.latest_rx;
-        self.tx_buffer.remove_up_to(latest_now, now);
+        self.tx_buffer.remove_up_to(latest_now, now, pool);
     }
 
     fn reference(&self) -> u64 {
@@ -373,22 +406,22 @@ mod tests {
         s
     }
 
-    fn data_pkt() -> Packet {
-        Packet::raw(NodeId(1), NodeId(2), 1518, Time::ZERO)
+    fn data_pkt(pool: &mut PacketPool) -> PktId {
+        pool.insert(Packet::raw(NodeId(1), NodeId(2), 1518, Time::ZERO))
     }
 
-    fn ack(latest_abs: u64) -> Packet {
+    fn ack(pool: &mut PacketPool, latest_abs: u64) -> PktId {
         let mut p =
             Packet::lg_control(NodeId(101), NodeId(100), LgControl::ExplicitAck, Time::ZERO);
         p.lg_ack = Some(LgAck {
             latest_rx: wire_of(latest_abs),
             explicit: true,
         });
-        p
+        pool.insert(p)
     }
 
-    fn notif(first: u64, count: u16, latest: u64) -> Packet {
-        Packet::lg_control(
+    fn notif(pool: &mut PacketPool, first: u64, count: u16, latest: u64) -> PktId {
+        pool.insert(Packet::lg_control(
             NodeId(101),
             NodeId(100),
             LgControl::LossNotification(LossNotification {
@@ -397,101 +430,135 @@ mod tests {
                 latest_rx: wire_of(latest),
             }),
             Time::ZERO,
-        )
+        ))
+    }
+
+    fn reverse(
+        s: &mut LgSender,
+        id: PktId,
+        now: Time,
+        pool: &mut PacketPool,
+    ) -> (Option<PktId>, Vec<SenderAction>) {
+        let mut actions = Vec::new();
+        let fwd = s.on_reverse_rx(id, now, pool, &mut actions);
+        (fwd, actions)
     }
 
     #[test]
     fn stamps_and_buffers_protected_packets() {
+        let mut pool = PacketPool::new();
         let mut s = mk_sender();
-        let mut p = data_pkt();
-        s.on_transmit(&mut p, Time::ZERO);
-        let h = p.lg_data.unwrap();
+        let p = data_pkt(&mut pool);
+        let p = s.on_transmit(p, Time::ZERO, &mut pool);
+        let h = pool.get(p).lg_data.unwrap();
         assert_eq!(h.seq, SeqNo::new(1, false));
         assert_eq!(h.kind, LgPacketType::Original);
-        assert_eq!(s.tx_buffer_bytes(), p.frame_len() as u64);
+        assert_eq!(s.tx_buffer_bytes(), pool.get(p).frame_len() as u64);
         assert_eq!(s.stats().protected_sent, 1);
+        // the mirror shares the in-flight slot instead of deep-cloning
+        assert_eq!(pool.refcount(p), 2);
+        assert_eq!(pool.live(), 1);
         // sequence increments
-        let mut p2 = data_pkt();
-        s.on_transmit(&mut p2, Time::ZERO);
-        assert_eq!(p2.lg_data.unwrap().seq, SeqNo::new(2, false));
+        let p2 = data_pkt(&mut pool);
+        let p2 = s.on_transmit(p2, Time::ZERO, &mut pool);
+        assert_eq!(pool.get(p2).lg_data.unwrap().seq, SeqNo::new(2, false));
     }
 
     #[test]
     fn inactive_sender_is_passthrough() {
+        let mut pool = PacketPool::new();
         let cfg = LgConfig::for_speed(LinkSpeed::G25, 1e-3);
         let mut s = LgSender::new(cfg, NodeId(100), NodeId(101));
-        let mut p = data_pkt();
-        s.on_transmit(&mut p, Time::ZERO);
-        assert!(p.lg_data.is_none());
+        let p = data_pkt(&mut pool);
+        let p = s.on_transmit(p, Time::ZERO, &mut pool);
+        assert!(pool.get(p).lg_data.is_none());
         assert_eq!(s.tx_buffer_bytes(), 0);
-        assert!(s.make_dummies(Time::ZERO).is_empty());
+        let mut dummies = Vec::new();
+        s.make_dummies(Time::ZERO, &mut pool, &mut dummies);
+        assert!(dummies.is_empty());
     }
 
     #[test]
     fn already_stamped_packets_not_rebuffered() {
+        let mut pool = PacketPool::new();
         let mut s = mk_sender();
-        let mut p = data_pkt();
-        s.on_transmit(&mut p, Time::ZERO);
+        let p = data_pkt(&mut pool);
+        let p = s.on_transmit(p, Time::ZERO, &mut pool);
         let bytes = s.tx_buffer_bytes();
         // simulate the same packet being dequeued again (retx copy)
-        let mut copy = p.clone();
-        s.on_transmit(&mut copy, Time::ZERO);
+        let copy = pool.insert(pool.get(p).clone());
+        let copy2 = s.on_transmit(copy, Time::ZERO, &mut pool);
+        assert_eq!(copy2, copy, "pass-through, same handle");
         assert_eq!(s.tx_buffer_bytes(), bytes);
         assert_eq!(s.last_sent(), 1);
     }
 
     #[test]
     fn ack_frees_buffer_prefix() {
+        let mut pool = PacketPool::new();
         let mut s = mk_sender();
         for _ in 0..5 {
-            s.on_transmit(&mut data_pkt(), Time::ZERO);
+            let p = data_pkt(&mut pool);
+            let p = s.on_transmit(p, Time::ZERO, &mut pool);
+            pool.release(p); // the in-flight copy departs
         }
         assert_eq!(s.tx_buffer_bytes(), 5 * 1518 + 5 * 3);
-        let (fwd, actions) = s.on_reverse_rx(ack(3), Time::from_us(1));
+        let a = ack(&mut pool, 3);
+        let (fwd, actions) = reverse(&mut s, a, Time::from_us(1), &mut pool);
         assert!(fwd.is_none());
         assert!(actions.is_empty());
         assert_eq!(s.acked(), 3);
         assert_eq!(s.tx_buffer_bytes(), 2 * (1518 + 3));
+        assert_eq!(pool.live(), 2, "acked mirrors released");
     }
 
     #[test]
     fn piggybacked_ack_stripped_and_packet_forwarded() {
+        let mut pool = PacketPool::new();
         let mut s = mk_sender();
-        s.on_transmit(&mut data_pkt(), Time::ZERO);
-        let mut rev = data_pkt();
-        rev.lg_ack = Some(LgAck {
+        let p = data_pkt(&mut pool);
+        s.on_transmit(p, Time::ZERO, &mut pool);
+        let rev = data_pkt(&mut pool);
+        pool.get_mut(rev).lg_ack = Some(LgAck {
             latest_rx: wire_of(1),
             explicit: false,
         });
-        let (fwd, _) = s.on_reverse_rx(rev, Time::from_us(1));
+        let (fwd, _) = reverse(&mut s, rev, Time::from_us(1), &mut pool);
         let fwd = fwd.expect("data packet forwarded");
-        assert!(fwd.lg_ack.is_none(), "ACK header stripped");
+        assert!(pool.get(fwd).lg_ack.is_none(), "ACK header stripped");
         assert_eq!(s.acked(), 1);
     }
 
     #[test]
     fn loss_notification_triggers_n_copies() {
+        let mut pool = PacketPool::new();
         let mut s = mk_sender(); // 1e-3 actual, 1e-8 target → N = 2
         assert_eq!(s.n_copies(), 2);
         for _ in 0..4 {
-            s.on_transmit(&mut data_pkt(), Time::ZERO);
+            let p = data_pkt(&mut pool);
+            let p = s.on_transmit(p, Time::ZERO, &mut pool);
+            pool.release(p);
         }
         // packet 2 lost; receiver saw 4
-        let (_, actions) = s.on_reverse_rx(notif(2, 1, 4), Time::from_us(1));
+        let n = notif(&mut pool, 2, 1, 4);
+        let (_, actions) = reverse(&mut s, n, Time::from_us(1), &mut pool);
         let emits: Vec<_> = actions
             .iter()
             .filter_map(|a| match a {
-                SenderAction::Emit { pkt, class, .. } => Some((pkt, class)),
+                SenderAction::Emit { id, class, .. } => Some((*id, *class)),
                 _ => None,
             })
             .collect();
         assert_eq!(emits.len(), 2, "N=2 copies");
-        for (pkt, class) in &emits {
-            assert_eq!(**class, Class::Control, "retx ride high priority");
-            let h = pkt.lg_data.unwrap();
+        for &(id, class) in &emits {
+            assert_eq!(class, Class::Control, "retx ride high priority");
+            let h = pool.get(id).lg_data.unwrap();
             assert_eq!(h.kind, LgPacketType::Retransmit);
             assert_eq!(h.seq, wire_of(2));
         }
+        // all N copies share one buffer
+        assert_eq!(emits[0].0, emits[1].0);
+        assert_eq!(pool.refcount(emits[0].0), 2);
         assert_eq!(s.stats().retx_packets, 1);
         assert_eq!(s.stats().retx_copies_sent, 2);
         // everything ≤ latest(4) freed: buffer now empty
@@ -500,15 +567,19 @@ mod tests {
 
     #[test]
     fn consecutive_losses_all_retransmitted() {
+        let mut pool = PacketPool::new();
         let mut s = mk_sender();
         for _ in 0..6 {
-            s.on_transmit(&mut data_pkt(), Time::ZERO);
+            let p = data_pkt(&mut pool);
+            let p = s.on_transmit(p, Time::ZERO, &mut pool);
+            pool.release(p);
         }
-        let (_, actions) = s.on_reverse_rx(notif(2, 3, 5), Time::from_us(1));
+        let n = notif(&mut pool, 2, 3, 5);
+        let (_, actions) = reverse(&mut s, n, Time::from_us(1), &mut pool);
         let seqs: Vec<u16> = actions
             .iter()
             .filter_map(|a| match a {
-                SenderAction::Emit { pkt, .. } => Some(pkt.lg_data.unwrap().seq.raw()),
+                SenderAction::Emit { id, .. } => Some(pool.get(*id).lg_data.unwrap().seq.raw()),
                 _ => None,
             })
             .collect();
@@ -519,44 +590,63 @@ mod tests {
 
     #[test]
     fn notification_for_freed_packet_is_a_miss() {
+        let mut pool = PacketPool::new();
         let mut s = mk_sender();
-        s.on_transmit(&mut data_pkt(), Time::ZERO);
-        s.on_reverse_rx(ack(1), Time::from_us(1));
-        let (_, actions) = s.on_reverse_rx(notif(1, 1, 1), Time::from_us(2));
+        let p = data_pkt(&mut pool);
+        let p = s.on_transmit(p, Time::ZERO, &mut pool);
+        pool.release(p);
+        let a = ack(&mut pool, 1);
+        reverse(&mut s, a, Time::from_us(1), &mut pool);
+        let n = notif(&mut pool, 1, 1, 1);
+        let (_, actions) = reverse(&mut s, n, Time::from_us(2), &mut pool);
         assert!(actions.is_empty());
         assert_eq!(s.stats().retx_misses, 1);
+        assert!(pool.is_drained(), "absorbed control released");
     }
 
     #[test]
     fn dummies_only_while_unacked() {
+        let mut pool = PacketPool::new();
         let mut s = mk_sender();
-        assert!(s.make_dummies(Time::ZERO).is_empty(), "nothing sent yet");
-        s.on_transmit(&mut data_pkt(), Time::ZERO);
-        let d = s.make_dummies(Time::ZERO);
-        assert_eq!(d.len(), 1);
-        assert!(d[0].is_lg_dummy());
-        assert_eq!(d[0].lg_data.unwrap().seq, wire_of(1));
-        assert_eq!(d[0].lg_data.unwrap().kind, LgPacketType::Dummy);
-        s.on_reverse_rx(ack(1), Time::from_us(1));
-        assert!(s.make_dummies(Time::from_us(1)).is_empty(), "all acked");
+        let mut out = Vec::new();
+        s.make_dummies(Time::ZERO, &mut pool, &mut out);
+        assert!(out.is_empty(), "nothing sent yet");
+        let p = data_pkt(&mut pool);
+        s.on_transmit(p, Time::ZERO, &mut pool);
+        s.make_dummies(Time::ZERO, &mut pool, &mut out);
+        assert_eq!(out.len(), 1);
+        let d = pool.get(out[0]);
+        assert!(d.is_lg_dummy());
+        assert_eq!(d.lg_data.unwrap().seq, wire_of(1));
+        assert_eq!(d.lg_data.unwrap().kind, LgPacketType::Dummy);
+        let a = ack(&mut pool, 1);
+        reverse(&mut s, a, Time::from_us(1), &mut pool);
+        out.clear();
+        s.make_dummies(Time::from_us(1), &mut pool, &mut out);
+        assert!(out.is_empty(), "all acked");
     }
 
     #[test]
     fn multiple_dummy_copies_for_bursty_loss() {
+        let mut pool = PacketPool::new();
         let cfg = LgConfig {
             dummy_copies: 3,
             ..LgConfig::for_speed(LinkSpeed::G25, 1e-3)
         };
         let mut s = LgSender::new(cfg, NodeId(100), NodeId(101));
         s.activate(1e-3);
-        s.on_transmit(&mut data_pkt(), Time::ZERO);
-        assert_eq!(s.make_dummies(Time::ZERO).len(), 3);
+        let p = data_pkt(&mut pool);
+        s.on_transmit(p, Time::ZERO, &mut pool);
+        let mut out = Vec::new();
+        s.make_dummies(Time::ZERO, &mut pool, &mut out);
+        assert_eq!(out.len(), 3);
     }
 
     #[test]
     fn pause_frames_absorbed_into_actions() {
+        let mut pool = PacketPool::new();
         let mut s = mk_sender();
-        let pause = Packet::lg_control(
+        let pause = pool.insert(Packet::lg_control(
             NodeId(101),
             NodeId(100),
             LgControl::Pause(lg_packet::lg::PauseFrame {
@@ -564,25 +654,29 @@ mod tests {
                 class: Class::Normal as u8,
             }),
             Time::ZERO,
-        );
-        let (fwd, actions) = s.on_reverse_rx(pause, Time::ZERO);
+        ));
+        let (fwd, actions) = reverse(&mut s, pause, Time::ZERO, &mut pool);
         assert!(fwd.is_none());
         assert!(matches!(actions[0], SenderAction::PauseNormal(true)));
         assert_eq!(s.stats().pauses_rx, 1);
+        assert!(pool.is_drained(), "pause frame released");
     }
 
     #[test]
     fn tx_buffer_overflow_counted_not_fatal() {
+        let mut pool = PacketPool::new();
         let cfg = LgConfig {
             tx_buffer_cap: 2000,
             ..LgConfig::for_speed(LinkSpeed::G25, 1e-3)
         };
         let mut s = LgSender::new(cfg, NodeId(100), NodeId(101));
         s.activate(1e-3);
-        s.on_transmit(&mut data_pkt(), Time::ZERO); // 1521 bytes buffered
-        let mut p = data_pkt();
-        s.on_transmit(&mut p, Time::ZERO); // would exceed 2000
-        assert!(p.lg_data.is_some(), "still stamped");
+        let p1 = data_pkt(&mut pool);
+        s.on_transmit(p1, Time::ZERO, &mut pool); // 1521 bytes buffered
+        let p2 = data_pkt(&mut pool);
+        let p2 = s.on_transmit(p2, Time::ZERO, &mut pool); // would exceed 2000
+        assert!(pool.get(p2).lg_data.is_some(), "still stamped");
         assert_eq!(s.stats().buffer_overflows, 1);
+        assert_eq!(pool.refcount(p2), 1, "no mirror reference leaked");
     }
 }

@@ -1,34 +1,47 @@
 //! Property-based tests of the LinkGuardian state machines: whatever the
 //! loss/duplication/reordering pattern, the ordered receiver delivers a
 //! strictly in-order, duplicate-free stream, and the sender's buffer
-//! accounting never leaks.
+//! accounting never leaks — in packets *and* in pool slots.
 
 use lg_link::LinkSpeed;
 use lg_packet::lg::{LgData, LgPacketType};
-use lg_packet::{LgControl, NodeId, Packet, Payload};
+use lg_packet::{LgControl, NodeId, Packet, PacketPool, Payload, PktId};
 use lg_sim::{Duration, Time};
 use linkguardian::seqmap::{abs_of, wire_of};
 use linkguardian::{LgConfig, LgReceiver, LgSender, ReceiverAction, SenderAction};
 use proptest::prelude::*;
 
-fn data_pkt(abs: u64, kind: LgPacketType) -> Packet {
+fn data_pkt(pool: &mut PacketPool, abs: u64, kind: LgPacketType) -> PktId {
     let mut p = Packet::raw(NodeId(1), NodeId(2), 1518, Time::ZERO);
     p.uid = abs; // tag with the sequence for order checking
     p.lg_data = Some(LgData {
         seq: wire_of(abs),
         kind,
     });
-    p
+    pool.insert(p)
 }
 
-fn delivered_seqs(actions: &[ReceiverAction]) -> Vec<u64> {
+fn rx_pkt(rx: &mut LgReceiver, id: PktId, t: Time, pool: &mut PacketPool) -> Vec<ReceiverAction> {
+    let mut actions = Vec::new();
+    rx.on_protected_rx(id, t, pool, &mut actions);
     actions
-        .iter()
-        .filter_map(|a| match a {
-            ReceiverAction::Deliver(p) => Some(p.uid),
-            _ => None,
-        })
-        .collect()
+}
+
+/// Collect delivered uids and release every action's pool reference, so
+/// leak checks see only what the state machines themselves retain.
+fn drain_delivered(actions: &[ReceiverAction], pool: &mut PacketPool) -> Vec<u64> {
+    let mut out = Vec::new();
+    for a in actions {
+        match a {
+            ReceiverAction::Deliver(id) => {
+                out.push(pool.get(*id).uid);
+                pool.release(*id);
+            }
+            ReceiverAction::SendReverse { id, .. } => pool.release(*id),
+            _ => {}
+        }
+    }
+    out
 }
 
 proptest! {
@@ -37,7 +50,7 @@ proptest! {
     /// Ordered mode: under arbitrary per-packet fates (delivered, lost
     /// then retransmitted, duplicated), the receiver's output is exactly
     /// 1..=n in order — no duplicates, no gaps (no timeouts are triggered
-    /// because every loss is recovered here).
+    /// because every loss is recovered here) — and no pool slot leaks.
     #[test]
     fn ordered_receiver_delivers_exact_sequence(
         n in 10u64..200,
@@ -45,6 +58,7 @@ proptest! {
         dup_every in 2u64..7,
     ) {
         let cfg = LgConfig::for_speed(LinkSpeed::G100, 1e-3);
+        let mut pool = PacketPool::new();
         let mut rx = LgReceiver::new(cfg, NodeId(101), NodeId(100));
         rx.activate();
         let mut out = Vec::new();
@@ -59,17 +73,20 @@ proptest! {
                 pending_retx.push(abs);
                 continue; // original never arrives
             }
-            let a = rx.on_protected_rx(data_pkt(abs, LgPacketType::Original), t);
-            out.extend(delivered_seqs(&a));
+            let id = data_pkt(&mut pool, abs, LgPacketType::Original);
+            let a = rx_pkt(&mut rx, id, t, &mut pool);
+            out.extend(drain_delivered(&a, &mut pool));
             // retransmissions of everything reported missing arrive a
             // little later (always successfully), possibly duplicated
             for m in pending_retx.drain(..) {
                 t += Duration::from_ns(700);
-                let a = rx.on_protected_rx(data_pkt(m, LgPacketType::Retransmit), t);
-                out.extend(delivered_seqs(&a));
+                let id = data_pkt(&mut pool, m, LgPacketType::Retransmit);
+                let a = rx_pkt(&mut rx, id, t, &mut pool);
+                out.extend(drain_delivered(&a, &mut pool));
                 if m % dup_every == 0 {
-                    let a = rx.on_protected_rx(data_pkt(m, LgPacketType::Retransmit), t);
-                    out.extend(delivered_seqs(&a));
+                    let id = data_pkt(&mut pool, m, LgPacketType::Retransmit);
+                    let a = rx_pkt(&mut rx, id, t, &mut pool);
+                    out.extend(drain_delivered(&a, &mut pool));
                 }
             }
         }
@@ -78,17 +95,22 @@ proptest! {
             t += Duration::from_ns(200);
             let mut dummy = Packet::lg_control(NodeId(100), NodeId(101), LgControl::Dummy, t);
             dummy.lg_data = Some(LgData { seq: wire_of(n), kind: LgPacketType::Dummy });
-            let a = rx.on_protected_rx(dummy, t);
-            out.extend(delivered_seqs(&a));
+            let dummy = pool.insert(dummy);
+            let a = rx_pkt(&mut rx, dummy, t, &mut pool);
+            out.extend(drain_delivered(&a, &mut pool));
             for m in pending_retx.drain(..) {
                 t += Duration::from_ns(700);
-                let a = rx.on_protected_rx(data_pkt(m, LgPacketType::Retransmit), t);
-                out.extend(delivered_seqs(&a));
+                let id = data_pkt(&mut pool, m, LgPacketType::Retransmit);
+                let a = rx_pkt(&mut rx, id, t, &mut pool);
+                out.extend(drain_delivered(&a, &mut pool));
             }
         }
         let expect: Vec<u64> = (1..=n).collect();
         prop_assert_eq!(out, expect, "in-order, complete, duplicate-free");
         prop_assert_eq!(rx.stats().timeouts, 0);
+        // leak check: every packet fed in was delivered, dropped, or
+        // released — nothing left behind in the pool
+        prop_assert!(pool.is_drained(), "leaked {} pool slots", pool.live());
     }
 
     /// The loss notifications the receiver emits cover exactly the lost
@@ -100,6 +122,7 @@ proptest! {
     ) {
         let lost: Vec<u64> = lost.into_iter().filter(|&x| x < n).collect();
         let cfg = LgConfig::for_speed(LinkSpeed::G100, 1e-3);
+        let mut pool = PacketPool::new();
         let mut rx = LgReceiver::new(cfg, NodeId(101), NodeId(100));
         rx.activate();
         let mut reported = Vec::new();
@@ -109,10 +132,11 @@ proptest! {
                 continue;
             }
             t += Duration::from_ns(130);
-            let actions = rx.on_protected_rx(data_pkt(abs, LgPacketType::Original), t);
+            let id = data_pkt(&mut pool, abs, LgPacketType::Original);
+            let actions = rx_pkt(&mut rx, id, t, &mut pool);
             for a in &actions {
-                if let ReceiverAction::SendReverse { pkt, .. } = a {
-                    if let Payload::Lg(LgControl::LossNotification(nf)) = &pkt.payload {
+                if let ReceiverAction::SendReverse { id, .. } = a {
+                    if let Payload::Lg(LgControl::LossNotification(nf)) = &pool.get(*id).payload {
                         prop_assert!(nf.count >= 1 && nf.count <= 5);
                         let first = abs_of(nf.first_lost, abs);
                         for k in 0..nf.count as u64 {
@@ -121,6 +145,7 @@ proptest! {
                     }
                 }
             }
+            drain_delivered(&actions, &mut pool);
         }
         let mut expected: Vec<u64> = lost.clone();
         // trailing losses (after the last delivered packet) are only
@@ -133,36 +158,45 @@ proptest! {
     }
 
     /// Sender buffer accounting: after every transmitted packet is ACKed,
-    /// the Tx buffer is empty, whatever interleaving of ACK values.
+    /// the Tx buffer is empty — and every pool slot is back on the free
+    /// list — whatever interleaving of ACK values.
     #[test]
     fn sender_buffer_drains_to_zero(
         n in 1u64..300,
         ack_step in 1u64..10,
     ) {
         let cfg = LgConfig::for_speed(LinkSpeed::G25, 1e-4);
+        let mut pool = PacketPool::new();
         let mut tx = LgSender::new(cfg, NodeId(100), NodeId(101));
         tx.activate(1e-4);
+        let mut actions = Vec::new();
         let mut t = Time::ZERO;
         for i in 1..=n {
             t += Duration::from_ns(500);
-            let mut p = Packet::raw(NodeId(1), NodeId(2), 1518, t);
-            tx.on_transmit(&mut p, t);
+            let p = pool.insert(Packet::raw(NodeId(1), NodeId(2), 1518, t));
+            let p = tx.on_transmit(p, t, &mut pool);
+            pool.release(p); // the in-flight copy departs onto the wire
             if i % ack_step == 0 {
                 let mut ackp = Packet::lg_control(NodeId(101), NodeId(100), LgControl::ExplicitAck, t);
                 ackp.lg_ack = Some(lg_packet::lg::LgAck { latest_rx: wire_of(i), explicit: true });
-                tx.on_reverse_rx(ackp, t);
+                let ackp = pool.insert(ackp);
+                prop_assert!(tx.on_reverse_rx(ackp, t, &mut pool, &mut actions).is_none());
             }
         }
         // final cumulative ack
         let mut ackp = Packet::lg_control(NodeId(101), NodeId(100), LgControl::ExplicitAck, t);
         ackp.lg_ack = Some(lg_packet::lg::LgAck { latest_rx: wire_of(n), explicit: true });
-        tx.on_reverse_rx(ackp, t);
+        let ackp = pool.insert(ackp);
+        tx.on_reverse_rx(ackp, t, &mut pool, &mut actions);
+        prop_assert!(actions.is_empty());
         prop_assert_eq!(tx.tx_buffer_bytes(), 0);
         prop_assert!(!tx.has_unacked());
+        prop_assert!(pool.is_drained(), "leaked {} pool slots", pool.live());
     }
 
     /// Retransmission requests: the sender emits exactly N copies per
-    /// still-buffered lost packet, stamped Retransmit with the right seq.
+    /// still-buffered lost packet, stamped Retransmit with the right seq —
+    /// and all N copies of one packet share a single pool slot.
     #[test]
     fn retx_copies_match_eq2(
         n_sent in 6u64..100,
@@ -174,15 +208,17 @@ proptest! {
         let first_lost = first_lost.min(n_sent.saturating_sub(count as u64)).max(1);
         let cfg = LgConfig::for_speed(LinkSpeed::G100, actual);
         let n_copies = cfg.n_copies();
+        let mut pool = PacketPool::new();
         let mut tx = LgSender::new(cfg, NodeId(100), NodeId(101));
         tx.activate(actual);
         let mut t = Time::ZERO;
         for _ in 0..n_sent {
             t += Duration::from_ns(130);
-            let mut p = Packet::raw(NodeId(1), NodeId(2), 1518, t);
-            tx.on_transmit(&mut p, t);
+            let p = pool.insert(Packet::raw(NodeId(1), NodeId(2), 1518, t));
+            let p = tx.on_transmit(p, t, &mut pool);
+            pool.release(p);
         }
-        let notif = Packet::lg_control(
+        let notif = pool.insert(Packet::lg_control(
             NodeId(101),
             NodeId(100),
             LgControl::LossNotification(lg_packet::lg::LossNotification {
@@ -191,22 +227,26 @@ proptest! {
                 latest_rx: wire_of(first_lost + count as u64),
             }),
             t,
-        );
-        let (_, actions) = tx.on_reverse_rx(notif, t);
-        let emitted: Vec<(u64, LgPacketType)> = actions
+        ));
+        let mut actions = Vec::new();
+        tx.on_reverse_rx(notif, t, &mut pool, &mut actions);
+        let emitted: Vec<(PktId, u64, LgPacketType)> = actions
             .iter()
             .filter_map(|a| match a {
-                SenderAction::Emit { pkt, .. } => {
-                    let h = pkt.lg_data.unwrap();
-                    Some((abs_of(h.seq, n_sent), h.kind))
+                SenderAction::Emit { id, .. } => {
+                    let h = pool.get(*id).lg_data.unwrap();
+                    Some((*id, abs_of(h.seq, n_sent), h.kind))
                 }
                 _ => None,
             })
             .collect();
         prop_assert_eq!(emitted.len() as u32, count as u32 * n_copies);
-        for (seq, kind) in emitted {
+        for &(id, seq, kind) in &emitted {
             prop_assert_eq!(kind, LgPacketType::Retransmit);
             prop_assert!((first_lost..first_lost + count as u64).contains(&seq));
+            // every emitted copy of a given packet shares one buffer
+            prop_assert_eq!(pool.refcount(id) as u64,
+                emitted.iter().filter(|&&(other, _, _)| other == id).count() as u64);
         }
     }
 }

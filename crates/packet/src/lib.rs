@@ -16,6 +16,7 @@ pub mod eth;
 pub mod ipv4;
 pub mod lg;
 pub mod packet;
+pub mod pool;
 pub mod rdma;
 pub mod seqno;
 pub mod tcp;
@@ -26,4 +27,5 @@ pub use ipv4::Ecn;
 pub use packet::{
     FlowId, LgControl, NodeId, Packet, Payload, RdmaAck, RdmaSegment, TcpSegment, UdpDatagram,
 };
+pub use pool::{PacketPool, PktId};
 pub use seqno::SeqNo;

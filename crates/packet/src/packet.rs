@@ -10,7 +10,7 @@ use crate::eth;
 use crate::ipv4::{Ecn, Ipv4Repr};
 use crate::lg::{LgAck, LgData, LossNotification, PauseFrame, ACK_HEADER_LEN, DATA_HEADER_LEN};
 use crate::rdma::{Aeth, AethSyndrome, Bth, RdmaOpcode};
-use crate::tcp::{SackBlock, TcpFlags, TcpRepr};
+use crate::tcp::{SackList, TcpFlags, TcpRepr};
 use crate::udp::UdpRepr;
 use lg_sim::Time;
 use serde::{Deserialize, Serialize};
@@ -37,7 +37,7 @@ fn next_uid() -> u64 {
 }
 
 /// A TCP segment's metadata.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TcpSegment {
     /// Owning connection.
     pub flow: FlowId,
@@ -49,8 +49,8 @@ pub struct TcpSegment {
     pub ack: u32,
     /// Header flags.
     pub flags: TcpFlags,
-    /// SACK blocks on ACK segments.
-    pub sack: Vec<SackBlock>,
+    /// SACK blocks on ACK segments (inline — no per-segment allocation).
+    pub sack: SackList,
     /// True if this is a transport-layer retransmission (end-to-end, not
     /// LinkGuardian); used by the experiment probes that count e2e ReTx.
     pub is_retx: bool,
@@ -166,17 +166,17 @@ impl Packet {
     }
 
     /// Frame length of a TCP segment with the given payload and SACK count.
+    ///
+    /// Computed arithmetically (no header struct is materialized); a unit
+    /// test pins it against [`TcpRepr::header_len`].
     pub fn tcp_frame_len(payload_len: u32, n_sack: usize) -> u32 {
-        let tcp = TcpRepr {
-            src_port: 0,
-            dst_port: 0,
-            seq: 0,
-            ack: 0,
-            flags: TcpFlags::default(),
-            window: 0,
-            sack: vec![SackBlock { start: 0, end: 0 }; n_sack],
+        // SACK option: kind(1) + len(1) + 8*n, NOP-padded to 4 bytes.
+        let tcp_hdr = if n_sack == 0 {
+            TcpRepr::BASE_LEN
+        } else {
+            TcpRepr::BASE_LEN + (2 + 8 * n_sack).div_ceil(4) * 4
         };
-        eth::frame_len_for_payload(Ipv4Repr::LEN as u32 + tcp.header_len() as u32 + payload_len)
+        eth::frame_len_for_payload(Ipv4Repr::LEN as u32 + tcp_hdr as u32 + payload_len)
     }
 
     /// Frame length of a UDP datagram with the given payload.
@@ -339,7 +339,7 @@ mod tests {
                 payload_len: payload,
                 ack: 0,
                 flags: TcpFlags::default(),
-                sack: vec![],
+                sack: SackList::new(),
                 is_retx: false,
             },
             Ecn::Ect0,
@@ -353,6 +353,33 @@ mod tests {
         assert_eq!(mk_tcp(1448).frame_len(), 1506);
         // full MSS for 1500 MTU with no options: 1460 payload -> 1518 frame
         assert_eq!(mk_tcp(1460).frame_len(), eth::MTU_FRAME_LEN);
+    }
+
+    #[test]
+    fn tcp_frame_len_matches_header_len_arithmetic() {
+        // The arithmetic shortcut must agree with the wire encoder for
+        // every SACK count the option space can hold.
+        use crate::tcp::SackBlock;
+        for n in 0..=SackList::CAPACITY {
+            let repr = TcpRepr {
+                src_port: 0,
+                dst_port: 0,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::default(),
+                window: 0,
+                sack: SackList::from_blocks(&vec![SackBlock { start: 0, end: 1 }; n]),
+            };
+            for payload in [0u32, 143, 1448, 1460] {
+                assert_eq!(
+                    Packet::tcp_frame_len(payload, n),
+                    eth::frame_len_for_payload(
+                        Ipv4Repr::LEN as u32 + repr.header_len() as u32 + payload
+                    ),
+                    "n_sack={n} payload={payload}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -60,8 +60,125 @@ pub struct SackBlock {
 /// 3 with — we model 3, matching Linux with timestamps enabled).
 pub const MAX_SACK_BLOCKS: usize = 3;
 
+/// Inline, fixed-capacity SACK block list.
+///
+/// Capacity is 4 — the TCP option-space maximum — so the list lives
+/// entirely inside the segment (`Copy`, no heap). This is what lets the
+/// per-segment hot path in the transports stay allocation-free: building
+/// an ACK writes into the segment in place instead of growing a `Vec`.
+#[derive(Clone, Copy, Serialize, Deserialize)]
+pub struct SackList {
+    blocks: [SackBlock; SackList::CAPACITY],
+    len: u8,
+}
+
+impl SackList {
+    /// Hard capacity: the TCP option space fits at most 4 SACK blocks.
+    pub const CAPACITY: usize = 4;
+
+    /// An empty list.
+    pub const fn new() -> SackList {
+        SackList {
+            blocks: [SackBlock { start: 0, end: 0 }; SackList::CAPACITY],
+            len: 0,
+        }
+    }
+
+    /// Build from a slice (panics if `blocks.len() > CAPACITY`).
+    pub fn from_blocks(blocks: &[SackBlock]) -> SackList {
+        let mut s = SackList::new();
+        for &b in blocks {
+            s.push(b);
+        }
+        s
+    }
+
+    /// Append a block; panics when full (callers guard with
+    /// [`MAX_SACK_BLOCKS`], which is below the capacity).
+    pub fn push(&mut self, b: SackBlock) {
+        assert!(self.try_push(b), "SackList full");
+    }
+
+    /// Append a block, returning `false` when full (the wire parser treats
+    /// overflow as a malformed header instead of panicking).
+    pub fn try_push(&mut self, b: SackBlock) -> bool {
+        if (self.len as usize) < Self::CAPACITY {
+            self.blocks[self.len as usize] = b;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of blocks.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no blocks are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The blocks as a slice.
+    pub fn as_slice(&self) -> &[SackBlock] {
+        &self.blocks[..self.len as usize]
+    }
+
+    /// Iterate over the blocks.
+    pub fn iter(&self) -> std::slice::Iter<'_, SackBlock> {
+        self.as_slice().iter()
+    }
+
+    /// Remove all blocks.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+}
+
+impl Default for SackList {
+    fn default() -> SackList {
+        SackList::new()
+    }
+}
+
+// Equality and debug ignore the uninitialized tail beyond `len`.
+impl PartialEq for SackList {
+    fn eq(&self, other: &SackList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SackList {}
+
+impl std::fmt::Debug for SackList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a SackList {
+    type Item = &'a SackBlock;
+    type IntoIter = std::slice::Iter<'a, SackBlock>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<SackBlock> for SackList {
+    fn from_iter<I: IntoIterator<Item = SackBlock>>(iter: I) -> SackList {
+        let mut s = SackList::new();
+        for b in iter {
+            s.push(b);
+        }
+        s
+    }
+}
+
 /// TCP header representation.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TcpRepr {
     /// Source port.
     pub src_port: u16,
@@ -76,7 +193,7 @@ pub struct TcpRepr {
     /// Receive window (in bytes; we assume no scaling in the header itself).
     pub window: u16,
     /// SACK blocks (empty when none).
-    pub sack: Vec<SackBlock>,
+    pub sack: SackList,
 }
 
 impl TcpRepr {
@@ -137,7 +254,7 @@ impl TcpRepr {
         let window = r.u16()?;
         let _ck = r.u16()?;
         let _urg = r.u16()?;
-        let mut sack = Vec::new();
+        let mut sack = SackList::new();
         let mut opt_remaining = data_off - Self::BASE_LEN;
         while opt_remaining > 0 {
             let kind = r.u8()?;
@@ -155,10 +272,13 @@ impl TcpRepr {
                         return Err(ParseError::Malformed);
                     }
                     for _ in 0..n {
-                        sack.push(SackBlock {
+                        let b = SackBlock {
                             start: r.u32()?,
                             end: r.u32()?,
-                        });
+                        };
+                        if !sack.try_push(b) {
+                            return Err(ParseError::Malformed);
+                        }
                     }
                     opt_remaining = opt_remaining.saturating_sub(len - 1);
                 }
@@ -188,7 +308,7 @@ impl TcpRepr {
 mod tests {
     use super::*;
 
-    fn sample(sack: Vec<SackBlock>) -> TcpRepr {
+    fn sample(sack: SackList) -> TcpRepr {
         TcpRepr {
             src_port: 5000,
             dst_port: 80,
@@ -206,7 +326,7 @@ mod tests {
 
     #[test]
     fn round_trip_no_options() {
-        let h = sample(vec![]);
+        let h = sample(SackList::new());
         let mut buf = vec![0u8; h.header_len()];
         h.emit(&mut buf);
         assert_eq!(TcpRepr::parse(&buf).unwrap(), h);
@@ -216,7 +336,7 @@ mod tests {
     #[test]
     fn round_trip_with_sack() {
         for n in 1..=MAX_SACK_BLOCKS {
-            let blocks: Vec<SackBlock> = (0..n)
+            let blocks: SackList = (0..n)
                 .map(|i| SackBlock {
                     start: 1000 * i as u32,
                     end: 1000 * i as u32 + 500,
@@ -233,11 +353,11 @@ mod tests {
     fn header_len_includes_padding() {
         // 1 SACK block: 20 + ceil(10/4)*4 = 20 + 12 = 32
         assert_eq!(
-            sample(vec![SackBlock { start: 0, end: 1 }]).header_len(),
+            sample(SackList::from_blocks(&[SackBlock { start: 0, end: 1 }])).header_len(),
             32
         );
         // 3 blocks: 20 + ceil(26/4)*4 = 20 + 28 = 48
-        let blocks = vec![SackBlock { start: 0, end: 1 }; 3];
+        let blocks = SackList::from_blocks(&[SackBlock { start: 0, end: 1 }; 3]);
         assert_eq!(sample(blocks).header_len(), 48);
     }
 
@@ -257,8 +377,31 @@ mod tests {
     }
 
     #[test]
+    fn sack_list_inline_semantics() {
+        let mut s = SackList::new();
+        assert!(s.is_empty());
+        for i in 0..SackList::CAPACITY {
+            assert!(s.try_push(SackBlock {
+                start: i as u32,
+                end: i as u32 + 1,
+            }));
+        }
+        assert_eq!(s.len(), SackList::CAPACITY);
+        assert!(!s.try_push(SackBlock { start: 9, end: 10 }), "full");
+        // equality ignores stale slots beyond len
+        let a = SackList::from_blocks(&[SackBlock { start: 1, end: 2 }]);
+        let mut b = SackList::new();
+        b.push(SackBlock { start: 7, end: 8 });
+        b.clear();
+        b.push(SackBlock { start: 1, end: 2 });
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.as_slice(), &[SackBlock { start: 1, end: 2 }]);
+    }
+
+    #[test]
     fn bad_data_offset_rejected() {
-        let h = sample(vec![]);
+        let h = sample(SackList::new());
         let mut buf = vec![0u8; h.header_len()];
         h.emit(&mut buf);
         buf[12] = 0x10; // data offset 4 words = 16 bytes < 20

@@ -5,7 +5,7 @@ use lg_packet::ipv4::{Ecn, IpProtocol, Ipv4Repr};
 use lg_packet::lg::{LgAck, LgData, LgPacketType, LossNotification, MAX_CONSECUTIVE_LOSSES};
 use lg_packet::rdma::{psn_before, Bth, RdmaOpcode, PSN_SPACE};
 use lg_packet::seqno::{SeqNo, MAX_VALID_DISTANCE};
-use lg_packet::tcp::{SackBlock, TcpFlags, TcpRepr};
+use lg_packet::tcp::{SackBlock, SackList, TcpFlags, TcpRepr};
 use lg_packet::udp::UdpRepr;
 use proptest::prelude::*;
 
@@ -124,7 +124,7 @@ proptest! {
         nblocks in 0usize..=3,
         flag_bits in 0u8..64,
     ) {
-        let sack: Vec<SackBlock> = (0..nblocks)
+        let sack: SackList = (0..nblocks)
             .map(|i| SackBlock { start: seq.wrapping_add(1000 * i as u32), end: seq.wrapping_add(1000 * i as u32 + 99) })
             .collect();
         let h = TcpRepr {

@@ -72,13 +72,19 @@ pub struct EventHandle {
     gen: u32,
 }
 
+/// Sentinel for "no entry" in the intrusive bucket chains.
+const NIL: u32 = u32::MAX;
+
 /// One arena slot. `payload: None` marks a cancelled (or vacant) entry;
 /// `gen` is bumped every time the slot is released so stale handles
-/// cannot alias a reused slot.
+/// cannot alias a reused slot. `next` threads the entry into its wheel
+/// bucket's chain while it is filed in the wheel (NIL otherwise), so
+/// filing an event never allocates.
 struct Entry<E> {
     at: Time,
     seq: u64,
     gen: u32,
+    next: u32,
     payload: Option<E>,
 }
 
@@ -116,9 +122,16 @@ impl Ord for HeapRef {
 pub struct EventQueue<E> {
     arena: Vec<Entry<E>>,
     free: Vec<u32>,
-    /// `LEVELS * SLOTS` buckets, flattened; bucket `l * SLOTS + s` holds
-    /// arena indices of events in slot `s` of level `l`.
-    slots: Vec<Vec<u32>>,
+    /// `LEVELS * SLOTS` buckets, flattened; bucket `l * SLOTS + s` chains
+    /// the events in slot `s` of level `l` through [`Entry::next`]
+    /// (head/tail arena indices, NIL when empty). Intrusive chains keep
+    /// the hot schedule path allocation-free: a `Vec` per bucket would
+    /// re-allocate on first use of every slot the cursor sweeps past,
+    /// because level-0 slots only repeat every ~8.4 ms of simulated time.
+    heads: Vec<u32>,
+    tails: Vec<u32>,
+    /// Reusable buffer for sorting a drained slot's chain.
+    batch_scratch: Vec<u32>,
     occupied: [[u64; WORDS]; LEVELS],
     /// The level-0 slot currently being drained, sorted by (time, seq).
     active: VecDeque<u32>,
@@ -147,7 +160,9 @@ impl<E> EventQueue<E> {
         EventQueue {
             arena: Vec::new(),
             free: Vec::new(),
-            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            heads: vec![NIL; LEVELS * SLOTS],
+            tails: vec![NIL; LEVELS * SLOTS],
+            batch_scratch: Vec::new(),
             occupied: [[0; WORDS]; LEVELS],
             active: VecDeque::new(),
             pre: BinaryHeap::new(),
@@ -197,6 +212,7 @@ impl<E> EventQueue<E> {
                 at,
                 seq,
                 gen: 0,
+                next: NIL,
                 payload: Some(payload),
             });
             (self.arena.len() - 1) as u32
@@ -233,6 +249,29 @@ impl<E> EventQueue<E> {
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Time, E)> {
         loop {
+            // Fast path: the pre heap is only populated when a peek ran
+            // the cursor ahead of a later schedule, so in the steady
+            // state it is empty and the head of `active` is the global
+            // minimum — take it with a single arena probe.
+            if self.pre.is_empty() {
+                while let Some(&idx) = self.active.front() {
+                    self.active.pop_front();
+                    let e = &mut self.arena[idx as usize];
+                    let at = e.at;
+                    let payload = e.payload.take();
+                    self.release(idx);
+                    if let Some(payload) = payload {
+                        debug_assert!(at >= self.now);
+                        self.now = at;
+                        self.pending -= 1;
+                        return Some((at, payload));
+                    }
+                }
+                if !self.advance() {
+                    return None;
+                }
+                continue;
+            }
             self.sweep_cancelled_fronts();
             let from_active = self.front_key();
             let from_pre = self.pre.peek().map(|p| (p.at, p.seq));
@@ -343,8 +382,31 @@ impl<E> EventQueue<E> {
         }
         let shift = GRAIN_BITS + SLOT_BITS * level as u32;
         let slot = ((at_ps >> shift) & SLOT_MASK) as usize;
-        self.slots[level * SLOTS + slot].push(idx);
+        let bucket = level * SLOTS + slot;
+        self.arena[idx as usize].next = NIL;
+        let tail = self.tails[bucket];
+        if tail == NIL {
+            self.heads[bucket] = idx;
+        } else {
+            self.arena[tail as usize].next = idx;
+        }
+        self.tails[bucket] = idx;
         self.occupied[level][slot / 64] |= 1 << (slot % 64);
+    }
+
+    /// Unlink bucket `b`'s whole chain into `batch_scratch` (returned by
+    /// value to sidestep the borrow of `self`), leaving the bucket empty.
+    fn unchain(&mut self, b: usize) -> Vec<u32> {
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        batch.clear();
+        let mut cur = self.heads[b];
+        while cur != NIL {
+            batch.push(cur);
+            cur = self.arena[cur as usize].next;
+        }
+        self.heads[b] = NIL;
+        self.tails[b] = NIL;
+        batch
     }
 
     /// Move the cursor forward to the next stored event: activate the
@@ -383,14 +445,25 @@ impl<E> EventQueue<E> {
             if let Some(s) = self.find_occupied(0, start) {
                 let span_mask = (1u64 << (GRAIN_BITS + SLOT_BITS)) - 1;
                 let base = (self.cursor & !span_mask) | ((s as u64) << GRAIN_BITS);
-                let mut batch = std::mem::take(&mut self.slots[s]);
                 self.occupied[0][s / 64] &= !(1 << (s % 64));
-                let arena = &self.arena;
-                batch.sort_by_key(|&idx| {
-                    let e = &arena[idx as usize];
-                    (e.at, e.seq)
-                });
-                self.active.extend(batch);
+                let head = self.heads[s];
+                if head == self.tails[s] {
+                    // Single-entry slot — the common case at level-0
+                    // grain: skip the batch vector and the sort.
+                    self.heads[s] = NIL;
+                    self.tails[s] = NIL;
+                    self.active.push_back(head);
+                } else {
+                    let mut batch = self.unchain(s);
+                    let arena = &self.arena;
+                    batch.sort_by_key(|&idx| {
+                        let e = &arena[idx as usize];
+                        (e.at, e.seq)
+                    });
+                    self.active.extend(batch.iter().copied());
+                    batch.clear();
+                    self.batch_scratch = batch;
+                }
                 // Wraps only once the clock exhausts the u64 ps domain;
                 // at that point the wheel is empty and inserts fall
                 // through to the overflow heap, which restores order.
@@ -442,17 +515,21 @@ impl<E> EventQueue<E> {
     /// Empty slot `s` of `level`, redistributing live entries to lower
     /// levels and releasing cancelled ones.
     fn drain_slot(&mut self, level: usize, s: usize) {
-        let batch = std::mem::take(&mut self.slots[level * SLOTS + s]);
+        let mut batch = self.unchain(level * SLOTS + s);
         self.occupied[level][s / 64] &= !(1 << (s % 64));
-        for idx in batch {
+        for &idx in &batch {
             let e = &self.arena[idx as usize];
             if e.payload.is_none() {
                 self.release(idx);
             } else {
                 let (at, seq) = (e.at, e.seq);
+                // Redistribution always lands strictly below `level`, so
+                // this never chains into the bucket being drained.
                 self.insert_raw(idx, at, seq);
             }
         }
+        batch.clear();
+        self.batch_scratch = batch;
     }
 
     /// First occupied slot index `>= start` at `level`, via the bitmap.

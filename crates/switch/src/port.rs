@@ -2,7 +2,7 @@
 //! PFC-style per-class pause.
 
 use crate::queue::{ByteQueue, EnqueueOutcome};
-use lg_packet::Packet;
+use lg_packet::{PacketPool, PktId};
 use serde::{Deserialize, Serialize};
 
 /// Traffic classes, ordered by strictly decreasing priority.
@@ -70,24 +70,24 @@ impl EgressPort {
         self
     }
 
-    /// Enqueue into the given class.
-    pub fn enqueue(&mut self, class: Class, pkt: Packet) -> EnqueueOutcome {
-        self.queues[class as usize].push(pkt)
+    /// Enqueue into the given class (drop-tail releases to the pool).
+    pub fn enqueue(&mut self, class: Class, id: PktId, pool: &mut PacketPool) -> EnqueueOutcome {
+        self.queues[class as usize].push(id, pool)
     }
 
     /// Dequeue the next packet by strict priority, skipping paused classes.
-    pub fn dequeue(&mut self) -> Option<(Class, Packet)> {
+    pub fn dequeue(&mut self) -> Option<(Class, PktId)> {
         for (i, q) in self.queues.iter_mut().enumerate() {
             if self.paused[i] {
                 continue;
             }
-            if let Some(p) = q.pop() {
+            if let Some(id) = q.pop() {
                 let class = match i {
                     0 => Class::Control,
                     1 => Class::Normal,
                     _ => Class::Low,
                 };
-                return Some((class, p));
+                return Some((class, id));
             }
         }
         None
@@ -136,67 +136,77 @@ impl Default for EgressPort {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lg_packet::NodeId;
+    use lg_packet::{NodeId, Packet};
     use lg_sim::Time;
 
-    fn pkt(uid: u64) -> Packet {
+    fn pkt(pool: &mut PacketPool, uid: u64) -> PktId {
         let mut p = Packet::raw(NodeId(0), NodeId(1), 100, Time::ZERO);
         p.uid = uid;
-        p
+        pool.insert(p)
     }
 
     #[test]
     fn strict_priority_order() {
+        let mut pool = PacketPool::new();
         let mut port = EgressPort::new();
-        port.enqueue(Class::Low, pkt(3));
-        port.enqueue(Class::Normal, pkt(2));
-        port.enqueue(Class::Control, pkt(1));
-        assert_eq!(port.dequeue().unwrap().1.uid, 1);
-        assert_eq!(port.dequeue().unwrap().1.uid, 2);
-        assert_eq!(port.dequeue().unwrap().1.uid, 3);
+        let (a, b, c) = (pkt(&mut pool, 3), pkt(&mut pool, 2), pkt(&mut pool, 1));
+        port.enqueue(Class::Low, a, &mut pool);
+        port.enqueue(Class::Normal, b, &mut pool);
+        port.enqueue(Class::Control, c, &mut pool);
+        assert_eq!(pool.get(port.dequeue().unwrap().1).uid, 1);
+        assert_eq!(pool.get(port.dequeue().unwrap().1).uid, 2);
+        assert_eq!(pool.get(port.dequeue().unwrap().1).uid, 3);
         assert!(port.dequeue().is_none());
     }
 
     #[test]
     fn pause_skips_class_but_not_others() {
+        let mut pool = PacketPool::new();
         let mut port = EgressPort::new();
-        port.enqueue(Class::Normal, pkt(1));
-        port.enqueue(Class::Low, pkt(2));
+        let (a, b) = (pkt(&mut pool, 1), pkt(&mut pool, 2));
+        port.enqueue(Class::Normal, a, &mut pool);
+        port.enqueue(Class::Low, b, &mut pool);
         port.set_paused(Class::Normal, true);
         // normal paused: the low-priority dummy goes out instead
-        assert_eq!(port.dequeue().unwrap().1.uid, 2);
+        assert_eq!(pool.get(port.dequeue().unwrap().1).uid, 2);
         assert!(port.dequeue().is_none());
         assert!(!port.has_eligible());
         assert!(!port.is_drained());
         port.set_paused(Class::Normal, false);
-        assert_eq!(port.dequeue().unwrap().1.uid, 1);
+        assert_eq!(pool.get(port.dequeue().unwrap().1).uid, 1);
         assert!(port.is_drained());
     }
 
     #[test]
     fn control_class_never_paused_by_normal_pause() {
+        let mut pool = PacketPool::new();
         let mut port = EgressPort::new();
         port.set_paused(Class::Normal, true);
-        port.enqueue(Class::Control, pkt(9));
+        let a = pkt(&mut pool, 9);
+        port.enqueue(Class::Control, a, &mut pool);
         assert!(port.has_eligible());
         assert_eq!(port.dequeue().unwrap().0, Class::Control);
     }
 
     #[test]
     fn ecn_applies_to_normal_queue() {
+        let mut pool = PacketPool::new();
         let mut port = EgressPort::new().with_ecn_threshold(150);
-        let mut p = pkt(1);
-        p.ecn = lg_packet::Ecn::Ect0;
-        port.enqueue(Class::Normal, p.clone());
-        let out = port.enqueue(Class::Normal, p);
+        let a = pkt(&mut pool, 1);
+        pool.get_mut(a).ecn = lg_packet::Ecn::Ect0;
+        let b = pool.insert(pool.get(a).clone());
+        port.enqueue(Class::Normal, a, &mut pool);
+        let out = port.enqueue(Class::Normal, b, &mut pool);
         assert_eq!(out, EnqueueOutcome::Stored { marked: true });
     }
 
     #[test]
     fn total_bytes_sums_classes() {
+        let mut pool = PacketPool::new();
         let mut port = EgressPort::new();
-        port.enqueue(Class::Control, pkt(1));
-        port.enqueue(Class::Normal, pkt(2));
+        let (a, b) = (pkt(&mut pool, 1), pkt(&mut pool, 2));
+        port.enqueue(Class::Control, a, &mut pool);
+        port.enqueue(Class::Normal, b, &mut pool);
         assert_eq!(port.total_bytes(), 200);
     }
 }

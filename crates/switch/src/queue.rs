@@ -1,6 +1,11 @@
 //! Byte-accounted FIFO queues with drop-tail and DCTCP-style ECN marking.
+//!
+//! Queues store [`PktId`] handles into the caller's [`PacketPool`] plus a
+//! cached frame length, so an enqueue/dequeue moves 12 bytes instead of a
+//! whole packet. A drop-tailed packet is released back to the pool here —
+//! the queue is the owner of everything pushed into it.
 
-use lg_packet::{Ecn, Packet};
+use lg_packet::{Ecn, PacketPool, PktId};
 use std::collections::VecDeque;
 
 /// Outcome of an enqueue attempt.
@@ -11,7 +16,8 @@ pub enum EnqueueOutcome {
         /// ECN CE mark applied (queue above threshold and packet ECT).
         marked: bool,
     },
-    /// Dropped: the queue's byte capacity would be exceeded.
+    /// Dropped: the queue's byte capacity would be exceeded. The packet
+    /// has been released back to the pool.
     Dropped,
 }
 
@@ -22,7 +28,9 @@ pub enum EnqueueOutcome {
 /// or above the threshold.
 #[derive(Debug)]
 pub struct ByteQueue {
-    items: VecDeque<Packet>,
+    /// Resident packets with their frame length cached at enqueue time
+    /// (buffered packets never mutate, so the cache cannot go stale).
+    items: VecDeque<(PktId, u32)>,
     bytes: u64,
     capacity_bytes: u64,
     ecn_threshold: Option<u64>,
@@ -54,38 +62,44 @@ impl ByteQueue {
         self
     }
 
-    /// Attempt to enqueue; drop-tail on overflow.
-    pub fn push(&mut self, mut pkt: Packet) -> EnqueueOutcome {
-        let len = pkt.frame_len() as u64;
+    /// Attempt to enqueue; drop-tail on overflow (the packet is released).
+    pub fn push(&mut self, id: PktId, pool: &mut PacketPool) -> EnqueueOutcome {
+        let len = pool.get(id).frame_len() as u64;
         if self.bytes + len > self.capacity_bytes {
             self.drops += 1;
+            pool.release(id);
             return EnqueueOutcome::Dropped;
         }
         self.bytes += len;
         self.high_watermark = self.high_watermark.max(self.bytes);
         self.enqueued += 1;
         let mut did_mark = false;
+        let mut id = id;
         if let Some(th) = self.ecn_threshold {
-            if self.bytes >= th && pkt.ecn.is_ect() {
-                pkt.ecn = Ecn::Ce;
+            if self.bytes >= th && pool.get(id).ecn.is_ect() {
+                // Marking mutates the packet: take an exclusive slot first
+                // (a no-op for the unshared packets that normally arrive
+                // on an ECN-enabled Normal queue).
+                id = pool.cow(id);
+                pool.get_mut(id).ecn = Ecn::Ce;
                 did_mark = true;
                 self.marked += 1;
             }
         }
-        self.items.push_back(pkt);
+        self.items.push_back((id, len as u32));
         EnqueueOutcome::Stored { marked: did_mark }
     }
 
-    /// Dequeue the head packet.
-    pub fn pop(&mut self) -> Option<Packet> {
-        let pkt = self.items.pop_front()?;
-        self.bytes -= pkt.frame_len() as u64;
-        Some(pkt)
+    /// Dequeue the head packet; ownership passes to the caller.
+    pub fn pop(&mut self) -> Option<PktId> {
+        let (id, len) = self.items.pop_front()?;
+        self.bytes -= len as u64;
+        Some(id)
     }
 
-    /// Peek at the head packet.
-    pub fn peek(&self) -> Option<&Packet> {
-        self.items.front()
+    /// Peek at the head packet's handle.
+    pub fn peek(&self) -> Option<PktId> {
+        self.items.front().map(|&(id, _)| id)
     }
 
     /// Current depth in bytes.
@@ -127,88 +141,112 @@ impl ByteQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lg_packet::NodeId;
+    use lg_packet::{NodeId, Packet};
     use lg_sim::Time;
 
-    fn pkt(frame_len: u32) -> Packet {
-        Packet::raw(NodeId(0), NodeId(1), frame_len, Time::ZERO)
+    fn pkt(pool: &mut PacketPool, frame_len: u32) -> PktId {
+        pool.insert(Packet::raw(NodeId(0), NodeId(1), frame_len, Time::ZERO))
     }
 
-    fn ect_pkt(frame_len: u32) -> Packet {
-        let mut p = pkt(frame_len);
-        p.ecn = Ecn::Ect0;
-        p
+    fn ect_pkt(pool: &mut PacketPool, frame_len: u32) -> PktId {
+        let id = pkt(pool, frame_len);
+        pool.get_mut(id).ecn = Ecn::Ect0;
+        id
     }
 
     #[test]
     fn fifo_order_and_byte_accounting() {
+        let mut pool = PacketPool::new();
         let mut q = ByteQueue::new(10_000);
         for i in 0..3 {
-            let mut p = pkt(100 + i);
-            p.uid = i as u64 + 1;
-            assert_eq!(q.push(p), EnqueueOutcome::Stored { marked: false });
+            let id = pkt(&mut pool, 100 + i);
+            pool.get_mut(id).uid = i as u64 + 1;
+            assert_eq!(
+                q.push(id, &mut pool),
+                EnqueueOutcome::Stored { marked: false }
+            );
         }
         assert_eq!(q.bytes(), 303);
         assert_eq!(q.len(), 3);
-        assert_eq!(q.pop().unwrap().uid, 1);
+        assert_eq!(pool.get(q.pop().unwrap()).uid, 1);
         assert_eq!(q.bytes(), 203);
-        assert_eq!(q.pop().unwrap().uid, 2);
-        assert_eq!(q.pop().unwrap().uid, 3);
+        assert_eq!(pool.get(q.pop().unwrap()).uid, 2);
+        assert_eq!(pool.get(q.pop().unwrap()).uid, 3);
         assert!(q.pop().is_none());
         assert_eq!(q.bytes(), 0);
     }
 
     #[test]
-    fn drop_tail_on_overflow() {
+    fn drop_tail_on_overflow_releases_packet() {
+        let mut pool = PacketPool::new();
         let mut q = ByteQueue::new(250);
-        assert_eq!(q.push(pkt(100)), EnqueueOutcome::Stored { marked: false });
-        assert_eq!(q.push(pkt(100)), EnqueueOutcome::Stored { marked: false });
-        assert_eq!(q.push(pkt(100)), EnqueueOutcome::Dropped);
+        assert_eq!(
+            q.push(pkt(&mut pool, 100), &mut pool),
+            EnqueueOutcome::Stored { marked: false }
+        );
+        assert_eq!(
+            q.push(pkt(&mut pool, 100), &mut pool),
+            EnqueueOutcome::Stored { marked: false }
+        );
+        assert_eq!(
+            q.push(pkt(&mut pool, 100), &mut pool),
+            EnqueueOutcome::Dropped
+        );
         assert_eq!(q.drops(), 1);
         assert_eq!(q.len(), 2);
+        assert_eq!(pool.live(), 2, "dropped packet went back to the pool");
         // draining frees capacity again
-        q.pop();
-        assert_eq!(q.push(pkt(100)), EnqueueOutcome::Stored { marked: false });
+        pool.release(q.pop().unwrap());
+        assert_eq!(
+            q.push(pkt(&mut pool, 100), &mut pool),
+            EnqueueOutcome::Stored { marked: false }
+        );
     }
 
     #[test]
     fn ecn_marking_above_threshold() {
+        let mut pool = PacketPool::new();
         let mut q = ByteQueue::new(10_000).with_ecn_threshold(250);
         assert_eq!(
-            q.push(ect_pkt(100)),
+            q.push(ect_pkt(&mut pool, 100), &mut pool),
             EnqueueOutcome::Stored { marked: false }
         );
         assert_eq!(
-            q.push(ect_pkt(100)),
+            q.push(ect_pkt(&mut pool, 100), &mut pool),
             EnqueueOutcome::Stored { marked: false }
         );
         // third packet brings depth to 300 >= 250: marked
         assert_eq!(
-            q.push(ect_pkt(100)),
+            q.push(ect_pkt(&mut pool, 100), &mut pool),
             EnqueueOutcome::Stored { marked: true }
         );
         assert_eq!(q.marked(), 1);
         // the marked packet carries CE
         q.pop();
         q.pop();
-        assert_eq!(q.pop().unwrap().ecn, Ecn::Ce);
+        assert_eq!(pool.get(q.pop().unwrap()).ecn, Ecn::Ce);
     }
 
     #[test]
     fn not_ect_packets_never_marked() {
+        let mut pool = PacketPool::new();
         let mut q = ByteQueue::new(10_000).with_ecn_threshold(50);
-        assert_eq!(q.push(pkt(100)), EnqueueOutcome::Stored { marked: false });
-        assert_eq!(q.pop().unwrap().ecn, Ecn::NotEct);
+        assert_eq!(
+            q.push(pkt(&mut pool, 100), &mut pool),
+            EnqueueOutcome::Stored { marked: false }
+        );
+        assert_eq!(pool.get(q.pop().unwrap()).ecn, Ecn::NotEct);
     }
 
     #[test]
     fn high_watermark_tracks_peak() {
+        let mut pool = PacketPool::new();
         let mut q = ByteQueue::new(1_000);
-        q.push(pkt(400));
-        q.push(pkt(400));
+        q.push(pkt(&mut pool, 400), &mut pool);
+        q.push(pkt(&mut pool, 400), &mut pool);
         q.pop();
         q.pop();
-        q.push(pkt(100));
+        q.push(pkt(&mut pool, 100), &mut pool);
         assert_eq!(q.high_watermark(), 800);
     }
 }

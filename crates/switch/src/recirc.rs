@@ -12,8 +12,12 @@
 //! pipeline slot. That preserves the two observable quantities — buffer
 //! occupancy over time (Fig 14) and recirculation overhead (Table 4) —
 //! while keeping the event count proportional to packets.
+//!
+//! Entries hold [`PktId`] handles plus frame/wire lengths cached at
+//! insertion (buffered packets never mutate, so the caches cannot go
+//! stale); loop accounting therefore never dereferences the pool.
 
-use lg_packet::Packet;
+use lg_packet::{PacketPool, PktId};
 use lg_sim::{Duration, Rate, Time};
 use std::collections::BTreeMap;
 
@@ -27,8 +31,10 @@ pub const DEFAULT_CAPACITY: u64 = 200 * 1024;
 
 #[derive(Debug)]
 struct Entry {
-    pkt: Packet,
+    id: PktId,
     inserted_at: Time,
+    frame_len: u32,
+    wire_len: u32,
 }
 
 /// Statistics a recirculation buffer accumulates for the overhead tables.
@@ -77,21 +83,32 @@ impl RecircBuffer {
         self
     }
 
-    /// Insert a packet under `key`. On overflow the packet is returned as
-    /// an error and the overflow counter increments.
-    pub fn insert(&mut self, key: u64, pkt: Packet, now: Time) -> Result<(), Packet> {
-        let len = pkt.frame_len() as u64;
-        if self.bytes + len > self.capacity {
+    /// Insert a packet under `key`. On overflow the handle is returned as
+    /// an error (still owned by the caller) and the overflow counter
+    /// increments.
+    pub fn insert(
+        &mut self,
+        key: u64,
+        id: PktId,
+        now: Time,
+        pool: &PacketPool,
+    ) -> Result<(), PktId> {
+        let pkt = pool.get(id);
+        let frame_len = pkt.frame_len();
+        let wire_len = pkt.wire_len();
+        if self.bytes + frame_len as u64 > self.capacity {
             self.stats.overflows += 1;
-            return Err(pkt);
+            return Err(id);
         }
-        self.bytes += len;
+        self.bytes += frame_len as u64;
         self.stats.high_watermark = self.stats.high_watermark.max(self.bytes);
         let prev = self.entries.insert(
             key,
             Entry {
-                pkt,
+                id,
                 inserted_at: now,
+                frame_len,
+                wire_len,
             },
         );
         debug_assert!(prev.is_none(), "duplicate recirc key {key}");
@@ -105,28 +122,34 @@ impl RecircBuffer {
             .div_ceil(self.loop_latency.as_ps().max(1))
             .max(1);
         self.stats.loops += loops;
-        self.stats.loop_bytes += loops * e.pkt.wire_len() as u64;
-        self.bytes -= e.pkt.frame_len() as u64;
+        self.stats.loop_bytes += loops * e.wire_len as u64;
+        self.bytes -= e.frame_len as u64;
     }
 
-    /// Remove the packet stored under `key`, if any.
-    pub fn remove(&mut self, key: u64, now: Time) -> Option<Packet> {
+    /// Remove the packet stored under `key`, if any; ownership passes to
+    /// the caller.
+    pub fn remove(&mut self, key: u64, now: Time) -> Option<PktId> {
         let e = self.entries.remove(&key)?;
         self.account_departure(&e, now);
-        Some(e.pkt)
+        Some(e.id)
     }
 
-    /// Remove and return all packets with `key <= upto`, in key order.
-    /// Used by the Tx buffer to free acknowledged packets.
-    pub fn remove_up_to(&mut self, upto: u64, now: Time) -> Vec<(u64, Packet)> {
-        let keys: Vec<u64> = self.entries.range(..=upto).map(|(&k, _)| k).collect();
-        keys.into_iter()
-            .map(|k| {
-                let e = self.entries.remove(&k).expect("key listed");
-                self.account_departure(&e, now);
-                (k, e.pkt)
-            })
-            .collect()
+    /// Remove all packets with `key <= upto` and release them to the pool,
+    /// returning how many were freed. Used by the Tx buffer to free
+    /// acknowledged packets (the callers never inspect the packets), so
+    /// this runs on every cumulative ACK and must not allocate.
+    pub fn remove_up_to(&mut self, upto: u64, now: Time, pool: &mut PacketPool) -> usize {
+        let mut freed = 0;
+        while let Some((&k, _)) = self.entries.first_key_value() {
+            if k > upto {
+                break;
+            }
+            let e = self.entries.remove(&k).expect("first key exists");
+            self.account_departure(&e, now);
+            pool.release(e.id);
+            freed += 1;
+        }
+        freed
     }
 
     /// Peek the smallest key currently buffered.
@@ -134,10 +157,10 @@ impl RecircBuffer {
         self.entries.keys().next().copied()
     }
 
-    /// Clone the packet stored under `key` without removing it (used for
-    /// multicast retransmission: the buffered original stays until ACKed).
-    pub fn get(&self, key: u64) -> Option<&Packet> {
-        self.entries.get(&key).map(|e| &e.pkt)
+    /// Handle of the packet stored under `key` without removing it (used
+    /// for retransmission: the buffered original stays until ACKed).
+    pub fn get(&self, key: u64) -> Option<PktId> {
+        self.entries.get(&key).map(|e| e.id)
     }
 
     /// Whether `key` is buffered.
@@ -190,52 +213,63 @@ impl RecircBuffer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lg_packet::NodeId;
+    use lg_packet::{NodeId, Packet};
 
-    fn pkt(len: u32) -> Packet {
-        Packet::raw(NodeId(0), NodeId(1), len, Time::ZERO)
+    fn pkt(pool: &mut PacketPool, len: u32) -> PktId {
+        pool.insert(Packet::raw(NodeId(0), NodeId(1), len, Time::ZERO))
     }
 
     #[test]
     fn insert_remove_accounting() {
+        let mut pool = PacketPool::new();
         let mut b = RecircBuffer::new(1_000);
-        b.insert(1, pkt(400), Time::ZERO).unwrap();
-        b.insert(2, pkt(400), Time::ZERO).unwrap();
+        let (p1, p2) = (pkt(&mut pool, 400), pkt(&mut pool, 400));
+        b.insert(1, p1, Time::ZERO, &pool).unwrap();
+        b.insert(2, p2, Time::ZERO, &pool).unwrap();
         assert_eq!(b.bytes(), 800);
         assert!(b.contains(1));
         let p = b.remove(1, Time::from_us(1)).unwrap();
-        assert_eq!(p.frame_len(), 400);
+        assert_eq!(pool.get(p).frame_len(), 400);
         assert_eq!(b.bytes(), 400);
         assert!(b.remove(1, Time::from_us(1)).is_none());
     }
 
     #[test]
     fn overflow_rejected_and_counted() {
+        let mut pool = PacketPool::new();
         let mut b = RecircBuffer::new(500);
-        b.insert(1, pkt(400), Time::ZERO).unwrap();
-        let back = b.insert(2, pkt(400), Time::ZERO).unwrap_err();
-        assert_eq!(back.frame_len(), 400);
+        let (p1, p2) = (pkt(&mut pool, 400), pkt(&mut pool, 400));
+        b.insert(1, p1, Time::ZERO, &pool).unwrap();
+        let back = b.insert(2, p2, Time::ZERO, &pool).unwrap_err();
+        assert_eq!(pool.get(back).frame_len(), 400);
         assert_eq!(b.stats().overflows, 1);
         assert_eq!(b.len(), 1);
     }
 
     #[test]
     fn remove_up_to_frees_prefix_in_order() {
+        let mut pool = PacketPool::new();
         let mut b = RecircBuffer::new(10_000);
         for k in [5u64, 1, 3, 9] {
-            b.insert(k, pkt(100), Time::ZERO).unwrap();
+            let p = pkt(&mut pool, 100);
+            b.insert(k, p, Time::ZERO, &pool).unwrap();
         }
-        let freed = b.remove_up_to(5, Time::from_us(1));
-        let keys: Vec<u64> = freed.iter().map(|(k, _)| *k).collect();
-        assert_eq!(keys, vec![1, 3, 5]);
+        let freed = b.remove_up_to(5, Time::from_us(1), &mut pool);
+        assert_eq!(freed, 3);
+        for k in [1, 3, 5] {
+            assert!(!b.contains(k), "key {k} freed");
+        }
         assert_eq!(b.len(), 1);
         assert_eq!(b.min_key(), Some(9));
+        assert_eq!(pool.live(), 1, "freed packets released to the pool");
     }
 
     #[test]
     fn loop_accounting_scales_with_residency() {
+        let mut pool = PacketPool::new();
         let mut b = RecircBuffer::new(10_000).with_loop_latency(Duration::from_ns(750));
-        b.insert(1, pkt(1518), Time::ZERO).unwrap();
+        let p = pkt(&mut pool, 1518);
+        b.insert(1, p, Time::ZERO, &pool).unwrap();
         // resident 7.5 us = 10 loops
         b.remove(1, Time::from_ns(7_500));
         assert_eq!(b.stats().loops, 10);
@@ -244,25 +278,32 @@ mod tests {
 
     #[test]
     fn minimum_one_loop_even_for_instant_removal() {
+        let mut pool = PacketPool::new();
         let mut b = RecircBuffer::new(10_000);
-        b.insert(1, pkt(100), Time::ZERO).unwrap();
+        let p = pkt(&mut pool, 100);
+        b.insert(1, p, Time::ZERO, &pool).unwrap();
         b.remove(1, Time::ZERO);
         assert_eq!(b.stats().loops, 1);
     }
 
     #[test]
     fn high_watermark_persists() {
+        let mut pool = PacketPool::new();
         let mut b = RecircBuffer::new(10_000);
-        b.insert(1, pkt(5_000), Time::ZERO).unwrap();
+        let p1 = pkt(&mut pool, 5_000);
+        b.insert(1, p1, Time::ZERO, &pool).unwrap();
         b.remove(1, Time::from_us(1));
-        b.insert(2, pkt(100), Time::from_us(2)).unwrap();
+        let p2 = pkt(&mut pool, 100);
+        b.insert(2, p2, Time::from_us(2), &pool).unwrap();
         assert_eq!(b.stats().high_watermark, 5_000);
     }
 
     #[test]
     fn overhead_fraction_math() {
+        let mut pool = PacketPool::new();
         let mut b = RecircBuffer::new(10_000).with_loop_latency(Duration::from_ns(1000));
-        b.insert(1, pkt(100), Time::ZERO).unwrap();
+        let p = pkt(&mut pool, 100);
+        b.insert(1, p, Time::ZERO, &pool).unwrap();
         b.remove(1, Time::from_us(1)); // 1 loop... resident 1us/1us = 1 loop
                                        // 1 loop over 1 us = 1e6 loops/s; at 1e9 pps capacity = 0.1%
         let f = b.overhead_fraction(Duration::from_us(1), 1e9);

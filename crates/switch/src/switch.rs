@@ -6,7 +6,7 @@
 use crate::counters::PortCounters;
 use crate::port::{Class, EgressPort};
 use crate::queue::EnqueueOutcome;
-use lg_packet::{NodeId, Packet};
+use lg_packet::{NodeId, PacketPool, PktId};
 use lg_sim::Duration;
 use std::collections::HashMap;
 
@@ -73,12 +73,18 @@ impl Switch {
 
     /// Enqueue a packet for egress on `port` in `class`, counting TX on
     /// eventual dequeue (see [`Switch::tx_complete`]).
-    pub fn enqueue(&mut self, port: PortId, class: Class, pkt: Packet) -> EnqueueOutcome {
-        self.ports[port].enqueue(class, pkt)
+    pub fn enqueue(
+        &mut self,
+        port: PortId,
+        class: Class,
+        id: PktId,
+        pool: &mut PacketPool,
+    ) -> EnqueueOutcome {
+        self.ports[port].enqueue(class, id, pool)
     }
 
     /// Dequeue the next eligible packet from `port`.
-    pub fn dequeue(&mut self, port: PortId) -> Option<(Class, Packet)> {
+    pub fn dequeue(&mut self, port: PortId) -> Option<(Class, PktId)> {
         self.ports[port].dequeue()
     }
 
@@ -106,10 +112,11 @@ impl Switch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lg_packet::Packet;
     use lg_sim::Time;
 
-    fn pkt(dst: u32) -> Packet {
-        Packet::raw(NodeId(0), NodeId(dst), 100, Time::ZERO)
+    fn pkt(pool: &mut PacketPool, dst: u32) -> PktId {
+        pool.insert(Packet::raw(NodeId(0), NodeId(dst), 100, Time::ZERO))
     }
 
     #[test]
@@ -124,11 +131,13 @@ mod tests {
 
     #[test]
     fn enqueue_dequeue_and_counters() {
+        let mut pool = PacketPool::new();
         let mut sw = Switch::new("sw1", 2);
-        sw.enqueue(0, Class::Normal, pkt(1));
+        let id = pkt(&mut pool, 1);
+        sw.enqueue(0, Class::Normal, id, &mut pool);
         let (class, p) = sw.dequeue(0).unwrap();
         assert_eq!(class, Class::Normal);
-        sw.tx_complete(0, p.frame_len());
+        sw.tx_complete(0, pool.get(p).frame_len());
         assert_eq!(sw.counters(0).frames_tx, 1);
         assert_eq!(sw.counters(0).bytes_tx, 100);
         assert!(sw.dequeue(0).is_none());

@@ -1,42 +1,51 @@
 //! Property tests for the switch building blocks.
 
-use lg_packet::{NodeId, Packet};
+use lg_packet::{NodeId, Packet, PacketPool, PktId};
 use lg_sim::Time;
 use lg_switch::{ByteQueue, Class, EgressPort, EnqueueOutcome, RecircBuffer};
 use proptest::prelude::*;
 
-fn pkt(len: u32) -> Packet {
-    Packet::raw(NodeId(0), NodeId(1), len.clamp(64, 9000), Time::ZERO)
+fn pkt(pool: &mut PacketPool, len: u32) -> PktId {
+    pool.insert(Packet::raw(
+        NodeId(0),
+        NodeId(1),
+        len.clamp(64, 9000),
+        Time::ZERO,
+    ))
 }
 
 proptest! {
     /// Byte accounting: after any sequence of pushes and pops, the queue's
     /// byte count equals the sum of frame lengths of resident packets, and
-    /// capacity is never exceeded.
+    /// capacity is never exceeded. Dropped and popped packets go back to
+    /// the pool, so at the end `live == resident`.
     #[test]
     fn byte_queue_accounting(ops in proptest::collection::vec((any::<bool>(), 64u32..2000), 1..200)) {
         let cap = 20_000u64;
+        let mut pool = PacketPool::new();
         let mut q = ByteQueue::new(cap);
         let mut model: std::collections::VecDeque<u32> = Default::default();
         for (push, len) in ops {
             if push {
-                let p = pkt(len);
-                let flen = p.frame_len();
-                match q.push(p) {
+                let id = pkt(&mut pool, len);
+                let flen = pool.get(id).frame_len();
+                match q.push(id, &mut pool) {
                     EnqueueOutcome::Stored { .. } => model.push_back(flen),
                     EnqueueOutcome::Dropped => {
                         prop_assert!(model.iter().map(|&l| l as u64).sum::<u64>() + flen as u64 > cap);
                     }
                 }
-            } else if let Some(p) = q.pop() {
+            } else if let Some(id) = q.pop() {
                 let expect = model.pop_front().expect("model in sync");
-                prop_assert_eq!(p.frame_len(), expect, "FIFO order");
+                prop_assert_eq!(pool.get(id).frame_len(), expect, "FIFO order");
+                pool.release(id);
             } else {
                 prop_assert!(model.is_empty());
             }
             let bytes: u64 = model.iter().map(|&l| l as u64).sum();
             prop_assert_eq!(q.bytes(), bytes);
             prop_assert!(q.bytes() <= cap);
+            prop_assert_eq!(pool.live(), q.len(), "no leaked packets");
         }
     }
 
@@ -48,18 +57,21 @@ proptest! {
         ops in proptest::collection::vec((0u8..3, 64u32..1500), 1..100),
         pause_normal in any::<bool>(),
     ) {
+        let mut pool = PacketPool::new();
         let mut port = EgressPort::new();
         let mut counts = [0i64; 3];
         for (c, len) in &ops {
             let class = [Class::Control, Class::Normal, Class::Low][*c as usize];
-            if matches!(port.enqueue(class, pkt(*len)), EnqueueOutcome::Stored { .. }) {
+            let id = pkt(&mut pool, *len);
+            if matches!(port.enqueue(class, id, &mut pool), EnqueueOutcome::Stored { .. }) {
                 counts[*c as usize] += 1;
             }
         }
         port.set_paused(Class::Normal, pause_normal);
         let mut last_class = 0usize;
         let mut drained = [0i64; 3];
-        while let Some((class, _)) = port.dequeue() {
+        while let Some((class, id)) = port.dequeue() {
+            pool.release(id);
             let idx = class as usize;
             if pause_normal {
                 prop_assert_ne!(idx, Class::Normal as usize, "paused class held");
@@ -79,20 +91,23 @@ proptest! {
         }
     }
 
-    /// RecircBuffer: remove_up_to returns keys in order and leaves exactly
-    /// the keys above the threshold.
+    /// RecircBuffer: remove_up_to frees exactly the keys at or below the
+    /// threshold, leaves the rest, and releases the freed packets.
     #[test]
     fn recirc_remove_up_to(keys in proptest::collection::btree_set(0u64..1000, 1..60), cut in 0u64..1000) {
+        let mut pool = PacketPool::new();
         let mut b = RecircBuffer::new(10_000_000);
         for &k in &keys {
-            b.insert(k, pkt(100), Time::ZERO).unwrap();
+            let id = pkt(&mut pool, 100);
+            b.insert(k, id, Time::ZERO, &pool).unwrap();
         }
-        let removed = b.remove_up_to(cut, Time::from_us(1));
-        let removed_keys: Vec<u64> = removed.iter().map(|(k, _)| *k).collect();
-        let mut expect: Vec<u64> = keys.iter().copied().filter(|&k| k <= cut).collect();
-        expect.sort_unstable();
-        prop_assert_eq!(removed_keys, expect);
+        let freed = b.remove_up_to(cut, Time::from_us(1), &mut pool);
+        prop_assert_eq!(freed, keys.iter().filter(|&&k| k <= cut).count());
+        for &k in &keys {
+            prop_assert_eq!(b.contains(k), k > cut, "key {} on the correct side", k);
+        }
         prop_assert_eq!(b.len(), keys.iter().filter(|&&k| k > cut).count());
+        prop_assert_eq!(pool.live(), b.len(), "freed packets released");
         if let Some(min) = b.min_key() {
             prop_assert!(min > cut);
         }
@@ -102,16 +117,17 @@ proptest! {
     /// (including the packet) meets the threshold, and only ECT packets.
     #[test]
     fn ecn_threshold_semantics(sizes in proptest::collection::vec(64u32..1500, 1..60), th in 100u64..30_000) {
+        let mut pool = PacketPool::new();
         let mut q = ByteQueue::new(10_000_000).with_ecn_threshold(th);
         let mut depth = 0u64;
         let mut expected_marks = 0u64;
         for len in sizes {
-            let mut p = pkt(len);
-            p.ecn = lg_packet::Ecn::Ect0;
-            let flen = p.frame_len() as u64;
+            let id = pkt(&mut pool, len);
+            pool.get_mut(id).ecn = lg_packet::Ecn::Ect0;
+            let flen = pool.get(id).frame_len() as u64;
             depth += flen;
             let should_mark = depth >= th;
-            match q.push(p) {
+            match q.push(id, &mut pool) {
                 EnqueueOutcome::Stored { marked } => {
                     prop_assert_eq!(marked, should_mark);
                     if marked { expected_marks += 1; }

@@ -18,7 +18,7 @@
 //! traffic carries ACKs and LinkGuardian control.
 
 use lg_link::{LinkConfig, LinkDirection, LinkSpeed, LossModel};
-use lg_packet::{FlowId, NodeId, Packet, Payload};
+use lg_packet::{FlowId, NodeId, Packet, PacketPool, Payload, PktId};
 use lg_sim::{Duration, EventQueue, Rng, Time};
 use lg_switch::{Class, PortId, Switch};
 use lg_transport::{
@@ -38,7 +38,8 @@ pub const C_HOST0: NodeId = NodeId(0);
 /// Receiver-side host.
 pub const C_HOST1: NodeId = NodeId(1);
 
-/// Events of the chain world.
+/// Events of the chain world. Packet-carrying variants hold [`PktId`]
+/// pool handles, mirroring [`crate::world::Ev`].
 #[derive(Debug)]
 pub enum CEv {
     /// Enqueue on switch `sw`'s `port` in `class` (post-pipeline).
@@ -50,7 +51,7 @@ pub enum CEv {
         /// Class.
         class: Class,
         /// Packet.
-        pkt: Packet,
+        id: PktId,
     },
     /// A frame finished serializing out of `sw`'s `port`.
     PortTxDone {
@@ -59,7 +60,7 @@ pub enum CEv {
         /// Egress port.
         port: PortId,
         /// The frame.
-        pkt: Packet,
+        id: PktId,
     },
     /// A frame arrived at switch `sw` over the link on its `from_right`
     /// side (false = from the left neighbour).
@@ -69,14 +70,14 @@ pub enum CEv {
         /// True when the frame came from the right-hand link.
         from_right: bool,
         /// The frame.
-        pkt: Packet,
+        id: PktId,
     },
     /// A frame arrived at a host.
     HostArrive {
         /// 0 or 1.
         host: usize,
         /// The frame.
-        pkt: Packet,
+        id: PktId,
     },
     /// Host NIC finished serializing.
     HostTxDone {
@@ -179,9 +180,11 @@ impl ChainConfig {
 
 /// Host endpoint state (chain flavour).
 struct CHost {
-    nic_queue: std::collections::VecDeque<Packet>,
+    nic_queue: std::collections::VecDeque<PktId>,
     busy: bool,
     tcp_tx: Option<TcpSender>,
+    // Finished sender kept for recycling via TcpSender::renew.
+    tcp_spent: Option<TcpSender>,
     tcp_rx: Option<TcpReceiver>,
     rdma_tx: Option<RdmaRequester>,
     rdma_rx: Option<RdmaResponder>,
@@ -201,8 +204,14 @@ pub struct ChainWorld {
     pub fct: FctCollector,
     /// Transport retransmissions observed.
     pub e2e_retx: u64,
+    /// Slab pool backing every in-flight packet of the chain.
+    pub pool: PacketPool,
     trials_remaining: u32,
     next_flow: u64,
+    rx_scratch: Vec<ReceiverAction>,
+    tx_scratch: Vec<SenderAction>,
+    filler_scratch: Vec<PktId>,
+    transport_scratch: Vec<TransportAction>,
 }
 
 impl ChainWorld {
@@ -270,6 +279,7 @@ impl ChainWorld {
                     nic_queue: Default::default(),
                     busy: false,
                     tcp_tx: None,
+                    tcp_spent: None,
                     tcp_rx: None,
                     rdma_tx: None,
                     rdma_rx: None,
@@ -278,6 +288,7 @@ impl ChainWorld {
                     nic_queue: Default::default(),
                     busy: false,
                     tcp_tx: None,
+                    tcp_spent: None,
                     tcp_rx: None,
                     rdma_tx: None,
                     rdma_rx: None,
@@ -285,8 +296,13 @@ impl ChainWorld {
             ],
             fct: FctCollector::new(),
             e2e_retx: 0,
+            pool: PacketPool::new(),
             trials_remaining,
             next_flow: 1,
+            rx_scratch: Vec::new(),
+            tx_scratch: Vec::new(),
+            filler_scratch: Vec::new(),
+            transport_scratch: Vec::new(),
         }
     }
 
@@ -326,50 +342,53 @@ impl ChainWorld {
                 sw,
                 port,
                 class,
-                pkt,
+                id,
             } => {
-                self.switches[sw].enqueue(port, class, pkt);
+                self.switches[sw].enqueue(port, class, id, &mut self.pool);
                 self.kick_port(sw, port);
             }
-            CEv::PortTxDone { sw, port, pkt } => {
+            CEv::PortTxDone { sw, port, id } => {
+                let flen = self.pool.get(id).frame_len();
                 self.switches[sw].port_mut(port).busy = false;
-                self.switches[sw].tx_complete(port, pkt.frame_len());
-                self.deliver_from_port(sw, port, pkt);
+                self.switches[sw].tx_complete(port, flen);
+                self.deliver_from_port(sw, port, id);
                 self.kick_port(sw, port);
             }
-            CEv::WireArrive {
-                sw,
-                from_right,
-                pkt,
-            } => self.on_wire_arrive(sw, from_right, pkt, now),
-            CEv::HostArrive { host, pkt } => self.on_host_arrive(host, pkt, now),
+            CEv::WireArrive { sw, from_right, id } => self.on_wire_arrive(sw, from_right, id, now),
+            CEv::HostArrive { host, id } => self.on_host_arrive(host, id, now),
             CEv::HostTxDone { host } => {
                 self.hosts[host].busy = false;
                 self.kick_host(host);
             }
             CEv::HostWake { host } => {
-                let mut actions = Vec::new();
+                let mut actions = std::mem::take(&mut self.transport_scratch);
                 if let Some(t) = self.hosts[host].tcp_tx.as_mut() {
-                    actions.extend(t.on_timer(now));
+                    t.on_timer_into(now, &mut actions);
                 }
                 if let Some(r) = self.hosts[host].rdma_tx.as_mut() {
-                    actions.extend(r.on_timer(now));
+                    r.on_timer_into(now, &mut actions);
                 }
-                self.apply_transport_actions(host, actions, now);
+                self.apply_transport_actions(host, &mut actions, now);
+                self.transport_scratch = actions;
             }
             CEv::LgTimeout { hop, generation } => {
-                let actions = match self.hops[hop].as_mut() {
-                    Some(h) => h.lg_rx.on_timeout(generation, now),
-                    None => Vec::new(),
-                };
-                self.apply_receiver_actions(hop, actions, now);
+                let mut actions = std::mem::take(&mut self.rx_scratch);
+                if let Some(h) = self.hops[hop].as_mut() {
+                    h.lg_rx
+                        .on_timeout(generation, now, &mut self.pool, &mut actions);
+                }
+                self.apply_receiver_actions(hop, &actions, now);
+                actions.clear();
+                self.rx_scratch = actions;
             }
             CEv::LgBpTimer { hop } => {
-                let actions = match self.hops[hop].as_mut() {
-                    Some(h) => h.lg_rx.on_bp_timer(now),
-                    None => Vec::new(),
-                };
-                self.apply_receiver_actions(hop, actions, now);
+                let mut actions = std::mem::take(&mut self.rx_scratch);
+                if let Some(h) = self.hops[hop].as_mut() {
+                    h.lg_rx.on_bp_timer(now, &mut self.pool, &mut actions);
+                }
+                self.apply_receiver_actions(hop, &actions, now);
+                actions.clear();
+                self.rx_scratch = actions;
             }
             CEv::PauseApply { hop, pause } => {
                 self.switches[hop]
@@ -411,12 +430,14 @@ impl ChainWorld {
         if next.is_none() {
             // idle fillers
             if let Some(hop) = self.hop_for_tx(sw, port) {
+                let mut filler = std::mem::take(&mut self.filler_scratch);
                 let h = self.hops[hop].as_mut().expect("protected");
-                let dummies = h.lg_tx.make_dummies(now);
-                let got = !dummies.is_empty();
-                for d in dummies {
-                    self.switches[sw].enqueue(port, Class::Low, d);
+                h.lg_tx.make_dummies(now, &mut self.pool, &mut filler);
+                let got = !filler.is_empty();
+                for d in filler.drain(..) {
+                    self.switches[sw].enqueue(port, Class::Low, d, &mut self.pool);
                 }
+                self.filler_scratch = filler;
                 let h = self.hops[hop].as_mut().expect("protected");
                 if h.lg_tx.has_unacked()
                     && h.lg_tx.config().dummy_copies > 0
@@ -430,42 +451,43 @@ impl ChainWorld {
                     next = self.switches[sw].dequeue(port);
                 }
             } else if let Some(hop) = self.hop_for_rx_egress(sw, port) {
+                let mut filler = std::mem::take(&mut self.filler_scratch);
                 let h = self.hops[hop].as_mut().expect("protected");
-                let acks = h.lg_rx.make_explicit_acks(now);
-                let got = !acks.is_empty();
-                for a in acks {
-                    self.switches[sw].enqueue(port, Class::Low, a);
+                h.lg_rx.make_explicit_acks(now, &mut self.pool, &mut filler);
+                let got = !filler.is_empty();
+                for a in filler.drain(..) {
+                    self.switches[sw].enqueue(port, Class::Low, a, &mut self.pool);
                 }
+                self.filler_scratch = filler;
                 if got {
                     next = self.switches[sw].dequeue(port);
                 }
             }
         }
-        let Some((_class, mut pkt)) = next else {
+        let Some((_class, mut id)) = next else {
             return;
         };
         if let Some(hop) = self.hop_for_tx(sw, port) {
-            self.hops[hop]
+            id = self.hops[hop]
                 .as_mut()
                 .expect("protected")
                 .lg_tx
-                .on_transmit(&mut pkt, now);
+                .on_transmit(id, now, &mut self.pool);
         } else if let Some(hop) = self.hop_for_rx_egress(sw, port) {
-            if pkt.lg_ack.is_none() {
-                self.hops[hop]
+            if self.pool.get(id).lg_ack.is_none() {
+                id = self.hops[hop]
                     .as_mut()
                     .expect("protected")
                     .lg_rx
-                    .stamp_ack(&mut pkt);
+                    .stamp_ack(id, &mut self.pool);
             }
         }
         self.switches[sw].port_mut(port).busy = true;
-        let ser = self.cfg.speed.serialize(pkt.wire_len());
-        self.q
-            .schedule_after(ser, CEv::PortTxDone { sw, port, pkt });
+        let ser = self.cfg.speed.serialize(self.pool.get(id).wire_len());
+        self.q.schedule_after(ser, CEv::PortTxDone { sw, port, id });
     }
 
-    fn deliver_from_port(&mut self, sw: usize, port: PortId, pkt: Packet) {
+    fn deliver_from_port(&mut self, sw: usize, port: PortId, id: PktId) {
         let n_sw = self.switches.len();
         match port {
             PORT_RIGHT if sw + 1 < n_sw => {
@@ -478,11 +500,12 @@ impl ChainWorld {
                         CEv::WireArrive {
                             sw: sw + 1,
                             from_right: false,
-                            pkt,
+                            id,
                         },
                     );
                 } else {
                     self.switches[sw + 1].rx_corrupt(PORT_LEFT);
+                    self.pool.release(id);
                 }
             }
             PORT_LEFT if sw > 0 => {
@@ -494,40 +517,44 @@ impl ChainWorld {
                         CEv::WireArrive {
                             sw: sw - 1,
                             from_right: true,
-                            pkt,
+                            id,
                         },
                     );
                 } else {
                     self.switches[sw - 1].rx_corrupt(PORT_RIGHT);
+                    self.pool.release(id);
                 }
             }
             PORT_RIGHT => {
                 // rightmost switch → host1
                 let delay = Duration::from_ns(100) + self.cfg.host_stack_delay;
                 self.q
-                    .schedule_after(delay, CEv::HostArrive { host: 1, pkt });
+                    .schedule_after(delay, CEv::HostArrive { host: 1, id });
             }
             _ => {
                 let delay = Duration::from_ns(100) + self.cfg.host_stack_delay;
                 self.q
-                    .schedule_after(delay, CEv::HostArrive { host: 0, pkt });
+                    .schedule_after(delay, CEv::HostArrive { host: 0, id });
             }
         }
     }
 
-    fn on_wire_arrive(&mut self, sw: usize, from_right: bool, pkt: Packet, now: Time) {
+    fn on_wire_arrive(&mut self, sw: usize, from_right: bool, id: PktId, now: Time) {
         let pipeline = self.switches[sw].pipeline_latency;
+        let flen = self.pool.get(id).frame_len();
         if !from_right {
             // forward arrival over link (sw-1 → sw): hop sw-1's receiver
-            self.switches[sw].rx_ok(PORT_LEFT, pkt.frame_len());
+            self.switches[sw].rx_ok(PORT_LEFT, flen);
             let hop = sw - 1;
             if self.hops[hop].is_some() {
-                let actions = self.hops[hop]
-                    .as_mut()
-                    .expect("protected")
-                    .lg_rx
-                    .on_protected_rx(pkt, now);
-                self.apply_receiver_actions(hop, actions, now);
+                let mut actions = std::mem::take(&mut self.rx_scratch);
+                if let Some(h) = self.hops[hop].as_mut() {
+                    h.lg_rx
+                        .on_protected_rx(id, now, &mut self.pool, &mut actions);
+                }
+                self.apply_receiver_actions(hop, &actions, now);
+                actions.clear();
+                self.rx_scratch = actions;
             } else {
                 // unprotected hop: plain forwarding
                 self.q.schedule_after(
@@ -536,20 +563,21 @@ impl ChainWorld {
                         sw,
                         port: PORT_RIGHT,
                         class: Class::Normal,
-                        pkt,
+                        id,
                     },
                 );
             }
         } else {
             // reverse arrival over link (sw+1 → sw): hop sw's sender
-            self.switches[sw].rx_ok(PORT_RIGHT, pkt.frame_len());
+            self.switches[sw].rx_ok(PORT_RIGHT, flen);
             let hop = sw;
             if self.hops[hop].is_some() {
-                let (fwd, actions) = self.hops[hop]
+                let mut actions = std::mem::take(&mut self.tx_scratch);
+                let fwd = self.hops[hop]
                     .as_mut()
                     .expect("protected")
                     .lg_tx
-                    .on_reverse_rx(pkt, now);
+                    .on_reverse_rx(id, now, &mut self.pool, &mut actions);
                 if let Some(p) = fwd {
                     self.q.schedule_after(
                         pipeline,
@@ -557,11 +585,13 @@ impl ChainWorld {
                             sw,
                             port: PORT_LEFT,
                             class: Class::Normal,
-                            pkt: p,
+                            id: p,
                         },
                     );
                 }
-                self.apply_sender_actions(hop, actions);
+                self.apply_sender_actions(hop, &actions);
+                actions.clear();
+                self.tx_scratch = actions;
             } else {
                 self.q.schedule_after(
                     pipeline,
@@ -569,32 +599,32 @@ impl ChainWorld {
                         sw,
                         port: PORT_LEFT,
                         class: Class::Normal,
-                        pkt,
+                        id,
                     },
                 );
             }
         }
     }
 
-    fn apply_receiver_actions(&mut self, hop: usize, actions: Vec<ReceiverAction>, _now: Time) {
+    fn apply_receiver_actions(&mut self, hop: usize, actions: &[ReceiverAction], _now: Time) {
         // the receiver of hop `hop` lives on switch hop+1
         let sw = hop + 1;
         let pipeline = self.switches[sw].pipeline_latency;
-        for a in actions {
+        for &a in actions {
             match a {
-                ReceiverAction::Deliver(pkt) => {
+                ReceiverAction::Deliver(id) => {
                     self.q.schedule_after(
                         pipeline,
                         CEv::PortEnqueue {
                             sw,
                             port: PORT_RIGHT,
                             class: Class::Normal,
-                            pkt,
+                            id,
                         },
                     );
                 }
-                ReceiverAction::SendReverse { pkt, class } => {
-                    self.switches[sw].enqueue(PORT_LEFT, class, pkt);
+                ReceiverAction::SendReverse { id, class } => {
+                    self.switches[sw].enqueue(PORT_LEFT, class, id, &mut self.pool);
                 }
                 ReceiverAction::ArmTimeout {
                     deadline,
@@ -614,19 +644,19 @@ impl ChainWorld {
         self.kick_port(sw, PORT_LEFT);
     }
 
-    fn apply_sender_actions(&mut self, hop: usize, actions: Vec<SenderAction>) {
+    fn apply_sender_actions(&mut self, hop: usize, actions: &[SenderAction]) {
         let sw = hop; // sender lives on switch `hop`
         let pipeline = self.switches[sw].pipeline_latency;
-        for a in actions {
+        for &a in actions {
             match a {
-                SenderAction::Emit { pkt, class, delay } => {
+                SenderAction::Emit { id, class, delay } => {
                     self.q.schedule_after(
                         delay + pipeline,
                         CEv::PortEnqueue {
                             sw,
                             port: PORT_RIGHT,
                             class,
-                            pkt,
+                            id,
                         },
                     );
                 }
@@ -640,10 +670,11 @@ impl ChainWorld {
 
     // ----------------------------------------------------------- hosts
 
-    fn on_host_arrive(&mut self, host: usize, pkt: Packet, now: Time) {
-        let mut actions: Vec<TransportAction> = Vec::new();
+    fn on_host_arrive(&mut self, host: usize, id: PktId, now: Time) {
+        let mut actions = std::mem::take(&mut self.transport_scratch);
         let mut reply: Option<Packet> = None;
         {
+            let pkt = self.pool.get(id);
             let h = &mut self.hosts[host];
             match &pkt.payload {
                 Payload::Tcp(seg) => {
@@ -655,7 +686,7 @@ impl ChainWorld {
                         }
                     } else if let Some(tx) = h.tcp_tx.as_mut() {
                         if tx.flow() == seg.flow {
-                            actions = tx.on_ack(seg, now);
+                            tx.on_ack_into(seg, now, &mut actions);
                         }
                     }
                 }
@@ -669,21 +700,28 @@ impl ChainWorld {
                 Payload::RdmaAck(ack) => {
                     if let Some(tx) = h.rdma_tx.as_mut() {
                         if tx.flow() == ack.flow {
-                            actions = tx.on_ack(ack, now);
+                            tx.on_ack_into(ack, now, &mut actions);
                         }
                     }
                 }
                 _ => {}
             }
         }
+        self.pool.release(id);
         if let Some(r) = reply {
             self.host_send(host, r);
         }
-        self.apply_transport_actions(host, actions, now);
+        self.apply_transport_actions(host, &mut actions, now);
+        self.transport_scratch = actions;
     }
 
-    fn apply_transport_actions(&mut self, host: usize, actions: Vec<TransportAction>, now: Time) {
-        for a in actions {
+    fn apply_transport_actions(
+        &mut self,
+        host: usize,
+        actions: &mut Vec<TransportAction>,
+        now: Time,
+    ) {
+        for a in actions.drain(..) {
             match a {
                 TransportAction::Send(pkt) => {
                     if let Payload::Tcp(t) = &pkt.payload {
@@ -708,7 +746,8 @@ impl ChainWorld {
     }
 
     fn host_send(&mut self, host: usize, pkt: Packet) {
-        self.hosts[host].nic_queue.push_back(pkt);
+        let id = self.pool.insert(pkt);
+        self.hosts[host].nic_queue.push_back(id);
         self.kick_host(host);
     }
 
@@ -716,11 +755,11 @@ impl ChainWorld {
         if self.hosts[host].busy {
             return;
         }
-        let Some(pkt) = self.hosts[host].nic_queue.pop_front() else {
+        let Some(id) = self.hosts[host].nic_queue.pop_front() else {
             return;
         };
         self.hosts[host].busy = true;
-        let ser = self.cfg.speed.serialize(pkt.wire_len());
+        let ser = self.cfg.speed.serialize(self.pool.get(id).wire_len());
         let sw = if host == 0 {
             0
         } else {
@@ -737,7 +776,7 @@ impl ChainWorld {
                 sw,
                 port,
                 class: Class::Normal,
-                pkt,
+                id,
             },
         );
         self.q.schedule_after(ser, CEv::HostTxDone { host });
@@ -749,12 +788,18 @@ impl ChainWorld {
         }
         let flow = FlowId(self.next_flow);
         self.next_flow += 1;
+        let mut actions = std::mem::take(&mut self.transport_scratch);
         match self.cfg.app.clone() {
             ChainApp::TcpTrials {
                 variant, msg_len, ..
             } => {
                 self.hosts[1].tcp_rx = Some(TcpReceiver::new(flow, C_HOST1, C_HOST0));
-                let mut tx = TcpSender::new(
+                let old = self.hosts[0]
+                    .tcp_spent
+                    .take()
+                    .or_else(|| self.hosts[0].tcp_tx.take());
+                let mut tx = TcpSender::renew(
+                    old,
                     TcpConfig::default(),
                     variant,
                     flow,
@@ -762,23 +807,24 @@ impl ChainWorld {
                     C_HOST1,
                     msg_len,
                 );
-                let actions = tx.start(now);
+                tx.start_into(now, &mut actions);
                 self.hosts[0].tcp_tx = Some(tx);
-                self.apply_transport_actions(0, actions, now);
+                self.apply_transport_actions(0, &mut actions, now);
             }
             ChainApp::RdmaTrials { msg_len, .. } => {
                 self.hosts[1].rdma_rx = Some(RdmaResponder::new(flow, C_HOST1, C_HOST0, false));
                 let mut tx =
                     RdmaRequester::new(RdmaConfig::default(), flow, C_HOST0, C_HOST1, msg_len);
-                let actions = tx.start(now);
+                tx.start_into(now, &mut actions);
                 self.hosts[0].rdma_tx = Some(tx);
-                self.apply_transport_actions(0, actions, now);
+                self.apply_transport_actions(0, &mut actions, now);
             }
         }
+        self.transport_scratch = actions;
     }
 
     fn finish_trial(&mut self, host: usize) {
-        self.hosts[host].tcp_tx = None;
+        self.hosts[host].tcp_spent = self.hosts[host].tcp_tx.take();
         self.hosts[host].rdma_tx = None;
         self.trials_remaining = self.trials_remaining.saturating_sub(1);
         if self.trials_remaining > 0 {

@@ -328,7 +328,10 @@ pub fn time_series(s: &TimeSeriesScenario) -> TimeSeriesResult {
         end: s.end,
     };
     let mut w = World::new(cfg);
-    w.q.schedule_at(s.corruption_at, crate::world::Ev::SetLoss(s.loss.clone()));
+    w.q.schedule_at(
+        s.corruption_at,
+        crate::world::Ev::SetLoss(Box::new(s.loss.clone())),
+    );
     w.q.schedule_at(s.lg_at, crate::world::Ev::ActivateLg);
     w.run_until(s.end);
     TimeSeriesResult {

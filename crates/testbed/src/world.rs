@@ -14,7 +14,7 @@
 //! timeouts, host NIC pacing and transport timers.
 
 use lg_link::{LinkConfig, LinkDirection, LinkSpeed, LossModel};
-use lg_packet::{FlowId, NodeId, Packet, Payload};
+use lg_packet::{FlowId, NodeId, Packet, PacketPool, Payload, PktId};
 use lg_sim::{Duration, EventQueue, RateMeter, Rng, Time, TimeSeries};
 use lg_switch::{Class, EgressPort, PortId, Switch};
 use lg_transport::{
@@ -57,6 +57,11 @@ pub const SW_TX: NodeId = NodeId(100);
 pub const SW_RX: NodeId = NodeId(101);
 
 /// Events of the testbed world.
+///
+/// Packet-carrying variants hold a [`PktId`] pool handle (8 bytes), not an
+/// owned [`Packet`]; the event that holds the handle owns its pool
+/// reference. `size_of::<Ev>()` is bounded by a regression test so the
+/// timer-wheel entries stay cache-compact.
 #[derive(Debug)]
 pub enum Ev {
     /// A packet enters a switch egress queue (after pipeline traversal).
@@ -68,7 +73,7 @@ pub enum Ev {
         /// Traffic class.
         class: Class,
         /// The packet.
-        pkt: Packet,
+        id: PktId,
     },
     /// A frame finished serializing out of a port.
     PortTxDone {
@@ -77,7 +82,7 @@ pub enum Ev {
         /// Egress port.
         port: PortId,
         /// The frame that completed.
-        pkt: Packet,
+        id: PktId,
     },
     /// A frame fully arrived at a switch from a wire.
     WireArrive {
@@ -86,14 +91,14 @@ pub enum Ev {
         /// True if it came over the protected (forward or reverse) link.
         from_link: bool,
         /// The frame.
-        pkt: Packet,
+        id: PktId,
     },
     /// A frame fully arrived at a host NIC (stack delay included).
     HostArrive {
         /// Host index (0 or 1).
         host: usize,
         /// The frame.
-        pkt: Packet,
+        id: PktId,
     },
     /// A host NIC finished serializing a frame.
     HostTxDone {
@@ -132,8 +137,9 @@ pub enum Ev {
     },
     /// Activate LinkGuardian on the corrupting link.
     ActivateLg,
-    /// Change the forward loss model (the "VOA knob").
-    SetLoss(LossModel),
+    /// Change the forward loss model (the "VOA knob"). Boxed: this rare
+    /// control event must not widen the hot packet events.
+    SetLoss(Box<LossModel>),
     /// Periodic probe sample.
     Sample,
     /// Start the next FCT trial.
@@ -144,10 +150,14 @@ pub enum Ev {
 pub struct Host {
     /// This host's address.
     pub node: NodeId,
-    nic_queue: std::collections::VecDeque<Packet>,
+    nic_queue: std::collections::VecDeque<PktId>,
     busy: bool,
     /// TCP sender of the current trial.
     pub tcp_tx: Option<TcpSender>,
+    /// Finished TCP sender kept for recycling by the next trial; its
+    /// per-segment state table and congestion-control box are reused
+    /// instead of reallocated (see `TcpSender::renew`).
+    tcp_spent: Option<TcpSender>,
     /// TCP receiver of the current trial.
     pub tcp_rx: Option<TcpReceiver>,
     /// RDMA requester of the current trial.
@@ -169,6 +179,7 @@ impl Host {
             nic_queue: std::collections::VecDeque::new(),
             busy: false,
             tcp_tx: None,
+            tcp_spent: None,
             tcp_rx: None,
             rdma_tx: None,
             rdma_rx: None,
@@ -331,6 +342,8 @@ pub struct World {
     pub probes: Probes,
     /// Results.
     pub out: Outcomes,
+    /// Slab pool backing every in-flight packet of the testbed.
+    pub pool: PacketPool,
     stress: Option<u32>, // frame_len when stress mode active
     stress_seq: u64,
     next_flow: u64,
@@ -338,6 +351,12 @@ pub struct World {
     dummy_refresh_armed: [bool; 2],
     e2e_retx_window: u64,
     rng: Rng,
+    // Reusable action buffers (std::mem::take'd around each use) so the
+    // steady-state event loop performs no per-packet allocation.
+    rx_scratch: Vec<ReceiverAction>,
+    tx_scratch: Vec<SenderAction>,
+    filler_scratch: Vec<PktId>,
+    transport_scratch: Vec<TransportAction>,
 }
 
 impl World {
@@ -419,6 +438,7 @@ impl World {
             hosts: vec![Host::new(HOST0), Host::new(HOST1)],
             probes,
             out: Outcomes::default(),
+            pool: PacketPool::new(),
             stress: None,
             stress_seq: 0,
             next_flow: 1,
@@ -426,6 +446,10 @@ impl World {
             dummy_refresh_armed: [false; 2],
             e2e_retx_window: 0,
             rng,
+            rx_scratch: Vec::new(),
+            tx_scratch: Vec::new(),
+            filler_scratch: Vec::new(),
+            transport_scratch: Vec::new(),
         }
     }
 
@@ -450,7 +474,9 @@ impl World {
             self.out.stress_tx_frames += 1;
             let pkt = Packet::udp(HOST0, HOST1, dg, now);
             debug_assert_eq!(pkt.frame_len(), frame_len);
-            self.sw_tx.enqueue(PORT_LINK, Class::Normal, pkt);
+            let id = self.pool.insert(pkt);
+            self.sw_tx
+                .enqueue(PORT_LINK, Class::Normal, id, &mut self.pool);
         }
     }
 
@@ -485,15 +511,17 @@ impl World {
                 side,
                 port,
                 class,
-                pkt,
+                id,
             } => {
-                self.switch_mut(side).enqueue(port, class, pkt);
+                let (sw, pool) = self.sw_pool(side);
+                sw.enqueue(port, class, id, pool);
                 self.kick_port(side, port);
             }
-            Ev::PortTxDone { side, port, pkt } => {
+            Ev::PortTxDone { side, port, id } => {
+                let flen = self.pool.get(id).frame_len();
                 self.switch_mut(side).port_mut(port).busy = false;
-                self.switch_mut(side).tx_complete(port, pkt.frame_len());
-                self.deliver_from_port(side, port, pkt, now);
+                self.switch_mut(side).tx_complete(port, flen);
+                self.deliver_from_port(side, port, id, now);
                 if side == Side::Tx && port == PORT_LINK {
                     self.refill_stress();
                 }
@@ -502,47 +530,59 @@ impl World {
             Ev::WireArrive {
                 side,
                 from_link,
-                pkt,
-            } => self.on_wire_arrive(side, from_link, pkt, now),
-            Ev::HostArrive { host, pkt } => self.on_host_arrive(host, pkt, now),
+                id,
+            } => self.on_wire_arrive(side, from_link, id, now),
+            Ev::HostArrive { host, id } => self.on_host_arrive(host, id, now),
             Ev::HostTxDone { host } => {
                 self.hosts[host].busy = false;
                 self.kick_host(host);
             }
             Ev::HostWake { host } => {
-                let mut actions = Vec::new();
+                let mut actions = std::mem::take(&mut self.transport_scratch);
                 if let Some(t) = self.hosts[host].tcp_tx.as_mut() {
-                    actions.extend(t.on_timer(now));
+                    t.on_timer_into(now, &mut actions);
                 }
                 if let Some(r) = self.hosts[host].rdma_tx.as_mut() {
-                    actions.extend(r.on_timer(now));
+                    r.on_timer_into(now, &mut actions);
                 }
-                self.apply_transport_actions(host, actions, now);
+                self.apply_transport_actions(host, &mut actions, now);
+                self.transport_scratch = actions;
             }
             Ev::LgTimeout {
                 generation,
                 instance,
             } => {
-                let actions = match instance {
-                    LgInstance::Forward => self.lg_rx.on_timeout(generation, now),
-                    LgInstance::Reverse => self
-                        .lg2_rx
-                        .as_mut()
-                        .map(|r| r.on_timeout(generation, now))
-                        .unwrap_or_default(),
-                };
-                self.apply_receiver_actions(actions, instance, now);
+                let mut actions = std::mem::take(&mut self.rx_scratch);
+                match instance {
+                    LgInstance::Forward => {
+                        self.lg_rx
+                            .on_timeout(generation, now, &mut self.pool, &mut actions)
+                    }
+                    LgInstance::Reverse => {
+                        if let Some(r) = self.lg2_rx.as_mut() {
+                            r.on_timeout(generation, now, &mut self.pool, &mut actions);
+                        }
+                    }
+                }
+                self.apply_receiver_actions(&actions, instance, now);
+                actions.clear();
+                self.rx_scratch = actions;
             }
             Ev::LgBpTimer { instance } => {
-                let actions = match instance {
-                    LgInstance::Forward => self.lg_rx.on_bp_timer(now),
-                    LgInstance::Reverse => self
-                        .lg2_rx
-                        .as_mut()
-                        .map(|r| r.on_bp_timer(now))
-                        .unwrap_or_default(),
-                };
-                self.apply_receiver_actions(actions, instance, now);
+                let mut actions = std::mem::take(&mut self.rx_scratch);
+                match instance {
+                    LgInstance::Forward => {
+                        self.lg_rx.on_bp_timer(now, &mut self.pool, &mut actions)
+                    }
+                    LgInstance::Reverse => {
+                        if let Some(r) = self.lg2_rx.as_mut() {
+                            r.on_bp_timer(now, &mut self.pool, &mut actions);
+                        }
+                    }
+                }
+                self.apply_receiver_actions(&actions, instance, now);
+                actions.clear();
+                self.rx_scratch = actions;
             }
             Ev::PauseApply { pause, instance } => {
                 let side = match instance {
@@ -577,7 +617,7 @@ impl World {
                 self.kick_port(Side::Rx, PORT_LINK);
             }
             Ev::SetLoss(model) => {
-                self.fwd_link.set_loss_model(model);
+                self.fwd_link.set_loss_model(*model);
             }
             Ev::Sample => self.on_sample(now),
             Ev::TrialStart => self.start_trial(now),
@@ -588,6 +628,14 @@ impl World {
         match side {
             Side::Tx => &mut self.sw_tx,
             Side::Rx => &mut self.sw_rx,
+        }
+    }
+
+    /// Disjoint borrows of one switch and the packet pool.
+    fn sw_pool(&mut self, side: Side) -> (&mut Switch, &mut PacketPool) {
+        match side {
+            Side::Tx => (&mut self.sw_tx, &mut self.pool),
+            Side::Rx => (&mut self.sw_rx, &mut self.pool),
         }
     }
 
@@ -606,12 +654,12 @@ impl World {
             // dummies from this side's sender instance, explicit ACKs from
             // this side's receiver instance (the latter only exists on the
             // Rx switch unless running bidirectionally).
-            let mut filler: Vec<Packet> = Vec::new();
+            let mut filler = std::mem::take(&mut self.filler_scratch);
             match side {
                 Side::Tx => {
-                    filler.extend(self.lg_tx.make_dummies(now));
+                    self.lg_tx.make_dummies(now, &mut self.pool, &mut filler);
                     if let Some(r) = self.lg2_rx.as_mut() {
-                        filler.extend(r.make_explicit_acks(now));
+                        r.make_explicit_acks(now, &mut self.pool, &mut filler);
                     }
                     if self.lg_tx.has_unacked()
                         && self.lg_tx.config().dummy_copies > 0
@@ -627,9 +675,10 @@ impl World {
                     }
                 }
                 Side::Rx => {
-                    filler.extend(self.lg_rx.make_explicit_acks(now));
+                    self.lg_rx
+                        .make_explicit_acks(now, &mut self.pool, &mut filler);
                     if let Some(t) = self.lg2_tx.as_mut() {
-                        filler.extend(t.make_dummies(now));
+                        t.make_dummies(now, &mut self.pool, &mut filler);
                         if t.has_unacked()
                             && t.config().dummy_copies > 0
                             && !self.dummy_refresh_armed[LgInstance::Reverse as usize]
@@ -646,42 +695,48 @@ impl World {
                 }
             }
             let got = !filler.is_empty();
-            for f in filler {
-                self.switch_mut(side).enqueue(PORT_LINK, Class::Low, f);
+            for f in filler.drain(..) {
+                let (sw, pool) = self.sw_pool(side);
+                sw.enqueue(PORT_LINK, Class::Low, f, pool);
             }
+            self.filler_scratch = filler;
             if got {
                 next = self.switch_mut(side).dequeue(port);
             }
         }
-        let Some((_class, mut pkt)) = next else {
+        let Some((_class, mut id)) = next else {
             return;
         };
         // Egress hooks: piggyback the *other* direction's ACK first so it
-        // rides inside this direction's protection, then stamp.
+        // rides inside this direction's protection, then stamp. Each hook
+        // copies-on-write, so a retransmit copy sharing its buffer with the
+        // Tx mirror never mutates the shared slot in place.
         if side == Side::Tx && port == PORT_LINK {
-            if pkt.lg_ack.is_none() {
+            if self.pool.get(id).lg_ack.is_none() {
                 if let Some(r) = self.lg2_rx.as_mut() {
-                    r.stamp_ack(&mut pkt);
+                    id = r.stamp_ack(id, &mut self.pool);
                 }
             }
-            self.lg_tx.on_transmit(&mut pkt, now);
+            id = self.lg_tx.on_transmit(id, now, &mut self.pool);
         } else if side == Side::Rx && port == PORT_LINK {
-            if pkt.lg_ack.is_none() {
+            if self.pool.get(id).lg_ack.is_none() {
                 // Piggyback the cumulative ACK on reverse-direction traffic.
-                self.lg_rx.stamp_ack(&mut pkt);
+                id = self.lg_rx.stamp_ack(id, &mut self.pool);
             }
             if let Some(t) = self.lg2_tx.as_mut() {
-                t.on_transmit(&mut pkt, now);
+                id = t.on_transmit(id, now, &mut self.pool);
             }
         }
         self.switch_mut(side).port_mut(port).busy = true;
-        let ser = self.cfg.speed.serialize(pkt.wire_len());
+        let ser = self.cfg.speed.serialize(self.pool.get(id).wire_len());
         self.q
-            .schedule_after(ser, Ev::PortTxDone { side, port, pkt });
+            .schedule_after(ser, Ev::PortTxDone { side, port, id });
     }
 
-    /// A frame left a port: apply wire loss and schedule arrival.
-    fn deliver_from_port(&mut self, side: Side, port: PortId, pkt: Packet, _now: Time) {
+    /// A frame left a port: apply wire loss and schedule arrival. A
+    /// corrupted frame's pool reference dies here — the LinkGuardian
+    /// sender's Tx-buffer reference (if any) keeps the slot alive.
+    fn deliver_from_port(&mut self, side: Side, port: PortId, id: PktId, _now: Time) {
         match (side, port) {
             (Side::Tx, PORT_LINK) => {
                 // forward over the corrupting link
@@ -692,11 +747,12 @@ impl World {
                         Ev::WireArrive {
                             side: Side::Rx,
                             from_link: true,
-                            pkt,
+                            id,
                         },
                     );
                 } else {
                     self.sw_rx.rx_corrupt(PORT_LINK);
+                    self.pool.release(id);
                 }
             }
             (Side::Rx, PORT_LINK) => {
@@ -707,53 +763,58 @@ impl World {
                         Ev::WireArrive {
                             side: Side::Tx,
                             from_link: true,
-                            pkt,
+                            id,
                         },
                     );
                 } else {
                     self.sw_tx.rx_corrupt(PORT_LINK);
+                    self.pool.release(id);
                 }
             }
             (Side::Tx, _) => {
                 // toward host0
                 let delay = Duration::from_ns(100) + self.cfg.host_stack_delay;
-                self.q
-                    .schedule_after(delay, Ev::HostArrive { host: 0, pkt });
+                self.q.schedule_after(delay, Ev::HostArrive { host: 0, id });
             }
             (Side::Rx, _) => {
                 let delay = Duration::from_ns(100) + self.cfg.host_stack_delay;
-                self.q
-                    .schedule_after(delay, Ev::HostArrive { host: 1, pkt });
+                self.q.schedule_after(delay, Ev::HostArrive { host: 1, id });
             }
         }
     }
 
     // ----------------------------------------------------- switch ingress
 
-    fn on_wire_arrive(&mut self, side: Side, from_link: bool, pkt: Packet, now: Time) {
+    fn on_wire_arrive(&mut self, side: Side, from_link: bool, id: PktId, now: Time) {
         assert!(from_link, "host links deliver straight to hosts");
+        let flen = self.pool.get(id).frame_len();
         match side {
             Side::Rx => {
                 // Forward arrivals: the forward receiver is the outer
                 // tunnel; its in-order deliveries then pass through the
                 // reverse-instance sender (ACK absorption) before routing.
-                self.sw_rx.rx_ok(PORT_LINK, pkt.frame_len());
-                let actions = self.lg_rx.on_protected_rx(pkt, now);
-                self.apply_receiver_actions(actions, LgInstance::Forward, now);
+                self.sw_rx.rx_ok(PORT_LINK, flen);
+                let mut actions = std::mem::take(&mut self.rx_scratch);
+                self.lg_rx
+                    .on_protected_rx(id, now, &mut self.pool, &mut actions);
+                self.apply_receiver_actions(&actions, LgInstance::Forward, now);
+                actions.clear();
+                self.rx_scratch = actions;
             }
             Side::Tx => {
-                self.sw_tx.rx_ok(PORT_LINK, pkt.frame_len());
+                self.sw_tx.rx_ok(PORT_LINK, flen);
                 if self.lg2_rx.is_some() {
                     // Bidirectional: reverse-instance receiver first, its
                     // deliveries then reach the forward sender.
-                    let actions = self
-                        .lg2_rx
-                        .as_mut()
-                        .expect("checked")
-                        .on_protected_rx(pkt, now);
-                    self.apply_receiver_actions(actions, LgInstance::Reverse, now);
+                    let mut actions = std::mem::take(&mut self.rx_scratch);
+                    if let Some(r) = self.lg2_rx.as_mut() {
+                        r.on_protected_rx(id, now, &mut self.pool, &mut actions);
+                    }
+                    self.apply_receiver_actions(&actions, LgInstance::Reverse, now);
+                    actions.clear();
+                    self.rx_scratch = actions;
                 } else {
-                    self.forward_sender_rx(pkt, now);
+                    self.forward_sender_rx(id, now);
                 }
             }
         }
@@ -762,62 +823,71 @@ impl World {
     /// Hand a packet that arrived at the Tx switch to the forward-instance
     /// sender (ACK/notification/pause absorption) and route any surviving
     /// tenant packet onward.
-    fn forward_sender_rx(&mut self, pkt: Packet, now: Time) {
+    fn forward_sender_rx(&mut self, id: PktId, now: Time) {
         let pipeline = self.sw_tx.pipeline_latency;
-        let (fwd, actions) = self.lg_tx.on_reverse_rx(pkt, now);
+        let mut actions = std::mem::take(&mut self.tx_scratch);
+        let fwd = self
+            .lg_tx
+            .on_reverse_rx(id, now, &mut self.pool, &mut actions);
         if let Some(p) = fwd {
-            let port = self.sw_tx.route(p.dst).expect("route");
+            let port = self.sw_tx.route(self.pool.get(p).dst).expect("route");
             self.q.schedule_after(
                 pipeline,
                 Ev::PortEnqueue {
                     side: Side::Tx,
                     port,
                     class: Class::Normal,
-                    pkt: p,
+                    id: p,
                 },
             );
         }
-        self.apply_sender_actions(actions, LgInstance::Forward, now);
+        self.apply_sender_actions(&actions, LgInstance::Forward, now);
+        actions.clear();
+        self.tx_scratch = actions;
     }
 
     /// Hand a packet delivered by the forward receiver (at the Rx switch)
     /// to the reverse-instance sender and route any surviving tenant
     /// packet onward.
-    fn reverse_sender_rx(&mut self, pkt: Packet, now: Time) {
+    fn reverse_sender_rx(&mut self, id: PktId, now: Time) {
         let pipeline = self.sw_rx.pipeline_latency;
-        let Some(t) = self.lg2_tx.as_mut() else {
+        if self.lg2_tx.is_none() {
             // Unidirectional: forward deliveries route directly.
-            let port = self.sw_rx.route(pkt.dst).expect("route");
+            let port = self.sw_rx.route(self.pool.get(id).dst).expect("route");
             self.q.schedule_after(
                 pipeline,
                 Ev::PortEnqueue {
                     side: Side::Rx,
                     port,
                     class: Class::Normal,
-                    pkt,
+                    id,
                 },
             );
             return;
-        };
-        let (fwd, actions) = t.on_reverse_rx(pkt, now);
+        }
+        let mut actions = std::mem::take(&mut self.tx_scratch);
+        let t = self.lg2_tx.as_mut().expect("checked");
+        let fwd = t.on_reverse_rx(id, now, &mut self.pool, &mut actions);
         if let Some(p) = fwd {
-            let port = self.sw_rx.route(p.dst).expect("route");
+            let port = self.sw_rx.route(self.pool.get(p).dst).expect("route");
             self.q.schedule_after(
                 pipeline,
                 Ev::PortEnqueue {
                     side: Side::Rx,
                     port,
                     class: Class::Normal,
-                    pkt: p,
+                    id: p,
                 },
             );
         }
-        self.apply_sender_actions(actions, LgInstance::Reverse, now);
+        self.apply_sender_actions(&actions, LgInstance::Reverse, now);
+        actions.clear();
+        self.tx_scratch = actions;
     }
 
     fn apply_receiver_actions(
         &mut self,
-        actions: Vec<ReceiverAction>,
+        actions: &[ReceiverAction],
         instance: LgInstance,
         now: Time,
     ) {
@@ -827,21 +897,22 @@ impl World {
             LgInstance::Forward => Side::Rx,
             LgInstance::Reverse => Side::Tx,
         };
-        for a in actions {
+        for &a in actions {
             match a {
-                ReceiverAction::Deliver(pkt) => match instance {
+                ReceiverAction::Deliver(id) => match instance {
                     // Deliveries pass through the co-located sender of the
                     // opposite direction (ACK absorption), then route.
-                    LgInstance::Forward => self.reverse_sender_rx(pkt, now),
-                    LgInstance::Reverse => self.forward_sender_rx(pkt, now),
+                    LgInstance::Forward => self.reverse_sender_rx(id, now),
+                    LgInstance::Reverse => self.forward_sender_rx(id, now),
                 },
-                ReceiverAction::SendReverse { pkt, class } => {
+                ReceiverAction::SendReverse { id, class } => {
                     // Ingress-mirrored control (loss notifications, pause
                     // frames) reaches the reverse egress queue immediately;
                     // enqueueing it before the port is kicked guarantees it
                     // beats the self-replenishing explicit-ACK queue, as
                     // strict priority does in hardware.
-                    self.switch_mut(rx_side).enqueue(PORT_LINK, class, pkt);
+                    let (sw, pool) = self.sw_pool(rx_side);
+                    sw.enqueue(PORT_LINK, class, id, pool);
                 }
                 ReceiverAction::ArmTimeout {
                     deadline,
@@ -866,12 +937,7 @@ impl World {
         self.kick_port(rx_side, PORT_LINK);
     }
 
-    fn apply_sender_actions(
-        &mut self,
-        actions: Vec<SenderAction>,
-        instance: LgInstance,
-        _now: Time,
-    ) {
+    fn apply_sender_actions(&mut self, actions: &[SenderAction], instance: LgInstance, _now: Time) {
         // The side hosting this instance's sender (where retransmissions
         // are re-enqueued and pauses apply).
         let tx_side = match instance {
@@ -879,16 +945,16 @@ impl World {
             LgInstance::Reverse => Side::Rx,
         };
         let pipeline = self.switch_mut(tx_side).pipeline_latency;
-        for a in actions {
+        for &a in actions {
             match a {
-                SenderAction::Emit { pkt, class, delay } => {
+                SenderAction::Emit { id, class, delay } => {
                     self.q.schedule_after(
                         delay + pipeline,
                         Ev::PortEnqueue {
                             side: tx_side,
                             port: PORT_LINK,
                             class,
-                            pkt,
+                            id,
                         },
                     );
                 }
@@ -908,11 +974,13 @@ impl World {
 
     // ------------------------------------------------------------- hosts
 
-    fn on_host_arrive(&mut self, host: usize, pkt: Packet, now: Time) {
-        let mut actions: Vec<TransportAction> = Vec::new();
+    fn on_host_arrive(&mut self, host: usize, id: PktId, now: Time) {
+        let mut actions = std::mem::take(&mut self.transport_scratch);
         let mut reply: Option<Packet> = None;
         let mut rx_bytes: u64 = 0;
+        let payload_len = self.pool.get(id).payload_len() as u64;
         {
+            let pkt = self.pool.get(id);
             let h = &mut self.hosts[host];
             match &pkt.payload {
                 Payload::Tcp(seg) => {
@@ -927,7 +995,7 @@ impl World {
                         }
                     } else if let Some(tx) = h.tcp_tx.as_mut() {
                         if tx.flow() == seg.flow {
-                            actions = tx.on_ack(seg, now);
+                            tx.on_ack_into(seg, now, &mut actions);
                         }
                     }
                 }
@@ -944,7 +1012,7 @@ impl World {
                     // touch the current queue pair's window.
                     if let Some(tx) = h.rdma_tx.as_mut() {
                         if tx.flow() == ack.flow {
-                            actions = tx.on_ack(ack, now);
+                            tx.on_ack_into(ack, now, &mut actions);
                         }
                     }
                 }
@@ -957,19 +1025,27 @@ impl World {
             }
             h.payload_rx_bytes += rx_bytes;
         }
+        // the frame terminates at the host: its pool slot is done
+        self.pool.release(id);
         if let Some(m) = self.probes.goodput.as_mut() {
             if host == 1 {
-                m.record(now, pkt.payload_len() as u64);
+                m.record(now, payload_len);
             }
         }
         if let Some(r) = reply {
             self.host_send(host, r);
         }
-        self.apply_transport_actions(host, actions, now);
+        self.apply_transport_actions(host, &mut actions, now);
+        self.transport_scratch = actions;
     }
 
-    fn apply_transport_actions(&mut self, host: usize, actions: Vec<TransportAction>, now: Time) {
-        for a in actions {
+    fn apply_transport_actions(
+        &mut self,
+        host: usize,
+        actions: &mut Vec<TransportAction>,
+        now: Time,
+    ) {
+        for a in actions.drain(..) {
             match a {
                 TransportAction::Send(pkt) => {
                     if let Payload::Tcp(t) = &pkt.payload {
@@ -996,8 +1072,11 @@ impl World {
         }
     }
 
+    /// Host-generated packets enter the pool here (the transport state
+    /// machines build owned `Packet`s; the event loop only moves handles).
     fn host_send(&mut self, host: usize, pkt: Packet) {
-        self.hosts[host].nic_queue.push_back(pkt);
+        let id = self.pool.insert(pkt);
+        self.hosts[host].nic_queue.push_back(id);
         self.kick_host(host);
     }
 
@@ -1005,18 +1084,22 @@ impl World {
         if self.hosts[host].busy {
             return;
         }
-        let Some(pkt) = self.hosts[host].nic_queue.pop_front() else {
+        let Some(id) = self.hosts[host].nic_queue.pop_front() else {
             return;
         };
         self.hosts[host].busy = true;
-        let ser = self.cfg.speed.serialize(pkt.wire_len());
+        let (wire_len, dst) = {
+            let pkt = self.pool.get(id);
+            (pkt.wire_len(), pkt.dst)
+        };
+        let ser = self.cfg.speed.serialize(wire_len);
         // frame reaches the switch after stack delay + serialization + prop
         let side = if host == 0 { Side::Tx } else { Side::Rx };
         let arrive = self.cfg.host_stack_delay + ser + Duration::from_ns(100);
         let pipeline = self.switch_mut(side).pipeline_latency;
-        let port = match (side, pkt.dst) {
-            (Side::Tx, d) => self.sw_tx.route(d).expect("route"),
-            (Side::Rx, d) => self.sw_rx.route(d).expect("route"),
+        let port = match side {
+            Side::Tx => self.sw_tx.route(dst).expect("route"),
+            Side::Rx => self.sw_rx.route(dst).expect("route"),
         };
         self.q.schedule_after(
             arrive + pipeline,
@@ -1024,7 +1107,7 @@ impl World {
                 side,
                 port,
                 class: Class::Normal,
-                pkt,
+                id,
             },
         );
         self.q.schedule_after(ser, Ev::HostTxDone { host });
@@ -1038,17 +1121,29 @@ impl World {
         }
         let flow = FlowId(self.next_flow);
         self.next_flow += 1;
+        let mut actions = std::mem::take(&mut self.transport_scratch);
         match self.cfg.app.clone() {
             App::None => {}
             App::TcpTrials {
                 variant, msg_len, ..
             } => {
                 self.hosts[1].tcp_rx = Some(TcpReceiver::new(flow, HOST1, HOST0));
-                let mut tx =
-                    TcpSender::new(TcpConfig::default(), variant, flow, HOST0, HOST1, msg_len);
-                let actions = tx.start(now);
+                let old = self.hosts[0]
+                    .tcp_spent
+                    .take()
+                    .or_else(|| self.hosts[0].tcp_tx.take());
+                let mut tx = TcpSender::renew(
+                    old,
+                    TcpConfig::default(),
+                    variant,
+                    flow,
+                    HOST0,
+                    HOST1,
+                    msg_len,
+                );
+                tx.start_into(now, &mut actions);
                 self.hosts[0].tcp_tx = Some(tx);
-                self.apply_transport_actions(0, actions, now);
+                self.apply_transport_actions(0, &mut actions, now);
             }
             App::RdmaTrials {
                 msg_len,
@@ -1067,9 +1162,9 @@ impl World {
                     HOST1,
                     msg_len,
                 );
-                let actions = tx.start(now);
+                tx.start_into(now, &mut actions);
                 self.hosts[0].rdma_tx = Some(tx);
-                self.apply_transport_actions(0, actions, now);
+                self.apply_transport_actions(0, &mut actions, now);
             }
             App::TcpStream {
                 variant,
@@ -1078,21 +1173,35 @@ impl World {
             } => {
                 if now > end {
                     self.trials_remaining = 0;
+                    self.transport_scratch = actions;
                     return;
                 }
                 self.hosts[1].tcp_rx = Some(TcpReceiver::new(flow, HOST1, HOST0));
-                let mut tx =
-                    TcpSender::new(TcpConfig::default(), variant, flow, HOST0, HOST1, chunk);
-                let actions = tx.start(now);
+                let old = self.hosts[0]
+                    .tcp_spent
+                    .take()
+                    .or_else(|| self.hosts[0].tcp_tx.take());
+                let mut tx = TcpSender::renew(
+                    old,
+                    TcpConfig::default(),
+                    variant,
+                    flow,
+                    HOST0,
+                    HOST1,
+                    chunk,
+                );
+                tx.start_into(now, &mut actions);
                 self.hosts[0].tcp_tx = Some(tx);
-                self.apply_transport_actions(0, actions, now);
+                self.apply_transport_actions(0, &mut actions, now);
             }
         }
+        self.transport_scratch = actions;
     }
 
     fn finish_trial(&mut self, host: usize, now: Time) {
         if let Some(tx) = self.hosts[host].tcp_tx.take() {
             self.out.tcp_traces.push(tx.trace());
+            self.hosts[host].tcp_spent = Some(tx);
         }
         if let Some(tx) = self.hosts[host].rdma_tx.take() {
             self.out.rdma_traces.push(tx.trace());

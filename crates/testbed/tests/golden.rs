@@ -1,0 +1,71 @@
+//! Golden-output determinism tests.
+//!
+//! The packet pool, inline SACK storage, and slim event payloads are pure
+//! memory-layout changes: they must not perturb uid assignment, RNG
+//! draws, or event ordering. These tests pin a short fig10-style run's
+//! exact FCT samples (bit-for-bit, recording order) as a fixture.
+//!
+//! Regenerate with `GOLDEN_REGEN=1 cargo test -p lg-testbed --test golden`
+//! — only when an *intentional* behavior change lands.
+
+use lg_link::{LinkSpeed, LossModel};
+use lg_sim::{Duration, Time};
+use lg_testbed::{App, World, WorldConfig};
+use lg_transport::CcVariant;
+use linkguardian::LgConfig;
+
+const FIXTURE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_fct.txt");
+const TRIALS: u32 = 400;
+
+/// A short fig10-style run: 143 B DCTCP trials over a corrupting 100 G
+/// link protected by LinkGuardian, default seed. The loss rate is turned
+/// up (1e-2) so the run exercises gap detection, link-local retransmits
+/// and dummy-driven tail recovery, not just the clean path.
+fn run() -> Vec<f64> {
+    let speed = LinkSpeed::G100;
+    let mut cfg = WorldConfig::new(speed, LossModel::Iid { rate: 1e-2 });
+    cfg.lg = Some(LgConfig::for_speed(speed, 1e-2));
+    cfg.seed = 10;
+    cfg.app = App::TcpTrials {
+        variant: CcVariant::Dctcp,
+        msg_len: 143,
+        trials: TRIALS,
+        gap: Duration::from_us(10),
+    };
+    let mut w = World::new(cfg);
+    w.run_to_completion();
+    assert_eq!(w.out.fct.len() as u32, TRIALS);
+    assert_eq!(w.q.now(), w.q.now().max(Time::ZERO));
+    w.out.fct.samples_us().to_vec()
+}
+
+fn encode(samples: &[f64]) -> String {
+    let mut s = String::new();
+    for v in samples {
+        s.push_str(&format!("{:016x}\n", v.to_bits()));
+    }
+    s
+}
+
+#[test]
+fn fig10_style_fct_samples_match_fixture() {
+    let samples = run();
+    let encoded = encode(&samples);
+    if std::env::var("GOLDEN_REGEN").is_ok() {
+        std::fs::write(FIXTURE, &encoded).expect("write fixture");
+        return;
+    }
+    let expect = std::fs::read_to_string(FIXTURE).expect("fixture present");
+    assert_eq!(
+        encoded, expect,
+        "FCT samples diverged from the pinned fixture: the change \
+         perturbed uid assignment, RNG draws, or event order"
+    );
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    let a = run();
+    let b = run();
+    assert_eq!(encode(&a), encode(&b));
+}

@@ -155,3 +155,45 @@ fn rdma_gets_ordered_recovery() {
     );
     assert_eq!(masked.e2e_retx, 0, "ordered LG hides loss from go-back-N");
 }
+
+/// The event payload must stay cache-compact: packet events carry 8-byte
+/// pool handles, and the rare `SetLoss` model is boxed. Two `Ev`s plus a
+/// timer-wheel entry header fit in a cache line.
+#[test]
+fn event_payload_stays_slim() {
+    assert!(
+        std::mem::size_of::<lg_testbed::world::Ev>() <= 32,
+        "Ev grew to {} bytes; box or shrink the offending variant",
+        std::mem::size_of::<lg_testbed::world::Ev>()
+    );
+    assert!(
+        std::mem::size_of::<lg_testbed::chain::CEv>() <= 32,
+        "CEv grew to {} bytes",
+        std::mem::size_of::<lg_testbed::chain::CEv>()
+    );
+}
+
+/// Pool hygiene: once a trial run quiesces (event queue drained, every
+/// segment ACKed end-to-end), every packet handed to the pool must have
+/// been released — by host delivery, corruption drop, control absorption,
+/// or Tx-buffer ACK. A leak here means some path forgot its release.
+#[test]
+fn pool_drains_after_lossy_tcp_run() {
+    use lg_testbed::world::{App, World, WorldConfig};
+    let mut cfg = WorldConfig::new(LinkSpeed::G25, LossModel::Iid { rate: 1e-3 });
+    cfg.seed = 7;
+    cfg.app = App::TcpTrials {
+        variant: CcVariant::Cubic,
+        msg_len: 50_000,
+        trials: 20,
+        gap: Duration::from_us(10),
+    };
+    let mut w = World::new(cfg);
+    w.run_to_completion();
+    assert_eq!(w.out.fct.len(), 20, "all trials completed");
+    assert!(
+        w.pool.is_drained(),
+        "leaked {} pool slots after quiescence",
+        w.pool.live()
+    );
+}

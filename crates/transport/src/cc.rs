@@ -25,6 +25,10 @@ pub trait CongestionControl: core::fmt::Debug {
     fn pacing_rate(&self) -> Option<Rate>;
     /// Number of window reductions so far (Fig 13 bookkeeping).
     fn reductions(&self) -> u32;
+    /// Restore pristine state for a fresh flow of the same variant, so a
+    /// boxed instance can be reused across back-to-back trials without
+    /// reallocating (see `TcpSender::renew`).
+    fn reset(&mut self, mss: u32, init_cwnd_segs: u32, max_cwnd_segs: u32);
 }
 
 /// Build the chosen variant with a hard window cap in segments — the
@@ -154,6 +158,10 @@ impl CongestionControl for Dctcp {
     fn reductions(&self) -> u32 {
         self.reductions
     }
+
+    fn reset(&mut self, mss: u32, init_cwnd_segs: u32, max_cwnd_segs: u32) {
+        *self = Dctcp::new(mss, init_cwnd_segs).with_max(mss.saturating_mul(max_cwnd_segs));
+    }
 }
 
 // ---------------------------------------------------------------- CUBIC
@@ -258,6 +266,10 @@ impl CongestionControl for Cubic {
 
     fn reductions(&self) -> u32 {
         self.reductions
+    }
+
+    fn reset(&mut self, mss: u32, init_cwnd_segs: u32, max_cwnd_segs: u32) {
+        *self = Cubic::new(mss, init_cwnd_segs).with_max(mss.saturating_mul(max_cwnd_segs));
     }
 }
 
@@ -391,6 +403,10 @@ impl CongestionControl for Bbr {
 
     fn reductions(&self) -> u32 {
         self.reductions
+    }
+
+    fn reset(&mut self, mss: u32, init_cwnd_segs: u32, max_cwnd_segs: u32) {
+        *self = Bbr::new(mss, init_cwnd_segs).with_max(mss.saturating_mul(max_cwnd_segs));
     }
 }
 

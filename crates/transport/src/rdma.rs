@@ -173,17 +173,29 @@ impl RdmaRequester {
 
     /// Post the WRITE; returns the initial burst.
     pub fn start(&mut self, now: Time) -> Vec<TransportAction> {
-        self.started = now;
         let mut actions = Vec::new();
-        self.send_window(now, &mut actions);
+        self.start_into(now, &mut actions);
         actions
+    }
+
+    /// [`RdmaRequester::start`] into a caller-supplied action buffer.
+    pub fn start_into(&mut self, now: Time, actions: &mut Vec<TransportAction>) {
+        self.started = now;
+        self.send_window(now, actions);
     }
 
     /// Process an ACK/NAK from the responder.
     pub fn on_ack(&mut self, ack: &RdmaAck, now: Time) -> Vec<TransportAction> {
         let mut actions = Vec::new();
+        self.on_ack_into(ack, now, &mut actions);
+        actions
+    }
+
+    /// [`RdmaRequester::on_ack`] into a caller-supplied (reusable) action
+    /// buffer — the steady-state form: no allocation when nothing is owed.
+    pub fn on_ack_into(&mut self, ack: &RdmaAck, now: Time, actions: &mut Vec<TransportAction>) {
         if self.completed {
-            return actions;
+            return;
         }
         match ack.syndrome {
             AethSyndrome::Ack => {
@@ -201,9 +213,9 @@ impl RdmaRequester {
                         started: self.started,
                         completed: now,
                     });
-                    return actions;
+                    return;
                 }
-                self.send_window(now, &mut actions);
+                self.send_window(now, actions);
             }
             AethSyndrome::NakSequenceError => {
                 // ack.psn = the PSN the responder expected
@@ -214,7 +226,7 @@ impl RdmaRequester {
                 }
                 if self.last_nak_psn == Some(expected) {
                     // duplicate NAK for the same episode: ignore
-                    return actions;
+                    return;
                 }
                 self.last_nak_psn = Some(expected);
                 self.trace.naks_rx += 1;
@@ -222,22 +234,27 @@ impl RdmaRequester {
                     // re-send only the missing PSN
                     let pkt = self.make_pkt(expected, true, now);
                     actions.push(TransportAction::Send(pkt));
-                    self.arm_rto(now, &mut actions);
+                    self.arm_rto(now, actions);
                 } else {
                     // go-back-N: rewind and re-send everything
                     self.snd_nxt = expected;
-                    self.send_window(now, &mut actions);
+                    self.send_window(now, actions);
                 }
             }
         }
-        actions
     }
 
     /// Timer wake-up: fires the RTO if due.
     pub fn on_timer(&mut self, now: Time) -> Vec<TransportAction> {
         let mut actions = Vec::new();
+        self.on_timer_into(now, &mut actions);
+        actions
+    }
+
+    /// [`RdmaRequester::on_timer`] into a caller-supplied action buffer.
+    pub fn on_timer_into(&mut self, now: Time, actions: &mut Vec<TransportAction>) {
         if self.completed {
-            return actions;
+            return;
         }
         if let Some(rto) = self.rto_at {
             if now >= rto {
@@ -246,10 +263,9 @@ impl RdmaRequester {
                 self.backoff += 1;
                 self.last_nak_psn = None;
                 self.snd_nxt = self.snd_una;
-                self.send_window(now, &mut actions);
+                self.send_window(now, actions);
             }
         }
-        actions
     }
 
     /// Whether the WRITE completed.

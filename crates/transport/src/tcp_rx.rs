@@ -1,7 +1,7 @@
 //! TCP receiver: cumulative ACK + SACK generation with per-packet ECN
 //! echo (the accurate feedback DCTCP relies on).
 
-use lg_packet::tcp::{SackBlock, TcpFlags, MAX_SACK_BLOCKS};
+use lg_packet::tcp::{SackBlock, SackList, TcpFlags, MAX_SACK_BLOCKS};
 use lg_packet::{Ecn, FlowId, NodeId, Packet, TcpSegment};
 use lg_sim::Time;
 use std::collections::BTreeMap;
@@ -90,7 +90,7 @@ impl TcpReceiver {
     }
 
     fn make_ack(&self, data_ecn: Ecn, now: Time) -> Packet {
-        let mut sack: Vec<SackBlock> = Vec::new();
+        let mut sack = SackList::new();
         // RFC 2018: the block containing the most recently received segment
         // first, then other blocks.
         if let Some(lc) = self.last_changed {
@@ -159,14 +159,14 @@ mod tests {
             payload_len: len,
             ack: 0,
             flags: TcpFlags::default(),
-            sack: vec![],
+            sack: SackList::new(),
             is_retx: false,
         }
     }
 
     fn ack_of(p: &Packet) -> (u32, Vec<SackBlock>, bool) {
         match &p.payload {
-            Payload::Tcp(t) => (t.ack, t.sack.clone(), t.flags.ece),
+            Payload::Tcp(t) => (t.ack, t.sack.as_slice().to_vec(), t.flags.ece),
             _ => panic!("not tcp"),
         }
     }

@@ -14,7 +14,7 @@
 
 use crate::cc::{self, CongestionControl};
 use crate::types::{CcVariant, FlowTrace, TcpConfig, TransportAction};
-use lg_packet::tcp::TcpFlags;
+use lg_packet::tcp::{SackList, TcpFlags};
 use lg_packet::{Ecn, FlowId, NodeId, Packet, TcpSegment};
 use lg_sim::{Duration, Time};
 
@@ -120,6 +120,58 @@ impl TcpSender {
         }
     }
 
+    /// Like [`TcpSender::new`], but recycles the previous trial's heap
+    /// allocations (segment scoreboard, boxed congestion controller) when
+    /// the variant matches, so back-to-back FCT trials allocate nothing.
+    /// The resulting state is indistinguishable from a fresh `new`.
+    pub fn renew(
+        old: Option<TcpSender>,
+        cfg: TcpConfig,
+        variant: CcVariant,
+        flow: FlowId,
+        src: NodeId,
+        dst: NodeId,
+        msg_len: u32,
+    ) -> TcpSender {
+        let Some(mut s) = old else {
+            return TcpSender::new(cfg, variant, flow, src, dst, msg_len);
+        };
+        if s.variant != variant {
+            return TcpSender::new(cfg, variant, flow, src, dst, msg_len);
+        }
+        assert!(msg_len > 0);
+        let nsegs = msg_len.div_ceil(cfg.mss);
+        s.cc.reset(cfg.mss, cfg.init_cwnd_segs, cfg.max_cwnd_segs);
+        s.segs.clear();
+        s.segs.resize(nsegs as usize, SegState::default());
+        s.cfg = cfg;
+        s.flow = flow;
+        s.src = src;
+        s.dst = dst;
+        s.msg_len = msg_len;
+        s.nsegs = nsegs;
+        s.started = Time::ZERO;
+        s.snd_una = 0;
+        s.snd_nxt = 0;
+        s.pipe = 0;
+        s.retx_queue.clear();
+        s.srtt = None;
+        s.rttvar = Duration::ZERO;
+        s.reo_wnd = Duration::ZERO;
+        s.reo_wnd_mult = 0;
+        s.highest_sacked = 0;
+        s.rack_xmit_time = None;
+        s.in_recovery = false;
+        s.recovery_end = 0;
+        s.rto_at = None;
+        s.tlp_at = None;
+        s.tlp_outstanding = false;
+        s.rto_backoff = 0;
+        s.completed = false;
+        s.trace = FlowTrace::new();
+        s
+    }
+
     fn seg_len(&self, idx: u32) -> u32 {
         if idx + 1 == self.nsegs {
             self.msg_len - idx * self.cfg.mss
@@ -157,7 +209,7 @@ impl TcpSender {
                 psh: idx + 1 == self.nsegs,
                 ..Default::default()
             },
-            sack: vec![],
+            sack: SackList::new(),
             is_retx,
         };
         Packet::tcp(self.src, self.dst, seg, self.seg_ecn(), now)
@@ -165,11 +217,16 @@ impl TcpSender {
 
     /// Post the message; returns the initial burst.
     pub fn start(&mut self, now: Time) -> Vec<TransportAction> {
-        self.started = now;
         let mut actions = Vec::new();
-        self.send_eligible(now, &mut actions);
-        self.arm_timers(now, &mut actions);
+        self.start_into(now, &mut actions);
         actions
+    }
+
+    /// [`TcpSender::start`] into a caller-supplied (reusable) action buffer.
+    pub fn start_into(&mut self, now: Time, actions: &mut Vec<TransportAction>) {
+        self.started = now;
+        self.send_eligible(now, actions);
+        self.arm_timers(now, actions);
     }
 
     fn cwnd_segs(&self) -> u32 {
@@ -273,8 +330,15 @@ impl TcpSender {
     /// Feed an incoming ACK segment.
     pub fn on_ack(&mut self, seg: &TcpSegment, now: Time) -> Vec<TransportAction> {
         let mut actions = Vec::new();
+        self.on_ack_into(seg, now, &mut actions);
+        actions
+    }
+
+    /// [`TcpSender::on_ack`] into a caller-supplied (reusable) action
+    /// buffer — the steady-state form: no allocation when nothing is owed.
+    pub fn on_ack_into(&mut self, seg: &TcpSegment, now: Time, actions: &mut Vec<TransportAction>) {
         if self.completed {
-            return actions;
+            return;
         }
         let ack_seg = if seg.ack >= self.msg_len {
             self.nsegs
@@ -414,12 +478,11 @@ impl TcpSender {
             });
             self.rto_at = None;
             self.tlp_at = None;
-            return actions;
+            return;
         }
 
-        self.send_eligible(now, &mut actions);
-        self.arm_timers(now, &mut actions);
-        actions
+        self.send_eligible(now, actions);
+        self.arm_timers(now, actions);
     }
 
     fn detect_losses(&mut self, now: Time) {
@@ -481,8 +544,14 @@ impl TcpSender {
     /// no-ops.
     pub fn on_timer(&mut self, now: Time) -> Vec<TransportAction> {
         let mut actions = Vec::new();
+        self.on_timer_into(now, &mut actions);
+        actions
+    }
+
+    /// [`TcpSender::on_timer`] into a caller-supplied action buffer.
+    pub fn on_timer_into(&mut self, now: Time, actions: &mut Vec<TransportAction>) {
         if self.completed {
-            return actions;
+            return;
         }
         if let Some(tlp) = self.tlp_at {
             if now >= tlp {
@@ -500,8 +569,8 @@ impl TcpSender {
                     let pkt = self.make_seg(idx, true, now);
                     actions.push(TransportAction::Send(pkt));
                 }
-                self.arm_timers(now, &mut actions);
-                return actions;
+                self.arm_timers(now, actions);
+                return;
             }
         }
         if let Some(rto) = self.rto_at {
@@ -523,16 +592,15 @@ impl TcpSender {
                         self.retx_queue.insert(idx);
                     }
                 }
-                self.send_eligible(now, &mut actions);
-                self.arm_timers(now, &mut actions);
-                return actions;
+                self.send_eligible(now, actions);
+                self.arm_timers(now, actions);
+                return;
             }
         }
         // spurious wake: ensure a timer is still armed
         if self.rto_at.is_none() && self.tlp_at.is_none() {
-            self.arm_timers(now, &mut actions);
+            self.arm_timers(now, actions);
         }
-        actions
     }
 
     /// Whether the message completed.
@@ -599,6 +667,7 @@ mod tests {
     }
 
     fn ack(ack_bytes: u32, sack: Vec<SackBlock>, ece: bool) -> TcpSegment {
+        let sack = SackList::from_blocks(&sack);
         TcpSegment {
             flow: FlowId(1),
             seq: 0,

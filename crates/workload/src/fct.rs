@@ -50,6 +50,12 @@ impl FctCollector {
         self.samples.tail_ecdf(frac)
     }
 
+    /// Raw samples in recording order, in microseconds (golden-output
+    /// determinism tests compare these bit-for-bit).
+    pub fn samples_us(&self) -> &[f64] {
+        self.samples.values()
+    }
+
     /// Table-2-style row of the top percentiles.
     pub fn report(&mut self) -> FctReport {
         FctReport {
