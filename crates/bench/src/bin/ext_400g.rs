@@ -11,6 +11,7 @@ use lg_sim::Duration;
 use lg_testbed::{stress_test, Protection};
 
 fn main() {
+    let _obs = lg_bench::obs::session("ext_400g");
     banner(
         "Extension: higher link speeds",
         "LinkGuardian at 10G → 400G, 1e-3 corruption, line-rate stress",

@@ -20,6 +20,7 @@ use lg_sim::Duration;
 use lg_testbed::{stress_test, Protection};
 
 fn main() {
+    let _obs = lg_bench::obs::session("fig08_loss_speed");
     banner(
         "Figure 8",
         "effective loss rate and effective link speed, LG vs LG_NB",

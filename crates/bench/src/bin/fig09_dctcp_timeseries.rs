@@ -23,6 +23,7 @@ use lg_testbed::{time_series, TimeSeriesScenario};
 use lg_transport::CcVariant;
 
 fn main() {
+    let _obs = lg_bench::obs::session("fig09_dctcp_timeseries");
     banner(
         "Figure 9",
         "DCTCP on a 25G link: corruption starts, then LinkGuardian starts",

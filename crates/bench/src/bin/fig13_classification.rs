@@ -11,6 +11,7 @@ use lg_testbed::{classify_fig13, fct_experiment, FctTransport, Protection};
 use lg_transport::CcVariant;
 
 fn main() {
+    let _obs = lg_bench::obs::session("fig13_classification");
     banner(
         "Figure 13",
         "classification of affected 24,387B DCTCP flows with LG_NB",

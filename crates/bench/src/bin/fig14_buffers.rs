@@ -9,6 +9,7 @@ use lg_sim::Duration;
 use lg_testbed::{stress_test, Protection};
 
 fn main() {
+    let _obs = lg_bench::obs::session("fig14_buffers");
     banner(
         "Figure 14",
         "LinkGuardian packet buffer usage (line-rate stress)",

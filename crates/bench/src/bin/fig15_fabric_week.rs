@@ -13,6 +13,7 @@ use lg_bench::{arg, banner, sweep};
 use lg_fabric::{run_many, FabricSimConfig, Policy};
 
 fn main() {
+    let _obs = lg_bench::obs::session("fig15_fabric_week");
     banner(
         "Figure 15",
         "1-week fabric snapshot: CorrOpt vs LinkGuardian+CorrOpt",

@@ -12,6 +12,7 @@ use lg_bench::{arg, banner, sweep};
 use lg_fabric::{run_many, FabricSimConfig, Policy};
 
 fn main() {
+    let _obs = lg_bench::obs::session("fig16_fabric_year");
     banner(
         "Figure 16",
         "year-long CDFs: penalty gain and capacity decrease (LG+CorrOpt vs CorrOpt)",

@@ -11,6 +11,7 @@ use lg_sim::Duration;
 use lg_testbed::{stress_test, Protection};
 
 fn main() {
+    let _obs = lg_bench::obs::session("fig19_retx_delay");
     banner(
         "Figure 19",
         "loss-detection → retransmission-received delay",

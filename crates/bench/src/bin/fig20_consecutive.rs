@@ -25,6 +25,7 @@ fn run(model: LossModel, frames: u64, seed: u64) -> Vec<u64> {
 }
 
 fn main() {
+    let _obs = lg_bench::obs::session("fig20_consecutive");
     banner(
         "Figure 20",
         "distribution of consecutive packets lost (1518B)",

@@ -43,6 +43,7 @@ fn run_one(name: &str, speed: LinkSpeed, variant: CcVariant, total_ms: u64, seed
 }
 
 fn main() {
+    let _obs = lg_bench::obs::session("fig21_cubic_bbr");
     banner("Figure 21", "CUBIC and BBR under the Fig 9 timeline");
     let total_ms: u64 = arg("--ms", 60);
     run_one("CUBIC", LinkSpeed::G25, CcVariant::Cubic, total_ms, 21);

@@ -9,6 +9,7 @@ use lg_fabric::tracegen::{bucket_of, sample_loss_rate, LOSS_BUCKETS};
 use lg_sim::Rng;
 
 fn main() {
+    let _obs = lg_bench::obs::session("table1_lossbuckets");
     banner(
         "Table 1",
         "corruption loss rates drawn by the trace generator",

@@ -14,6 +14,7 @@ use lg_testbed::{fct_experiment, FctTransport, Protection};
 use lg_transport::CcVariant;
 
 fn main() {
+    let _obs = lg_bench::obs::session("table2_ablation");
     banner(
         "Table 2",
         "top 1% FCT (us) for 24,387B DCTCP flows per LinkGuardian mechanism",

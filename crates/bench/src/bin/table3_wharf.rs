@@ -46,6 +46,7 @@ fn cubic_goodput(loss: LossModel, protection_lg: Option<bool>, ms: u64, seed: u6
 }
 
 fn main() {
+    let _obs = lg_bench::obs::session("table3_wharf");
     banner("Table 3", "TCP CUBIC goodput (Gb/s) on a 10G link");
     let ms: u64 = arg("--ms", 80);
     let model = WharfModel::table3();

@@ -9,6 +9,7 @@ use lg_sim::Duration;
 use lg_testbed::{stress_test, Protection};
 
 fn main() {
+    let _obs = lg_bench::obs::session("table4_recirc");
     banner(
         "Table 4",
         "recirculation overhead (% of pipe forwarding capacity)",

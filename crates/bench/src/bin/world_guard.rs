@@ -1,0 +1,62 @@
+//! Event-loop throughput guard for CI.
+//!
+//! Runs the same fig10-style FCT world as `benches/world.rs` several
+//! times and prints the median `events_per_sec`. CI runs this binary
+//! twice — default features vs `--no-default-features` (trace emission
+//! compiled out) — and fails if the default build falls below 97% of the
+//! trace-free build, i.e. if the disabled-path trace checks ever grow
+//! beyond a branch.
+//!
+//! Usage: `cargo run --release -p lg-bench --bin world_guard
+//! [--trials 300] [--reps 5]`
+
+use lg_bench::arg;
+use lg_link::{LinkSpeed, LossModel};
+use lg_sim::Duration;
+use lg_testbed::{App, World, WorldConfig};
+use lg_transport::CcVariant;
+use linkguardian::LgConfig;
+
+fn fig10_world(trials: u32) -> World {
+    let speed = LinkSpeed::G100;
+    let loss = LossModel::Iid { rate: 1e-3 };
+    let mut cfg = WorldConfig::new(speed, loss);
+    cfg.lg = Some(LgConfig::for_speed(speed, 1e-3));
+    cfg.seed = 10;
+    cfg.app = App::TcpTrials {
+        variant: CcVariant::Dctcp,
+        msg_len: 143,
+        trials,
+        gap: Duration::from_us(10),
+    };
+    World::new(cfg)
+}
+
+fn run_counting(mut w: World, trials: u32) -> u64 {
+    let mut events = 0u64;
+    while let Some((now, ev)) = w.q.pop() {
+        w.handle_pub(ev, now);
+        events += 1;
+    }
+    assert_eq!(w.out.fct.len() as u32, trials, "every trial completed");
+    events
+}
+
+fn main() {
+    let trials: u32 = arg("--trials", 300);
+    let reps: usize = arg("--reps", 5);
+    // Warm-up run (also calibrates the per-run event count).
+    let events_per_run = run_counting(fig10_world(trials), trials);
+    let mut rates: Vec<f64> = (0..reps.max(1))
+        .map(|_| {
+            let w = fig10_world(trials);
+            let t0 = std::time::Instant::now();
+            let events = run_counting(w, trials);
+            events as f64 / t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = rates[rates.len() / 2];
+    println!("events_per_run: {events_per_run}");
+    println!("events_per_sec: {median:.0}");
+}

@@ -8,6 +8,7 @@
 //! compares *shapes* (who wins, by what factor, where crossovers fall)
 //! against the paper.
 
+pub mod obs;
 pub mod sweep;
 
 use std::env;

@@ -1,0 +1,135 @@
+//! Shared observability CLI for the experiment binaries.
+//!
+//! Every figure/table binary accepts three extra flags, parsed once at
+//! the top of `main` by [`session`]:
+//!
+//! * `--metrics-out <file>` — enable the process-wide JSONL sink and
+//!   write the full observability dump (metrics snapshots, trace
+//!   records, wall-clock profiles) there when the binary exits;
+//! * `--trace` — enable packet-level trace records ([`Level::Pkt`]);
+//! * `--trace-level <off|ctl|pkt>` — set the trace level explicitly
+//!   (overrides `--trace`).
+//!
+//! The dump starts with a `meta` line naming the binary and the schema
+//! version (`schema/obs-schema.json`), followed by every sink line in
+//! deterministic key order — identical at any `--threads` value. None of
+//! these flags change what the binary prints on stdout, so golden
+//! figure output stays byte-identical with observability on.
+
+use lg_obs::trace::Level;
+use lg_obs::JsonLine;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Observability schema version written to the `meta` line; bump in
+/// lockstep with `schema/obs-schema.json`.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// RAII guard for one binary's observability session. On drop it writes
+/// the JSONL dump (if `--metrics-out` was given), then disables the sink
+/// and the trace level so tests sharing the process stay clean.
+pub struct Session {
+    bin: &'static str,
+    out: Option<PathBuf>,
+}
+
+/// Parse the shared observability flags and start a session. Call first
+/// thing in `main`; keep the returned guard alive for the whole run.
+pub fn session(bin: &'static str) -> Session {
+    let args: Vec<String> = std::env::args().collect();
+    let out = match crate::try_arg::<String>(&args, "--metrics-out") {
+        Ok(v) => v.map(PathBuf::from),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let level = match crate::try_arg::<String>(&args, "--trace-level") {
+        Ok(Some(s)) => match Level::parse(&s) {
+            Some(l) => l,
+            None => {
+                eprintln!("error: invalid --trace-level {s:?} (off|ctl|pkt)");
+                std::process::exit(2);
+            }
+        },
+        Ok(None) => {
+            if crate::flag("--trace") {
+                Level::Pkt
+            } else {
+                Level::Off
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    lg_obs::trace::set_level(level);
+    if out.is_some() {
+        lg_obs::sink::enable_metrics();
+    }
+    Session { bin, out }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if let Some(path) = self.out.take() {
+            let mut meta = JsonLine::new();
+            meta.str("type", "meta")
+                .u64("schema", SCHEMA_VERSION)
+                .str("bin", self.bin);
+            let mut lines = vec![meta.finish()];
+            lines.extend(lg_obs::sink::drain_sorted());
+            let n = lines.len();
+            let mut doc = lines.join("\n");
+            doc.push('\n');
+            match std::fs::File::create(&path).and_then(|mut f| f.write_all(doc.as_bytes())) {
+                Ok(()) => eprintln!("wrote {n} observability records to {}", path.display()),
+                Err(e) => eprintln!("error writing {}: {e}", path.display()),
+            }
+        }
+        lg_obs::sink::disable_and_clear();
+        lg_obs::trace::set_level(Level::Off);
+        lg_obs::trace::reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_defaults_are_off() {
+        // No flags in the test harness argv: level off, no sink.
+        let s = session("test_bin");
+        assert_eq!(lg_obs::trace::level(), Level::Off);
+        assert!(!lg_obs::sink::metrics_enabled());
+        drop(s);
+    }
+
+    #[test]
+    fn dump_shape_round_trips() {
+        let dir = std::env::temp_dir().join("lg_obs_session_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.jsonl");
+        {
+            let s = Session {
+                bin: "test_bin",
+                out: Some(path.clone()),
+            };
+            lg_obs::sink::enable_metrics();
+            lg_obs::sink::submit(
+                "a",
+                "{\"type\":\"trace_summary\",\"records\":0,\"dropped\":0}".into(),
+            );
+            drop(s);
+        }
+        let doc = std::fs::read_to_string(&path).unwrap();
+        let schema_doc = include_str!("../../../schema/obs-schema.json");
+        let schema = lg_obs::schema::Schema::parse(schema_doc).unwrap();
+        let counts = schema.validate(&doc).unwrap();
+        let total: usize = counts.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 2, "meta + submitted line");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -129,6 +129,30 @@ impl Corruptd {
     pub fn is_active(&self, port: usize) -> bool {
         self.ports[port].active
     }
+
+    /// Poll a port by reading `frames_rx_ok` / `frames_rx_all` from an
+    /// [`lg_obs::MetricsRegistry`] snapshot instead of reaching into the
+    /// switch directly — the same source the dashboards read. `inst` is
+    /// the registry instance label the world used when snapshotting the
+    /// port (e.g. `"sw_rx:1"`). Returns `None` (and does not advance the
+    /// window) when the registry has no snapshot for that instance yet.
+    pub fn poll_registry(
+        &mut self,
+        port: usize,
+        registry: &lg_obs::MetricsRegistry,
+        comp: &'static str,
+        inst: &str,
+        now: Time,
+    ) -> Option<CorruptionNotice> {
+        let ok = registry.latest_counter(comp, inst, "frames_rx_ok")?;
+        let all = registry.latest_counter(comp, inst, "frames_rx_all")?;
+        let counters = PortCounters {
+            frames_rx_ok: ok,
+            frames_rx_all: all,
+            ..Default::default()
+        };
+        self.poll(port, counters, now)
+    }
 }
 
 /// In-process publish/subscribe bus connecting `corruptd` daemons
@@ -213,6 +237,30 @@ mod tests {
         let r = m.poll(counters(2_000, 1_900));
         assert!((r - 0.05).abs() < 1e-9);
         let _ = d; // silence unused
+    }
+
+    #[test]
+    fn poll_registry_reads_same_source() {
+        let mut reg = lg_obs::MetricsRegistry::new();
+        let mut d = Corruptd::new(3, 1, 1e-8);
+        // No snapshot yet: nothing to poll.
+        assert!(d
+            .poll_registry(0, &reg, "switch_port", "sw_rx:0", Time::from_secs(1))
+            .is_none());
+        assert!(!d.is_active(0));
+        // 1e6 frames, 1000 errors → loss 1e-3 → activation with N = 2.
+        reg.record(
+            1_000_000_000_000,
+            "switch_port",
+            "sw_rx:0",
+            &counters(1_000_000, 999_000),
+        );
+        let n = d
+            .poll_registry(0, &reg, "switch_port", "sw_rx:0", Time::from_secs(1))
+            .expect("activation");
+        assert!((n.loss_rate - 1e-3).abs() < 1e-6);
+        assert_eq!(n.retx_copies, 2);
+        assert!(d.is_active(0));
     }
 
     #[test]

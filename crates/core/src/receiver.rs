@@ -24,6 +24,8 @@
 
 use crate::config::{LgConfig, Mode};
 use crate::seqmap::{abs_of, wire_of};
+use lg_obs::trace::{Comp, Kind, Level};
+use lg_obs::{lg_trace, MetricSink, Observe};
 use lg_packet::lg::{LgAck, LgPacketType, LossNotification, PauseFrame, MAX_CONSECUTIVE_LOSSES};
 use lg_packet::{LgControl, NodeId, Packet, PacketPool, PktId};
 use lg_sim::{Duration, LogHistogram, Time};
@@ -101,6 +103,26 @@ pub struct ReceiverStats {
     pub explicit_acks_sent: u64,
     /// Packets delivered onward.
     pub delivered: u64,
+}
+
+impl Observe for ReceiverStats {
+    fn observe(&self, m: &mut MetricSink) {
+        m.counter("protected_rx", self.protected_rx);
+        m.counter("dummies_rx", self.dummies_rx);
+        m.counter("gaps_detected", self.gaps_detected);
+        m.counter("lost_reported", self.lost_reported);
+        m.counter("notifications_sent", self.notifications_sent);
+        m.counter("recovered", self.recovered);
+        m.counter("dup_drops", self.dup_drops);
+        m.counter("buffered", self.buffered);
+        m.counter("rx_overflow_drops", self.rx_overflow_drops);
+        m.counter("timeouts", self.timeouts);
+        m.counter("skipped", self.skipped);
+        m.counter("pauses_sent", self.pauses_sent);
+        m.counter("resumes_sent", self.resumes_sent);
+        m.counter("explicit_acks_sent", self.explicit_acks_sent);
+        m.counter("delivered", self.delivered);
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -245,6 +267,16 @@ impl LgReceiver {
         // no-loss case) this range is empty.
         if first_missing <= new_latest {
             self.stats.gaps_detected += 1;
+            lg_trace!(
+                Level::Ctl,
+                Comp::LgReceiver,
+                Kind::GapDetect,
+                self.node.0,
+                now.as_ps(),
+                0u64,
+                first_missing,
+                new_latest - first_missing + 1
+            );
             let mut start = first_missing;
             while start <= new_latest {
                 let count = ((new_latest - start + 1) as u16).min(MAX_CONSECUTIVE_LOSSES);
@@ -260,6 +292,16 @@ impl LgReceiver {
                 };
                 // Ingress mirroring generates the notification; it rides
                 // the highest-priority queue on the reverse direction.
+                lg_trace!(
+                    Level::Ctl,
+                    Comp::LgReceiver,
+                    Kind::LossNotify,
+                    self.node.0,
+                    now.as_ps(),
+                    0u64,
+                    start,
+                    count
+                );
                 for _ in 0..self.cfg.control_copies.max(1) {
                     self.stats.notifications_sent += 1;
                     let id = pool.insert(Packet::lg_control(
@@ -295,6 +337,16 @@ impl LgReceiver {
         }
         if self.missing.remove(&abs) {
             self.stats.recovered += 1;
+            lg_trace!(
+                Level::Pkt,
+                Comp::LgReceiver,
+                Kind::Recovered,
+                self.node.0,
+                now.as_ps(),
+                pool.get(id).uid,
+                abs,
+                id.index()
+            );
             if let Some(t0) = self.missing_since.remove(&abs) {
                 self.retx_delay.record(now.saturating_since(t0).as_ps());
             }
@@ -305,6 +357,16 @@ impl LgReceiver {
                 // are those at-or-below latest that were not missing.
                 if abs < self.ack_no {
                     self.stats.dup_drops += 1;
+                    lg_trace!(
+                        Level::Pkt,
+                        Comp::LgReceiver,
+                        Kind::DupDrop,
+                        self.node.0,
+                        now.as_ps(),
+                        pool.get(id).uid,
+                        abs,
+                        id.index()
+                    );
                     pool.release(id);
                     return;
                 }
@@ -316,6 +378,16 @@ impl LgReceiver {
                 // still-above-floor copies uses `delivered_above` below.
                 if self.delivered_above.contains(&abs) {
                     self.stats.dup_drops += 1;
+                    lg_trace!(
+                        Level::Pkt,
+                        Comp::LgReceiver,
+                        Kind::DupDrop,
+                        self.node.0,
+                        now.as_ps(),
+                        pool.get(id).uid,
+                        abs,
+                        id.index()
+                    );
                     pool.release(id);
                     return;
                 }
@@ -324,7 +396,7 @@ impl LgReceiver {
                 while self.delivered_above.remove(&self.ack_no) {
                     self.ack_no += 1;
                 }
-                self.deliver(id, pool, actions);
+                self.deliver(id, now, pool, actions);
             }
             Mode::Ordered => {
                 use core::cmp::Ordering;
@@ -339,30 +411,72 @@ impl LgReceiver {
                         if self.draining_bytes > 0 {
                             self.note_draining(pool.get(id).frame_len() as u64, now);
                         }
-                        self.deliver(id, pool, actions);
+                        self.deliver(id, now, pool, actions);
                         self.ack_no += 1;
                         self.drain_in_order(now, pool, actions);
                     }
                     Ordering::Greater => {
                         if self.rx_buffer.contains(abs) {
                             self.stats.dup_drops += 1;
+                            lg_trace!(
+                                Level::Pkt,
+                                Comp::LgReceiver,
+                                Kind::DupDrop,
+                                self.node.0,
+                                now.as_ps(),
+                                pool.get(id).uid,
+                                abs,
+                                id.index()
+                            );
                             pool.release(id);
                             return;
                         }
                         match self.rx_buffer.insert(abs, id, now, pool) {
-                            Ok(()) => self.stats.buffered += 1,
+                            Ok(()) => {
+                                self.stats.buffered += 1;
+                                lg_trace!(
+                                    Level::Pkt,
+                                    Comp::LgReceiver,
+                                    Kind::Buffered,
+                                    self.node.0,
+                                    now.as_ps(),
+                                    pool.get(id).uid,
+                                    abs,
+                                    id.index()
+                                );
+                            }
                             Err(dropped) => {
                                 // Reordering buffer overflow: the packet is
                                 // lost to the recirculation queue (this is
                                 // what Fig 9b shows when backpressure is
                                 // disabled).
                                 self.stats.rx_overflow_drops += 1;
+                                lg_trace!(
+                                    Level::Pkt,
+                                    Comp::LgReceiver,
+                                    Kind::RxOverflow,
+                                    self.node.0,
+                                    now.as_ps(),
+                                    pool.get(dropped).uid,
+                                    abs,
+                                    dropped.index()
+                                );
                                 pool.release(dropped);
                             }
                         }
                     }
                     Ordering::Less => {
                         self.stats.dup_drops += 1;
+                        lg_trace!(
+                            Level::Pkt,
+                            Comp::LgReceiver,
+                            Kind::DupDrop,
+                            self.node.0,
+                            now.as_ps(),
+                            pool.get(id).uid,
+                            abs,
+                            id.index()
+                        );
                         pool.release(id);
                     }
                 }
@@ -382,7 +496,7 @@ impl LgReceiver {
             }
             let id = self.rx_buffer.remove(min, now).expect("min key present");
             self.note_draining(pool.get(id).frame_len() as u64, now);
-            self.deliver(id, pool, actions);
+            self.deliver(id, now, pool, actions);
             self.ack_no += 1;
         }
         // Fresh progress invalidates any armed timeout.
@@ -418,7 +532,13 @@ impl LgReceiver {
         self.rx_buffer.bytes() + self.draining_bytes
     }
 
-    fn deliver(&mut self, id: PktId, pool: &mut PacketPool, actions: &mut Vec<ReceiverAction>) {
+    fn deliver(
+        &mut self,
+        id: PktId,
+        now: Time,
+        pool: &mut PacketPool,
+        actions: &mut Vec<ReceiverAction>,
+    ) {
         // Strip this instance's data header. The sender's Tx-buffer mirror
         // may still share the slot, so copy-on-write first. A piggybacked
         // ACK header, if present, belongs to the *other direction's*
@@ -427,6 +547,16 @@ impl LgReceiver {
         let id = pool.cow(id);
         pool.get_mut(id).lg_data = None;
         self.stats.delivered += 1;
+        lg_trace!(
+            Level::Pkt,
+            Comp::LgReceiver,
+            Kind::Deliver,
+            self.node.0,
+            now.as_ps(),
+            pool.get(id).uid,
+            self.ack_no,
+            id.index()
+        );
         actions.push(ReceiverAction::Deliver(id));
     }
 
@@ -464,6 +594,16 @@ impl LgReceiver {
         pool: &mut PacketPool,
         actions: &mut Vec<ReceiverAction>,
     ) {
+        lg_trace!(
+            Level::Ctl,
+            Comp::LgReceiver,
+            Kind::Pause,
+            self.node.0,
+            now.as_ps(),
+            0u64,
+            0u64,
+            pause as u32
+        );
         for _ in 0..self.cfg.control_copies.max(1) {
             let id = pool.insert(Packet::lg_control(
                 self.node,
@@ -522,6 +662,16 @@ impl LgReceiver {
         // Give up on the lost packet: increment ackNo and continue.
         self.stats.timeouts += 1;
         self.stats.skipped += 1;
+        lg_trace!(
+            Level::Ctl,
+            Comp::LgReceiver,
+            Kind::TimeoutSkip,
+            self.node.0,
+            now.as_ps(),
+            0u64,
+            self.ack_no,
+            0u32
+        );
         self.missing.remove(&self.ack_no);
         self.missing_since.remove(&self.ack_no);
         self.ack_no += 1;

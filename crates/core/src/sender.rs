@@ -22,6 +22,8 @@
 
 use crate::config::LgConfig;
 use crate::seqmap::{abs_of, wire_of};
+use lg_obs::trace::{Comp, Kind, Level};
+use lg_obs::{lg_trace, MetricSink, Observe};
 use lg_packet::lg::{LgAck, LgData, LgPacketType, LossNotification};
 use lg_packet::{LgControl, NodeId, Packet, PacketPool, Payload, PktId};
 use lg_sim::{Duration, Rng, Time};
@@ -70,6 +72,20 @@ pub struct SenderStats {
     pub pauses_rx: u64,
     /// Resume frames absorbed.
     pub resumes_rx: u64,
+}
+
+impl Observe for SenderStats {
+    fn observe(&self, m: &mut MetricSink) {
+        m.counter("protected_sent", self.protected_sent);
+        m.counter("notifications_rx", self.notifications_rx);
+        m.counter("retx_packets", self.retx_packets);
+        m.counter("retx_copies_sent", self.retx_copies_sent);
+        m.counter("retx_misses", self.retx_misses);
+        m.counter("dummies_sent", self.dummies_sent);
+        m.counter("buffer_overflows", self.buffer_overflows);
+        m.counter("pauses_rx", self.pauses_rx);
+        m.counter("resumes_rx", self.resumes_rx);
+    }
 }
 
 /// The sender-side state machine for one protected link direction.
@@ -163,6 +179,16 @@ impl LgSender {
             kind: LgPacketType::Original,
         });
         self.stats.protected_sent += 1;
+        lg_trace!(
+            Level::Pkt,
+            Comp::LgSender,
+            Kind::LgStamp,
+            self.node.0,
+            now.as_ps(),
+            pool.get(id).uid,
+            seq,
+            id.index()
+        );
         // Egress mirroring: the Tx buffer shares the in-flight packet's
         // slot (with the header) until ACKed.
         pool.retain(id);
@@ -305,6 +331,16 @@ impl LgSender {
                 Some(copy) => {
                     self.stats.retx_packets += 1;
                     let copy = pool.cow(copy);
+                    lg_trace!(
+                        Level::Pkt,
+                        Comp::LgSender,
+                        Kind::Retx,
+                        self.node.0,
+                        now.as_ps(),
+                        pool.get(copy).uid,
+                        seq,
+                        copy.index()
+                    );
                     if let Some(h) = pool.get_mut(copy).lg_data.as_mut() {
                         h.kind = LgPacketType::Retransmit;
                     }
@@ -342,6 +378,16 @@ impl LgSender {
                     // nothing to retransmit; the receiver's ackNoTimeout
                     // is the fallback.
                     self.stats.retx_misses += 1;
+                    lg_trace!(
+                        Level::Ctl,
+                        Comp::LgSender,
+                        Kind::RetxMiss,
+                        self.node.0,
+                        now.as_ps(),
+                        0u64,
+                        seq,
+                        0u32
+                    );
                 }
             }
         }

@@ -1,0 +1,186 @@
+//! Log-bucketed histogram for registry metrics.
+//!
+//! Same shape as `lg_sim::stats::LogHistogram` (power-of-two buckets with
+//! linear sub-buckets) but dependency-free so `lg-obs` stays at the bottom
+//! of the crate graph. Bounded relative error `1/sub_buckets`, constant
+//! memory, O(1) record.
+
+/// A histogram over `u64` values with logarithmic buckets.
+#[derive(Debug, Clone)]
+pub struct LogHist {
+    sub: u32,
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+/// A compact quantile summary of a histogram (what goes into JSONL).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistSummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// Mean of recorded values (0 when empty).
+    pub mean: f64,
+    /// Median (bucket upper bound).
+    pub p50: u64,
+    /// 99th percentile (bucket upper bound).
+    pub p99: u64,
+}
+
+impl LogHist {
+    /// A histogram with `sub_buckets` linear sub-buckets per octave
+    /// (relative error ≤ 1/sub_buckets).
+    pub fn new(sub_buckets: u32) -> LogHist {
+        assert!(sub_buckets.is_power_of_two(), "sub_buckets: power of two");
+        LogHist {
+            sub: sub_buckets,
+            counts: vec![0; (65 * sub_buckets) as usize],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket(&self, v: u64) -> usize {
+        if v < self.sub as u64 {
+            return v as usize;
+        }
+        let octave = 63 - v.leading_zeros();
+        let shift = octave - self.sub.trailing_zeros();
+        let sub = (v >> shift) - self.sub as u64;
+        ((octave - self.sub.trailing_zeros() + 1) as u64 * self.sub as u64 + sub) as usize
+    }
+
+    /// Upper bound of bucket `i` (the value reported for quantiles).
+    fn bucket_bound(&self, i: usize) -> u64 {
+        let i = i as u64;
+        let sub = self.sub as u64;
+        if i < sub {
+            return i;
+        }
+        let octave = (i / sub) - 1 + sub.trailing_zeros() as u64;
+        let within = i % sub;
+        let shift = (octave - sub.trailing_zeros() as u64) as u32;
+        // The topmost octave's upper bound exceeds u64; saturate via u128.
+        let bound = (((sub + within + 1) as u128) << shift) - 1;
+        bound.min(u64::MAX as u128) as u64
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, v: u64) {
+        let b = self.bucket(v);
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (bucket upper bound, clamped to
+    /// the observed max). Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(self.bucket_bound(i).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The quantile summary serialized into metric snapshots.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.total,
+            min: if self.total == 0 { 0 } else { self.min },
+            max: self.max,
+            mean: self.mean(),
+            p50: self.quantile(0.5).unwrap_or(0),
+            p99: self.quantile(0.99).unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_sub_buckets() {
+        let mut h = LogHist::new(16);
+        for v in 0..16 {
+            h.record(v);
+        }
+        assert_eq!(h.len(), 16);
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.quantile(1.0), Some(15));
+    }
+
+    #[test]
+    fn bounded_relative_error() {
+        let mut h = LogHist::new(64);
+        for v in [100u64, 1_000, 10_000, 1_000_000, 123_456_789] {
+            let mut h1 = LogHist::new(64);
+            h1.record(v);
+            let got = h1.quantile(0.5).unwrap();
+            let err = (got as f64 - v as f64).abs() / v as f64;
+            assert!(err <= 1.0 / 64.0 + 1e-9, "v={v} got={got} err={err}");
+            h.record(v);
+        }
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.summary().count, 5);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroed() {
+        let h = LogHist::new(16);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn mean_and_minmax() {
+        let mut h = LogHist::new(16);
+        h.record(10);
+        h.record(30);
+        let s = h.summary();
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 30);
+        assert!((s.mean - 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,425 @@
+//! Hand-written JSON line writer and minimal parser.
+//!
+//! The vendored `compat/serde` is a no-op marker-trait stand-in (nothing
+//! is ever actually serialized through it), so the observability layer
+//! writes its JSONL by hand and parses it back with a small recursive-
+//! descent parser for schema validation. Output is deterministic: keys are
+//! written in insertion order, floats use Rust's shortest-roundtrip
+//! `Display`, and nothing platform-dependent enters the stream.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Incremental builder for one JSON object on one line.
+#[derive(Debug)]
+pub struct JsonLine {
+    buf: String,
+    first: bool,
+}
+
+impl JsonLine {
+    /// Start an object: `{`.
+    pub fn new() -> JsonLine {
+        JsonLine {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        write_escaped(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    /// Add a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        write_escaped(&mut self.buf, v);
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Add a float field. Non-finite values are emitted as `null` (JSON
+    /// has no NaN/Inf).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        if v.is_finite() {
+            // Shortest-roundtrip Display, but always mark it as a float so
+            // parsers on the other side see a stable type.
+            if v == v.trunc() && v.abs() < 1e15 {
+                let _ = write!(self.buf, "{v:.1}");
+            } else {
+                let _ = write!(self.buf, "{v}");
+            }
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add a field whose value is already-rendered JSON.
+    pub fn raw(&mut self, k: &str, json: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Close the object and return the line (no trailing newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonLine {
+    fn default() -> Self {
+        JsonLine::new()
+    }
+}
+
+/// Write `s` as a JSON string literal, escaping as needed.
+pub fn write_escaped(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as f64).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object. `BTreeMap` so lookups are by key; duplicate keys keep
+    /// the last occurrence (like every mainstream parser).
+    Obj(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Object field lookup (None for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Name of this value's JSON type (for validation error messages).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "null",
+            JsonValue::Bool(_) => "boolean",
+            JsonValue::Num(_) => "number",
+            JsonValue::Str(_) => "string",
+            JsonValue::Arr(_) => "array",
+            JsonValue::Obj(_) => "object",
+        }
+    }
+}
+
+/// Parse one JSON document. Returns a message with a byte offset on error.
+pub fn parse(s: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        b: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.b.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.b.get(self.pos) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.lit("false", JsonValue::Bool(false)),
+            Some(b'n') => self.lit("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.b[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.b[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| format!("bad number '{text}' at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.b.len() {
+                                return Err("truncated \\u escape".into());
+                            }
+                            let hex = std::str::from_utf8(&self.b[self.pos + 1..self.pos + 5])
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| "bad \\u escape".to_string())?;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance by one full UTF-8 char.
+                    let rest = std::str::from_utf8(&self.b[self.pos..])
+                        .map_err(|_| "invalid utf-8 in string".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(map));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_roundtrips_through_parser() {
+        let mut l = JsonLine::new();
+        l.str("type", "metric")
+            .u64("t_ps", 123_456_789)
+            .f64("rate", 0.5)
+            .f64("whole", 3.0)
+            .bool("ok", true)
+            .str("weird", "a\"b\\c\nd\u{1}")
+            .raw("nested", "{\"x\":1}");
+        let line = l.finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(v.get("type").unwrap().as_str(), Some("metric"));
+        assert_eq!(v.get("t_ps").unwrap().as_num(), Some(123_456_789.0));
+        assert_eq!(v.get("rate").unwrap().as_num(), Some(0.5));
+        assert_eq!(v.get("whole").unwrap().as_num(), Some(3.0));
+        assert_eq!(v.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("weird").unwrap().as_str(), Some("a\"b\\c\nd\u{1}"));
+        assert_eq!(
+            v.get("nested").unwrap().get("x").unwrap().as_num(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        let line = {
+            let mut l = JsonLine::new();
+            l.f64("x", 42.0);
+            l.finish()
+        };
+        assert_eq!(line, "{\"x\":42.0}");
+    }
+
+    #[test]
+    fn parser_accepts_standard_forms() {
+        let v = parse(" { \"a\" : [1, -2.5, 1e3, null, true, \"s\"] } ").unwrap();
+        let arr = match v.get("a").unwrap() {
+            JsonValue::Arr(a) => a,
+            other => panic!("expected array, got {}", other.type_name()),
+        };
+        assert_eq!(arr.len(), 6);
+        assert_eq!(arr[2].as_num(), Some(1000.0));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("{}x").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let line = {
+            let mut l = JsonLine::new();
+            l.f64("x", f64::NAN);
+            l.finish()
+        };
+        assert_eq!(line, "{\"x\":null}");
+    }
+}

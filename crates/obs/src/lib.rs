@@ -1,0 +1,40 @@
+//! `lg-obs` — the simulator's observability layer.
+//!
+//! Three layers, all dependency-free (the build is offline and the vendored
+//! `compat/serde` is a no-op stand-in, so JSONL is hand-written):
+//!
+//! * [`metrics`] — a poll-based metrics registry. Components keep owning
+//!   their stats structs; anything implementing [`Observe`] is visited at
+//!   sim-time snapshot points and its counters/gauges/histograms recorded
+//!   per component instance. Gauges track high-water marks across
+//!   snapshots. The registry serializes to deterministic JSONL.
+//! * [`trace`] — a structured trace layer: fixed-capacity per-thread ring
+//!   of compact [`TraceRecord`]s behind a runtime level filter. The
+//!   disabled path is a single branch on a relaxed [`AtomicU8`] load; the
+//!   `trace` cargo feature compiles emission out entirely (the
+//!   [`lg_trace!`] macro's argument expressions are never evaluated).
+//! * [`postmortem`] — packet-lifecycle reconstruction: trace records carry
+//!   the packet `uid`, so one call filters a drained ring down to a
+//!   packet's full causal history (TX → corrupt drop → LOSS_NOTIFICATION →
+//!   recirc retx → delivery) for dumping when an invariant trips.
+//!
+//! Determinism contract: everything the registry and trace layers emit is
+//! derived from simulation state (sim-time keyed, normalized packet uids).
+//! Wall-clock profile rows are quarantined under `"type":"profile"` with
+//! keys sorting after all golden sections; golden comparisons must ignore
+//! them (see `DESIGN.md` §9).
+//!
+//! [`AtomicU8`]: std::sync::atomic::AtomicU8
+
+pub mod hist;
+pub mod json;
+pub mod metrics;
+pub mod postmortem;
+pub mod schema;
+pub mod sink;
+pub mod trace;
+
+pub use hist::{HistSummary, LogHist};
+pub use json::{JsonLine, JsonValue};
+pub use metrics::{MetricSink, MetricsRegistry, Observe};
+pub use trace::{Comp, Kind, Level, TraceRecord};

@@ -1,0 +1,125 @@
+//! Packet-lifecycle postmortems.
+//!
+//! Every packet-carrying [`TraceRecord`] stores the packet's `uid`
+//! (shared by LinkGuardian retransmission copies, so a retx shows up in
+//! the original's history). Filtering a drained/snapshotted ring by uid
+//! reconstructs the packet's full causal chain: TX → corrupt drop →
+//! LOSS_NOTIFICATION → recirc retx → delivery. [`report`] renders it
+//! human-readably for invariant-trip dumps (stale pool handle, pool leak,
+//! golden-FCT divergence).
+
+use crate::trace::{Kind, TraceRecord};
+
+/// All records for packet `uid`, in emission order.
+pub fn history(records: &[TraceRecord], uid: u64) -> Vec<TraceRecord> {
+    records.iter().filter(|r| r.uid == uid).copied().collect()
+}
+
+/// The ordered kinds in packet `uid`'s history (compact form for tests).
+pub fn chain(records: &[TraceRecord], uid: u64) -> Vec<Kind> {
+    records
+        .iter()
+        .filter(|r| r.uid == uid)
+        .map(|r| r.kind)
+        .collect()
+}
+
+/// All records touching pool slot `idx` (for stale-handle dumps, where
+/// only the slot index is known), in emission order. Packet-carrying
+/// records store the slot index in `aux`.
+pub fn slot_history(records: &[TraceRecord], idx: u32) -> Vec<TraceRecord> {
+    records
+        .iter()
+        .filter(|r| r.uid != 0 && r.aux == idx)
+        .copied()
+        .collect()
+}
+
+/// Render packet `uid`'s history as a multi-line report.
+pub fn report(records: &[TraceRecord], uid: u64) -> String {
+    render(&history(records, uid), &format!("packet uid={uid}"))
+}
+
+/// Render a pre-filtered record list with a heading.
+pub fn render(records: &[TraceRecord], what: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!("postmortem for {what}: {} records\n", records.len());
+    for r in records {
+        let _ = writeln!(
+            out,
+            "  t={:>14} ps  {:<11} {:<13} inst={:<5} uid={} seq={} aux={}",
+            r.t_ps,
+            r.comp.name(),
+            r.kind.name(),
+            r.inst,
+            r.uid,
+            r.seq,
+            r.aux
+        );
+    }
+    out
+}
+
+/// Dump the current thread's ring for `uid` to stderr (invariant-trip
+/// helper: callable from a panic path). No-op when the ring is empty or
+/// tracing is compiled out.
+pub fn eprint_for_uid(uid: u64) {
+    let snap = crate::trace::snapshot();
+    if !snap.is_empty() {
+        eprintln!("{}", report(&snap, uid));
+    }
+}
+
+/// Dump the current thread's ring for pool slot `idx` to stderr.
+pub fn eprint_for_slot(idx: u32) {
+    let snap = crate::trace::snapshot();
+    if !snap.is_empty() {
+        eprintln!(
+            "{}",
+            render(&slot_history(&snap, idx), &format!("slot {idx}"))
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Comp;
+
+    fn rec(t: u64, uid: u64, kind: Kind, aux: u32) -> TraceRecord {
+        TraceRecord {
+            t_ps: t,
+            uid,
+            seq: uid,
+            aux,
+            inst: 0,
+            comp: Comp::Link,
+            kind,
+        }
+    }
+
+    #[test]
+    fn history_filters_and_keeps_order() {
+        let recs = vec![
+            rec(1, 7, Kind::TxDone, 3),
+            rec(2, 8, Kind::TxDone, 4),
+            rec(3, 7, Kind::CorruptDrop, 3),
+            rec(4, 7, Kind::Retx, 3),
+            rec(5, 7, Kind::HostDeliver, 3),
+        ];
+        assert_eq!(
+            chain(&recs, 7),
+            vec![
+                Kind::TxDone,
+                Kind::CorruptDrop,
+                Kind::Retx,
+                Kind::HostDeliver
+            ]
+        );
+        assert_eq!(history(&recs, 8).len(), 1);
+        assert_eq!(slot_history(&recs, 3).len(), 4);
+        let rep = report(&recs, 7);
+        assert!(rep.contains("corrupt_drop"));
+        assert!(rep.contains("4 records"));
+    }
+}

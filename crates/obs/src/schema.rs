@@ -1,0 +1,141 @@
+//! JSONL schema validation (used by the `obs_validate` binary and CI).
+//!
+//! The schema is itself JSON (checked in at `schema/obs-schema.json`):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "records": {
+//!     "metric":  { "required": { "t_ps": "number", "comp": "string" } },
+//!     "trace":   { "required": { ... } }
+//!   }
+//! }
+//! ```
+//!
+//! Every JSONL line must parse as an object with a `"type"` string field
+//! naming a record class in the schema; each required field must be
+//! present with the declared primitive type (`"number"`, `"string"`,
+//! `"boolean"`, `"object"`, `"array"`).
+
+use crate::json::{parse, JsonValue};
+
+/// A loaded schema.
+#[derive(Debug)]
+pub struct Schema {
+    records: Vec<(String, Vec<(String, String)>)>,
+}
+
+impl Schema {
+    /// Parse a schema document.
+    pub fn parse(text: &str) -> Result<Schema, String> {
+        let doc = parse(text).map_err(|e| format!("schema is not valid JSON: {e}"))?;
+        let records = match doc.get("records") {
+            Some(JsonValue::Obj(m)) => m,
+            _ => return Err("schema missing \"records\" object".into()),
+        };
+        let mut out = Vec::new();
+        for (ty, spec) in records {
+            let mut reqs = Vec::new();
+            if let Some(JsonValue::Obj(fields)) = spec.get("required") {
+                for (field, want) in fields {
+                    let want = want
+                        .as_str()
+                        .ok_or_else(|| format!("record {ty}: field {field}: type not a string"))?;
+                    reqs.push((field.clone(), want.to_string()));
+                }
+            }
+            out.push((ty.clone(), reqs));
+        }
+        Ok(Schema { records: out })
+    }
+
+    fn spec(&self, ty: &str) -> Option<&[(String, String)]> {
+        self.records
+            .iter()
+            .find(|(t, _)| t == ty)
+            .map(|(_, r)| r.as_slice())
+    }
+
+    /// Validate one JSONL line. Returns the record type on success.
+    pub fn validate_line(&self, line: &str) -> Result<String, String> {
+        let v = parse(line).map_err(|e| format!("not valid JSON: {e}"))?;
+        let ty = v
+            .get("type")
+            .and_then(|t| t.as_str())
+            .ok_or("missing \"type\" string field")?;
+        let spec = self
+            .spec(ty)
+            .ok_or_else(|| format!("unknown record type \"{ty}\""))?;
+        for (field, want) in spec {
+            let got = v
+                .get(field)
+                .ok_or_else(|| format!("record type \"{ty}\": missing field \"{field}\""))?;
+            if got.type_name() != want {
+                return Err(format!(
+                    "record type \"{ty}\": field \"{field}\" is {} (want {want})",
+                    got.type_name()
+                ));
+            }
+        }
+        Ok(ty.to_string())
+    }
+
+    /// Validate a whole JSONL document (blank lines skipped). Returns
+    /// per-record-type counts, or the first error with its line number.
+    pub fn validate(&self, text: &str) -> Result<Vec<(String, usize)>, String> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ty = self
+                .validate_line(line)
+                .map_err(|e| format!("line {}: {e}", i + 1))?;
+            match counts.iter_mut().find(|(t, _)| *t == ty) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((ty, 1)),
+            }
+        }
+        if counts.is_empty() {
+            return Err("no records found".into());
+        }
+        Ok(counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SCHEMA: &str = r#"{
+        "version": 1,
+        "records": {
+            "meta": { "required": { "schema": "number", "bin": "string" } },
+            "metric": { "required": { "t_ps": "number", "comp": "string", "inst": "string" } }
+        }
+    }"#;
+
+    #[test]
+    fn accepts_conforming_lines() {
+        let s = Schema::parse(SCHEMA).unwrap();
+        let doc = "\
+{\"type\":\"meta\",\"schema\":1,\"bin\":\"fig10\"}\n\
+{\"type\":\"metric\",\"t_ps\":5,\"comp\":\"port\",\"inst\":\"sw_tx:0\",\"counters\":{}}\n";
+        let counts = s.validate(doc).unwrap();
+        assert_eq!(counts, vec![("meta".into(), 1), ("metric".into(), 1)]);
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        let s = Schema::parse(SCHEMA).unwrap();
+        assert!(s.validate_line("{\"type\":\"bogus\"}").is_err());
+        assert!(s
+            .validate_line("{\"type\":\"metric\",\"t_ps\":\"five\",\"comp\":\"x\",\"inst\":\"y\"}")
+            .unwrap_err()
+            .contains("want number"));
+        assert!(s.validate_line("{\"no_type\":1}").is_err());
+        assert!(s.validate("").is_err(), "empty doc is an error");
+        let err = s.validate("{\"type\":\"meta\"}\n").unwrap_err();
+        assert!(err.starts_with("line 1:"), "{err}");
+    }
+}

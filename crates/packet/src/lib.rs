@@ -25,7 +25,8 @@ pub mod wire;
 
 pub use ipv4::Ecn;
 pub use packet::{
-    FlowId, LgControl, NodeId, Packet, Payload, RdmaAck, RdmaSegment, TcpSegment, UdpDatagram,
+    peek_next_uid, FlowId, LgControl, NodeId, Packet, Payload, RdmaAck, RdmaSegment, TcpSegment,
+    UdpDatagram,
 };
 pub use pool::{PacketPool, PktId};
 pub use seqno::SeqNo;

@@ -36,6 +36,16 @@ fn next_uid() -> u64 {
     })
 }
 
+/// The uid the *next* packet created on this thread will receive.
+///
+/// The uid counter is thread-local and keeps running across worlds that
+/// share a worker thread, so raw uids are not deterministic across
+/// `--threads` values. Worlds capture this at construction as a base and
+/// publish `uid - base + 1` in trace output, which is deterministic.
+pub fn peek_next_uid() -> u64 {
+    NEXT_UID.with(|c| c.get())
+}
+
 /// A TCP segment's metadata.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TcpSegment {

@@ -32,6 +32,27 @@ pub struct PktId {
     gen: u32,
 }
 
+impl PktId {
+    /// The slot index behind this handle. Trace records store it in their
+    /// `aux` field so a stale-handle panic can reconstruct the slot's
+    /// recent history (see `lg_obs::postmortem::slot_history`).
+    pub fn index(self) -> u32 {
+        self.idx
+    }
+}
+
+/// Invariant trip: dump the slot's recent trace history (when tracing is
+/// on) before panicking with the stale-handle diagnostics.
+#[cold]
+#[inline(never)]
+fn stale_handle(id: PktId, slot_gen: u32) -> ! {
+    lg_obs::postmortem::eprint_for_slot(id.idx);
+    panic!(
+        "stale PktId {{idx: {}, gen: {}}} (slot gen {})",
+        id.idx, id.gen, slot_gen
+    );
+}
+
 #[derive(Debug)]
 struct Slot {
     pkt: Option<Packet>,
@@ -84,25 +105,17 @@ impl PacketPool {
 
     fn slot(&self, id: PktId) -> &Slot {
         let slot = &self.slots[id.idx as usize];
-        assert!(
-            slot.gen == id.gen && slot.pkt.is_some(),
-            "stale PktId {{idx: {}, gen: {}}} (slot gen {})",
-            id.idx,
-            id.gen,
-            slot.gen
-        );
+        if slot.gen != id.gen || slot.pkt.is_none() {
+            stale_handle(id, slot.gen);
+        }
         slot
     }
 
     fn slot_mut(&mut self, id: PktId) -> &mut Slot {
         let slot = &mut self.slots[id.idx as usize];
-        assert!(
-            slot.gen == id.gen && slot.pkt.is_some(),
-            "stale PktId {{idx: {}, gen: {}}} (slot gen {})",
-            id.idx,
-            id.gen,
-            slot.gen
-        );
+        if slot.gen != id.gen || slot.pkt.is_none() {
+            stale_handle(id, slot.gen);
+        }
         slot
     }
 
@@ -176,6 +189,17 @@ impl PacketPool {
     /// Total slots ever allocated (live + free-listed).
     pub fn slot_count(&self) -> usize {
         self.slots.len()
+    }
+
+    /// Live slots as `(slot index, packet uid)`, for leak postmortems:
+    /// feed the uids to `lg_obs::postmortem::report` to see each leaked
+    /// packet's history.
+    pub fn live_slots(&self) -> Vec<(u32, u64)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.pkt.as_ref().map(|p| (i as u32, p.uid)))
+            .collect()
     }
 }
 

@@ -55,6 +55,26 @@ impl Samples {
         self.values[rank - 1]
     }
 
+    /// The `p`-th percentile (0 ..= 100), or `None` when no samples were
+    /// recorded. Unlike [`Samples::quantile`] this never panics on an
+    /// empty collector: experiment tails (a protection mode that
+    /// completes zero trials, a single-trial smoke run) are legal inputs.
+    /// `p = 0` is the minimum, `p = 100` the maximum; a single sample
+    /// answers every percentile with itself.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of 0..=100");
+        if self.is_empty() {
+            return None;
+        }
+        self.ensure_sorted();
+        if p == 0.0 {
+            return Some(self.values[0]);
+        }
+        let n = self.values.len();
+        let rank = ((p / 100.0 * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.values[rank - 1])
+    }
+
     /// Arithmetic mean.
     pub fn mean(&self) -> f64 {
         assert!(!self.is_empty());
@@ -307,6 +327,46 @@ mod tests {
         assert_eq!(s.min(), 1.0);
         assert_eq!(s.max(), 100.0);
         assert!((s.mean() - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_empty_is_none() {
+        let mut s = Samples::new();
+        assert_eq!(s.percentile(0.0), None);
+        assert_eq!(s.percentile(50.0), None);
+        assert_eq!(s.percentile(100.0), None);
+    }
+
+    #[test]
+    fn percentile_single_sample_answers_everything() {
+        let mut s = Samples::new();
+        s.record(7.5);
+        assert_eq!(s.percentile(0.0), Some(7.5));
+        assert_eq!(s.percentile(50.0), Some(7.5));
+        assert_eq!(s.percentile(99.9), Some(7.5));
+        assert_eq!(s.percentile(100.0), Some(7.5));
+    }
+
+    #[test]
+    fn percentile_endpoints_and_interior() {
+        let mut s = Samples::new();
+        for v in 1..=100 {
+            s.record(v as f64);
+        }
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(100.0), Some(100.0));
+        assert_eq!(s.percentile(50.0), Some(50.0));
+        assert_eq!(s.percentile(99.0), Some(99.0));
+        // matches quantile() on the interior
+        assert_eq!(s.percentile(75.0), Some(s.quantile(0.75)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn percentile_out_of_range_panics() {
+        let mut s = Samples::new();
+        s.record(1.0);
+        let _ = s.percentile(101.0);
     }
 
     #[test]

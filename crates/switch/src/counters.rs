@@ -1,7 +1,15 @@
 //! Per-port MAC counters, matching what `corruptd` polls from the switch
 //! driver (Appendix C): `framesRxOk` and `framesRxAll`, plus TX counters
-//! used by the experiment harnesses to measure rates and loss.
+//! used by the experiment harnesses to measure rates and loss, and the
+//! LinkGuardian-specific counters the paper's dashboards read: retx
+//! frames out, PFC-style pause frames in both directions, and the egress
+//! queue-depth high-water mark.
+//!
+//! [`PortCounters`] implements [`lg_obs::Observe`], so worlds snapshot
+//! ports into the metrics registry and `corruptd` can poll the registry
+//! (the same source) instead of reaching into component internals.
 
+use lg_obs::{MetricSink, Observe};
 use serde::{Deserialize, Serialize};
 
 /// Port statistics.
@@ -17,6 +25,15 @@ pub struct PortCounters {
     pub bytes_tx: u64,
     /// Frame bytes received OK.
     pub bytes_rx_ok: u64,
+    /// LinkGuardian retransmission frames transmitted (copies out of the
+    /// recirc Tx buffer, including the n-copies burst).
+    pub lg_retx_tx: u64,
+    /// Pause/resume frames transmitted out of this port.
+    pub pause_tx: u64,
+    /// Pause/resume frames absorbed at this port.
+    pub pause_rx: u64,
+    /// High-water mark of the egress queue depth in bytes (all classes).
+    pub queue_hwm_bytes: u64,
 }
 
 impl PortCounters {
@@ -38,6 +55,27 @@ impl PortCounters {
         self.bytes_tx += frame_len as u64;
     }
 
+    /// Record a transmitted LinkGuardian retransmission copy (in addition
+    /// to the plain [`PortCounters::tx`] accounting).
+    pub fn tx_lg_retx(&mut self) {
+        self.lg_retx_tx += 1;
+    }
+
+    /// Record a transmitted pause/resume frame.
+    pub fn tx_pause(&mut self) {
+        self.pause_tx += 1;
+    }
+
+    /// Record an absorbed pause/resume frame.
+    pub fn rx_pause(&mut self) {
+        self.pause_rx += 1;
+    }
+
+    /// Fold an observed egress queue depth into the high-water mark.
+    pub fn note_queue_depth(&mut self, bytes: u64) {
+        self.queue_hwm_bytes = self.queue_hwm_bytes.max(bytes);
+    }
+
     /// The loss rate observed between two snapshots: corrupted / all.
     pub fn loss_rate_since(&self, earlier: &PortCounters) -> f64 {
         let all = self.frames_rx_all - earlier.frames_rx_all;
@@ -47,6 +85,20 @@ impl PortCounters {
         } else {
             (all - ok) as f64 / all as f64
         }
+    }
+}
+
+impl Observe for PortCounters {
+    fn observe(&self, m: &mut MetricSink) {
+        m.counter("frames_rx_ok", self.frames_rx_ok);
+        m.counter("frames_rx_all", self.frames_rx_all);
+        m.counter("frames_tx", self.frames_tx);
+        m.counter("bytes_tx", self.bytes_tx);
+        m.counter("bytes_rx_ok", self.bytes_rx_ok);
+        m.counter("lg_retx_tx", self.lg_retx_tx);
+        m.counter("pause_tx", self.pause_tx);
+        m.counter("pause_rx", self.pause_rx);
+        m.gauge("queue_hwm_bytes", self.queue_hwm_bytes);
     }
 }
 
@@ -66,6 +118,43 @@ mod tests {
         assert_eq!(c.bytes_rx_ok, 300);
         assert_eq!(c.frames_tx, 1);
         assert_eq!(c.bytes_tx, 300);
+    }
+
+    #[test]
+    fn lg_counters() {
+        let mut c = PortCounters::default();
+        c.tx(64);
+        c.tx_lg_retx();
+        c.tx_pause();
+        c.rx_pause();
+        c.note_queue_depth(500);
+        c.note_queue_depth(200);
+        assert_eq!(c.lg_retx_tx, 1);
+        assert_eq!(c.pause_tx, 1);
+        assert_eq!(c.pause_rx, 1);
+        assert_eq!(c.queue_hwm_bytes, 500);
+    }
+
+    #[test]
+    fn observes_into_registry() {
+        let mut c = PortCounters::default();
+        c.rx_ok(100);
+        c.tx_lg_retx();
+        c.note_queue_depth(300);
+        let mut reg = lg_obs::MetricsRegistry::new();
+        reg.record(7, "switch_port", "sw_tx:0", &c);
+        assert_eq!(
+            reg.latest_counter("switch_port", "sw_tx:0", "frames_rx_ok"),
+            Some(1)
+        );
+        assert_eq!(
+            reg.latest_counter("switch_port", "sw_tx:0", "lg_retx_tx"),
+            Some(1)
+        );
+        assert_eq!(
+            reg.latest_gauge("switch_port", "sw_tx:0", "queue_hwm_bytes"),
+            Some((300, 300))
+        );
     }
 
     #[test]

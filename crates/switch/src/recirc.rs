@@ -17,6 +17,7 @@
 //! insertion (buffered packets never mutate, so the caches cannot go
 //! stale); loop accounting therefore never dereferences the pool.
 
+use lg_obs::{MetricSink, Observe};
 use lg_packet::{PacketPool, PktId};
 use lg_sim::{Duration, Rate, Time};
 use std::collections::BTreeMap;
@@ -48,6 +49,15 @@ pub struct RecircStats {
     pub overflows: u64,
     /// Peak occupancy in bytes.
     pub high_watermark: u64,
+}
+
+impl Observe for RecircStats {
+    fn observe(&self, m: &mut MetricSink) {
+        m.counter("loops", self.loops);
+        m.counter("loop_bytes", self.loop_bytes);
+        m.counter("overflows", self.overflows);
+        m.gauge("high_watermark", self.high_watermark);
+    }
 }
 
 /// An ordered packet buffer with byte-capacity and loop accounting.
@@ -207,6 +217,14 @@ impl RecircBuffer {
         }
         let loops_per_sec = self.stats.loops as f64 / elapsed.as_secs_f64();
         loops_per_sec / pipe_capacity_pps
+    }
+}
+
+impl Observe for RecircBuffer {
+    fn observe(&self, m: &mut MetricSink) {
+        self.stats.observe(m);
+        m.gauge("bytes", self.bytes);
+        m.gauge("pkts", self.entries.len() as u64);
     }
 }
 

@@ -80,7 +80,12 @@ impl Switch {
         id: PktId,
         pool: &mut PacketPool,
     ) -> EnqueueOutcome {
-        self.ports[port].enqueue(class, id, pool)
+        let outcome = self.ports[port].enqueue(class, id, pool);
+        if !matches!(outcome, EnqueueOutcome::Dropped) {
+            let depth = self.ports[port].total_bytes();
+            self.counters[port].note_queue_depth(depth);
+        }
+        outcome
     }
 
     /// Dequeue the next eligible packet from `port`.
@@ -91,6 +96,23 @@ impl Switch {
     /// Record a completed transmission on `port`.
     pub fn tx_complete(&mut self, port: PortId, frame_len: u32) {
         self.counters[port].tx(frame_len);
+    }
+
+    /// Record that the frame just transmitted on `port` was a
+    /// LinkGuardian retransmission copy (call alongside
+    /// [`Switch::tx_complete`]).
+    pub fn note_lg_retx(&mut self, port: PortId) {
+        self.counters[port].tx_lg_retx();
+    }
+
+    /// Record a pause/resume frame transmitted out of `port`.
+    pub fn note_pause_tx(&mut self, port: PortId) {
+        self.counters[port].tx_pause();
+    }
+
+    /// Record a pause/resume frame absorbed at `port`.
+    pub fn note_pause_rx(&mut self, port: PortId) {
+        self.counters[port].rx_pause();
     }
 
     /// Record a good reception on `port`.

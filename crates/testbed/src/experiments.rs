@@ -69,6 +69,26 @@ impl Protection {
     }
 }
 
+/// Run `w` to `until`, profiled when the observability sink is on (the
+/// wall-clock profile rides in the same JSONL dump, quarantined behind
+/// the `zz-profile/` sort key).
+fn run_until_obs(w: &mut World, until: Time) {
+    if lg_obs::sink::metrics_enabled() {
+        w.run_until_profiled(until);
+    } else {
+        w.run_until(until);
+    }
+}
+
+/// Run `w` to completion, profiled when the observability sink is on.
+fn run_to_completion_obs(w: &mut World) {
+    if lg_obs::sink::metrics_enabled() {
+        w.run_to_completion_profiled();
+    } else {
+        w.run_to_completion();
+    }
+}
+
 // ------------------------------------------------------------- stress test
 
 /// Result of a Fig 8 / Fig 14 / Table 4 stress run.
@@ -126,10 +146,16 @@ pub fn stress_test(
     cfg.seed = seed;
     let mut w = World::new(cfg);
     w.enable_stress(1518);
-    w.run_until(Time::ZERO + duration);
+    run_until_obs(&mut w, Time::ZERO + duration);
     // stop injecting, drain what's in flight
     w.disable_stress();
-    w.run_until(Time::ZERO + duration + Duration::from_ms(1));
+    run_until_obs(&mut w, Time::ZERO + duration + Duration::from_ms(1));
+    w.publish_obs(&format!(
+        "stress/{}/{:.2e}/{}/{seed}",
+        speed.name(),
+        actual,
+        protection.label()
+    ));
 
     let sent = w.lg_tx.stats().protected_sent.max(w.out.stress_tx_frames);
     let injected = if w.lg_tx.is_active() {
@@ -240,7 +266,13 @@ pub fn fct_experiment(
         },
     };
     let mut w = World::new(cfg);
-    w.run_to_completion();
+    run_to_completion_obs(&mut w);
+    w.publish_obs(&format!(
+        "fct/{}/{:.2e}/{}/{transport:?}/{msg_len}/{trials}/{seed}",
+        speed.name(),
+        actual,
+        protection.label()
+    ));
     assert_eq!(
         w.out.fct.len() as u32,
         trials,
@@ -333,7 +365,16 @@ pub fn time_series(s: &TimeSeriesScenario) -> TimeSeriesResult {
         crate::world::Ev::SetLoss(Box::new(s.loss.clone())),
     );
     w.q.schedule_at(s.lg_at, crate::world::Ev::ActivateLg);
-    w.run_until(s.end);
+    run_until_obs(&mut w, s.end);
+    w.publish_obs(&format!(
+        "ts/{}/{:?}/{:.2e}/nb={}/bp={}/{}",
+        s.speed.name(),
+        s.variant,
+        actual,
+        s.nb_mode,
+        !s.disable_backpressure,
+        s.seed
+    ));
     TimeSeriesResult {
         goodput: w
             .probes

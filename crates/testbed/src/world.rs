@@ -14,7 +14,10 @@
 //! timeouts, host NIC pacing and transport timers.
 
 use lg_link::{LinkConfig, LinkDirection, LinkSpeed, LossModel};
-use lg_packet::{FlowId, NodeId, Packet, PacketPool, Payload, PktId};
+use lg_obs::trace::{Comp, Kind, Level};
+use lg_obs::{lg_trace, JsonLine, MetricsRegistry};
+use lg_packet::lg::LgPacketType;
+use lg_packet::{FlowId, LgControl, NodeId, Packet, PacketPool, Payload, PktId};
 use lg_sim::{Duration, EventQueue, RateMeter, Rng, Time, TimeSeries};
 use lg_switch::{Class, EgressPort, PortId, Switch};
 use lg_transport::{
@@ -144,6 +147,105 @@ pub enum Ev {
     Sample,
     /// Start the next FCT trial.
     TrialStart,
+}
+
+impl Ev {
+    /// Number of event kinds (sizes the profile arrays).
+    pub const N_KINDS: usize = 14;
+
+    /// Kind names indexed by [`Ev::kind_idx`].
+    pub const KIND_NAMES: [&'static str; Ev::N_KINDS] = [
+        "port_enqueue",
+        "port_tx_done",
+        "wire_arrive",
+        "host_arrive",
+        "host_tx_done",
+        "host_wake",
+        "lg_timeout",
+        "lg_bp_timer",
+        "pause_apply",
+        "dummy_refresh",
+        "activate_lg",
+        "set_loss",
+        "sample",
+        "trial_start",
+    ];
+
+    /// Stable index of this event's kind (for per-kind profiling).
+    pub fn kind_idx(&self) -> usize {
+        match self {
+            Ev::PortEnqueue { .. } => 0,
+            Ev::PortTxDone { .. } => 1,
+            Ev::WireArrive { .. } => 2,
+            Ev::HostArrive { .. } => 3,
+            Ev::HostTxDone { .. } => 4,
+            Ev::HostWake { .. } => 5,
+            Ev::LgTimeout { .. } => 6,
+            Ev::LgBpTimer { .. } => 7,
+            Ev::PauseApply { .. } => 8,
+            Ev::DummyRefresh { .. } => 9,
+            Ev::ActivateLg => 10,
+            Ev::SetLoss(_) => 11,
+            Ev::Sample => 12,
+            Ev::TrialStart => 13,
+        }
+    }
+}
+
+/// Per-event-kind wall-clock totals collected by
+/// [`World::run_to_completion_profiled`]. Wall-clock data is inherently
+/// non-golden, so its published lines carry the
+/// [`lg_obs::sink::PROFILE_KEY_PREFIX`] sort key and land after every
+/// deterministic section of the output file.
+#[derive(Debug, Default)]
+pub struct Profile {
+    counts: [u64; Ev::N_KINDS],
+    total_ns: [u64; Ev::N_KINDS],
+}
+
+impl Profile {
+    /// Fold one handled event of kind `idx` that took `ns` wall-clock.
+    pub fn note(&mut self, idx: usize, ns: u64) {
+        self.counts[idx] += 1;
+        self.total_ns[idx] += ns;
+    }
+
+    /// Events profiled in total.
+    pub fn events(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// JSONL lines, one per event kind that occurred.
+    pub fn to_jsonl(&self, section: &str) -> Vec<String> {
+        (0..Ev::N_KINDS)
+            .filter(|&i| self.counts[i] > 0)
+            .map(|i| {
+                let mut l = JsonLine::new();
+                l.str("type", "profile")
+                    .str("section", section)
+                    .str("event", Ev::KIND_NAMES[i])
+                    .u64("count", self.counts[i])
+                    .u64("total_ns", self.total_ns[i])
+                    .f64("mean_ns", self.total_ns[i] as f64 / self.counts[i] as f64);
+                l.finish()
+            })
+            .collect()
+    }
+}
+
+/// Observability state of one world: its metrics registry plus the uid
+/// base used to normalize packet uids. Packet uids come from a
+/// thread-local counter shared by every world a worker thread runs, so
+/// raw values depend on `--threads`; published records carry
+/// `uid - uid_base + 1` instead, which is identical at any thread count.
+#[derive(Default)]
+pub struct WorldObs {
+    /// First uid a packet of this world can carry.
+    pub uid_base: u64,
+    /// Metric snapshots accumulated at sample points and at publish.
+    pub registry: MetricsRegistry,
+    /// Wall-clock profile, present after a profiled run.
+    pub profile: Option<Box<Profile>>,
 }
 
 /// Per-host state: NIC pacing plus at most one active transport each way.
@@ -344,6 +446,8 @@ pub struct World {
     pub out: Outcomes,
     /// Slab pool backing every in-flight packet of the testbed.
     pub pool: PacketPool,
+    /// Observability state (metric snapshots, uid base, profile).
+    pub obs: WorldObs,
     stress: Option<u32>, // frame_len when stress mode active
     stress_seq: u64,
     next_flow: u64,
@@ -359,9 +463,27 @@ pub struct World {
     transport_scratch: Vec<TransportAction>,
 }
 
+/// Trace instance label for a switch port: `side * 2 + port`
+/// (`0`/`1` = Tx switch link/host port, `2`/`3` = Rx switch).
+fn port_inst(side: Side, port: PortId) -> u16 {
+    let s = match side {
+        Side::Tx => 0u16,
+        Side::Rx => 1u16,
+    };
+    s * 2 + port as u16
+}
+
 impl World {
     /// Build the testbed.
     pub fn new(cfg: WorldConfig) -> World {
+        // A fresh world owns its worker thread's trace ring: clear it so a
+        // postmortem never mixes records from two worlds sharing a thread,
+        // and capture the uid base for publishing normalized uids.
+        lg_obs::trace::reset();
+        let obs = WorldObs {
+            uid_base: lg_packet::peek_next_uid(),
+            ..WorldObs::default()
+        };
         let mut rng = Rng::new(cfg.seed);
         let link_cfg = LinkConfig::new(cfg.speed);
         let fwd_link = LinkDirection::corrupting(link_cfg, cfg.loss.clone(), rng.fork());
@@ -439,6 +561,7 @@ impl World {
             probes,
             out: Outcomes::default(),
             pool: PacketPool::new(),
+            obs,
             stress: None,
             stress_seq: 0,
             next_flow: 1,
@@ -500,6 +623,146 @@ impl World {
         }
     }
 
+    /// Run until the clock passes `until`, measuring per-event-kind
+    /// wall-clock into [`WorldObs::profile`] (see
+    /// [`World::run_to_completion_profiled`]).
+    pub fn run_until_profiled(&mut self, until: Time) {
+        let mut prof = self
+            .obs
+            .profile
+            .take()
+            .unwrap_or_else(|| Box::new(Profile::default()));
+        while let Some(at) = self.q.peek_time() {
+            if at > until {
+                break;
+            }
+            let (now, ev) = self.q.pop().expect("peeked");
+            let idx = ev.kind_idx();
+            let t0 = std::time::Instant::now();
+            self.handle(ev, now);
+            prof.note(idx, t0.elapsed().as_nanos() as u64);
+        }
+        self.obs.profile = Some(prof);
+    }
+
+    /// Run until no events remain, measuring per-event-kind wall-clock
+    /// into [`WorldObs::profile`]. Timing data is non-golden; everything
+    /// the simulation computes stays bit-identical to
+    /// [`World::run_to_completion`].
+    pub fn run_to_completion_profiled(&mut self) {
+        let mut prof = self
+            .obs
+            .profile
+            .take()
+            .unwrap_or_else(|| Box::new(Profile::default()));
+        while let Some((now, ev)) = self.q.pop() {
+            let idx = ev.kind_idx();
+            let t0 = std::time::Instant::now();
+            self.handle(ev, now);
+            prof.note(idx, t0.elapsed().as_nanos() as u64);
+        }
+        self.obs.profile = Some(prof);
+    }
+
+    /// Snapshot every instrumented component into the metrics registry at
+    /// sim-time `now`. Ports, LinkGuardian instances and recirculation
+    /// buffers all land as separate `(comp, inst)` rows; `corruptd` polls
+    /// the same rows via [`linkguardian::Corruptd::poll_registry`].
+    pub fn snapshot_metrics(&mut self, now: Time) {
+        let t = now.as_ps();
+        let reg = &mut self.obs.registry;
+        for (sw, name) in [(&self.sw_tx, "sw_tx"), (&self.sw_rx, "sw_rx")] {
+            for port in 0..sw.n_ports() {
+                let inst = format!("{name}:{port}");
+                reg.record(t, "switch_port", &inst, &sw.counters(port));
+            }
+        }
+        let mut senders: Vec<(&LgSender, &'static str)> = vec![(&self.lg_tx, "fwd")];
+        if let Some(s) = self.lg2_tx.as_ref() {
+            senders.push((s, "rev"));
+        }
+        for (s, inst) in senders {
+            let stats = s.stats();
+            let buf = s.tx_buffer_stats();
+            let bytes = s.tx_buffer_bytes();
+            reg.record_with(t, "lg_sender", inst, |m| {
+                lg_obs::Observe::observe(&stats, m);
+                lg_obs::Observe::observe(&buf, m);
+                m.gauge("tx_buffer_bytes", bytes);
+            });
+        }
+        let mut receivers: Vec<(&LgReceiver, &'static str)> = vec![(&self.lg_rx, "fwd")];
+        if let Some(r) = self.lg2_rx.as_ref() {
+            receivers.push((r, "rev"));
+        }
+        for (r, inst) in receivers {
+            let stats = r.stats();
+            let buf = r.rx_buffer_stats();
+            let bytes = r.rx_buffer_bytes();
+            let h = r.retx_delay_histogram();
+            let summary = if h.is_empty() {
+                lg_obs::HistSummary::default()
+            } else {
+                lg_obs::HistSummary {
+                    count: h.len(),
+                    min: h.min(),
+                    max: h.max(),
+                    mean: h.mean(),
+                    p50: h.quantile(0.5),
+                    p99: h.quantile(0.99),
+                }
+            };
+            reg.record_with(t, "lg_receiver", inst, |m| {
+                lg_obs::Observe::observe(&stats, m);
+                lg_obs::Observe::observe(&buf, m);
+                m.gauge("rx_buffer_bytes", bytes);
+                m.hist("retx_delay_ps", summary);
+            });
+        }
+    }
+
+    /// Publish this world's metrics, trace records and profile to the
+    /// process-wide JSONL sink under the deterministic sort key `label`,
+    /// then clear the thread's trace ring. A no-op (beyond the ring
+    /// clear) when the sink is disabled.
+    pub fn publish_obs(&mut self, label: &str) {
+        if !lg_obs::sink::metrics_enabled() {
+            lg_obs::trace::reset();
+            return;
+        }
+        self.snapshot_metrics(self.q.now());
+        let mut lines = self.obs.registry.to_jsonl();
+        let dropped = lg_obs::trace::dropped();
+        let records = lg_obs::trace::drain();
+        let base = self.obs.uid_base;
+        if !records.is_empty() || dropped > 0 {
+            for r in &records {
+                // uid 0 marks control records with no packet; keep it 0.
+                let rel = r.uid.checked_sub(base).map_or(0, |d| d + 1);
+                let mut l = JsonLine::new();
+                l.str("type", "trace")
+                    .u64("t_ps", r.t_ps)
+                    .str("comp", r.comp.name())
+                    .str("kind", r.kind.name())
+                    .u64("inst", r.inst as u64)
+                    .u64("uid", rel)
+                    .u64("seq", r.seq)
+                    .u64("aux", r.aux as u64);
+                lines.push(l.finish());
+            }
+            let mut s = JsonLine::new();
+            s.str("type", "trace_summary")
+                .u64("records", records.len() as u64)
+                .u64("dropped", dropped);
+            lines.push(s.finish());
+        }
+        lg_obs::sink::submit_all(label, lines);
+        if let Some(p) = self.obs.profile.as_ref() {
+            let key = format!("{}{label}", lg_obs::sink::PROFILE_KEY_PREFIX);
+            lg_obs::sink::submit_all(&key, p.to_jsonl(label));
+        }
+    }
+
     /// Public wrapper over the event dispatcher (used by profiling tools).
     pub fn handle_pub(&mut self, ev: Ev, now: Time) {
         self.handle(ev, now);
@@ -518,9 +781,32 @@ impl World {
                 self.kick_port(side, port);
             }
             Ev::PortTxDone { side, port, id } => {
-                let flen = self.pool.get(id).frame_len();
+                let pkt = self.pool.get(id);
+                let flen = pkt.frame_len();
+                lg_trace!(
+                    Level::Pkt,
+                    Comp::Port,
+                    Kind::TxDone,
+                    port_inst(side, port),
+                    now.as_ps(),
+                    pkt.uid,
+                    pkt.lg_data.map_or(0, |d| d.seq.raw() as u64),
+                    id.index()
+                );
+                let lg_retx = pkt
+                    .lg_data
+                    .is_some_and(|d| d.kind == LgPacketType::Retransmit);
+                let pause = matches!(pkt.payload, Payload::Lg(LgControl::Pause(_)));
                 self.switch_mut(side).port_mut(port).busy = false;
                 self.switch_mut(side).tx_complete(port, flen);
+                if port == PORT_LINK {
+                    if lg_retx {
+                        self.switch_mut(side).note_lg_retx(port);
+                    }
+                    if pause {
+                        self.switch_mut(side).note_pause_tx(port);
+                    }
+                }
                 self.deliver_from_port(side, port, id, now);
                 if side == Side::Tx && port == PORT_LINK {
                     self.refill_stress();
@@ -589,6 +875,16 @@ impl World {
                     LgInstance::Forward => Side::Tx,
                     LgInstance::Reverse => Side::Rx,
                 };
+                lg_trace!(
+                    Level::Ctl,
+                    Comp::Port,
+                    Kind::PauseApply,
+                    instance as u16,
+                    now.as_ps(),
+                    0u64,
+                    0u64,
+                    pause as u32
+                );
                 self.switch_mut(side)
                     .port_mut(PORT_LINK)
                     .set_paused(Class::Normal, pause);
@@ -736,7 +1032,7 @@ impl World {
     /// A frame left a port: apply wire loss and schedule arrival. A
     /// corrupted frame's pool reference dies here — the LinkGuardian
     /// sender's Tx-buffer reference (if any) keeps the slot alive.
-    fn deliver_from_port(&mut self, side: Side, port: PortId, id: PktId, _now: Time) {
+    fn deliver_from_port(&mut self, side: Side, port: PortId, id: PktId, now: Time) {
         match (side, port) {
             (Side::Tx, PORT_LINK) => {
                 // forward over the corrupting link
@@ -751,6 +1047,16 @@ impl World {
                         },
                     );
                 } else {
+                    lg_trace!(
+                        Level::Pkt,
+                        Comp::Link,
+                        Kind::CorruptDrop,
+                        0u16,
+                        now.as_ps(),
+                        self.pool.get(id).uid,
+                        self.pool.get(id).lg_data.map_or(0, |d| d.seq.raw() as u64),
+                        id.index()
+                    );
                     self.sw_rx.rx_corrupt(PORT_LINK);
                     self.pool.release(id);
                 }
@@ -767,6 +1073,16 @@ impl World {
                         },
                     );
                 } else {
+                    lg_trace!(
+                        Level::Pkt,
+                        Comp::Link,
+                        Kind::CorruptDrop,
+                        1u16,
+                        now.as_ps(),
+                        self.pool.get(id).uid,
+                        self.pool.get(id).lg_data.map_or(0, |d| d.seq.raw() as u64),
+                        id.index()
+                    );
                     self.sw_tx.rx_corrupt(PORT_LINK);
                     self.pool.release(id);
                 }
@@ -781,13 +1097,28 @@ impl World {
                 self.q.schedule_after(delay, Ev::HostArrive { host: 1, id });
             }
         }
+        let _ = now;
     }
 
     // ----------------------------------------------------- switch ingress
 
     fn on_wire_arrive(&mut self, side: Side, from_link: bool, id: PktId, now: Time) {
         assert!(from_link, "host links deliver straight to hosts");
-        let flen = self.pool.get(id).frame_len();
+        let pkt = self.pool.get(id);
+        let flen = pkt.frame_len();
+        lg_trace!(
+            Level::Pkt,
+            Comp::Link,
+            Kind::WireRx,
+            if side == Side::Rx { 0u16 } else { 1u16 },
+            now.as_ps(),
+            pkt.uid,
+            pkt.lg_data.map_or(0, |d| d.seq.raw() as u64),
+            id.index()
+        );
+        if matches!(pkt.payload, Payload::Lg(LgControl::Pause(_))) {
+            self.switch_mut(side).note_pause_rx(PORT_LINK);
+        }
         match side {
             Side::Rx => {
                 // Forward arrivals: the forward receiver is the outer
@@ -975,6 +1306,16 @@ impl World {
     // ------------------------------------------------------------- hosts
 
     fn on_host_arrive(&mut self, host: usize, id: PktId, now: Time) {
+        lg_trace!(
+            Level::Pkt,
+            Comp::Host,
+            Kind::HostDeliver,
+            host as u16,
+            now.as_ps(),
+            self.pool.get(id).uid,
+            0u64,
+            id.index()
+        );
         let mut actions = std::mem::take(&mut self.transport_scratch);
         let mut reply: Option<Packet> = None;
         let mut rx_bytes: u64 = 0;
@@ -1052,6 +1393,16 @@ impl World {
                         if t.is_retx {
                             self.out.e2e_retx_total += 1;
                             self.e2e_retx_window += 1;
+                            lg_trace!(
+                                Level::Ctl,
+                                Comp::Transport,
+                                Kind::E2eRetx,
+                                host as u16,
+                                now.as_ps(),
+                                pkt.uid,
+                                t.seq as u64,
+                                0u32
+                            );
                         }
                     }
                     if let Payload::Rdma(_) = &pkt.payload {
@@ -1225,6 +1576,9 @@ impl World {
 
     fn on_sample(&mut self, now: Time) {
         let interval = self.cfg.sample_interval.expect("sampling enabled");
+        if lg_obs::sink::metrics_enabled() {
+            self.snapshot_metrics(now);
+        }
         self.probes.qdepth.push(
             now,
             self.sw_tx.port(PORT_LINK).queue(Class::Normal).bytes() as f64,
