@@ -37,6 +37,7 @@ fn main() {
         }
     }
     let all = run_many(&cfgs, sweep::threads());
+    lg_bench::obs::publish_fabric_health(&cfgs, &all);
     for (i, constraint) in constraints.into_iter().enumerate() {
         println!("=== capacity constraint {:.0}% ===", constraint * 100.0);
         let results = &all[i * 2..i * 2 + 2];

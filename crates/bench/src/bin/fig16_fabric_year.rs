@@ -38,6 +38,7 @@ fn main() {
         }
     }
     let all = run_many(&cfgs, sweep::threads());
+    lg_bench::obs::publish_fabric_health(&cfgs, &all);
     for (i, constraint) in constraints.into_iter().enumerate() {
         let (co, lg) = (&all[i * 2], &all[i * 2 + 1]);
         let mut gains: Vec<f64> = co

@@ -1,0 +1,67 @@
+//! Companion diagnostic to `world_guard --ab-telemetry`: runs the same
+//! fig10-style world with telemetry sampling on and times `Ev::Sample`
+//! handling separately from every other event, printing the absolute
+//! ns-per-tick cost and the tick share of wall time. When the A/B ratio
+//! regresses, this pins whether the tick itself got slower (ns_per_tick
+//! up) or the surrounding event path did (ns_per_other_event up).
+//!
+//! Usage: `cargo run --release -p lg-bench --bin tick_cost
+//! [--trials 20000] [--interval-us 100]` (`--interval-us 0` disables
+//! sampling entirely, for an other-event cost baseline)
+
+use lg_bench::arg;
+use lg_link::{LinkSpeed, LossModel};
+use lg_sim::Duration;
+use lg_testbed::{App, Ev, World, WorldConfig};
+use lg_transport::CcVariant;
+use linkguardian::LgConfig;
+
+fn main() {
+    let trials: u32 = arg("--trials", 20000);
+    let speed = LinkSpeed::G100;
+    let loss = LossModel::Iid { rate: 1e-3 };
+    let mut cfg = WorldConfig::new(speed, loss);
+    cfg.lg = Some(LgConfig::for_speed(speed, 1e-3));
+    cfg.seed = 10;
+    cfg.app = App::TcpTrials {
+        variant: CcVariant::Dctcp,
+        msg_len: 143,
+        trials,
+        gap: Duration::from_us(10),
+    };
+    // Default finer than the world_guard gate's 500 us on purpose: more
+    // ticks per run means a steadier ns_per_tick estimate, and the
+    // per-tick cost is interval-independent.
+    let interval_us: u64 = arg("--interval-us", 100);
+    if interval_us > 0 {
+        cfg.sample_interval = Some(Duration::from_us(interval_us));
+    }
+    let mut w = World::new(cfg);
+    let mut ticks = 0u64;
+    let mut tick_ns = 0u64;
+    let mut events = 0u64;
+    let t0 = std::time::Instant::now();
+    while w.out.fct.len() as u32 != trials {
+        let (now, ev) = w.q.pop().expect("trials in flight");
+        if matches!(ev, Ev::Sample) {
+            let s = std::time::Instant::now();
+            w.handle_pub(ev, now);
+            tick_ns += s.elapsed().as_nanos() as u64;
+            ticks += 1;
+        } else {
+            w.handle_pub(ev, now);
+        }
+        events += 1;
+    }
+    let total_ns = t0.elapsed().as_nanos() as u64;
+    println!("events: {events}  ticks: {ticks}");
+    println!("ns_per_tick: {}", tick_ns / ticks.max(1));
+    println!(
+        "tick_share: {:.2}%",
+        100.0 * tick_ns as f64 / total_ns as f64
+    );
+    println!(
+        "ns_per_other_event: {:.1}",
+        (total_ns - tick_ns) as f64 / (events - ticks) as f64
+    );
+}

@@ -5,10 +5,17 @@
 //! twice — default features vs `--no-default-features` (trace emission
 //! compiled out) — and fails if the default build falls below 97% of the
 //! trace-free build, i.e. if the disabled-path trace checks ever grow
-//! beyond a branch.
+//! beyond a branch. A second gate runs `--ab-telemetry`, which
+//! interleaves baseline reps with `--telemetry` reps (500 µs streaming
+//! sampling) inside one process and prints both medians plus their
+//! ratio — interleaving cancels the machine drift that makes two
+//! sequential invocations useless for resolving a few percent. CI fails
+//! if the ratio shows telemetry costing more than 5% of throughput.
+//! (`tick_cost` prints the per-tick nanosecond cost directly when the
+//! ratio needs explaining.)
 //!
 //! Usage: `cargo run --release -p lg-bench --bin world_guard
-//! [--trials 300] [--reps 5]`
+//! [--trials 300] [--reps 5] [--telemetry | --ab-telemetry]`
 
 use lg_bench::arg;
 use lg_link::{LinkSpeed, LossModel};
@@ -17,7 +24,7 @@ use lg_testbed::{App, World, WorldConfig};
 use lg_transport::CcVariant;
 use linkguardian::LgConfig;
 
-fn fig10_world(trials: u32) -> World {
+fn fig10_world(trials: u32, telemetry: bool) -> World {
     let speed = LinkSpeed::G100;
     let loss = LossModel::Iid { rate: 1e-3 };
     let mut cfg = WorldConfig::new(speed, loss);
@@ -29,34 +36,86 @@ fn fig10_world(trials: u32) -> World {
         trials,
         gap: Duration::from_us(10),
     };
+    if telemetry {
+        // 4x finer than the finest interval any experiment binary
+        // actually uses (table3_wharf samples at 2 ms), so the gate
+        // binds with margin without turning into a microbenchmark of
+        // tick frequency: this world is sparse (~0.7 events/us of sim
+        // time), so an unrealistically fine interval would measure how
+        // often the sampler runs, not what sampling costs.
+        cfg.sample_interval = Some(Duration::from_us(500));
+    }
     World::new(cfg)
 }
 
-fn run_counting(mut w: World, trials: u32) -> u64 {
+fn run_counting(w: &mut World, trials: u32) -> u64 {
     let mut events = 0u64;
-    while let Some((now, ev)) = w.q.pop() {
+    // Stop at the last FCT, not on queue exhaustion: with `--telemetry`
+    // the periodic Ev::Sample reschedules itself forever.
+    while w.out.fct.len() as u32 != trials {
+        let (now, ev) = w.q.pop().expect("trials still in flight");
         w.handle_pub(ev, now);
         events += 1;
     }
-    assert_eq!(w.out.fct.len() as u32, trials, "every trial completed");
     events
+}
+
+/// One timed run; returns events per wall-clock second.
+fn timed_rate(trials: u32, telemetry: bool) -> f64 {
+    let mut w = fig10_world(trials, telemetry);
+    let t0 = std::time::Instant::now();
+    let events = run_counting(&mut w, trials);
+    events as f64 / t0.elapsed().as_secs_f64()
+}
+
+fn median(rates: &mut [f64]) -> f64 {
+    rates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    rates[rates.len() / 2]
 }
 
 fn main() {
     let trials: u32 = arg("--trials", 300);
-    let reps: usize = arg("--reps", 5);
+    let reps: usize = arg("--reps", 5).max(1);
+    // `--telemetry` turns on 100 µs sampling: the streaming bank, the
+    // health estimator, and the probes all run per tick. The sink (full
+    // registry snapshots + end-of-run dump) stays off — that is the
+    // `--metrics-out` path, not the steady-state telemetry cost this
+    // gate guards.
+    let telemetry = lg_bench::flag("--telemetry");
+    if lg_bench::flag("--ab-telemetry") {
+        // Interleaved A/B: baseline rep, telemetry rep, repeat. Both
+        // sides see the same slice of machine noise, so the *ratio* is
+        // trustworthy even when absolute rates drift between reps. The
+        // pair order flips every rep so monotone drift (thermal ramp,
+        // background load building up) cancels instead of always
+        // penalizing whichever side runs second.
+        run_counting(&mut fig10_world(trials, true), trials); // warm-up
+        let (mut base, mut tele, mut ratios) = (Vec::new(), Vec::new(), Vec::new());
+        for i in 0..reps {
+            let (b, t) = if i % 2 == 0 {
+                let b = timed_rate(trials, false);
+                (b, timed_rate(trials, true))
+            } else {
+                let t = timed_rate(trials, true);
+                (timed_rate(trials, false), t)
+            };
+            base.push(b);
+            tele.push(t);
+            // Per-pair ratio: the two runs of a pair are adjacent in
+            // time, so they see nearly the same machine state and their
+            // ratio is far tighter than the ratio of the two medians.
+            ratios.push(t / b);
+        }
+        let (b, t) = (median(&mut base), median(&mut tele));
+        println!("events_per_sec_baseline: {b:.0}");
+        println!("events_per_sec_telemetry: {t:.0}");
+        println!("telemetry_ratio: {:.4}", median(&mut ratios));
+        return;
+    }
     // Warm-up run (also calibrates the per-run event count).
-    let events_per_run = run_counting(fig10_world(trials), trials);
-    let mut rates: Vec<f64> = (0..reps.max(1))
-        .map(|_| {
-            let w = fig10_world(trials);
-            let t0 = std::time::Instant::now();
-            let events = run_counting(w, trials);
-            events as f64 / t0.elapsed().as_secs_f64()
-        })
-        .collect();
-    rates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let median = rates[rates.len() / 2];
+    let events_per_run = run_counting(&mut fig10_world(trials, telemetry), trials);
+    let mut rates: Vec<f64> = (0..reps).map(|_| timed_rate(trials, telemetry)).collect();
+    let median = median(&mut rates);
     println!("events_per_run: {events_per_run}");
     println!("events_per_sec: {median:.0}");
 }

@@ -1,20 +1,31 @@
 //! Shared observability CLI for the experiment binaries.
 //!
-//! Every figure/table binary accepts three extra flags, parsed once at
+//! Every figure/table binary accepts these extra flags, parsed once at
 //! the top of `main` by [`session`]:
 //!
 //! * `--metrics-out <file>` — enable the process-wide JSONL sink and
 //!   write the full observability dump (metrics snapshots, trace
 //!   records, wall-clock profiles) there when the binary exits;
+//! * `--timeseries-out <file>` — route `timeseries` records (the
+//!   windowed telemetry samples) into their own JSONL file;
+//! * `--health-log <file>` — route `health_event` records (link-health
+//!   transitions) into their own JSONL file;
 //! * `--trace` — enable packet-level trace records ([`Level::Pkt`]);
 //! * `--trace-level <off|ctl|pkt>` — set the trace level explicitly
-//!   (overrides `--trace`).
+//!   (overrides `--trace`);
+//! * `--trace-cap <records>` — size of the overwrite-oldest trace ring
+//!   (default 65536; raise it when an analysis pass needs the whole
+//!   packet trace of a long run, e.g. `obs_analyze` FCT attribution).
 //!
-//! The dump starts with a `meta` line naming the binary and the schema
-//! version (`schema/obs-schema.json`), followed by every sink line in
-//! deterministic key order — identical at any `--threads` value. None of
-//! these flags change what the binary prints on stdout, so golden
-//! figure output stays byte-identical with observability on.
+//! Any of the three output flags enables the sink; each written file
+//! starts with its own `meta` line naming the binary and the schema
+//! version (`schema/obs-schema.json`), followed by the matching sink
+//! lines in deterministic key order — identical at any `--threads`
+//! value. Records routed to a dedicated file are removed from the
+//! `--metrics-out` dump (and discarded entirely if only a subset of the
+//! flags was given). None of these flags change what the binary prints
+//! on stdout, so golden figure output stays byte-identical with
+//! observability on.
 
 use lg_obs::trace::Level;
 use lg_obs::JsonLine;
@@ -23,27 +34,34 @@ use std::path::PathBuf;
 
 /// Observability schema version written to the `meta` line; bump in
 /// lockstep with `schema/obs-schema.json`.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// RAII guard for one binary's observability session. On drop it writes
-/// the JSONL dump (if `--metrics-out` was given), then disables the sink
-/// and the trace level so tests sharing the process stay clean.
+/// the JSONL dumps (if any of the output flags was given), then disables
+/// the sink and the trace level so tests sharing the process stay clean.
 pub struct Session {
     bin: &'static str,
     out: Option<PathBuf>,
+    ts_out: Option<PathBuf>,
+    health_out: Option<PathBuf>,
 }
 
 /// Parse the shared observability flags and start a session. Call first
 /// thing in `main`; keep the returned guard alive for the whole run.
 pub fn session(bin: &'static str) -> Session {
     let args: Vec<String> = std::env::args().collect();
-    let out = match crate::try_arg::<String>(&args, "--metrics-out") {
-        Ok(v) => v.map(PathBuf::from),
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            std::process::exit(2);
+    let path_arg = |flag: &str| -> Option<PathBuf> {
+        match crate::try_arg::<String>(&args, flag) {
+            Ok(v) => v.map(PathBuf::from),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
         }
     };
+    let out = path_arg("--metrics-out");
+    let ts_out = path_arg("--timeseries-out");
+    let health_out = path_arg("--health-log");
     let level = match crate::try_arg::<String>(&args, "--trace-level") {
         Ok(Some(s)) => match Level::parse(&s) {
             Some(l) => l,
@@ -65,27 +83,89 @@ pub fn session(bin: &'static str) -> Session {
         }
     };
     lg_obs::trace::set_level(level);
-    if out.is_some() {
+    match crate::try_arg::<usize>(&args, "--trace-cap") {
+        Ok(Some(cap)) => lg_obs::trace::set_ring_capacity(cap),
+        Ok(None) => {}
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    }
+    if out.is_some() || ts_out.is_some() || health_out.is_some() {
         lg_obs::sink::enable_metrics();
     }
-    Session { bin, out }
+    Session {
+        bin,
+        out,
+        ts_out,
+        health_out,
+    }
+}
+
+/// Publish the per-link health transitions of a fabric sweep to the
+/// sink, one run label per config (e.g. `c50/CorrOptOnly`). Lines are
+/// keyed by label in `cfgs` order, so `drain_sorted` output is
+/// byte-identical at any `--threads` value. No-op when the sink is off.
+pub fn publish_fabric_health(
+    cfgs: &[lg_fabric::FabricSimConfig],
+    results: &[lg_fabric::FabricSimResult],
+) {
+    if !lg_obs::sink::metrics_enabled() {
+        return;
+    }
+    for (cfg, res) in cfgs.iter().zip(results) {
+        let run = format!("c{:.0}/{}", cfg.constraint * 100.0, cfg.policy.label());
+        let lines: Vec<String> = res
+            .health_events
+            .iter()
+            .map(|ev| ev.to_json_line(&run))
+            .collect();
+        lg_obs::sink::submit_all(&format!("health/{run}"), lines);
+    }
+}
+
+/// Write one dump: a fresh `meta` line, then `lines`.
+fn write_dump(path: &PathBuf, bin: &str, lines: Vec<String>) {
+    let mut meta = JsonLine::new();
+    meta.str("type", "meta")
+        .u64("schema", SCHEMA_VERSION)
+        .str("bin", bin);
+    let mut all = vec![meta.finish()];
+    all.extend(lines);
+    let n = all.len();
+    let mut doc = all.join("\n");
+    doc.push('\n');
+    match std::fs::File::create(path).and_then(|mut f| f.write_all(doc.as_bytes())) {
+        Ok(()) => eprintln!("wrote {n} observability records to {}", path.display()),
+        Err(e) => eprintln!("error writing {}: {e}", path.display()),
+    }
 }
 
 impl Drop for Session {
     fn drop(&mut self) {
-        if let Some(path) = self.out.take() {
-            let mut meta = JsonLine::new();
-            meta.str("type", "meta")
-                .u64("schema", SCHEMA_VERSION)
-                .str("bin", self.bin);
-            let mut lines = vec![meta.finish()];
-            lines.extend(lg_obs::sink::drain_sorted());
-            let n = lines.len();
-            let mut doc = lines.join("\n");
-            doc.push('\n');
-            match std::fs::File::create(&path).and_then(|mut f| f.write_all(doc.as_bytes())) {
-                Ok(()) => eprintln!("wrote {n} observability records to {}", path.display()),
-                Err(e) => eprintln!("error writing {}: {e}", path.display()),
+        if self.out.is_some() || self.ts_out.is_some() || self.health_out.is_some() {
+            // One drain, partitioned by record type: dedicated outputs
+            // claim their lines, the main dump keeps the rest.
+            let mut main_lines = Vec::new();
+            let mut ts_lines = Vec::new();
+            let mut health_lines = Vec::new();
+            for line in lg_obs::sink::drain_sorted() {
+                if self.ts_out.is_some() && line.contains("\"type\":\"timeseries\"") {
+                    ts_lines.push(line);
+                } else if self.health_out.is_some() && line.contains("\"type\":\"health_event\"") {
+                    health_lines.push(line);
+                } else {
+                    main_lines.push(line);
+                }
+            }
+            if let Some(path) = self.out.take() {
+                write_dump(&path, self.bin, main_lines);
+            }
+            if let Some(path) = self.ts_out.take() {
+                write_dump(&path, self.bin, ts_lines);
+            }
+            if let Some(path) = self.health_out.take() {
+                write_dump(&path, self.bin, health_lines);
             }
         }
         lg_obs::sink::disable_and_clear();
@@ -116,6 +196,8 @@ mod tests {
             let s = Session {
                 bin: "test_bin",
                 out: Some(path.clone()),
+                ts_out: None,
+                health_out: None,
             };
             lg_obs::sink::enable_metrics();
             lg_obs::sink::submit(
@@ -131,5 +213,60 @@ mod tests {
         let total: usize = counts.iter().map(|(_, n)| n).sum();
         assert_eq!(total, 2, "meta + submitted line");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dedicated_outputs_partition_the_drain() {
+        let dir = std::env::temp_dir().join("lg_obs_session_split_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let (main_p, ts_p, health_p) = (
+            dir.join("dump.jsonl"),
+            dir.join("ts.jsonl"),
+            dir.join("health.jsonl"),
+        );
+        {
+            let s = Session {
+                bin: "test_bin",
+                out: Some(main_p.clone()),
+                ts_out: Some(ts_p.clone()),
+                health_out: Some(health_p.clone()),
+            };
+            lg_obs::sink::enable_metrics();
+            lg_obs::sink::submit(
+                "a",
+                "{\"type\":\"trace_summary\",\"records\":0,\"dropped\":0}".into(),
+            );
+            lg_obs::sink::submit(
+                "a",
+                "{\"type\":\"timeseries\",\"t_ps\":1,\"window_id\":1,\"run\":\"r\",\
+                 \"comp\":\"c\",\"inst\":\"i\",\"name\":\"n\",\"value\":1.0,\"ewma\":1.0}"
+                    .into(),
+            );
+            lg_obs::sink::submit(
+                "a",
+                "{\"type\":\"health_event\",\"t_ps\":1,\"window_id\":1,\"run\":\"r\",\
+                 \"comp\":\"c\",\"inst\":\"i\",\"from\":\"healthy\",\"to\":\"degraded\",\
+                 \"rate\":1e-7}"
+                    .into(),
+            );
+            drop(s);
+        }
+        let schema_doc = include_str!("../../../schema/obs-schema.json");
+        let schema = lg_obs::schema::Schema::parse(schema_doc).unwrap();
+        for (path, want_ty) in [
+            (&main_p, "trace_summary"),
+            (&ts_p, "timeseries"),
+            (&health_p, "health_event"),
+        ] {
+            let doc = std::fs::read_to_string(path).unwrap();
+            schema.validate(&doc).unwrap();
+            assert_eq!(doc.lines().count(), 2, "{want_ty}: meta + 1 record");
+            assert!(
+                doc.lines().nth(1).unwrap().contains(want_ty),
+                "{want_ty} routed to {}",
+                path.display()
+            );
+            std::fs::remove_file(path).ok();
+        }
     }
 }

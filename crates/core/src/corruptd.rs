@@ -1,28 +1,46 @@
 //! `corruptd` — the control-plane link-corruption monitor (Appendix C).
 //!
 //! A daemon on each switch's local control plane polls the driver every
-//! second for per-port `framesRxOk` / `framesRxAll`, maintains a moving
-//! window of frames to compute the link loss rate, and — when the loss
-//! rate reaches the activation threshold (1e-8, the boundary of a
-//! "healthy" link) — notifies the upstream transmitting switch to activate
-//! LinkGuardian with the number of retransmitted copies dictated by Eq. 2.
+//! second for per-port `framesRxOk` / `framesRxAll`, feeds the deltas
+//! into the shared windowed health estimator
+//! ([`lg_obs::health::HealthEstimator`]), and — when the port leaves the
+//! `Healthy` state (windowed loss rate at the activation threshold 1e-8,
+//! the boundary of a "healthy" link) — notifies the upstream
+//! transmitting switch to activate LinkGuardian with the number of
+//! retransmitted copies dictated by Eq. 2 *from the observed rate*, not
+//! from any oracle knowledge of the loss process.
 //!
 //! Daemons communicate through a publish/subscribe bus (the paper uses
 //! Redis); [`CorruptionBus`] is the in-process equivalent.
 
 use crate::eq::retx_copies;
+use lg_obs::health::{HealthConfig, HealthEstimator, LinkHealth};
 use lg_sim::{Duration, Time};
 use lg_switch::PortCounters;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
 
 /// The paper's polling interval.
 pub const POLL_INTERVAL: Duration = Duration(1_000_000_000_000); // 1 s
-/// Moving window of frames over which the loss rate is computed.
-pub const WINDOW_FRAMES: u64 = 100_000_000;
+/// Sliding window over which the loss rate is computed, in polls
+/// (~100 s of 1 Hz polls ≈ the paper's 100M-frame window at line rate).
+pub const WINDOW_POLLS: usize = 100;
 /// Activation threshold: a loss rate of 1e-8 (BER ≈ 1e-12 for MTU frames)
 /// is the boundary of a healthy link.
 pub const ACTIVATION_THRESHOLD: f64 = 1e-8;
+
+/// The estimator configuration `corruptd` runs with: activation at the
+/// paper's 1e-8 boundary, the `Corrupting` tier at 1e-6 (a link CorrOpt
+/// should also take out for repair), 2× downgrade hysteresis.
+pub fn health_config() -> HealthConfig {
+    HealthConfig {
+        degraded_rate: ACTIVATION_THRESHOLD,
+        corrupting_rate: 1e-6,
+        clear_factor: 0.5,
+        window_polls: WINDOW_POLLS,
+        min_frames: 1_000,
+        min_errors: 2,
+    }
+}
 
 /// A corruption notification published on the bus.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -39,44 +57,19 @@ pub struct CorruptionNotice {
     pub at: Time,
 }
 
-/// Per-port monitor state.
+/// Per-port monitor state: the shared windowed estimator plus the
+/// one-shot activation latch.
 #[derive(Debug, Clone)]
 struct PortMonitor {
-    window: VecDeque<(u64, u64)>, // (frames, errors) per poll
-    frames_in_window: u64,
-    errors_in_window: u64,
-    last_snapshot: PortCounters,
+    est: HealthEstimator,
     active: bool,
 }
 
 impl PortMonitor {
     fn new() -> PortMonitor {
         PortMonitor {
-            window: VecDeque::new(),
-            frames_in_window: 0,
-            errors_in_window: 0,
-            last_snapshot: PortCounters::default(),
+            est: HealthEstimator::new(health_config()),
             active: false,
-        }
-    }
-
-    fn poll(&mut self, counters: PortCounters) -> f64 {
-        let frames = counters.frames_rx_all - self.last_snapshot.frames_rx_all;
-        let ok = counters.frames_rx_ok - self.last_snapshot.frames_rx_ok;
-        let errors = frames - ok;
-        self.last_snapshot = counters;
-        self.window.push_back((frames, errors));
-        self.frames_in_window += frames;
-        self.errors_in_window += errors;
-        while self.frames_in_window > WINDOW_FRAMES && self.window.len() > 1 {
-            let (f, e) = self.window.pop_front().expect("non-empty");
-            self.frames_in_window -= f;
-            self.errors_in_window -= e;
-        }
-        if self.frames_in_window == 0 {
-            0.0
-        } else {
-            self.errors_in_window as f64 / self.frames_in_window as f64
         }
     }
 }
@@ -100,9 +93,9 @@ impl Corruptd {
         }
     }
 
-    /// Poll one port's counters. Returns a notice when the port crosses
-    /// the activation threshold (deactivation notices are not modeled; the
-    /// paper repairs links out of band, §3.6).
+    /// Poll one port's counters. Returns a notice when the windowed
+    /// estimator moves the port out of `Healthy` (deactivation notices
+    /// are not modeled; the paper repairs links out of band, §3.6).
     pub fn poll(
         &mut self,
         port: usize,
@@ -110,9 +103,11 @@ impl Corruptd {
         now: Time,
     ) -> Option<CorruptionNotice> {
         let mon = &mut self.ports[port];
-        let rate = mon.poll(counters);
-        if !mon.active && rate >= ACTIVATION_THRESHOLD && rate > 0.0 {
+        mon.est
+            .observe_cumulative(now.as_ps(), counters.frames_rx_all, counters.frames_rx_ok);
+        if !mon.active && mon.est.state() >= LinkHealth::Degraded {
             mon.active = true;
+            let rate = mon.est.rate();
             Some(CorruptionNotice {
                 observer_switch: self.switch_id,
                 port,
@@ -128,6 +123,16 @@ impl Corruptd {
     /// Whether LinkGuardian has been activated for a port.
     pub fn is_active(&self, port: usize) -> bool {
         self.ports[port].active
+    }
+
+    /// The estimator's current health classification of a port.
+    pub fn health(&self, port: usize) -> LinkHealth {
+        self.ports[port].est.state()
+    }
+
+    /// The estimator's current windowed loss rate for a port.
+    pub fn observed_rate(&self, port: usize) -> f64 {
+        self.ports[port].est.rate()
     }
 
     /// Poll a port by reading `frames_rx_ok` / `frames_rx_all` from an
@@ -230,13 +235,59 @@ mod tests {
 
     #[test]
     fn window_recovers_after_clean_period() {
-        let d = Corruptd::new(1, 1, 1e-8);
-        let mut m = PortMonitor::new();
-        assert!(m.poll(counters(1_000, 900)) > 0.0);
-        // long clean stretch dilutes the window but stays within it
-        let r = m.poll(counters(2_000, 1_900));
-        assert!((r - 0.05).abs() < 1e-9);
-        let _ = d; // silence unused
+        let mut d = Corruptd::new(1, 1, 1e-8);
+        // A burst poll: 100k frames, 1000 errors → corrupting.
+        assert!(d
+            .poll(0, counters(100_000, 99_000), Time::from_secs(1))
+            .is_some());
+        assert_eq!(d.health(0), LinkHealth::Corrupting);
+        // Clean polls push the burst out of the sliding window; once it
+        // evicts, the estimator steps the port back to healthy (the
+        // activation latch stays set — repairs are out of band, §3.6).
+        let mut all = 100_000u64;
+        for poll in 0..=(WINDOW_POLLS as u64) {
+            all += 1_000_000;
+            let _ = d.poll(0, counters(all, all - 1_000), Time::from_secs(2 + poll));
+        }
+        assert_eq!(d.health(0), LinkHealth::Healthy);
+        assert!(d.observed_rate(0) < ACTIVATION_THRESHOLD);
+        assert!(d.is_active(0), "activation is one-shot");
+    }
+
+    #[test]
+    fn ge_burst_trips_within_one_window_steady_low_rate_does_not() {
+        use lg_link::{LossModel, LossProcess};
+        use lg_sim::Rng;
+
+        // Steady 1e-8 loss: polls of 200k frames carry ~0.002 expected
+        // errors each — the estimator never leaves Healthy.
+        let mut steady = Corruptd::new(1, 1, 1e-8);
+        let mut lp = LossProcess::new(LossModel::Iid { rate: 1e-8 }, Rng::new(42));
+        for poll in 1..=20u64 {
+            for _ in 0..200_000 {
+                let _ = lp.should_drop();
+            }
+            let c = counters(lp.frames(), lp.frames() - lp.drops());
+            assert!(steady.poll(0, c, Time::from_secs(poll)).is_none());
+        }
+        assert!(!steady.is_active(0));
+        assert_eq!(steady.health(0), LinkHealth::Healthy);
+
+        // A Gilbert–Elliott process (mean rate 1e-3, mean burst 30): the
+        // bad-state burst trips the degraded threshold within a single
+        // poll window.
+        let mut bursty = Corruptd::new(2, 1, 1e-8);
+        let mut lp = LossProcess::new(LossModel::bursty(1e-3, 30.0), Rng::new(7));
+        for _ in 0..300_000 {
+            let _ = lp.should_drop();
+        }
+        assert!(lp.drops() > 0, "the GE process actually dropped frames");
+        let c = counters(lp.frames(), lp.frames() - lp.drops());
+        let n = bursty
+            .poll(0, c, Time::from_secs(1))
+            .expect("burst trips the threshold within one window");
+        assert!(n.loss_rate >= ACTIVATION_THRESHOLD);
+        assert!(bursty.health(0) >= LinkHealth::Degraded);
     }
 
     #[test]

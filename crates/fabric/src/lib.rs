@@ -14,5 +14,7 @@ pub mod topology;
 pub mod tracegen;
 
 pub use corropt::{CapacityConstraint, CorrOpt};
-pub use sim::{run, run_many, FabricSimConfig, FabricSimResult, Policy, SamplePoint};
+pub use sim::{
+    run, run_many, FabricHealthEvent, FabricSimConfig, FabricSimResult, Policy, SamplePoint,
+};
 pub use topology::{Fabric, Link, LinkId, LinkKind, LinkState};

@@ -13,6 +13,7 @@
 use crate::corropt::{CapacityConstraint, CorrOpt};
 use crate::topology::{Fabric, Link, LinkId, LinkState};
 use crate::tracegen::{sample_loss_rate, sample_repair_hours, sample_time_to_corruption, Hours};
+use lg_obs::health::{HealthConfig, HealthEstimator, LinkHealth};
 use lg_sim::Rng;
 use linkguardian::eq::{effective_loss_rate, retx_copies};
 use serde::{Deserialize, Serialize};
@@ -33,6 +34,17 @@ pub enum Policy {
     /// probability; incapable corrupting links behave as under vanilla
     /// CorrOpt. `PartialLg(1.0)` ≡ `LgPlusCorrOpt`.
     PartialLg(f64),
+}
+
+impl Policy {
+    /// Short stable label for run keys and filenames.
+    pub fn label(self) -> String {
+        match self {
+            Policy::CorrOptOnly => "CorrOptOnly".into(),
+            Policy::LgPlusCorrOpt => "LgPlusCorrOpt".into(),
+            Policy::PartialLg(f) => format!("PartialLg{:.0}", f * 100.0),
+        }
+    }
 }
 
 /// Effective link-speed fraction of a LinkGuardian-protected 100 G link,
@@ -147,6 +159,48 @@ pub struct FabricSimCounts {
     pub peak_lg_per_fabric_switch: u32,
 }
 
+/// One health-state transition of a fabric link, as the online
+/// monitoring plane ([`lg_obs::health`]) would classify it from windowed
+/// post-FEC counters. The estimators watch the *effective* loss rate —
+/// what end hosts experience — so a LinkGuardian-protected link at raw
+/// 1e-4 reads as healthy (~1e-9): LinkGuardian masks corruption from the
+/// monitoring plane, which is exactly the paper's operational story.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FabricHealthEvent {
+    /// Transition time (hours).
+    pub t_hours: Hours,
+    /// Per-link poll window index, strictly increasing across the whole
+    /// run even if the link heals and later corrupts again.
+    pub window_id: u64,
+    /// The link that changed state.
+    pub link: u32,
+    /// State before the transition.
+    pub from: LinkHealth,
+    /// State after the transition.
+    pub to: LinkHealth,
+    /// Windowed effective loss rate that triggered the transition.
+    pub rate: f64,
+}
+
+impl FabricHealthEvent {
+    /// Render as a `health_event` JSONL line under the given run label.
+    /// Timestamps use hour-as-second scaling (`t_ps` = `t_hours` × 1e12):
+    /// real picoseconds overflow `u64` at year horizons.
+    pub fn to_json_line(&self, run: &str) -> String {
+        let mut l = lg_obs::JsonLine::new();
+        l.str("type", "health_event")
+            .u64("t_ps", (self.t_hours * 1e12) as u64)
+            .u64("window_id", self.window_id)
+            .str("run", run)
+            .str("comp", "fabric_link")
+            .str("inst", &format!("link:{}", self.link))
+            .str("from", self.from.name())
+            .str("to", self.to.name())
+            .f64("rate", self.rate);
+        l.finish()
+    }
+}
+
 /// Result of one run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FabricSimResult {
@@ -154,6 +208,8 @@ pub struct FabricSimResult {
     pub samples: Vec<SamplePoint>,
     /// Aggregate counters.
     pub counts: FabricSimCounts,
+    /// Per-link health transitions (week/year rollups for `--health-log`).
+    pub health_events: Vec<FabricHealthEvent>,
 }
 
 #[derive(Debug, PartialEq)]
@@ -222,6 +278,20 @@ pub fn run(cfg: &FabricSimConfig) -> FabricSimResult {
     let mut samples = Vec::new();
     let mut next_sample: Hours = 0.0;
 
+    // Online per-link health estimators, fed expected windowed counts at
+    // every sample tick (deterministic: no extra RNG draws, so the paired
+    // per-link failure schedules are untouched). Estimators exist only
+    // for links currently corrupting or still draining back to Healthy;
+    // `health_window_base` preserves window-id monotonicity per link
+    // across heal/re-corrupt cycles.
+    let health_cfg = HealthConfig {
+        window_polls: 8,
+        ..HealthConfig::default()
+    };
+    let mut health: BTreeMap<LinkId, HealthEstimator> = BTreeMap::new();
+    let mut health_window_base: BTreeMap<LinkId, u64> = BTreeMap::new();
+    let mut health_events: Vec<FabricHealthEvent> = Vec::new();
+
     // Which links are LinkGuardian-capable (incremental deployment, §5).
     // Capability is drawn from its own RNG stream so the per-link failure
     // schedules stay identical across policies and deployment fractions.
@@ -283,6 +353,60 @@ pub fn run(cfg: &FabricSimConfig) -> FabricSimResult {
         });
     };
 
+    // Representative frame volume per link-hour fed to the estimators.
+    // Only its order of magnitude matters: it has to clear `min_frames`
+    // and resolve effective rates down to ~1e-9 (one error per window).
+    const HEALTH_FRAMES_PER_HOUR: f64 = 1e9;
+    let roll_health = |t: Hours,
+                       corrupting: &BTreeMap<LinkId, (f64, bool)>,
+                       health: &mut BTreeMap<LinkId, HealthEstimator>,
+                       window_base: &mut BTreeMap<LinkId, u64>,
+                       events: &mut Vec<FabricHealthEvent>| {
+        for &l in corrupting.keys() {
+            health
+                .entry(l)
+                .or_insert_with(|| HealthEstimator::new(health_cfg));
+        }
+        let frames = (HEALTH_FRAMES_PER_HOUR * cfg.sample_interval_hours).round() as u64;
+        // Hour-as-second scaling: real picoseconds overflow u64 at year
+        // horizons, so the monitoring plane timestamps 1 h as 1e12 ps.
+        let t_ps = (t * 1e12) as u64;
+        let mut healed: Vec<LinkId> = Vec::new();
+        for (&l, est) in health.iter_mut() {
+            // Expected windowed counts: corrupting links show their
+            // effective (post-LinkGuardian) loss rate; repaired/disabled
+            // links show clean windows until hysteresis clears them.
+            let errors = match corrupting.get(&l) {
+                Some(&(r, lg_on)) => {
+                    let eff = link_penalty_with(lg_on, r, cfg.target_loss_rate);
+                    (frames as f64 * eff).round() as u64
+                }
+                None => 0,
+            };
+            let base = window_base.get(&l).copied().unwrap_or(0);
+            if let Some(ev) = est.observe(t_ps, frames, errors) {
+                events.push(FabricHealthEvent {
+                    t_hours: t,
+                    window_id: base + ev.window_id,
+                    link: l.0,
+                    from: ev.from,
+                    to: ev.to,
+                    rate: ev.rate,
+                });
+            }
+            if est.state() == LinkHealth::Healthy
+                && !corrupting.contains_key(&l)
+                && est.window_id() >= health_cfg.window_polls as u64
+            {
+                healed.push(l);
+            }
+        }
+        for l in healed {
+            let est = health.remove(&l).expect("present");
+            *window_base.entry(l).or_insert(0) += est.window_id();
+        }
+    };
+
     // Worst-case concurrent LG links per fabric switch (§5), maintained
     // incrementally as links enter and leave the corrupting set.
     // (Recomputing it from scratch after every event made the year-long
@@ -307,6 +431,13 @@ pub fn run(cfg: &FabricSimConfig) -> FabricSimResult {
                 &corrupting,
                 disabled_count,
                 &mut samples,
+            );
+            roll_health(
+                next_sample,
+                &corrupting,
+                &mut health,
+                &mut health_window_base,
+                &mut health_events,
             );
             next_sample += cfg.sample_interval_hours;
         }
@@ -379,10 +510,21 @@ pub fn run(cfg: &FabricSimConfig) -> FabricSimResult {
             disabled_count,
             &mut samples,
         );
+        roll_health(
+            next_sample,
+            &corrupting,
+            &mut health,
+            &mut health_window_base,
+            &mut health_events,
+        );
         next_sample += cfg.sample_interval_hours;
     }
 
-    FabricSimResult { samples, counts }
+    FabricSimResult {
+        samples,
+        counts,
+        health_events,
+    }
 }
 
 /// Run many independent configs, fanning them across up to `threads`
@@ -504,6 +646,54 @@ mod tests {
         let b = run(&small_cfg(Policy::CorrOptOnly, 0.75));
         assert_eq!(a.counts.corruption_events, b.counts.corruption_events);
         assert_eq!(a.samples.len(), b.samples.len());
+    }
+
+    #[test]
+    fn health_rollups_track_deferred_corruption() {
+        // At 0.75 many corrupting links are deferred and later disabled
+        // by the optimizer: the health plane must see them leave Healthy
+        // and drain back after repair, with per-link window ids strictly
+        // increasing across the whole run.
+        let r = run(&small_cfg(Policy::CorrOptOnly, 0.75));
+        assert!(r.counts.deferred > 0);
+        assert!(!r.health_events.is_empty(), "deferred links must trip");
+        assert!(r
+            .health_events
+            .iter()
+            .any(|e| e.to == LinkHealth::Corrupting));
+        // Repairs drain links back through the hysteresis to Healthy.
+        assert!(r.health_events.iter().any(|e| e.to == LinkHealth::Healthy));
+        let mut last: BTreeMap<u32, u64> = BTreeMap::new();
+        for e in &r.health_events {
+            if let Some(&prev) = last.get(&e.link) {
+                assert!(
+                    e.window_id > prev,
+                    "link {} window {} after {}",
+                    e.link,
+                    e.window_id,
+                    prev
+                );
+            }
+            last.insert(e.link, e.window_id);
+        }
+    }
+
+    #[test]
+    fn lg_masks_corruption_from_the_health_plane() {
+        // Under LgPlusCorrOpt every deferred link runs at its effective
+        // (post-LinkGuardian) rate ≈ 1e-9 < the 1e-8 degraded threshold:
+        // the monitoring plane keeps reading the fabric as healthy.
+        let cfg = FabricSimConfig {
+            constraint: 0.995,
+            ..small_cfg(Policy::LgPlusCorrOpt, 0.0)
+        };
+        let r = run(&cfg);
+        assert!(r.counts.deferred > 0, "needs deferred links to be a test");
+        assert!(
+            r.health_events.is_empty(),
+            "LG-protected links must stay Healthy, got {:?}",
+            r.health_events.first()
+        );
     }
 
     #[test]

@@ -182,6 +182,17 @@ impl LossProcess {
     }
 }
 
+/// Telemetry producer: the link's post-FEC frame/drop counters, the raw
+/// feed the health plane differentiates into windowed loss rates. (The
+/// loss process models what survives FEC — `drops` are frames the FEC
+/// could not repair, exactly what `framesRxAll - framesRxOk` counts.)
+impl lg_obs::Observe for LossProcess {
+    fn observe(&self, m: &mut lg_obs::MetricSink) {
+        m.counter("frames", self.frames());
+        m.counter("post_fec_drops", self.drops());
+    }
+}
+
 /// Distribution of consecutive-loss run lengths (Fig 20 / Appendix B.2).
 ///
 /// Feed per-frame outcomes; query the run-length histogram.

@@ -17,6 +17,15 @@
 //!   the packet `uid`, so one call filters a drained ring down to a
 //!   packet's full causal history (TX → corrupt drop → LOSS_NOTIFICATION →
 //!   recirc retx → delivery) for dumping when an invariant trips.
+//! * [`timeseries`] — streaming windowed telemetry: per-metric Ewma plus a
+//!   fixed-capacity ring of recent windows (min/max/mean/percentile),
+//!   sampled on the world's periodic sim event and dumped as `timeseries`
+//!   JSONL rows with strictly monotone window ids.
+//! * [`health`] — the online link-health plane: a sliding-window
+//!   corruption-rate estimator with hysteresis (healthy → degraded →
+//!   corrupting) emitting `health_event` rows; `corruptd` and the fabric
+//!   rollups both run on it, so activation decisions come from observed
+//!   counters rather than oracle loss-model parameters.
 //!
 //! Determinism contract: everything the registry and trace layers emit is
 //! derived from simulation state (sim-time keyed, normalized packet uids).
@@ -26,15 +35,19 @@
 //!
 //! [`AtomicU8`]: std::sync::atomic::AtomicU8
 
+pub mod health;
 pub mod hist;
 pub mod json;
 pub mod metrics;
 pub mod postmortem;
 pub mod schema;
 pub mod sink;
+pub mod timeseries;
 pub mod trace;
 
+pub use health::{HealthConfig, HealthEstimator, HealthEvent, LinkHealth};
 pub use hist::{HistSummary, LogHist};
 pub use json::{JsonLine, JsonValue};
 pub use metrics::{MetricSink, MetricsRegistry, Observe};
+pub use timeseries::{Ewma, SeriesBank, SeriesRing, WindowedRate};
 pub use trace::{Comp, Kind, Level, TraceRecord};

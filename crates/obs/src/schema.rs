@@ -58,6 +58,10 @@ impl Schema {
 
     /// Validate one JSONL line. Returns the record type on success.
     pub fn validate_line(&self, line: &str) -> Result<String, String> {
+        self.validate_line_value(line).map(|(ty, _)| ty)
+    }
+
+    fn validate_line_value(&self, line: &str) -> Result<(String, JsonValue), String> {
         let v = parse(line).map_err(|e| format!("not valid JSON: {e}"))?;
         let ty = v
             .get("type")
@@ -77,20 +81,32 @@ impl Schema {
                 ));
             }
         }
-        Ok(ty.to_string())
+        let ty = ty.to_string();
+        Ok((ty, v))
     }
 
     /// Validate a whole JSONL document (blank lines skipped). Returns
     /// per-record-type counts, or the first error with its line number.
+    ///
+    /// Beyond per-line field checks, `timeseries` and `health_event`
+    /// records are streams: within one `(run, comp, inst[, name])`
+    /// stream, sim timestamps must be non-decreasing and window ids
+    /// strictly increasing — out-of-order telemetry means a producer
+    /// leaked wall-clock or thread-scheduling order into the dump.
     pub fn validate(&self, text: &str) -> Result<Vec<(String, usize)>, String> {
         let mut counts: Vec<(String, usize)> = Vec::new();
+        let mut streams: Vec<(String, u64, u64)> = Vec::new(); // key, last t_ps, last window_id
         for (i, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            let ty = self
-                .validate_line(line)
+            let (ty, v) = self
+                .validate_line_value(line)
                 .map_err(|e| format!("line {}: {e}", i + 1))?;
+            if ty == "timeseries" || ty == "health_event" {
+                check_stream_order(&ty, &v, &mut streams)
+                    .map_err(|e| format!("line {}: {e}", i + 1))?;
+            }
             match counts.iter_mut().find(|(t, _)| *t == ty) {
                 Some((_, n)) => *n += 1,
                 None => counts.push((ty, 1)),
@@ -101,6 +117,42 @@ impl Schema {
         }
         Ok(counts)
     }
+}
+
+/// Enforce per-stream ordering for windowed telemetry records.
+fn check_stream_order(
+    ty: &str,
+    v: &JsonValue,
+    streams: &mut Vec<(String, u64, u64)>,
+) -> Result<(), String> {
+    let field_str = |name: &str| v.get(name).and_then(|f| f.as_str()).unwrap_or("");
+    let field_num = |name: &str| v.get(name).and_then(|f| f.as_num()).unwrap_or(0.0) as u64;
+    let key = format!(
+        "{ty}|{}|{}|{}|{}",
+        field_str("run"),
+        field_str("comp"),
+        field_str("inst"),
+        field_str("name")
+    );
+    let (t_ps, window_id) = (field_num("t_ps"), field_num("window_id"));
+    match streams.iter_mut().find(|(k, _, _)| *k == key) {
+        Some((_, last_t, last_w)) => {
+            if t_ps < *last_t {
+                return Err(format!(
+                    "record type \"{ty}\": out-of-order t_ps {t_ps} after {last_t}"
+                ));
+            }
+            if window_id <= *last_w {
+                return Err(format!(
+                    "record type \"{ty}\": non-monotone window_id {window_id} after {last_w}"
+                ));
+            }
+            *last_t = t_ps;
+            *last_w = window_id;
+        }
+        None => streams.push((key, t_ps, window_id)),
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -137,5 +189,51 @@ mod tests {
         assert!(s.validate("").is_err(), "empty doc is an error");
         let err = s.validate("{\"type\":\"meta\"}\n").unwrap_err();
         assert!(err.starts_with("line 1:"), "{err}");
+    }
+
+    const TS_SCHEMA: &str = r#"{
+        "version": 2,
+        "records": {
+            "timeseries": { "required": { "t_ps": "number", "window_id": "number", "run": "string", "comp": "string", "inst": "string", "name": "string", "value": "number" } },
+            "health_event": { "required": { "t_ps": "number", "window_id": "number", "run": "string", "comp": "string", "inst": "string", "from": "string", "to": "string", "rate": "number" } }
+        }
+    }"#;
+
+    fn ts(t: u64, w: u64, inst: &str) -> String {
+        format!(
+            "{{\"type\":\"timeseries\",\"t_ps\":{t},\"window_id\":{w},\"run\":\"r\",\"comp\":\"c\",\"inst\":\"{inst}\",\"name\":\"q\",\"value\":1.5}}"
+        )
+    }
+
+    #[test]
+    fn accepts_ordered_telemetry_streams() {
+        let s = Schema::parse(TS_SCHEMA).unwrap();
+        // two interleaved streams, each internally ordered
+        let doc = [ts(10, 1, "a"), ts(5, 1, "b"), ts(20, 2, "a"), ts(5, 2, "b")].join("\n");
+        let counts = s.validate(&doc).unwrap();
+        assert_eq!(counts, vec![("timeseries".into(), 4)]);
+    }
+
+    #[test]
+    fn rejects_out_of_order_timestamps() {
+        let s = Schema::parse(TS_SCHEMA).unwrap();
+        let doc = [ts(20, 1, "a"), ts(10, 2, "a")].join("\n");
+        let err = s.validate(&doc).unwrap_err();
+        assert!(err.contains("out-of-order t_ps"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_monotone_window_ids() {
+        let s = Schema::parse(TS_SCHEMA).unwrap();
+        let doc = [ts(10, 2, "a"), ts(20, 2, "a")].join("\n");
+        let err = s.validate(&doc).unwrap_err();
+        assert!(err.contains("non-monotone window_id"), "{err}");
+        let he = |t: u64, w: u64| {
+            format!(
+                "{{\"type\":\"health_event\",\"t_ps\":{t},\"window_id\":{w},\"run\":\"r\",\"comp\":\"c\",\"inst\":\"l\",\"from\":\"healthy\",\"to\":\"degraded\",\"rate\":0.001}}"
+            )
+        };
+        let doc = [he(10, 3), he(20, 1)].join("\n");
+        assert!(s.validate(&doc).is_err(), "health_event ordering enforced");
     }
 }

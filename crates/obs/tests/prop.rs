@@ -67,3 +67,80 @@ proptest! {
         prop_assert_eq!(ring.len(), n.min(cap));
     }
 }
+
+mod timeseries_props {
+    use lg_obs::{Ewma, WindowedRate};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The incremental sliding-window rate equals a brute-force
+        /// recount of the last `cap` buckets, at every step, whatever
+        /// the push sequence — the eviction bookkeeping never drifts.
+        #[test]
+        fn windowed_rate_matches_brute_force_recount(
+            cap in 1usize..12,
+            buckets in proptest::collection::vec((0u64..1000, 0u64..100_000), 0..200),
+        ) {
+            let mut w = WindowedRate::new(cap);
+            for (i, &(errors, frames)) in buckets.iter().enumerate() {
+                // Errors can't exceed frames in real polls, but the
+                // window must stay exact either way, so don't clamp.
+                w.push(errors, frames);
+                let tail = &buckets[i.saturating_sub(cap - 1)..=i];
+                let num: u64 = tail.iter().map(|&(n, _)| n).sum();
+                let den: u64 = tail.iter().map(|&(_, d)| d).sum();
+                prop_assert_eq!(w.num(), num);
+                prop_assert_eq!(w.den(), den);
+                prop_assert_eq!(w.len(), tail.len());
+                let expect = if den == 0 { 0.0 } else { num as f64 / den as f64 };
+                prop_assert_eq!(w.rate(), expect);
+            }
+        }
+
+        /// Half-life semantics: feeding a constant `v` into a
+        /// zero-seeded Ewma for exactly `half_life` updates leaves the
+        /// value within floating-point error of `v/2` of its target —
+        /// i.e. the step response decays as 1 - 0.5^(n/half_life).
+        #[test]
+        fn ewma_half_life_step_response(
+            half_life in 1u32..64,
+            v in 1.0f64..1e9,
+        ) {
+            let mut e = Ewma::with_half_life(half_life as f64);
+            e.update(0.0); // seed at zero so the step starts from 0
+            for _ in 0..half_life {
+                e.update(v);
+            }
+            let expect = v * 0.5;
+            prop_assert!(
+                (e.value() - expect).abs() <= 1e-9 * v,
+                "after one half-life the gap to the target must have halved: \
+                 value {} expected {}", e.value(), expect
+            );
+            // And it keeps halving: another half-life closes half the rest.
+            for _ in 0..half_life {
+                e.update(v);
+            }
+            prop_assert!((e.value() - 0.75 * v).abs() <= 1e-9 * v);
+        }
+
+        /// Monotone approach: a constant input never overshoots, and
+        /// the value is strictly increasing toward it.
+        #[test]
+        fn ewma_never_overshoots(
+            alpha in 0.01f64..1.0,
+            v in 1.0f64..1e6,
+            n in 1usize..100,
+        ) {
+            let mut e = Ewma::new(alpha);
+            e.update(0.0);
+            let mut prev = 0.0;
+            for _ in 0..n {
+                let cur = e.update(v);
+                prop_assert!(cur <= v + f64::EPSILON * v, "overshoot: {cur} > {v}");
+                prop_assert!(cur >= prev, "non-monotone: {cur} < {prev}");
+                prev = cur;
+            }
+        }
+    }
+}

@@ -129,6 +129,12 @@ impl Switch {
     pub fn counters(&self, port: PortId) -> PortCounters {
         self.counters[port]
     }
+
+    /// Instantaneous occupancy of one egress queue in bytes (the
+    /// "qdepth" the telemetry plane samples into its time series).
+    pub fn queue_bytes(&self, port: PortId, class: Class) -> u64 {
+        self.ports[port].queue(class).bytes()
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,8 @@
 //! timeouts, host NIC pacing and transport timers.
 
 use lg_link::{LinkConfig, LinkDirection, LinkSpeed, LossModel};
+use lg_obs::health::{HealthEstimator, HealthEvent};
+use lg_obs::timeseries::SeriesBank;
 use lg_obs::trace::{Comp, Kind, Level};
 use lg_obs::{lg_trace, JsonLine, MetricsRegistry};
 use lg_packet::lg::LgPacketType;
@@ -25,6 +27,7 @@ use lg_transport::{
     TransportAction,
 };
 use lg_workload::FctCollector;
+use linkguardian::corruptd::Corruptd;
 use linkguardian::{LgConfig, LgReceiver, LgSender, ReceiverAction, SenderAction};
 
 /// Which switch.
@@ -238,14 +241,50 @@ impl Profile {
 /// thread-local counter shared by every world a worker thread runs, so
 /// raw values depend on `--threads`; published records carry
 /// `uid - uid_base + 1` instead, which is identical at any thread count.
-#[derive(Default)]
 pub struct WorldObs {
     /// First uid a packet of this world can carry.
     pub uid_base: u64,
     /// Metric snapshots accumulated at sample points and at publish.
     pub registry: MetricsRegistry,
+    /// Streaming windowed telemetry, fed on every `Ev::Sample`; drained
+    /// as `timeseries` JSONL rows at publish.
+    pub series: SeriesBank,
+    /// Interned series indices for the per-tick samples (set on the
+    /// first tick; skips per-sample key lookups on the hot path).
+    ts_keys: Option<[usize; 6]>,
+    /// Sample windows taken so far (the `window_id` of telemetry rows).
+    pub next_window: u64,
+    /// Online health estimator for the protected (forward) link, fed
+    /// from the Rx switch's observed frame counters at sample points.
+    pub link_health: HealthEstimator,
+    /// Health-state transitions accumulated since the last publish.
+    pub health_events: Vec<HealthEvent>,
+    /// Windowed retx-delay bookkeeping: (count, sum) seen at the
+    /// previous sample, so each window reports its own mean.
+    retx_delay_seen: (u64, f64),
     /// Wall-clock profile, present after a profiled run.
     pub profile: Option<Box<Profile>>,
+}
+
+/// Recent windows each telemetry series keeps for min/max/p99.
+const SERIES_RING_CAP: usize = 64;
+/// Ewma half-life of telemetry series, in sample windows.
+const SERIES_EWMA_HALF_LIFE: f64 = 16.0;
+
+impl Default for WorldObs {
+    fn default() -> WorldObs {
+        WorldObs {
+            uid_base: 0,
+            registry: MetricsRegistry::new(),
+            series: SeriesBank::new(SERIES_RING_CAP, SERIES_EWMA_HALF_LIFE),
+            ts_keys: None,
+            next_window: 0,
+            link_health: HealthEstimator::new(linkguardian::corruptd::health_config()),
+            health_events: Vec::new(),
+            retx_delay_seen: (0, 0.0),
+            profile: None,
+        }
+    }
 }
 
 /// Per-host state: NIC pacing plus at most one active transport each way.
@@ -350,6 +389,13 @@ pub struct WorldConfig {
     pub bidirectional: bool,
     /// Activate LinkGuardian at t = 0 (otherwise schedule [`Ev::ActivateLg`]).
     pub lg_active_from_start: bool,
+    /// Attach an in-world `corruptd` daemon that polls the Rx switch's
+    /// observed frame counters at every sample tick and activates
+    /// LinkGuardian from the *measured* windowed loss rate — the
+    /// closed-loop monitoring plane of Appendix C. Requires
+    /// `sample_interval` (the poll cadence) and a dormant start
+    /// (`lg_active_from_start = false`) to be meaningful.
+    pub corruptd_activation: bool,
     /// ECN marking threshold on the protected port's normal queue
     /// (the paper's DCTCP experiments use 100 KB).
     pub ecn_threshold: Option<u64>,
@@ -378,6 +424,7 @@ impl WorldConfig {
             lg: Some(LgConfig::for_speed(speed, actual)),
             bidirectional: false,
             lg_active_from_start: true,
+            corruptd_activation: false,
             ecn_threshold: None,
             host_stack_delay: Duration::from_us(7),
             app: App::None,
@@ -448,6 +495,8 @@ pub struct World {
     pub pool: PacketPool,
     /// Observability state (metric snapshots, uid base, profile).
     pub obs: WorldObs,
+    /// In-world control-plane daemon (see `WorldConfig::corruptd_activation`).
+    pub corruptd: Option<Corruptd>,
     stress: Option<u32>, // frame_len when stress mode active
     stress_seq: u64,
     next_flow: u64,
@@ -545,6 +594,19 @@ impl World {
             App::TcpStream { .. } => u32::MAX,
             App::None => 0,
         };
+        let corruptd = if cfg.corruptd_activation && cfg.lg.is_some() {
+            assert!(
+                cfg.sample_interval.is_some(),
+                "corruptd_activation polls on Ev::Sample: set sample_interval"
+            );
+            Some(Corruptd::new(
+                SW_RX.0,
+                1,
+                linkguardian::corruptd::ACTIVATION_THRESHOLD,
+            ))
+        } else {
+            None
+        };
 
         World {
             cfg,
@@ -562,6 +624,7 @@ impl World {
             out: Outcomes::default(),
             pool: PacketPool::new(),
             obs,
+            corruptd,
             stress: None,
             stress_seq: 0,
             next_flow: 1,
@@ -732,6 +795,10 @@ impl World {
         }
         self.snapshot_metrics(self.q.now());
         let mut lines = self.obs.registry.to_jsonl();
+        lines.extend(self.obs.series.drain_jsonl(label));
+        for ev in self.obs.health_events.drain(..) {
+            lines.push(ev.to_json_line(label, "link", "fwd"));
+        }
         let dropped = lg_obs::trace::dropped();
         let records = lg_obs::trace::drain();
         let base = self.obs.uid_base;
@@ -899,7 +966,18 @@ impl World {
                 self.kick_port(side, PORT_LINK);
             }
             Ev::ActivateLg => {
-                let rate = self.fwd_link.loss().model().mean_rate().max(1e-9);
+                // When the monitoring plane is attached, Eq. 2 is sized
+                // from the windowed rate it *measured*; the oracle
+                // loss-model parameter is only the fallback for worlds
+                // that activate by explicit schedule.
+                let observed = self
+                    .corruptd
+                    .as_ref()
+                    .map(|d| d.observed_rate(0))
+                    .filter(|r| *r > 0.0);
+                let rate = observed
+                    .unwrap_or_else(|| self.fwd_link.loss().model().mean_rate())
+                    .max(1e-9);
                 self.lg_tx.activate(rate);
                 self.lg_rx.activate();
                 let rev_rate = self.rev_link.loss().model().mean_rate().max(1e-9);
@@ -1576,9 +1654,24 @@ impl World {
 
     fn on_sample(&mut self, now: Time) {
         let interval = self.cfg.sample_interval.expect("sampling enabled");
+        // The heavyweight full-registry snapshot only serves the
+        // `--metrics-out` dump; the streaming bank and the health
+        // estimator are allocation-light and run on every tick, so
+        // enabling telemetry costs a few percent, not tens (the
+        // world_guard `--telemetry` gate holds it there).
         if lg_obs::sink::metrics_enabled() {
             self.snapshot_metrics(now);
         }
+        self.sample_timeseries(now);
+        let c = self.sw_rx.counters(PORT_LINK);
+        if let Some(ev) =
+            self.obs
+                .link_health
+                .observe_cumulative(now.as_ps(), c.frames_rx_all, c.frames_rx_ok)
+        {
+            self.obs.health_events.push(ev);
+        }
+        self.poll_corruptd(now);
         self.probes.qdepth.push(
             now,
             self.sw_tx.port(PORT_LINK).queue(Class::Normal).bytes() as f64,
@@ -1595,6 +1688,86 @@ impl World {
             m.roll_to(now);
         }
         self.q.schedule_after(interval, Ev::Sample);
+    }
+
+    /// Feed one window of every tracked metric into the telemetry bank.
+    fn sample_timeseries(&mut self, now: Time) {
+        let t = now.as_ps();
+        self.obs.next_window += 1;
+        let w = self.obs.next_window;
+        let qdepth = self.sw_tx.queue_bytes(PORT_LINK, Class::Normal);
+        let drops = self.fwd_link.loss().drops();
+        // Per-window mean recovery latency (≈ hole duration at the
+        // receiver) from the cumulative retx-delay histogram.
+        let h = self.lg_rx.retx_delay_histogram();
+        let count = h.len();
+        let sum = if count > 0 {
+            h.mean() * count as f64
+        } else {
+            0.0
+        };
+        let (seen_count, seen_sum) = self.obs.retx_delay_seen;
+        let win_mean = if count > seen_count {
+            (sum - seen_sum) / (count - seen_count) as f64
+        } else {
+            0.0
+        };
+        self.obs.retx_delay_seen = (count, sum);
+        let b = &mut self.obs.series;
+        let keys = *self.obs.ts_keys.get_or_insert_with(|| {
+            [
+                b.key("switch_port", "sw_tx:0", "qdepth_bytes"),
+                b.key("lg_sender", "fwd", "tx_buffer_bytes"),
+                b.key("lg_receiver", "fwd", "rx_buffer_bytes"),
+                b.key("lg_receiver", "fwd", "retx_delay_mean_ps"),
+                b.key("link", "fwd", "post_fec_drops"),
+                b.key("host", "h0", "e2e_retx"),
+            ]
+        });
+        b.sample_at(keys[0], t, w, qdepth as f64);
+        b.sample_at(keys[1], t, w, self.lg_tx.tx_buffer_bytes() as f64);
+        b.sample_at(keys[2], t, w, self.lg_rx.rx_buffer_bytes() as f64);
+        b.sample_at(keys[3], t, w, win_mean);
+        b.sample_at(keys[4], t, w, drops as f64);
+        b.sample_at(keys[5], t, w, self.e2e_retx_window as f64);
+    }
+
+    /// Poll the in-world control-plane daemon (if attached) against the
+    /// metrics registry — the same rows the dashboards read — and close
+    /// the loop: activation uses the *observed* windowed rate.
+    fn poll_corruptd(&mut self, now: Time) {
+        let Some(d) = self.corruptd.as_mut() else {
+            return;
+        };
+        if d.is_active(0) {
+            return;
+        }
+        if !lg_obs::sink::metrics_enabled() {
+            // keep the registry row the daemon reads fresh even when the
+            // full telemetry dump is off; refreshed in place so polling
+            // neither allocates nor grows the registry
+            let c = self.sw_rx.counters(PORT_LINK);
+            self.obs
+                .registry
+                .record_inplace(now.as_ps(), "switch_port", "sw_rx:0", &c);
+        }
+        if let Some(notice) = d.poll_registry(0, &self.obs.registry, "switch_port", "sw_rx:0", now)
+        {
+            lg_trace!(
+                Level::Ctl,
+                Comp::World,
+                Kind::CorruptdFlip,
+                0u16,
+                now.as_ps(),
+                0u64,
+                0u64,
+                notice.retx_copies
+            );
+            self.lg_tx.activate(notice.loss_rate.max(1e-9));
+            self.lg_rx.activate();
+            self.kick_port(Side::Tx, PORT_LINK);
+            self.kick_port(Side::Rx, PORT_LINK);
+        }
     }
 
     /// Stop injecting stress frames (the tail drains normally).

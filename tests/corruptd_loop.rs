@@ -69,6 +69,44 @@ fn corruptd_detects_and_activates_linkguardian() {
 }
 
 #[test]
+fn corruptd_activation_mode_closes_the_loop_from_observed_counters() {
+    // No manual polling here: the world's own corruptd polls the metrics
+    // registry on every Ev::Sample tick and activates LinkGuardian from
+    // the windowed rate it measured.
+    let mut cfg = WorldConfig::new(LinkSpeed::G25, LossModel::Iid { rate: 1e-3 });
+    cfg.lg_active_from_start = false;
+    cfg.corruptd_activation = true;
+    cfg.sample_interval = Some(Duration::from_ms(5));
+    let mut w = World::new(cfg);
+    w.enable_stress(1518);
+
+    w.run_until(Time::ZERO + Duration::from_ms(30));
+    assert!(
+        w.lg_tx.is_active(),
+        "sampled counters must have driven activation"
+    );
+    let d = w.corruptd.as_ref().expect("daemon attached");
+    assert!(d.is_active(0));
+    assert!(
+        d.observed_rate(0) > 1e-4,
+        "activation used the observed rate, got {:e}",
+        d.observed_rate(0)
+    );
+    // The health plane saw the same thing: the link left Healthy.
+    assert!(
+        !w.obs.health_events.is_empty(),
+        "health transition recorded"
+    );
+    assert!(w.obs.health_events[0].to >= lg_obs::LinkHealth::Degraded);
+
+    // And the protection actually works: recoveries happen downstream.
+    w.run_until(Time::ZERO + Duration::from_ms(50));
+    w.disable_stress();
+    w.run_until(Time::ZERO + Duration::from_ms(55));
+    assert!(w.lg_rx.stats().recovered > 0, "recoveries happened");
+}
+
+#[test]
 fn corruptd_stays_quiet_on_healthy_link() {
     let mut cfg = WorldConfig::new(LinkSpeed::G25, LossModel::None);
     cfg.lg_active_from_start = false;
