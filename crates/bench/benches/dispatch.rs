@@ -1,0 +1,125 @@
+//! Batched tick drain against single-event pop on the timer wheel.
+//!
+//! Two workload shapes bracket what the testbed dispatch loop sees:
+//!
+//! - `sparse`: every tick carries one event (self-rescheduling timers at
+//!   distinct instants) — the FCT worlds' common case.
+//! - `dense`: events arrive in same-instant runs of 16 (incast-style
+//!   bursts) — the case `pop_tick_into` drains in one call.
+//!
+//! Both sides of each pair dispatch into the same `black_box` fold, so
+//! the difference is pure queue/dispatch overhead. This is a *parity
+//! guard*, not a speedup claim: slot-run draining already happens inside
+//! `advance()` (the window buffer is the batch), so handing events
+//! through a second caller-side buffer can only break even at the queue
+//! level — its value is contiguous-run dispatch at the component layer
+//! (`World::dispatch_batch`'s PortEnqueue fast path). Acceptance: batched
+//! within ~15% of pop in both regimes; a larger gap means the
+//! `pop_tick_into` fast path stopped inlining or the drain grew a
+//! per-event cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use lg_sim::{Duration, EventQueue, Time};
+
+const TOTAL: u64 = 200_000;
+
+/// One live event per instant: pop loop.
+fn sparse_pop(total: u64) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    for i in 0..16u64 {
+        q.schedule_at(Time::from_ns(10 + i), i);
+    }
+    let mut acc = 0u64;
+    for _ in 0..total {
+        let (now, v) = q.pop().expect("population is steady");
+        acc = acc.wrapping_add(v);
+        q.schedule_at(now + Duration::from_ns(97 + (v % 13)), v);
+    }
+    acc
+}
+
+/// One live event per instant: batched tick drain.
+fn sparse_batched(total: u64) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    for i in 0..16u64 {
+        q.schedule_at(Time::from_ns(10 + i), i);
+    }
+    let mut buf = Vec::new();
+    let mut acc = 0u64;
+    let mut n = 0u64;
+    while n < total {
+        let (now, v) = q
+            .pop_tick_into(Time::MAX, &mut buf, 63)
+            .expect("population is steady");
+        acc = acc.wrapping_add(v);
+        q.schedule_at(now + Duration::from_ns(97 + (v % 13)), v);
+        n += 1;
+        for v in buf.drain(..) {
+            acc = acc.wrapping_add(v);
+            q.schedule_at(now + Duration::from_ns(97 + (v % 13)), v);
+            n += 1;
+        }
+    }
+    acc
+}
+
+/// Same-instant runs of `RUN` events: pop loop.
+const RUN: u64 = 16;
+
+fn dense_pop(total: u64) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    for i in 0..RUN {
+        q.schedule_at(Time::from_ns(10), i);
+    }
+    let mut acc = 0u64;
+    let mut n = 0u64;
+    while n < total {
+        let (now, v) = q.pop().expect("population is steady");
+        acc = acc.wrapping_add(v);
+        // regroup the whole run at one future instant
+        q.schedule_at(now + Duration::from_ns(100), v);
+        n += 1;
+    }
+    acc
+}
+
+fn dense_batched(total: u64) -> u64 {
+    let mut q: EventQueue<u64> = EventQueue::new();
+    for i in 0..RUN {
+        q.schedule_at(Time::from_ns(10), i);
+    }
+    let mut buf = Vec::new();
+    let mut acc = 0u64;
+    let mut n = 0u64;
+    while n < total {
+        let (now, v) = q
+            .pop_tick_into(Time::MAX, &mut buf, 63)
+            .expect("population is steady");
+        acc = acc.wrapping_add(v);
+        q.schedule_at(now + Duration::from_ns(100), v);
+        n += 1;
+        for v in buf.drain(..) {
+            acc = acc.wrapping_add(v);
+            q.schedule_at(now + Duration::from_ns(100), v);
+            n += 1;
+        }
+    }
+    acc
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch");
+    g.throughput(Throughput::Elements(TOTAL));
+    g.bench_function("sparse_pop", |b| b.iter(|| black_box(sparse_pop(TOTAL))));
+    g.bench_function("sparse_batched", |b| {
+        b.iter(|| black_box(sparse_batched(TOTAL)))
+    });
+    g.bench_function("dense_pop", |b| b.iter(|| black_box(dense_pop(TOTAL))));
+    g.bench_function("dense_batched", |b| {
+        b.iter(|| black_box(dense_batched(TOTAL)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

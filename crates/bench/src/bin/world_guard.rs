@@ -14,15 +14,59 @@
 //! (`tick_cost` prints the per-tick nanosecond cost directly when the
 //! ratio needs explaining.)
 //!
+//! Three further modes guard the batched-dispatch work:
+//!
+//! - `--ab-dispatch` interleaves the one-event-at-a-time reference loop
+//!   (`pop` + `handle`) with the production batched loop
+//!   (`pop_tick_into` + `dispatch_batch`) and prints both medians plus
+//!   the batched/reference speedup ratio. Same interleaving rationale
+//!   as `--ab-telemetry`.
+//! - `--allocs` counts heap allocations across the steady-state reps
+//!   (warm-up excluded) and prints `allocs_per_event`; CI fails the
+//!   run if it exceeds 0.01 — the hot path must stay allocation-free.
+//! - `--history <path>` appends the run's headline numbers as one JSON
+//!   line to a trajectory file (`BENCH_history.json`). The CI perf gate
+//!   reads the *last* entry as its reference, so the threshold tracks
+//!   the repo's own recorded trajectory instead of a hard-coded count.
+//!
 //! Usage: `cargo run --release -p lg-bench --bin world_guard
-//! [--trials 300] [--reps 5] [--telemetry | --ab-telemetry]`
+//! [--trials 300] [--reps 5] [--telemetry | --ab-telemetry |
+//! --ab-dispatch] [--allocs] [--history PATH]`
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use lg_bench::arg;
 use lg_link::{LinkSpeed, LossModel};
-use lg_sim::Duration;
+use lg_sim::{Duration, Time};
 use lg_testbed::{App, World, WorldConfig};
 use lg_transport::CcVariant;
 use linkguardian::LgConfig;
+
+/// Allocation-counting shim over the system allocator. Always installed
+/// in this binary: one relaxed fetch_add per allocation is far below the
+/// noise floor of the throughput numbers, and it lets `--allocs` measure
+/// the exact same process that produced them.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn fig10_world(trials: u32, telemetry: bool) -> World {
     let speed = LinkSpeed::G100;
@@ -48,14 +92,32 @@ fn fig10_world(trials: u32, telemetry: bool) -> World {
     World::new(cfg)
 }
 
+/// Reference one-event-at-a-time loop: the pre-batching dispatch shape,
+/// kept as the A side of `--ab-dispatch` and for `--telemetry` runs
+/// (where the self-rescheduling `Ev::Sample` keeps the queue non-empty,
+/// so the stop condition must be the FCT count, not queue exhaustion).
 fn run_counting(w: &mut World, trials: u32) -> u64 {
     let mut events = 0u64;
-    // Stop at the last FCT, not on queue exhaustion: with `--telemetry`
-    // the periodic Ev::Sample reschedules itself forever.
     while w.out.fct.len() as u32 != trials {
         let (now, ev) = w.q.pop().expect("trials still in flight");
         w.handle_pub(ev, now);
         events += 1;
+    }
+    events
+}
+
+/// Production batched loop, counting events per drained tick. Mirrors
+/// `World::run_until` exactly (same `pop_tick_into` + `dispatch_batch`
+/// calls), with the FCT-count stop condition checked between ticks.
+fn run_counting_batched(w: &mut World, trials: u32) -> u64 {
+    let mut events = 0u64;
+    let mut batch = Vec::new();
+    while w.out.fct.len() as u32 != trials {
+        let (now, ev) =
+            w.q.pop_tick_into(Time::MAX, &mut batch, 64)
+                .expect("trials still in flight");
+        events += 1 + batch.len() as u64;
+        w.dispatch_batch_pub(ev, &mut batch, now);
     }
     events
 }
@@ -68,14 +130,46 @@ fn timed_rate(trials: u32, telemetry: bool) -> f64 {
     events as f64 / t0.elapsed().as_secs_f64()
 }
 
+/// One timed run of the batched dispatcher.
+fn timed_rate_batched(trials: u32) -> f64 {
+    let mut w = fig10_world(trials, false);
+    let t0 = std::time::Instant::now();
+    let events = run_counting_batched(&mut w, trials);
+    events as f64 / t0.elapsed().as_secs_f64()
+}
+
 fn median(rates: &mut [f64]) -> f64 {
     rates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     rates[rates.len() / 2]
 }
 
+/// Append one JSON line of headline numbers to the trajectory file.
+/// JSONL by hand: two numeric fields don't justify pulling serde into
+/// the binary, and appending lines never rewrites history.
+fn append_history(path: &str, events_per_run: u64, events_per_sec: f64, dispatch_ratio: f64) {
+    use std::io::Write;
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let line = format!(
+        "{{\"unix_ts\":{ts},\"events_per_run\":{events_per_run},\
+         \"events_per_sec\":{events_per_sec:.0},\"dispatch_ratio\":{dispatch_ratio:.4}}}\n"
+    );
+    let r = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = r {
+        eprintln!("warning: could not append {path}: {e}");
+    }
+}
+
 fn main() {
     let trials: u32 = arg("--trials", 300);
     let reps: usize = arg("--reps", 5).max(1);
+    let history: String = arg("--history", String::new());
     // `--telemetry` turns on 100 µs sampling: the streaming bank, the
     // health estimator, and the probes all run per tick. The sink (full
     // registry snapshots + end-of-run dump) stays off — that is the
@@ -112,10 +206,71 @@ fn main() {
         println!("telemetry_ratio: {:.4}", median(&mut ratios));
         return;
     }
+    if lg_bench::flag("--ab-dispatch") {
+        // Same interleaving protocol as `--ab-telemetry`, comparing the
+        // one-event-at-a-time reference loop against the production
+        // batched dispatcher. The ratio is the honest within-process
+        // speedup of batching alone (the SoA and wheel changes are in
+        // both sides' binaries).
+        let events_per_run = run_counting_batched(&mut fig10_world(trials, false), trials);
+        let (mut refr, mut batched, mut ratios) = (Vec::new(), Vec::new(), Vec::new());
+        for i in 0..reps {
+            let (r, b) = if i % 2 == 0 {
+                let r = timed_rate(trials, false);
+                (r, timed_rate_batched(trials))
+            } else {
+                let b = timed_rate_batched(trials);
+                (timed_rate(trials, false), b)
+            };
+            refr.push(r);
+            batched.push(b);
+            ratios.push(b / r);
+        }
+        let (r, b) = (median(&mut refr), median(&mut batched));
+        let ratio = median(&mut ratios);
+        println!("events_per_run: {events_per_run}");
+        println!("events_per_sec_reference: {r:.0}");
+        println!("events_per_sec_batched: {b:.0}");
+        println!("dispatch_ratio: {ratio:.4}");
+        if !history.is_empty() {
+            append_history(&history, events_per_run, b, ratio);
+        }
+        return;
+    }
+    if lg_bench::flag("--allocs") {
+        // Allocation regression gate. Warm-up run excluded: World::new
+        // and first-touch growth of pools/lanes/scratch may allocate;
+        // the steady-state loop must not. Each rep constructs a fresh
+        // World, so per-rep setup allocations are measured and divided
+        // out by using the warm-up to size an allowance: we count only
+        // the delta beyond one construction's worth per rep.
+        let mut w = fig10_world(trials, telemetry);
+        let a0 = ALLOCS.load(Ordering::Relaxed);
+        let events_per_run = run_counting_batched(&mut w, trials);
+        let run_allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+        drop(w);
+        // Second run on a fresh world: construction allocates, but the
+        // dispatch loop has no first-touch growth left to hide behind —
+        // every lane and scratch buffer size was already exercised.
+        // Measure only the loop.
+        let mut w = fig10_world(trials, telemetry);
+        let a1 = ALLOCS.load(Ordering::Relaxed);
+        let events = run_counting_batched(&mut w, trials);
+        let loop_allocs = ALLOCS.load(Ordering::Relaxed) - a1;
+        let per_event = loop_allocs as f64 / events as f64;
+        println!("events_per_run: {events_per_run}");
+        println!("first_run_allocs: {run_allocs}");
+        println!("steady_state_allocs: {loop_allocs}");
+        println!("allocs_per_event: {per_event:.6}");
+        return;
+    }
     // Warm-up run (also calibrates the per-run event count).
     let events_per_run = run_counting(&mut fig10_world(trials, telemetry), trials);
     let mut rates: Vec<f64> = (0..reps).map(|_| timed_rate(trials, telemetry)).collect();
     let median = median(&mut rates);
     println!("events_per_run: {events_per_run}");
     println!("events_per_sec: {median:.0}");
+    if !history.is_empty() {
+        append_history(&history, events_per_run, median, 0.0);
+    }
 }

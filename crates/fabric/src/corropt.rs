@@ -60,17 +60,32 @@ impl CorrOpt {
     /// as possible in descending loss-rate order. Returns the links newly
     /// disabled.
     pub fn optimize(&self, fabric: &mut Fabric, corrupting: &[(LinkId, f64)]) -> Vec<LinkId> {
-        let mut by_rate: Vec<(LinkId, f64)> = corrupting.to_vec();
-        by_rate.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
-        let mut disabled = Vec::new();
-        for (link, _) in by_rate {
+        let mut out = Vec::new();
+        self.optimize_into(fabric, corrupting, &mut Vec::new(), &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`CorrOpt::optimize`] for callers on an
+    /// event loop: sorts `corrupting` into `scratch` and appends newly
+    /// disabled links to `out`, so year-long sweeps (one optimizer pass
+    /// per repair event) reuse the same two buffers throughout.
+    pub fn optimize_into(
+        &self,
+        fabric: &mut Fabric,
+        corrupting: &[(LinkId, f64)],
+        scratch: &mut Vec<(LinkId, f64)>,
+        out: &mut Vec<LinkId>,
+    ) {
+        scratch.clear();
+        scratch.extend_from_slice(corrupting);
+        scratch.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN"));
+        for &(link, _) in scratch.iter() {
             if matches!(fabric.link(link).state, LinkState::Corrupting { .. })
                 && self.try_disable(fabric, link)
             {
-                disabled.push(link);
+                out.push(link);
             }
         }
-        disabled
     }
 }
 

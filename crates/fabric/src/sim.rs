@@ -422,6 +422,13 @@ pub fn run(cfg: &FabricSimConfig) -> FabricSimResult {
     };
     let mut lg_per_switch: HashMap<(u32, u8), u32> = HashMap::new();
 
+    // Optimizer buffers, reused across every repair event: a year-long
+    // LG sweep runs the optimizer thousands of times, and per-event
+    // backlog/sort/result allocations showed up in its wall clock.
+    let mut backlog: Vec<(LinkId, f64)> = Vec::new();
+    let mut opt_scratch: Vec<(LinkId, f64)> = Vec::new();
+    let mut opt_disabled: Vec<LinkId> = Vec::new();
+
     while let Some(Scheduled { at, ev, .. }) = heap.pop() {
         // emit samples up to this event
         while next_sample <= at && next_sample <= cfg.horizon_hours {
@@ -485,9 +492,11 @@ pub fn run(cfg: &FabricSimConfig) -> FabricSimResult {
                     );
                 }
                 // capacity returned: let the optimizer try the backlog
-                let backlog: Vec<(LinkId, f64)> =
-                    corrupting.iter().map(|(&l, &(r, _))| (l, r)).collect();
-                for l in corropt.optimize(&mut fabric, &backlog) {
+                backlog.clear();
+                backlog.extend(corrupting.iter().map(|(&l, &(r, _))| (l, r)));
+                opt_disabled.clear();
+                corropt.optimize_into(&mut fabric, &backlog, &mut opt_scratch, &mut opt_disabled);
+                for &l in &opt_disabled {
                     counts.optimizer_disabled += 1;
                     if let Some((_, true)) = corrupting.remove(&l) {
                         if let Some(n) = lg_per_switch.get_mut(&switch_key(&fabric, l)) {

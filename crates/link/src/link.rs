@@ -55,22 +55,26 @@ impl LinkDirection {
     }
 
     /// Serialization delay for a frame of `wire_bytes`.
+    #[inline]
     pub fn serialize(&self, wire_bytes: u32) -> Duration {
         self.cfg.speed.serialize(wire_bytes)
     }
 
     /// One-way propagation delay.
+    #[inline]
     pub fn propagation(&self) -> Duration {
         self.cfg.propagation
     }
 
     /// Total latency from start-of-transmission to full reception.
+    #[inline]
     pub fn latency(&self, wire_bytes: u32) -> Duration {
         self.serialize(wire_bytes) + self.cfg.propagation
     }
 
     /// Decide whether the next transmitted frame survives. Returns `false`
     /// if it is corrupted (dropped by the receiving MAC).
+    #[inline]
     pub fn deliver(&mut self) -> bool {
         !self.loss.should_drop()
     }

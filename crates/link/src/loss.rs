@@ -107,6 +107,7 @@ impl LossProcess {
     }
 
     /// Decide the fate of the next frame. Returns `true` if it is lost.
+    #[inline]
     pub fn should_drop(&mut self) -> bool {
         let idx = self.frame_index;
         self.frame_index += 1;

@@ -24,17 +24,29 @@
 //!   word scans. Events past the last level wait in an *overflow* heap
 //!   keyed by (time, seq) and are wheeled in when the clock reaches
 //!   their 2^53 ps window.
-//! * **Cursor and the pre-heap.** `cursor` is the wheel's lower bound:
-//!   every event stored in the wheel or overflow has `at >= cursor`.
-//!   Peeking may advance the cursor past `now`, so a later `schedule_at`
-//!   can legally target `now <= at < cursor`; those events go to a small
-//!   *pre* heap that is merged with the active batch on pop. This keeps
-//!   the (time, FIFO-seq) total order exact under any interleaving of
-//!   schedule / peek / pop.
+//! * **Cursor and the sorted window.** `cursor` is the wheel's lower
+//!   bound: every event stored in the wheel or overflow has
+//!   `at >= cursor`. Everything below the cursor lives in the *window* —
+//!   a single (time, seq)-sorted buffer. Activation drains a whole run
+//!   of level-0 slots (up to [`WINDOW_SLOTS`], capped at [`DRAIN_CAP`]
+//!   entries) into the window at once, so the per-activation overhead
+//!   (level scans, cascades, cursor math) is amortized across every
+//!   event in the run, and `pop` is a plain front-of-buffer take. The
+//!   deliberate cursor run-ahead means most handler-scheduled events
+//!   (`schedule_after` with a sub-window delay) land *below* the cursor
+//!   and are filed by one ordered insert near the window's tail instead
+//!   of a wheel insert plus a later slot activation.
 //!
-//! Equal-time FIFO order holds because slot activation sorts the batch
-//! by (time, seq) before it is drained, and the pre heap is keyed the
-//! same way, so every merge point respects the global total order.
+//! Equal-time FIFO order holds because slot activation sorts the drained
+//! batch by (time, seq) before appending it, and ordered inserts place a
+//! new event (which always carries the largest seq) after every entry at
+//! the same instant, so the window is totally ordered at all times.
+//!
+//! Batch consumers use [`EventQueue::pop_tick_into`] to drain every
+//! event sharing the earliest pending timestamp in one call — the
+//! slot-drain fast path behind the testbed's batched dispatch — and
+//! [`EventQueue::pop_if_before`] to bound a run without the classic
+//! `peek_time` + `pop` double lookup.
 //!
 //! The previous `BinaryHeap`-based implementation is kept as the
 //! [`reference`] module: it is the behavioral oracle for the differential
@@ -60,6 +72,12 @@ const WORDS: usize = SLOTS / 64;
 /// Bits of time covered by all wheel levels; events whose timestamp
 /// differs from the cursor above this bit wait in the overflow heap.
 const TOP_SHIFT: u32 = GRAIN_BITS + LEVELS as u32 * SLOT_BITS;
+/// Level-0 slots activated per window drain (~2.1 µs of simulated time).
+const WINDOW_SLOTS: usize = 256;
+/// Soft cap on entries drained into the window per activation. Whole
+/// bucket chains are always drained, so a single overfull slot may
+/// exceed this by its chain length; the cap only stops the slot run.
+const DRAIN_CAP: usize = 1024;
 
 /// Handle to a scheduled event; can be used to cancel it.
 ///
@@ -88,12 +106,21 @@ struct Entry<E> {
     payload: Option<E>,
 }
 
-/// Heap entry for the pre and overflow heaps. Ordered earliest-first by
+/// Heap entry for the overflow heap. Ordered earliest-first by
 /// (time, seq); `BinaryHeap` is a max-heap, so the comparison is
 /// reversed. The key is copied out of the arena so heap reordering never
 /// touches entry memory.
 #[derive(Clone, Copy, PartialEq, Eq)]
 struct HeapRef {
+    at: Time,
+    seq: u64,
+    idx: u32,
+}
+
+/// Window-buffer entry: the (time, seq) sort key copied out of the arena
+/// so ordered inserts and front scans stay inside one contiguous buffer.
+#[derive(Clone, Copy)]
+struct WinRef {
     at: Time,
     seq: u64,
     idx: u32,
@@ -133,10 +160,12 @@ pub struct EventQueue<E> {
     /// Reusable buffer for sorting a drained slot's chain.
     batch_scratch: Vec<u32>,
     occupied: [[u64; WORDS]; LEVELS],
-    /// The level-0 slot currently being drained, sorted by (time, seq).
-    active: VecDeque<u32>,
-    /// Events scheduled below the cursor after a peek advanced it.
-    pre: BinaryHeap<HeapRef>,
+    /// Every pending event with `at < cursor`, sorted by (time, seq).
+    /// Holds both the drained slot run and any events scheduled below
+    /// the cursor afterwards (filed by ordered insert).
+    window: VecDeque<WinRef>,
+    /// Reusable buffer for sorting a drained slot run.
+    drain_scratch: Vec<WinRef>,
     /// Events beyond the wheel horizon.
     overflow: BinaryHeap<HeapRef>,
     /// Lower bound (in ps) on every event stored in `slots`/`overflow`.
@@ -164,8 +193,8 @@ impl<E> EventQueue<E> {
             tails: vec![NIL; LEVELS * SLOTS],
             batch_scratch: Vec::new(),
             occupied: [[0; WORDS]; LEVELS],
-            active: VecDeque::new(),
-            pre: BinaryHeap::new(),
+            window: VecDeque::new(),
+            drain_scratch: Vec::new(),
             overflow: BinaryHeap::new(),
             cursor: 0,
             now: Time::ZERO,
@@ -220,11 +249,27 @@ impl<E> EventQueue<E> {
         let gen = self.arena[idx as usize].gen;
         self.pending += 1;
         if at.as_ps() < self.cursor {
-            self.pre.push(HeapRef { at, seq, idx });
+            self.window_insert(WinRef { at, seq, idx });
         } else {
             self.insert_raw(idx, at, seq);
         }
         EventHandle { idx, gen }
+    }
+
+    /// File an event below the cursor into the sorted window. The new
+    /// event carries the largest seq issued so far, so ties on time sort
+    /// after every existing entry: position on time alone. Handler-
+    /// scheduled events cluster at or past the window's tail, so the
+    /// append case is checked first.
+    #[inline]
+    fn window_insert(&mut self, w: WinRef) {
+        match self.window.back() {
+            Some(b) if b.at > w.at => {
+                let i = self.window.partition_point(|e| e.at <= w.at);
+                self.window.insert(i, w);
+            }
+            _ => self.window.push_back(w),
+        }
     }
 
     /// Schedule `payload` after delay `d` from now.
@@ -249,41 +294,164 @@ impl<E> EventQueue<E> {
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(Time, E)> {
         loop {
-            // Fast path: the pre heap is only populated when a peek ran
-            // the cursor ahead of a later schedule, so in the steady
-            // state it is empty and the head of `active` is the global
-            // minimum — take it with a single arena probe.
-            if self.pre.is_empty() {
-                while let Some(&idx) = self.active.front() {
-                    self.active.pop_front();
-                    let e = &mut self.arena[idx as usize];
-                    let at = e.at;
-                    let payload = e.payload.take();
-                    self.release(idx);
-                    if let Some(payload) = payload {
-                        debug_assert!(at >= self.now);
-                        self.now = at;
-                        self.pending -= 1;
-                        return Some((at, payload));
-                    }
+            // The window front is the global minimum: every event below
+            // the cursor is in the window (sorted), everything in the
+            // wheel/overflow is at or above the cursor.
+            while let Some(w) = self.window.pop_front() {
+                let e = &mut self.arena[w.idx as usize];
+                let payload = e.payload.take();
+                self.release(w.idx);
+                if let Some(payload) = payload {
+                    debug_assert!(w.at >= self.now);
+                    self.now = w.at;
+                    self.pending -= 1;
+                    return Some((w.at, payload));
                 }
-                if !self.advance() {
+            }
+            if !self.advance() {
+                return None;
+            }
+        }
+    }
+
+    /// Pop the next event only if it is due at or before `until`,
+    /// advancing the clock to its timestamp. A single front probe
+    /// replaces the `peek_time` + `pop` double lookup in bounded run
+    /// loops; returns `None` when the queue is empty or the next event
+    /// is after `until` (the clock is not advanced in either case).
+    pub fn pop_if_before(&mut self, until: Time) -> Option<(Time, E)> {
+        loop {
+            while let Some(&w) = self.window.front() {
+                if self.arena[w.idx as usize].payload.is_none() {
+                    self.window.pop_front();
+                    self.release(w.idx);
+                    continue;
+                }
+                if w.at > until {
                     return None;
                 }
-                continue;
+                self.window.pop_front();
+                let payload = self.arena[w.idx as usize]
+                    .payload
+                    .take()
+                    .expect("probed live");
+                self.release(w.idx);
+                debug_assert!(w.at >= self.now);
+                self.now = w.at;
+                self.pending -= 1;
+                return Some((w.at, payload));
             }
-            self.sweep_cancelled_fronts();
-            let from_active = self.front_key();
-            let from_pre = self.pre.peek().map(|p| (p.at, p.seq));
-            match (from_active, from_pre) {
-                (Some(a), Some(p)) if a <= p => return Some(self.take_active()),
-                (Some(_), Some(_)) | (None, Some(_)) => return Some(self.take_pre()),
-                (Some(_), None) => return Some(self.take_active()),
-                (None, None) => {
+            if !self.advance() {
+                return None;
+            }
+        }
+    }
+
+    /// Pop the earliest event and drain the rest of its same-instant run
+    /// into `buf` (until `buf` holds `cap` events), advancing the clock
+    /// to that instant. Returns `(timestamp, first event)`, or `None`
+    /// when the queue is empty or the next event is after `until` (clock
+    /// untouched in either case).
+    ///
+    /// The first event of the tick comes back by value — the common
+    /// singleton tick costs exactly one extra front peek over
+    /// [`EventQueue::pop_if_before`], with no buffer round-trip. The
+    /// remainder lands in `buf` in exact (time, seq) delivery order —
+    /// the same order a `pop` loop would produce. Same-instant events
+    /// can never straddle the window/wheel boundary, so one window scan
+    /// is exhaustive. If the tick run overflows `cap`, the remainder
+    /// stays queued and the next call resumes the same tick. Drained
+    /// events are committed: their handles are spent, and cancelling
+    /// one reports `false` exactly as for a fired event.
+    #[inline]
+    pub fn pop_tick_into(
+        &mut self,
+        until: Time,
+        buf: &mut Vec<E>,
+        cap: usize,
+    ) -> Option<(Time, E)> {
+        // Inline fast path: live window front, singleton or in-progress
+        // tick. Everything else (cancelled fronts, window refill via
+        // `advance`) stays outlined so this wrapper inlines into the
+        // caller's dispatch loop just like `pop` does — without it the
+        // call costs more than the double lookup it replaces.
+        if let Some(&w) = self.window.front() {
+            if self.arena[w.idx as usize].payload.is_some() {
+                if w.at > until {
+                    return None;
+                }
+                self.window.pop_front();
+                let payload = self.arena[w.idx as usize]
+                    .payload
+                    .take()
+                    .expect("probed live");
+                self.release(w.idx);
+                self.pending -= 1;
+                if let Some(n) = self.window.front() {
+                    if n.at == w.at {
+                        self.drain_tick_rest(w.at, buf, cap);
+                    }
+                }
+                debug_assert!(w.at >= self.now);
+                self.now = w.at;
+                return Some((w.at, payload));
+            }
+        }
+        self.pop_tick_into_slow(until, buf, cap)
+    }
+
+    fn pop_tick_into_slow(
+        &mut self,
+        until: Time,
+        buf: &mut Vec<E>,
+        cap: usize,
+    ) -> Option<(Time, E)> {
+        let (at, first) = loop {
+            match self.window.front() {
+                Some(&w) => {
+                    if self.arena[w.idx as usize].payload.is_some() {
+                        if w.at > until {
+                            return None;
+                        }
+                        self.window.pop_front();
+                        let payload = self.arena[w.idx as usize]
+                            .payload
+                            .take()
+                            .expect("probed live");
+                        self.release(w.idx);
+                        self.pending -= 1;
+                        break (w.at, payload);
+                    }
+                    self.window.pop_front();
+                    self.release(w.idx);
+                }
+                None => {
                     if !self.advance() {
                         return None;
                     }
                 }
+            }
+        };
+        self.drain_tick_rest(at, buf, cap);
+        debug_assert!(at >= self.now);
+        self.now = at;
+        Some((at, first))
+    }
+
+    /// Drain the remainder of the `at` tick's run into `buf` (until it
+    /// holds `cap` events), skipping cancelled entries.
+    fn drain_tick_rest(&mut self, at: Time, buf: &mut Vec<E>, cap: usize) {
+        while buf.len() < cap {
+            let Some(&w) = self.window.front() else { break };
+            if w.at != at {
+                break;
+            }
+            self.window.pop_front();
+            let payload = self.arena[w.idx as usize].payload.take();
+            self.release(w.idx);
+            if let Some(payload) = payload {
+                self.pending -= 1;
+                buf.push(payload);
             }
         }
     }
@@ -291,70 +459,17 @@ impl<E> EventQueue<E> {
     /// Peek at the timestamp of the next pending event without popping it.
     pub fn peek_time(&mut self) -> Option<Time> {
         loop {
-            self.sweep_cancelled_fronts();
-            let from_active = self.front_key();
-            let from_pre = self.pre.peek().map(|p| (p.at, p.seq));
-            match (from_active, from_pre) {
-                (Some(a), Some(p)) => return Some(a.min(p).0),
-                (Some(a), None) => return Some(a.0),
-                (None, Some(p)) => return Some(p.0),
-                (None, None) => {
-                    if !self.advance() {
-                        return None;
-                    }
+            while let Some(&w) = self.window.front() {
+                if self.arena[w.idx as usize].payload.is_some() {
+                    return Some(w.at);
                 }
+                self.window.pop_front();
+                self.release(w.idx);
+            }
+            if !self.advance() {
+                return None;
             }
         }
-    }
-
-    /// (time, seq) of the head of the active batch, if any.
-    #[inline]
-    fn front_key(&self) -> Option<(Time, u64)> {
-        self.active.front().map(|&idx| {
-            let e = &self.arena[idx as usize];
-            (e.at, e.seq)
-        })
-    }
-
-    /// Release cancelled entries sitting at the heads of `active`/`pre`
-    /// so the fronts are live events (or empty).
-    fn sweep_cancelled_fronts(&mut self) {
-        while let Some(&idx) = self.active.front() {
-            if self.arena[idx as usize].payload.is_some() {
-                break;
-            }
-            self.active.pop_front();
-            self.release(idx);
-        }
-        while let Some(p) = self.pre.peek() {
-            let idx = p.idx;
-            if self.arena[idx as usize].payload.is_some() {
-                break;
-            }
-            self.pre.pop();
-            self.release(idx);
-        }
-    }
-
-    fn take_active(&mut self) -> (Time, E) {
-        let idx = self.active.pop_front().expect("live front");
-        self.take(idx)
-    }
-
-    fn take_pre(&mut self) -> (Time, E) {
-        let idx = self.pre.pop().expect("live front").idx;
-        self.take(idx)
-    }
-
-    fn take(&mut self, idx: u32) -> (Time, E) {
-        let e = &mut self.arena[idx as usize];
-        let at = e.at;
-        let payload = e.payload.take().expect("swept live");
-        self.release(idx);
-        debug_assert!(at >= self.now);
-        self.now = at;
-        self.pending -= 1;
-        (at, payload)
     }
 
     /// Return an arena slot to the free list, invalidating its handles.
@@ -409,10 +524,10 @@ impl<E> EventQueue<E> {
         batch
     }
 
-    /// Move the cursor forward to the next stored event: activate the
-    /// next occupied level-0 slot, cascading higher levels (and refilling
-    /// from the overflow heap) as needed. Returns false if the wheel and
-    /// overflow are completely empty.
+    /// Move the cursor forward to the next stored events: drain the next
+    /// run of occupied level-0 slots into the window, cascading higher
+    /// levels (and refilling from the overflow heap) as needed. Returns
+    /// false if the wheel and overflow are completely empty.
     ///
     /// Occupied slots at each level always lie at or after the cursor's
     /// slot index — an insert lands above the cursor's index at its
@@ -420,7 +535,7 @@ impl<E> EventQueue<E> {
     /// drained — so scanning `[cursor_slot, SLOTS)` without wrap-around
     /// is exhaustive.
     fn advance(&mut self) -> bool {
-        debug_assert!(self.active.is_empty() && self.pre.is_empty());
+        debug_assert!(self.window.is_empty());
         loop {
             // A lower-level rollover can carry the cursor into a new
             // window whose own higher-level slot still holds events
@@ -440,34 +555,59 @@ impl<E> EventQueue<E> {
                     self.drain_slot(level, slot);
                 }
             }
-            // Level 0: activate the next occupied slot.
+            // Level 0: drain every occupied slot in the next
+            // WINDOW_SLOTS-wide run into the window. One activation
+            // covers the whole run, amortizing the level scans and
+            // cursor math above across all its events, and the cursor
+            // jump past the run routes handler-scheduled events into
+            // the sorted window instead of the wheel.
             let start = ((self.cursor >> GRAIN_BITS) & SLOT_MASK) as usize;
             if let Some(s) = self.find_occupied(0, start) {
-                let span_mask = (1u64 << (GRAIN_BITS + SLOT_BITS)) - 1;
-                let base = (self.cursor & !span_mask) | ((s as u64) << GRAIN_BITS);
-                self.occupied[0][s / 64] &= !(1 << (s % 64));
-                let head = self.heads[s];
-                if head == self.tails[s] {
-                    // Single-entry slot — the common case at level-0
-                    // grain: skip the batch vector and the sort.
-                    self.heads[s] = NIL;
-                    self.tails[s] = NIL;
-                    self.active.push_back(head);
-                } else {
-                    let mut batch = self.unchain(s);
-                    let arena = &self.arena;
-                    batch.sort_by_key(|&idx| {
-                        let e = &arena[idx as usize];
-                        (e.at, e.seq)
-                    });
-                    self.active.extend(batch.iter().copied());
-                    batch.clear();
-                    self.batch_scratch = batch;
+                let mut batch = std::mem::take(&mut self.drain_scratch);
+                batch.clear();
+                let end = (s + WINDOW_SLOTS).min(SLOTS);
+                let mut drained_to = end;
+                let mut slot = s;
+                while let Some(s2) = self.find_occupied(0, slot) {
+                    if s2 >= end {
+                        break;
+                    }
+                    self.occupied[0][s2 / 64] &= !(1 << (s2 % 64));
+                    let mut cur = self.heads[s2];
+                    self.heads[s2] = NIL;
+                    self.tails[s2] = NIL;
+                    while cur != NIL {
+                        let e = &self.arena[cur as usize];
+                        batch.push(WinRef {
+                            at: e.at,
+                            seq: e.seq,
+                            idx: cur,
+                        });
+                        cur = e.next;
+                    }
+                    slot = s2 + 1;
+                    if batch.len() >= DRAIN_CAP {
+                        drained_to = slot;
+                        break;
+                    }
+                    if slot >= end {
+                        break;
+                    }
                 }
+                if batch.len() > 1 {
+                    batch.sort_unstable_by_key(|w| (w.at, w.seq));
+                }
+                self.window.extend(batch.iter().copied());
+                batch.clear();
+                self.drain_scratch = batch;
+                // Every event below base + drained_to slots is now in
+                // the window, so the cursor jumps past the whole run.
                 // Wraps only once the clock exhausts the u64 ps domain;
                 // at that point the wheel is empty and inserts fall
                 // through to the overflow heap, which restores order.
-                self.cursor = base.wrapping_add(1 << GRAIN_BITS);
+                let span_mask = (1u64 << (GRAIN_BITS + SLOT_BITS)) - 1;
+                self.cursor =
+                    (self.cursor & !span_mask).wrapping_add((drained_to as u64) << GRAIN_BITS);
                 return true;
             }
             // Levels 1+: cascade the next occupied slot down.
@@ -689,6 +829,83 @@ mod tests {
         let mut want: Vec<_> = times.iter().copied().zip(0..times.len()).collect();
         want.reverse();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pop_if_before_bounds_the_run_without_advancing() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Time::from_ns(10), 1);
+        q.schedule_at(Time::from_ns(20), 2);
+        assert_eq!(
+            q.pop_if_before(Time::from_ns(15)),
+            Some((Time::from_ns(10), 1))
+        );
+        // Next event is after the bound: None, clock stays at the last pop.
+        assert_eq!(q.pop_if_before(Time::from_ns(15)), None);
+        assert_eq!(q.now(), Time::from_ns(10));
+        assert_eq!(q.len(), 1);
+        assert_eq!(
+            q.pop_if_before(Time::from_ns(20)),
+            Some((Time::from_ns(20), 2))
+        );
+        assert_eq!(q.pop_if_before(Time::MAX), None);
+    }
+
+    #[test]
+    fn pop_tick_into_drains_one_tick_in_fifo_order() {
+        let mut q = EventQueue::new();
+        let t = Time::from_ns(5);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        q.schedule_at(Time::from_ns(6), 99);
+        let mut buf = Vec::new();
+        assert_eq!(q.pop_tick_into(Time::MAX, &mut buf, 64), Some((t, 0)));
+        assert_eq!(buf, (1..10).collect::<Vec<_>>());
+        assert_eq!(q.now(), t);
+        assert_eq!(q.len(), 1);
+        buf.clear();
+        assert_eq!(q.pop_tick_into(Time::from_ns(5), &mut buf, 64), None);
+        assert_eq!(
+            q.pop_tick_into(Time::from_ns(6), &mut buf, 64),
+            Some((Time::from_ns(6), 99))
+        );
+        assert!(buf.is_empty(), "singleton tick never touches the buffer");
+    }
+
+    #[test]
+    fn pop_tick_into_resumes_a_tick_split_by_cap() {
+        let mut q = EventQueue::new();
+        let t = Time::from_ns(5);
+        for i in 0..10 {
+            q.schedule_at(t, i);
+        }
+        let mut buf = Vec::new();
+        assert_eq!(q.pop_tick_into(Time::MAX, &mut buf, 4), Some((t, 0)));
+        assert_eq!(buf, vec![1, 2, 3, 4]);
+        buf.clear();
+        assert_eq!(q.pop_tick_into(Time::MAX, &mut buf, 4), Some((t, 5)));
+        assert_eq!(buf, vec![6, 7, 8, 9]);
+        buf.clear();
+        assert_eq!(q.pop_tick_into(Time::MAX, &mut buf, 4), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_tick_into_skips_cancelled_and_spends_handles() {
+        let mut q = EventQueue::new();
+        let t = Time::from_ns(5);
+        let _h0 = q.schedule_at(t, 0);
+        let h1 = q.schedule_at(t, 1);
+        let h2 = q.schedule_at(t, 2);
+        assert!(q.cancel(h1));
+        let mut buf = Vec::new();
+        assert_eq!(q.pop_tick_into(Time::MAX, &mut buf, 64), Some((t, 0)));
+        assert_eq!(buf, vec![2]);
+        // Drained events are committed: cancelling reports false, exactly
+        // as for an event delivered through pop().
+        assert!(!q.cancel(h2));
+        assert_eq!(q.len(), 0);
     }
 
     #[test]

@@ -134,6 +134,38 @@ impl<E> EventQueue<E> {
         None
     }
 
+    /// Pop the next event only if it is due at or before `until`.
+    /// Mirrors [`super::EventQueue::pop_if_before`].
+    pub fn pop_if_before(&mut self, until: Time) -> Option<(Time, E)> {
+        match self.peek_time() {
+            Some(at) if at <= until => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Pop the earliest event and drain the rest of its same-instant run
+    /// into `buf` (until `buf` holds `cap` events), advancing the clock
+    /// to that instant. Mirrors [`super::EventQueue::pop_tick_into`].
+    pub fn pop_tick_into(
+        &mut self,
+        until: Time,
+        buf: &mut Vec<E>,
+        cap: usize,
+    ) -> Option<(Time, E)> {
+        let (at, first) = self.pop_if_before(until)?;
+        while buf.len() < cap {
+            match self.peek_time() {
+                Some(t) if t == at => {
+                    let (_, payload) = self.pop().expect("peeked");
+                    buf.push(payload);
+                }
+                _ => break,
+            }
+        }
+        self.now = at;
+        Some((at, first))
+    }
+
     /// Peek at the timestamp of the next pending event without popping it.
     pub fn peek_time(&mut self) -> Option<Time> {
         // Drop cancelled events from the head so the peek is accurate.

@@ -51,13 +51,15 @@ proptest! {
     /// overflow horizon.
     #[test]
     fn wheel_matches_reference_oracle(
-        ops in proptest::collection::vec((0u8..12, any::<u64>(), any::<u64>()), 1..400),
+        ops in proptest::collection::vec((0u8..15, any::<u64>(), any::<u64>()), 1..400),
     ) {
         use lg_sim::event::reference;
         let mut wheel = EventQueue::new();
         let mut oracle = reference::EventQueue::new();
         let mut wheel_handles = Vec::new();
         let mut oracle_handles = Vec::new();
+        let mut wheel_buf = Vec::new();
+        let mut oracle_buf = Vec::new();
         for &(op, a, b) in &ops {
             match op {
                 // Schedule with horizons spanning sub-slot distances,
@@ -83,6 +85,25 @@ proptest! {
                 }
                 8 => {
                     prop_assert_eq!(wheel.peek_time(), oracle.peek_time());
+                }
+                // Bounded pop: a horizon at, before, or after the next
+                // pending event.
+                12 => {
+                    let until = Time::from_ps(wheel.now().as_ps().saturating_add(a % (1 << 20)));
+                    prop_assert_eq!(wheel.pop_if_before(until), oracle.pop_if_before(until));
+                    prop_assert_eq!(wheel.now(), oracle.now());
+                }
+                // Batched tick drain, including caps small enough to
+                // split a same-instant run across calls.
+                13 | 14 => {
+                    let cap = (b as usize) % 8;
+                    let wt = wheel.pop_tick_into(Time::MAX, &mut wheel_buf, cap);
+                    let ot = oracle.pop_tick_into(Time::MAX, &mut oracle_buf, cap);
+                    prop_assert_eq!(wt, ot);
+                    prop_assert_eq!(&wheel_buf, &oracle_buf);
+                    prop_assert_eq!(wheel.now(), oracle.now());
+                    wheel_buf.clear();
+                    oracle_buf.clear();
                 }
                 _ => {
                     prop_assert_eq!(wheel.pop(), oracle.pop());

@@ -11,8 +11,12 @@
 //! * [`pktgen::PacketGen`] — the dataplane packet generator (stress
 //!   traffic and 10 Mpps timer packets);
 //! * [`counters::PortCounters`] — the MAC counters `corruptd` polls;
-//! * [`switch::Switch`] — forwarding + ports + counters + pipeline latency.
+//! * [`switch::Switch`] — forwarding + ports + counters + pipeline latency;
+//! * [`budget::MemBudget`] — a shared per-world byte quota bounding the
+//!   sum of all participating buffers (tor-memquota idiom: charge before
+//!   storing, fail gracefully, account the high-water mark).
 
+pub mod budget;
 pub mod counters;
 pub mod pktgen;
 pub mod port;
@@ -20,6 +24,7 @@ pub mod queue;
 pub mod recirc;
 pub mod switch;
 
+pub use budget::MemBudget;
 pub use counters::PortCounters;
 pub use pktgen::PacketGen;
 pub use port::{Class, EgressPort, NUM_CLASSES};

@@ -70,6 +70,20 @@ impl EgressPort {
         self
     }
 
+    /// Charge every class queue against a shared [`MemBudget`]. Call
+    /// after the capacity/ECN builders: those replace queues wholesale.
+    pub fn with_budget(mut self, budget: crate::budget::MemBudget) -> EgressPort {
+        self.set_budget(&budget);
+        self
+    }
+
+    /// In-place form of [`EgressPort::with_budget`] (port must be idle).
+    pub fn set_budget(&mut self, budget: &crate::budget::MemBudget) {
+        for q in &mut self.queues {
+            q.set_budget(budget.clone());
+        }
+    }
+
     /// Enqueue into the given class (drop-tail releases to the pool).
     pub fn enqueue(&mut self, class: Class, id: PktId, pool: &mut PacketPool) -> EnqueueOutcome {
         self.queues[class as usize].push(id, pool)

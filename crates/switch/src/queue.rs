@@ -1,10 +1,17 @@
 //! Byte-accounted FIFO queues with drop-tail and DCTCP-style ECN marking.
 //!
 //! Queues store [`PktId`] handles into the caller's [`PacketPool`] plus a
-//! cached frame length, so an enqueue/dequeue moves 12 bytes instead of a
-//! whole packet. A drop-tailed packet is released back to the pool here —
-//! the queue is the owner of everything pushed into it.
+//! cached frame length, kept in struct-of-arrays layout: one lane of
+//! handles, one lane of lengths. The hot operations touch exactly the
+//! lanes they need — `pop` reads one handle and one length, depth scans
+//! never load handles — so a cache line holds 8 consecutive entries of a
+//! lane instead of interleaved pairs. A drop-tailed packet is released
+//! back to the pool here — the queue is the owner of everything pushed
+//! into it. An optional shared [`MemBudget`] bounds the sum of several
+//! queues' occupancy; a refused charge degrades to the same drop-tail
+//! path as a full queue.
 
+use crate::budget::MemBudget;
 use lg_packet::{Ecn, PacketPool, PktId};
 use std::collections::VecDeque;
 
@@ -28,12 +35,15 @@ pub enum EnqueueOutcome {
 /// or above the threshold.
 #[derive(Debug)]
 pub struct ByteQueue {
-    /// Resident packets with their frame length cached at enqueue time
-    /// (buffered packets never mutate, so the cache cannot go stale).
-    items: VecDeque<(PktId, u32)>,
+    /// Resident packet handles (parallel to `lens`).
+    ids: VecDeque<PktId>,
+    /// Frame lengths cached at enqueue time (buffered packets never
+    /// mutate, so the cache cannot go stale).
+    lens: VecDeque<u32>,
     bytes: u64,
     capacity_bytes: u64,
     ecn_threshold: Option<u64>,
+    budget: Option<MemBudget>,
     drops: u64,
     enqueued: u64,
     marked: u64,
@@ -44,10 +54,12 @@ impl ByteQueue {
     /// A queue holding up to `capacity_bytes` of frames.
     pub fn new(capacity_bytes: u64) -> ByteQueue {
         ByteQueue {
-            items: VecDeque::new(),
+            ids: VecDeque::new(),
+            lens: VecDeque::new(),
             bytes: 0,
             capacity_bytes,
             ecn_threshold: None,
+            budget: None,
             drops: 0,
             enqueued: 0,
             marked: 0,
@@ -62,6 +74,21 @@ impl ByteQueue {
         self
     }
 
+    /// Charge resident bytes against a shared [`MemBudget`]. A refused
+    /// charge drop-tails the arriving packet even when this queue's own
+    /// capacity has room.
+    pub fn with_budget(mut self, budget: MemBudget) -> ByteQueue {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// In-place form of [`ByteQueue::with_budget`]. Must be called while
+    /// the queue is empty so charged and resident bytes agree.
+    pub fn set_budget(&mut self, budget: MemBudget) {
+        debug_assert!(self.is_empty(), "budget attached to a non-empty queue");
+        self.budget = Some(budget);
+    }
+
     /// Attempt to enqueue; drop-tail on overflow (the packet is released).
     pub fn push(&mut self, id: PktId, pool: &mut PacketPool) -> EnqueueOutcome {
         let len = pool.get(id).frame_len() as u64;
@@ -69,6 +96,13 @@ impl ByteQueue {
             self.drops += 1;
             pool.release(id);
             return EnqueueOutcome::Dropped;
+        }
+        if let Some(b) = &self.budget {
+            if !b.try_charge(len) {
+                self.drops += 1;
+                pool.release(id);
+                return EnqueueOutcome::Dropped;
+            }
         }
         self.bytes += len;
         self.high_watermark = self.high_watermark.max(self.bytes);
@@ -86,20 +120,25 @@ impl ByteQueue {
                 self.marked += 1;
             }
         }
-        self.items.push_back((id, len as u32));
+        self.ids.push_back(id);
+        self.lens.push_back(len as u32);
         EnqueueOutcome::Stored { marked: did_mark }
     }
 
     /// Dequeue the head packet; ownership passes to the caller.
     pub fn pop(&mut self) -> Option<PktId> {
-        let (id, len) = self.items.pop_front()?;
+        let id = self.ids.pop_front()?;
+        let len = self.lens.pop_front().expect("lanes in lockstep");
         self.bytes -= len as u64;
+        if let Some(b) = &self.budget {
+            b.release(len as u64);
+        }
         Some(id)
     }
 
     /// Peek at the head packet's handle.
     pub fn peek(&self) -> Option<PktId> {
-        self.items.front().map(|&(id, _)| id)
+        self.ids.front().copied()
     }
 
     /// Current depth in bytes.
@@ -109,12 +148,12 @@ impl ByteQueue {
 
     /// Current depth in packets.
     pub fn len(&self) -> usize {
-        self.items.len()
+        self.ids.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.items.is_empty()
+        self.ids.is_empty()
     }
 
     /// Packets dropped due to overflow.
@@ -236,6 +275,50 @@ mod tests {
             EnqueueOutcome::Stored { marked: false }
         );
         assert_eq!(pool.get(q.pop().unwrap()).ecn, Ecn::NotEct);
+    }
+
+    #[test]
+    fn soa_lane_entries_within_cache_budget() {
+        // SoA regression guard: a lane entry must stay within 16 bytes
+        // so one cache line carries at least 4 consecutive entries.
+        assert!(std::mem::size_of::<PktId>() <= 16);
+        assert_eq!(std::mem::size_of::<PktId>(), 8);
+        assert_eq!(std::mem::size_of::<u32>(), 4);
+    }
+
+    #[test]
+    fn budget_denial_drop_tails_gracefully() {
+        let mut pool = PacketPool::new();
+        let budget = crate::budget::MemBudget::new(250);
+        // Two queues sharing one 250-byte budget, each with ample own
+        // capacity: the budget is what binds.
+        let mut q1 = ByteQueue::new(10_000).with_budget(budget.clone());
+        let mut q2 = ByteQueue::new(10_000).with_budget(budget.clone());
+        assert_eq!(
+            q1.push(pkt(&mut pool, 100), &mut pool),
+            EnqueueOutcome::Stored { marked: false }
+        );
+        assert_eq!(
+            q2.push(pkt(&mut pool, 100), &mut pool),
+            EnqueueOutcome::Stored { marked: false }
+        );
+        // 100 more would exceed the shared 250: graceful drop-tail, the
+        // packet goes back to the pool, the denial is counted.
+        assert_eq!(
+            q2.push(pkt(&mut pool, 100), &mut pool),
+            EnqueueOutcome::Dropped
+        );
+        assert_eq!(q2.drops(), 1);
+        assert_eq!(budget.denials(), 1);
+        assert_eq!(pool.live(), 2, "denied packet released to the pool");
+        // Draining releases the charge and readmits traffic.
+        pool.release(q1.pop().unwrap());
+        assert_eq!(budget.used(), 100);
+        assert_eq!(
+            q2.push(pkt(&mut pool, 100), &mut pool),
+            EnqueueOutcome::Stored { marked: false }
+        );
+        assert_eq!(budget.high_watermark(), 200);
     }
 
     #[test]

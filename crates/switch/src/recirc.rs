@@ -16,11 +16,21 @@
 //! Entries hold [`PktId`] handles plus frame/wire lengths cached at
 //! insertion (buffered packets never mutate, so the caches cannot go
 //! stale); loop accounting therefore never dereferences the pool.
+//!
+//! Entries live in struct-of-arrays layout: parallel key-sorted lanes
+//! (keys, handles, insertion times, lengths) instead of a `BTreeMap` of
+//! entry structs. Keys are near-monotone in practice — the sender's Tx
+//! buffer appends strictly increasing sequence indices, the receiver's
+//! reordering buffer sees small perturbations — so an insert is a
+//! `push_back` in the common case and the cumulative-ACK `remove_up_to`
+//! is a prefix drain that scans one contiguous key lane per cache line
+//! instead of walking tree nodes.
 
+use crate::budget::MemBudget;
 use lg_obs::{MetricSink, Observe};
 use lg_packet::{PacketPool, PktId};
 use lg_sim::{Duration, Rate, Time};
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 /// Default recirculation loop latency (ingress + egress pipeline pass).
 pub const DEFAULT_LOOP_LATENCY: Duration = Duration(750_000); // 750 ns
@@ -29,14 +39,6 @@ pub const DEFAULT_LOOP_LATENCY: Duration = Duration(750_000); // 750 ns
 pub const RECIRC_DRAIN_RATE: Rate = Rate::from_gbps(100);
 /// The experiments restrict recirculation buffers to 200 KB (§4).
 pub const DEFAULT_CAPACITY: u64 = 200 * 1024;
-
-#[derive(Debug)]
-struct Entry {
-    id: PktId,
-    inserted_at: Time,
-    frame_len: u32,
-    wire_len: u32,
-}
 
 /// Statistics a recirculation buffer accumulates for the overhead tables.
 #[derive(Debug, Clone, Copy, Default)]
@@ -68,10 +70,17 @@ impl Observe for RecircStats {
 /// real 3-byte form).
 #[derive(Debug)]
 pub struct RecircBuffer {
-    entries: BTreeMap<u64, Entry>,
+    /// Buffered sequence keys, sorted ascending; the other lanes hold
+    /// the matching entry fields at the same index.
+    keys: VecDeque<u64>,
+    ids: VecDeque<PktId>,
+    inserted_at: VecDeque<Time>,
+    frame_lens: VecDeque<u32>,
+    wire_lens: VecDeque<u32>,
     bytes: u64,
     capacity: u64,
     loop_latency: Duration,
+    budget: Option<MemBudget>,
     stats: RecircStats,
 }
 
@@ -79,10 +88,15 @@ impl RecircBuffer {
     /// A buffer with the given byte capacity.
     pub fn new(capacity: u64) -> RecircBuffer {
         RecircBuffer {
-            entries: BTreeMap::new(),
+            keys: VecDeque::new(),
+            ids: VecDeque::new(),
+            inserted_at: VecDeque::new(),
+            frame_lens: VecDeque::new(),
+            wire_lens: VecDeque::new(),
             bytes: 0,
             capacity,
             loop_latency: DEFAULT_LOOP_LATENCY,
+            budget: None,
             stats: RecircStats::default(),
         }
     }
@@ -91,6 +105,36 @@ impl RecircBuffer {
     pub fn with_loop_latency(mut self, d: Duration) -> RecircBuffer {
         self.loop_latency = d;
         self
+    }
+
+    /// Charge resident bytes against a shared [`MemBudget`]. A refused
+    /// charge is reported as an overflow, exactly like a full buffer.
+    pub fn with_budget(mut self, budget: MemBudget) -> RecircBuffer {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// In-place form of [`RecircBuffer::with_budget`]. Must be called
+    /// while the buffer is empty so charged and resident bytes agree.
+    pub fn set_budget(&mut self, budget: MemBudget) {
+        debug_assert!(self.is_empty(), "budget attached to a non-empty buffer");
+        self.budget = Some(budget);
+    }
+
+    /// Lane index of `key`, if buffered.
+    #[inline]
+    fn index_of(&self, key: u64) -> Option<usize> {
+        // Tx-buffer removals hit the front (cumulative ACK then
+        // retransmit of the oldest outstanding), so check it before the
+        // general binary search.
+        match self.keys.front() {
+            Some(&k) if k == key => return Some(0),
+            Some(&k) if k > key => return None,
+            Some(_) => {}
+            None => return None,
+        }
+        let i = self.keys.partition_point(|&k| k < key);
+        (i < self.keys.len() && self.keys[i] == key).then_some(i)
     }
 
     /// Insert a packet under `key`. On overflow the handle is returned as
@@ -110,38 +154,70 @@ impl RecircBuffer {
             self.stats.overflows += 1;
             return Err(id);
         }
+        if let Some(b) = &self.budget {
+            if !b.try_charge(frame_len as u64) {
+                self.stats.overflows += 1;
+                return Err(id);
+            }
+        }
         self.bytes += frame_len as u64;
         self.stats.high_watermark = self.stats.high_watermark.max(self.bytes);
-        let prev = self.entries.insert(
-            key,
-            Entry {
-                id,
-                inserted_at: now,
-                frame_len,
-                wire_len,
-            },
-        );
-        debug_assert!(prev.is_none(), "duplicate recirc key {key}");
+        // Keys are near-monotone: append unless an out-of-order arrival
+        // (receiver reordering) has to be filed mid-lane.
+        match self.keys.back() {
+            Some(&b) if b > key => {
+                let i = self.keys.partition_point(|&k| k < key);
+                debug_assert!(self.keys[i] != key, "duplicate recirc key {key}");
+                self.keys.insert(i, key);
+                self.ids.insert(i, id);
+                self.inserted_at.insert(i, now);
+                self.frame_lens.insert(i, frame_len);
+                self.wire_lens.insert(i, wire_len);
+            }
+            back => {
+                debug_assert!(back != Some(&key), "duplicate recirc key {key}");
+                self.keys.push_back(key);
+                self.ids.push_back(id);
+                self.inserted_at.push_back(now);
+                self.frame_lens.push_back(frame_len);
+                self.wire_lens.push_back(wire_len);
+            }
+        }
         Ok(())
     }
 
-    fn account_departure(&mut self, e: &Entry, now: Time) {
-        let resident = now.saturating_since(e.inserted_at);
+    /// Loop accounting for the entry at lane index `i` as it departs.
+    fn account_departure(&mut self, i: usize, now: Time) {
+        let resident = now.saturating_since(self.inserted_at[i]);
         let loops = resident
             .as_ps()
             .div_ceil(self.loop_latency.as_ps().max(1))
             .max(1);
         self.stats.loops += loops;
-        self.stats.loop_bytes += loops * e.wire_len as u64;
-        self.bytes -= e.frame_len as u64;
+        self.stats.loop_bytes += loops * self.wire_lens[i] as u64;
+        let frame_len = self.frame_lens[i] as u64;
+        self.bytes -= frame_len;
+        if let Some(b) = &self.budget {
+            b.release(frame_len);
+        }
+    }
+
+    /// Drop the entry at lane index `i` from every lane, returning its
+    /// packet handle.
+    fn remove_at(&mut self, i: usize) -> PktId {
+        self.keys.remove(i);
+        self.inserted_at.remove(i);
+        self.frame_lens.remove(i);
+        self.wire_lens.remove(i);
+        self.ids.remove(i).expect("lanes in lockstep")
     }
 
     /// Remove the packet stored under `key`, if any; ownership passes to
     /// the caller.
     pub fn remove(&mut self, key: u64, now: Time) -> Option<PktId> {
-        let e = self.entries.remove(&key)?;
-        self.account_departure(&e, now);
-        Some(e.id)
+        let i = self.index_of(key)?;
+        self.account_departure(i, now);
+        Some(self.remove_at(i))
     }
 
     /// Remove all packets with `key <= upto` and release them to the pool,
@@ -150,13 +226,17 @@ impl RecircBuffer {
     /// this runs on every cumulative ACK and must not allocate.
     pub fn remove_up_to(&mut self, upto: u64, now: Time, pool: &mut PacketPool) -> usize {
         let mut freed = 0;
-        while let Some((&k, _)) = self.entries.first_key_value() {
+        while let Some(&k) = self.keys.front() {
             if k > upto {
                 break;
             }
-            let e = self.entries.remove(&k).expect("first key exists");
-            self.account_departure(&e, now);
-            pool.release(e.id);
+            self.account_departure(0, now);
+            self.keys.pop_front();
+            self.inserted_at.pop_front();
+            self.frame_lens.pop_front();
+            self.wire_lens.pop_front();
+            let id = self.ids.pop_front().expect("lanes in lockstep");
+            pool.release(id);
             freed += 1;
         }
         freed
@@ -164,18 +244,18 @@ impl RecircBuffer {
 
     /// Peek the smallest key currently buffered.
     pub fn min_key(&self) -> Option<u64> {
-        self.entries.keys().next().copied()
+        self.keys.front().copied()
     }
 
     /// Handle of the packet stored under `key` without removing it (used
     /// for retransmission: the buffered original stays until ACKed).
     pub fn get(&self, key: u64) -> Option<PktId> {
-        self.entries.get(&key).map(|e| e.id)
+        self.index_of(key).map(|i| self.ids[i])
     }
 
     /// Whether `key` is buffered.
     pub fn contains(&self, key: u64) -> bool {
-        self.entries.contains_key(&key)
+        self.index_of(key).is_some()
     }
 
     /// Current occupancy in bytes.
@@ -185,12 +265,12 @@ impl RecircBuffer {
 
     /// Current occupancy in packets.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.keys.len()
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.keys.is_empty()
     }
 
     /// Byte capacity.
@@ -224,7 +304,7 @@ impl Observe for RecircBuffer {
     fn observe(&self, m: &mut MetricSink) {
         self.stats.observe(m);
         m.gauge("bytes", self.bytes);
-        m.gauge("pkts", self.entries.len() as u64);
+        m.gauge("pkts", self.keys.len() as u64);
     }
 }
 
@@ -280,6 +360,57 @@ mod tests {
         assert_eq!(b.len(), 1);
         assert_eq!(b.min_key(), Some(9));
         assert_eq!(pool.live(), 1, "freed packets released to the pool");
+    }
+
+    #[test]
+    fn soa_lane_entries_within_cache_budget() {
+        // SoA regression guard: every lane entry must stay within 16
+        // bytes so one cache line carries at least 4 consecutive entries.
+        assert_eq!(std::mem::size_of::<u64>(), 8); // keys
+        assert_eq!(std::mem::size_of::<PktId>(), 8); // ids
+        assert_eq!(std::mem::size_of::<Time>(), 8); // inserted_at
+        assert_eq!(std::mem::size_of::<u32>(), 4); // frame/wire lens
+    }
+
+    #[test]
+    fn out_of_order_inserts_keep_keys_sorted() {
+        let mut pool = PacketPool::new();
+        let mut b = RecircBuffer::new(10_000);
+        for k in [5u64, 1, 9, 3, 7] {
+            let p = pkt(&mut pool, 100);
+            b.insert(k, p, Time::ZERO, &pool).unwrap();
+        }
+        assert_eq!(b.min_key(), Some(1));
+        for k in [1u64, 3, 5, 7, 9] {
+            assert!(b.contains(k));
+            assert!(b.get(k).is_some());
+        }
+        assert!(!b.contains(2));
+        assert!(!b.contains(0), "below the minimum key");
+        assert!(!b.contains(10), "above the maximum key");
+        // Point removal mid-lane keeps the rest addressable.
+        assert!(b.remove(5, Time::ZERO).is_some());
+        assert!(!b.contains(5));
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.remove_up_to(7, Time::ZERO, &mut pool), 3);
+        assert_eq!(b.min_key(), Some(9));
+    }
+
+    #[test]
+    fn budget_denial_reports_overflow() {
+        let mut pool = PacketPool::new();
+        let budget = crate::budget::MemBudget::new(500);
+        let mut b = RecircBuffer::new(10_000).with_budget(budget.clone());
+        let (p1, p2) = (pkt(&mut pool, 400), pkt(&mut pool, 400));
+        b.insert(1, p1, Time::ZERO, &pool).unwrap();
+        let back = b.insert(2, p2, Time::ZERO, &pool).unwrap_err();
+        assert_eq!(pool.get(back).frame_len(), 400, "caller keeps the packet");
+        assert_eq!(b.stats().overflows, 1);
+        assert_eq!(budget.denials(), 1);
+        // Departure releases the charge back to the shared budget.
+        b.remove(1, Time::from_us(1));
+        assert_eq!(budget.used(), 0);
+        assert!(b.insert(2, p2, Time::from_us(1), &pool).is_ok());
     }
 
     #[test]

@@ -8,7 +8,6 @@ use crate::port::{Class, EgressPort};
 use crate::queue::EnqueueOutcome;
 use lg_packet::{NodeId, PacketPool, PktId};
 use lg_sim::Duration;
-use std::collections::HashMap;
 
 /// Index of a switch port.
 pub type PortId = usize;
@@ -23,7 +22,11 @@ pub struct Switch {
     pub name: String,
     ports: Vec<EgressPort>,
     counters: Vec<PortCounters>,
-    fib: HashMap<NodeId, PortId>,
+    /// Forwarding table, sorted by destination. Topologies install a
+    /// handful of routes once and look one up per forwarded packet, so a
+    /// sorted vec's branch-light binary search beats hashing the key on
+    /// every packet (`route` sits on the per-hop hot path).
+    fib: Vec<(NodeId, PortId)>,
     /// One-way pipeline traversal latency.
     pub pipeline_latency: Duration,
 }
@@ -35,20 +38,28 @@ impl Switch {
             name: name.into(),
             ports: (0..n_ports).map(|_| EgressPort::new()).collect(),
             counters: vec![PortCounters::default(); n_ports],
-            fib: HashMap::new(),
+            fib: Vec::new(),
             pipeline_latency: DEFAULT_PIPELINE_LATENCY,
         }
     }
 
     /// Install a forwarding entry: traffic to `dst` leaves via `port`.
+    /// Re-adding a destination replaces its route.
     pub fn add_route(&mut self, dst: NodeId, port: PortId) {
         assert!(port < self.ports.len());
-        self.fib.insert(dst, port);
+        match self.fib.binary_search_by_key(&dst, |&(d, _)| d) {
+            Ok(i) => self.fib[i].1 = port,
+            Err(i) => self.fib.insert(i, (dst, port)),
+        }
     }
 
     /// Look up the egress port for a destination.
+    #[inline]
     pub fn route(&self, dst: NodeId) -> Option<PortId> {
-        self.fib.get(&dst).copied()
+        self.fib
+            .binary_search_by_key(&dst, |&(d, _)| d)
+            .ok()
+            .map(|i| self.fib[i].1)
     }
 
     /// Number of ports.
@@ -69,6 +80,14 @@ impl Switch {
     /// Replace a port's configuration (capacities/ECN) wholesale.
     pub fn set_port(&mut self, p: PortId, port: EgressPort) {
         self.ports[p] = port;
+    }
+
+    /// Charge every port's queues against a shared memory budget. Call
+    /// after all [`Switch::set_port`] reconfiguration, while idle.
+    pub fn attach_budget(&mut self, budget: &crate::budget::MemBudget) {
+        for p in &mut self.ports {
+            p.set_budget(budget);
+        }
     }
 
     /// Enqueue a packet for egress on `port` in `class`, counting TX on

@@ -329,10 +329,15 @@ impl ChainWorld {
             .sum()
     }
 
-    /// Run until no events remain.
+    /// Run until no events remain. Dispatch is batched per tick (same
+    /// delivery order as a `pop` loop; see `World::run_until`).
     pub fn run_to_completion(&mut self) {
-        while let Some((now, ev)) = self.q.pop() {
+        let mut batch = Vec::new();
+        while let Some((now, ev)) = self.q.pop_tick_into(Time::MAX, &mut batch, 64) {
             self.handle(ev, now);
+            for ev in batch.drain(..) {
+                self.handle(ev, now);
+            }
         }
     }
 

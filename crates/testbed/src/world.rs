@@ -408,6 +408,13 @@ pub struct WorldConfig {
     pub sample_interval: Option<Duration>,
     /// Pacing interval of the dummy-refresh keepalive.
     pub dummy_refresh: Duration,
+    /// Per-world memory budget in bytes (tor-memquota idiom): one shared
+    /// quota covering every switch egress queue and both LinkGuardian
+    /// buffer classes. Exceeding it degrades gracefully — the arriving
+    /// packet is drop-tailed / rejected exactly like a full queue — and
+    /// the high-water mark and denial count surface in the metrics
+    /// registry. `None` leaves buffers bounded only by their own caps.
+    pub mem_budget: Option<u64>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -430,6 +437,7 @@ impl WorldConfig {
             app: App::None,
             sample_interval: None,
             dummy_refresh: Duration::from_ns(400),
+            mem_budget: None,
             seed: 1,
         }
     }
@@ -495,6 +503,8 @@ pub struct World {
     pub pool: PacketPool,
     /// Observability state (metric snapshots, uid base, profile).
     pub obs: WorldObs,
+    /// Shared memory budget when `WorldConfig::mem_budget` is set.
+    pub budget: Option<lg_switch::MemBudget>,
     /// In-world control-plane daemon (see `WorldConfig::corruptd_activation`).
     pub corruptd: Option<Corruptd>,
     stress: Option<u32>, // frame_len when stress mode active
@@ -510,6 +520,7 @@ pub struct World {
     tx_scratch: Vec<SenderAction>,
     filler_scratch: Vec<PktId>,
     transport_scratch: Vec<TransportAction>,
+    dispatch_scratch: Vec<Ev>,
 }
 
 /// Trace instance label for a switch port: `side * 2 + port`
@@ -547,6 +558,11 @@ impl World {
         if let Some(th) = cfg.ecn_threshold {
             sw_tx.set_port(PORT_LINK, EgressPort::new().with_ecn_threshold(th));
         }
+        let budget = cfg.mem_budget.map(lg_switch::MemBudget::new);
+        if let Some(b) = &budget {
+            sw_tx.attach_budget(b);
+            sw_rx.attach_budget(b);
+        }
 
         let lg_cfg = cfg
             .lg
@@ -554,6 +570,10 @@ impl World {
             .unwrap_or_else(|| LgConfig::for_speed(cfg.speed, 1e-9));
         let mut lg_tx = LgSender::new(lg_cfg.clone(), SW_TX, SW_RX);
         let mut lg_rx = LgReceiver::new(lg_cfg.clone(), SW_RX, SW_TX);
+        if let Some(b) = &budget {
+            lg_tx.attach_budget(b.clone());
+            lg_rx.attach_budget(b.clone());
+        }
         if cfg.lg.is_some() && cfg.lg_active_from_start {
             lg_tx.activate(cfg.loss.mean_rate().max(1e-9));
             lg_rx.activate();
@@ -566,6 +586,10 @@ impl World {
             cfg2.dummy_copies = cfg2.dummy_copies.max(2);
             let mut t = LgSender::new(cfg2.clone(), SW_RX, SW_TX);
             let mut r = LgReceiver::new(cfg2, SW_TX, SW_RX);
+            if let Some(b) = &budget {
+                t.attach_budget(b.clone());
+                r.attach_budget(b.clone());
+            }
             if cfg.lg_active_from_start {
                 t.activate(cfg.rev_loss.mean_rate().max(1e-9));
                 r.activate();
@@ -624,6 +648,7 @@ impl World {
             out: Outcomes::default(),
             pool: PacketPool::new(),
             obs,
+            budget,
             corruptd,
             stress: None,
             stress_seq: 0,
@@ -636,6 +661,7 @@ impl World {
             tx_scratch: Vec::new(),
             filler_scratch: Vec::new(),
             transport_scratch: Vec::new(),
+            dispatch_scratch: Vec::new(),
         }
     }
 
@@ -668,21 +694,94 @@ impl World {
 
     // ---------------------------------------------------------- event loop
 
+    /// Events drained per [`EventQueue::pop_tick_into`] call by the
+    /// batched dispatchers. A soft bound on dispatch latency, not on the
+    /// tick: an over-long same-instant run continues in the next call.
+    const DISPATCH_BATCH: usize = 64;
+
     /// Run until the queue is empty or the clock passes `until`.
+    ///
+    /// Dispatch is batched: every event of the current tick is drained
+    /// in one queue operation, then dispatched in (time, seq) order —
+    /// identical delivery order to a `pop` loop, without the per-event
+    /// `peek_time` + `pop` double lookup.
     pub fn run_until(&mut self, until: Time) {
-        while let Some(at) = self.q.peek_time() {
-            if at > until {
-                break;
+        let mut batch = std::mem::take(&mut self.dispatch_scratch);
+        while let Some((now, ev)) = self
+            .q
+            .pop_tick_into(until, &mut batch, Self::DISPATCH_BATCH)
+        {
+            if batch.is_empty() {
+                // Singleton tick — the overwhelmingly common case in a
+                // sparse world: dispatch straight from the register the
+                // queue handed the event back in.
+                self.handle(ev, now);
+            } else {
+                self.dispatch_batch(ev, &mut batch, now);
             }
-            let (now, ev) = self.q.pop().expect("peeked");
-            self.handle(ev, now);
         }
+        self.dispatch_scratch = batch;
     }
 
     /// Run until no events remain (traffic drivers finished and drained).
     pub fn run_to_completion(&mut self) {
-        while let Some((now, ev)) = self.q.pop() {
-            self.handle(ev, now);
+        self.run_until(Time::MAX);
+    }
+
+    /// Dispatch one drained tick batch in order. Contiguous runs of
+    /// [`Ev::PortEnqueue`] aimed at the same egress port are handed to
+    /// the switch as a unit: one borrow of the switch + pool, and the
+    /// per-event port kick reduced to a busy-flag check, so the queue
+    /// lanes stay hot in cache across the run (the incast/burst case
+    /// that produces many same-tick enqueues in the first place).
+    fn dispatch_batch(&mut self, first: Ev, batch: &mut Vec<Ev>, now: Time) {
+        // `batch` is disjoint from `self` (the caller took it out of
+        // `dispatch_scratch`), so draining it while `handle` borrows
+        // self is fine — and drain moves each event out exactly once,
+        // with no write-back into the buffer.
+        let mut it = std::iter::once(first).chain(batch.drain(..)).peekable();
+        while let Some(ev) = it.next() {
+            match ev {
+                Ev::PortEnqueue {
+                    side,
+                    port,
+                    class,
+                    id,
+                } if matches!(
+                    it.peek(),
+                    Some(Ev::PortEnqueue { side: s2, port: p2, .. })
+                        if *s2 == side && *p2 == port
+                ) =>
+                {
+                    // Run fast path. Semantically identical to the
+                    // one-at-a-time loop: each enqueue is followed by a
+                    // kick, and a kick on a busy port is a no-op — so
+                    // only the not-busy check survives inlining here.
+                    let (sw, pool) = self.sw_pool(side);
+                    sw.enqueue(port, class, id, pool);
+                    if !sw.port(port).busy {
+                        self.kick_port(side, port);
+                    }
+                    while let Some(&Ev::PortEnqueue {
+                        side: s2,
+                        port: p2,
+                        class: c2,
+                        id: id2,
+                    }) = it.peek()
+                    {
+                        if s2 != side || p2 != port {
+                            break;
+                        }
+                        it.next();
+                        let (sw, pool) = self.sw_pool(side);
+                        sw.enqueue(port, c2, id2, pool);
+                        if !sw.port(port).busy {
+                            self.kick_port(side, port);
+                        }
+                    }
+                }
+                _ => self.handle(ev, now),
+            }
         }
     }
 
@@ -695,11 +794,7 @@ impl World {
             .profile
             .take()
             .unwrap_or_else(|| Box::new(Profile::default()));
-        while let Some(at) = self.q.peek_time() {
-            if at > until {
-                break;
-            }
-            let (now, ev) = self.q.pop().expect("peeked");
+        while let Some((now, ev)) = self.q.pop_if_before(until) {
             let idx = ev.kind_idx();
             let t0 = std::time::Instant::now();
             self.handle(ev, now);
@@ -713,18 +808,7 @@ impl World {
     /// the simulation computes stays bit-identical to
     /// [`World::run_to_completion`].
     pub fn run_to_completion_profiled(&mut self) {
-        let mut prof = self
-            .obs
-            .profile
-            .take()
-            .unwrap_or_else(|| Box::new(Profile::default()));
-        while let Some((now, ev)) = self.q.pop() {
-            let idx = ev.kind_idx();
-            let t0 = std::time::Instant::now();
-            self.handle(ev, now);
-            prof.note(idx, t0.elapsed().as_nanos() as u64);
-        }
-        self.obs.profile = Some(prof);
+        self.run_until_profiled(Time::MAX);
     }
 
     /// Snapshot every instrumented component into the metrics registry at
@@ -782,6 +866,9 @@ impl World {
                 m.hist("retx_delay_ps", summary);
             });
         }
+        if let Some(b) = &self.budget {
+            reg.record(t, "mem_budget", "world", b);
+        }
     }
 
     /// Publish this world's metrics, trace records and profile to the
@@ -833,6 +920,17 @@ impl World {
     /// Public wrapper over the event dispatcher (used by profiling tools).
     pub fn handle_pub(&mut self, ev: Ev, now: Time) {
         self.handle(ev, now);
+    }
+
+    /// Public wrapper over the batched dispatcher (used by `world_guard`'s
+    /// `--ab-dispatch` gate, which needs to count events per drained tick
+    /// while exercising the exact production batch path).
+    pub fn dispatch_batch_pub(&mut self, first: Ev, batch: &mut Vec<Ev>, now: Time) {
+        if batch.is_empty() {
+            self.handle(first, now);
+        } else {
+            self.dispatch_batch(first, batch, now);
+        }
     }
 
     fn handle(&mut self, ev: Ev, now: Time) {
