@@ -1,0 +1,43 @@
+//! Benchmarks of the sharded packet-level fabric: serial vs sharded
+//! layouts of the same pod-scale run, plus the partitioner itself.
+//!
+//! The `layout/*` group is the criterion twin of `world_guard
+//! --ab-shard`: same workload, but criterion owns the statistics. On a
+//! single-core box the sharded numbers measure runner overhead, not
+//! scaling — the CI speedup floor lives in the interleaved A/B gate,
+//! not here.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lg_fabric::{partition, run_packet, PktFabricConfig, PodGeom};
+use lg_sim::Time;
+
+fn cfg(shards: u32, threads: usize) -> PktFabricConfig {
+    let mut c = PktFabricConfig::pod_scale(42);
+    c.shards = shards;
+    c.threads = threads;
+    // Short horizon: criterion runs each layout dozens of times.
+    c.horizon = Time::from_us(250);
+    c
+}
+
+fn bench_layouts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric_pkt/layout");
+    g.sample_size(10);
+    for (label, shards, threads) in [("serial", 1, 1), ("shards4_t1", 4, 1), ("shards4_t4", 4, 4)] {
+        g.bench_function(label, |b| {
+            let c = cfg(shards, threads);
+            b.iter(|| black_box(run_packet(&c).totals.events))
+        });
+    }
+    g.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    c.bench_function("fabric_pkt/partition_paper_scale", |b| {
+        let geom = PodGeom::paper_scale();
+        b.iter(|| black_box(partition(&geom, 16).cut_edges))
+    });
+}
+
+criterion_group!(benches, bench_layouts, bench_partition);
+criterion_main!(benches);

@@ -26,17 +26,36 @@
 //!   run if it exceeds 0.01 — the hot path must stay allocation-free.
 //! - `--history <path>` appends the run's headline numbers as one JSON
 //!   line to a trajectory file (`BENCH_history.json`). The CI perf gate
-//!   reads the *last* entry as its reference, so the threshold tracks
-//!   the repo's own recorded trajectory instead of a hard-coded count.
+//!   reads the *last* entry matching its mode as its reference, so the
+//!   threshold tracks the repo's own recorded trajectory instead of a
+//!   hard-coded count.
+//!
+//! Two modes guard the sharded packet-level fabric
+//! ([`lg_fabric::run_packet`]):
+//!
+//! - `--ab-shard` interleaves serial reps (`--shards 1 --threads 1`)
+//!   with sharded reps (`--shards N`, workers capped at the machine's
+//!   available parallelism) of the same pod-scale packet run and prints
+//!   both medians plus the sharded/serial speedup ratio. The per-run
+//!   event count is layout-invariant (determinism), so it doubles as an
+//!   exact-match reference. When the machine exposes fewer hardware
+//!   threads than shards the speedup honestly reports what the hardware
+//!   allows; the CI gate runs on multi-core runners.
+//! - `--allocs-shard` counts steady-state heap allocations of a sharded
+//!   (4-shard, serial-path) packet run, construction excluded. Same
+//!   ≤ 0.01 allocs/event bar as `--allocs`: per-shard arenas must make
+//!   the sharded hot path as allocation-free as the single-world one.
 //!
 //! Usage: `cargo run --release -p lg-bench --bin world_guard
 //! [--trials 300] [--reps 5] [--telemetry | --ab-telemetry |
-//! --ab-dispatch] [--allocs] [--history PATH]`
+//! --ab-dispatch | --ab-shard] [--allocs | --allocs-shard]
+//! [--shards 4] [--horizon-us 2000] [--history PATH]`
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use lg_bench::arg;
+use lg_fabric::{run_packet, PktFabricConfig};
 use lg_link::{LinkSpeed, LossModel};
 use lg_sim::{Duration, Time};
 use lg_testbed::{App, World, WorldConfig};
@@ -138,6 +157,29 @@ fn timed_rate_batched(trials: u32) -> f64 {
     events as f64 / t0.elapsed().as_secs_f64()
 }
 
+/// Pod-scale packet-level config for the shard gates. Horizon is the
+/// knob: 2 ms is the pod_scale default; CI can shorten it if runner
+/// minutes matter more than measurement floor.
+fn pkt_cfg(shards: u32, threads: usize, horizon_us: u64) -> PktFabricConfig {
+    let mut cfg = PktFabricConfig::pod_scale(42);
+    cfg.shards = shards;
+    cfg.threads = threads;
+    cfg.horizon = Time::from_us(horizon_us);
+    cfg
+}
+
+/// One timed packet-level run; returns (events per wall-clock second,
+/// events per run). The event count is layout-invariant by the
+/// determinism contract, so it is printed once and checked exactly.
+fn timed_pkt(cfg: &PktFabricConfig) -> (f64, u64) {
+    let t0 = std::time::Instant::now();
+    let r = run_packet(cfg);
+    (
+        r.totals.events as f64 / t0.elapsed().as_secs_f64(),
+        r.totals.events,
+    )
+}
+
 fn median(rates: &mut [f64]) -> f64 {
     rates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     rates[rates.len() / 2]
@@ -155,6 +197,38 @@ fn append_history(path: &str, events_per_run: u64, events_per_sec: f64, dispatch
     let line = format!(
         "{{\"unix_ts\":{ts},\"events_per_run\":{events_per_run},\
          \"events_per_sec\":{events_per_sec:.0},\"dispatch_ratio\":{dispatch_ratio:.4}}}\n"
+    );
+    let r = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = r {
+        eprintln!("warning: could not append {path}: {e}");
+    }
+}
+
+/// Append one JSON line for an `--ab-shard` run. A distinct field name
+/// (`shard_speedup`) keys the line so the dispatch gate and the shard
+/// gate can each `grep` their own latest entry out of the shared
+/// trajectory file.
+fn append_history_shard(
+    path: &str,
+    events_per_run: u64,
+    events_per_sec: f64,
+    shard_speedup: f64,
+    shards: u32,
+    threads: usize,
+) {
+    use std::io::Write;
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let line = format!(
+        "{{\"unix_ts\":{ts},\"events_per_run\":{events_per_run},\
+         \"events_per_sec\":{events_per_sec:.0},\"shard_speedup\":{shard_speedup:.4},\
+         \"shards\":{shards},\"threads\":{threads}}}\n"
     );
     let r = std::fs::OpenOptions::new()
         .create(true)
@@ -235,6 +309,90 @@ fn main() {
         if !history.is_empty() {
             append_history(&history, events_per_run, b, ratio);
         }
+        return;
+    }
+    if lg_bench::flag("--ab-shard") {
+        // Interleaved A/B of the packet-level fabric: serial layout
+        // (shards=1, threads=1) vs sharded layout (shards=N, workers
+        // capped at available parallelism). Same flip-the-pair-order
+        // protocol as `--ab-telemetry`; the ratio is the honest
+        // within-process scaling of the shard runner on this machine.
+        let shards: u32 = arg("--shards", 4);
+        let horizon_us: u64 = arg("--horizon-us", 2000);
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let threads = (shards as usize).min(hw);
+        let serial_cfg = pkt_cfg(1, 1, horizon_us);
+        let sharded_cfg = pkt_cfg(shards, threads, horizon_us);
+        // Warm-up doubles as the event-count calibration; the count is
+        // layout-invariant, so asserting it across both configs is a
+        // cheap end-to-end determinism check inside the perf gate.
+        let (_, ev_serial) = timed_pkt(&serial_cfg);
+        let (_, ev_sharded) = timed_pkt(&sharded_cfg);
+        assert_eq!(
+            ev_serial, ev_sharded,
+            "sharded layout changed the event count — determinism bug"
+        );
+        let (mut ser, mut shd, mut ratios) = (Vec::new(), Vec::new(), Vec::new());
+        for i in 0..reps {
+            let (s, p) = if i % 2 == 0 {
+                let s = timed_pkt(&serial_cfg).0;
+                (s, timed_pkt(&sharded_cfg).0)
+            } else {
+                let p = timed_pkt(&sharded_cfg).0;
+                (timed_pkt(&serial_cfg).0, p)
+            };
+            ser.push(s);
+            shd.push(p);
+            ratios.push(p / s);
+        }
+        let (s, p) = (median(&mut ser), median(&mut shd));
+        let speedup = median(&mut ratios);
+        println!("events_per_run: {ev_serial}");
+        println!("hw_threads: {hw}");
+        println!("shards: {shards}");
+        println!("worker_threads: {threads}");
+        println!("events_per_sec_serial: {s:.0}");
+        println!("events_per_sec_sharded: {p:.0}");
+        println!("shard_speedup: {speedup:.4}");
+        if hw < shards as usize {
+            println!(
+                "note: machine exposes {hw} hardware thread(s) for {shards} shards; \
+                 speedup is bounded by the hardware, not the runner"
+            );
+        }
+        if !history.is_empty() {
+            append_history_shard(&history, ev_serial, p, speedup, shards, threads);
+        }
+        return;
+    }
+    if lg_bench::flag("--allocs-shard") {
+        // Sharded sibling of `--allocs`: the packet-level run on the
+        // serial path (threads=1 never spawns workers, so thread-stack
+        // and channel allocations cannot pollute the count) with a
+        // 4-shard layout, so per-shard queues/arenas/mailboxes are all
+        // live. Construction is excluded the same way: first run eats
+        // first-touch growth, second run on a fresh fabric measures the
+        // loop alone.
+        let shards: u32 = arg("--shards", 4);
+        let horizon_us: u64 = arg("--horizon-us", 2000);
+        let cfg = pkt_cfg(shards, 1, horizon_us);
+        let mut f = lg_fabric::PktFabric::new(&cfg);
+        let a0 = ALLOCS.load(Ordering::Relaxed);
+        let stats = f.run();
+        let first_allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+        let events_per_run = f.collect(stats).totals.events;
+        let mut f = lg_fabric::PktFabric::new(&cfg);
+        let a1 = ALLOCS.load(Ordering::Relaxed);
+        let stats = f.run();
+        let loop_allocs = ALLOCS.load(Ordering::Relaxed) - a1;
+        let events = f.collect(stats).totals.events;
+        let per_event = loop_allocs as f64 / events as f64;
+        println!("events_per_run: {events_per_run}");
+        println!("first_run_allocs: {first_allocs}");
+        println!("steady_state_allocs: {loop_allocs}");
+        println!("allocs_per_event: {per_event:.6}");
         return;
     }
     if lg_bench::flag("--allocs") {

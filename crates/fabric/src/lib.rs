@@ -6,14 +6,24 @@
 //! * [`tracegen`]: Weibull link-failure trace generation with Table 1
 //!   loss rates (Appendix D);
 //! * [`sim`]: the year-long maintenance simulation comparing vanilla
-//!   CorrOpt against LinkGuardian + CorrOpt (Figs 15 and 16).
+//!   CorrOpt against LinkGuardian + CorrOpt (Figs 15 and 16);
+//! * [`partition`]: pod-structured topology partitioning (cut-edge
+//!   minimization) for sharded execution;
+//! * [`pktsim`]: the packet-level fabric simulation — per-frame loss
+//!   draws and queueing on the same pod geometry, sharded across cores
+//!   with conservative lookahead ([`run_packet`] beside the analytic
+//!   [`run`]).
 
 pub mod corropt;
+pub mod partition;
+pub mod pktsim;
 pub mod sim;
 pub mod topology;
 pub mod tracegen;
 
 pub use corropt::{CapacityConstraint, CorrOpt};
+pub use partition::{partition, Partition, PodGeom};
+pub use pktsim::{run_packet, PktFabric, PktFabricConfig, PktFabricResult, PktPolicy};
 pub use sim::{
     run, run_many, FabricHealthEvent, FabricSimConfig, FabricSimResult, Policy, SamplePoint,
 };

@@ -537,11 +537,15 @@ pub fn run(cfg: &FabricSimConfig) -> FabricSimResult {
 }
 
 /// Run many independent configs, fanning them across up to `threads`
-/// worker threads.
+/// worker threads — *per-config fan-out*, not intra-run parallelism.
 ///
 /// Each config owns its master seed (all randomness forks from it), so
 /// runs are independent; results come back in `cfgs` order regardless
 /// of scheduling, making output byte-identical at any thread count.
+/// Every individual run still executes on a single thread. To put
+/// multiple cores on *one* simulation, use the sharded packet-level
+/// path ([`run_packet`](crate::pktsim::run_packet) with
+/// `shards`/`threads` > 1), which partitions the topology itself.
 pub fn run_many(cfgs: &[FabricSimConfig], threads: usize) -> Vec<FabricSimResult> {
     lg_sim::par_map(cfgs, threads, |_, cfg| run(cfg))
 }

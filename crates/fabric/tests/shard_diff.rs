@@ -1,0 +1,111 @@
+//! Differential test: the packet-level fabric produces *byte-identical*
+//! results at every shard/thread layout.
+//!
+//! This is the integration-level twin of the unit test inside `pktsim`:
+//! it runs a pod-scale-shaped workload (smaller geometry, same
+//! structure) at shards 1/2/4/8 with varying worker counts, and
+//! compares not just the result structs but a canonical textual dump of
+//! FCT table + telemetry + totals — the same rows `ext_fabric_pkt
+//! --dump` writes, so a pass here means the CI `cmp` of two dump files
+//! cannot fail for simulation reasons.
+
+use lg_fabric::{run_packet, PktFabricConfig, PktFabricResult, PktPolicy};
+use lg_sim::{Duration, Rate, Time};
+
+fn cfg(policy: PktPolicy, shards: u32, threads: usize) -> PktFabricConfig {
+    let mut c = PktFabricConfig::pod_scale(7);
+    // Shrink the geometry so 4 layouts x 2 policies stay fast in debug
+    // builds while keeping every structural feature: multiple pods
+    // (cross-pod spine routes), multiple fabric planes, corrupting
+    // links, telemetry samples.
+    c.geom.pods = 4;
+    c.geom.tors = 8;
+    c.geom.fabrics = 2;
+    c.geom.uplinks = 8;
+    c.speed = Rate::from_gbps(100);
+    c.horizon = Time::from_us(400);
+    c.mean_interarrival = Duration::from_us(25);
+    c.sample_interval = Duration::from_us(100);
+    c.corrupting_fraction = 0.2;
+    c.policy = policy;
+    c.shards = shards;
+    c.threads = threads;
+    c
+}
+
+/// Canonical dump: every row of the result in a fixed textual form.
+/// String equality here is the strongest statement the repo can make
+/// short of hashing binaries — any layout-dependent bit flips it.
+fn dump(r: &PktFabricResult) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for &(flow, fct) in &r.fct {
+        writeln!(s, "fct {flow} {fct}").unwrap();
+    }
+    for l in &r.links {
+        writeln!(
+            s,
+            "link {} {} {} {} {} {}",
+            l.link, l.loss_ppb, l.tx_frames, l.corrupt_drops, l.recoveries, l.queue_hwm
+        )
+        .unwrap();
+    }
+    for t in &r.telemetry {
+        writeln!(
+            s,
+            "tele {} {} {} {} {}",
+            t.sample, t.link, t.tx_frames, t.corrupt_drops, t.recoveries
+        )
+        .unwrap();
+    }
+    let t = &r.totals;
+    writeln!(
+        s,
+        "totals {} {} {} {} {} {} {}",
+        t.events,
+        t.flows,
+        t.flows_completed,
+        t.tx_frames,
+        t.corrupt_drops,
+        t.recoveries,
+        t.source_retx
+    )
+    .unwrap();
+    s
+}
+
+#[test]
+fn all_layouts_are_byte_identical() {
+    for policy in [PktPolicy::None, PktPolicy::LinkGuardian] {
+        let reference = run_packet(&cfg(policy, 1, 1));
+        let ref_dump = dump(&reference);
+        assert!(!reference.fct.is_empty(), "workload produced no flows");
+        assert!(!reference.telemetry.is_empty(), "no telemetry sampled");
+        for (shards, threads) in [(2, 1), (2, 2), (4, 3), (8, 4)] {
+            let r = run_packet(&cfg(policy, shards, threads));
+            assert!(
+                r.simulation_eq(&reference),
+                "simulation diverged at shards={shards} threads={threads} ({policy:?})"
+            );
+            assert_eq!(
+                dump(&r),
+                ref_dump,
+                "dump diverged at shards={shards} threads={threads} ({policy:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn policies_differ_but_flow_population_matches() {
+    // Sanity that the differential test is not vacuous: the two
+    // policies share the flow arrival process (same seeds) but must
+    // diverge in outcomes on corrupting links.
+    let none = run_packet(&cfg(PktPolicy::None, 2, 2));
+    let lg = run_packet(&cfg(PktPolicy::LinkGuardian, 2, 2));
+    assert_eq!(none.totals.flows, lg.totals.flows);
+    assert!(none.totals.corrupt_drops > 0);
+    assert_eq!(lg.totals.corrupt_drops, 0);
+    assert!(lg.totals.recoveries > 0);
+    assert_eq!(lg.totals.source_retx, 0);
+}

@@ -456,6 +456,70 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Exhaustively recount the queue's live entries and check the
+    /// structural invariants that `len`/`is_empty` rely on:
+    ///
+    /// * live arena entries (payload present) == `pending`, so the O(1)
+    ///   counters agree with ground truth;
+    /// * the sorted window is nondecreasing in `(at, seq)` and every
+    ///   live window ref's key matches its arena entry;
+    /// * no live entry is timestamped before `now`.
+    ///
+    /// This is an O(arena + window) sweep intended for window
+    /// boundaries of sharded runs (behind `debug_assertions`) and for
+    /// tests — never for a hot loop.
+    ///
+    /// # Panics
+    /// Panics on the first violated invariant.
+    pub fn check_invariants(&self) {
+        let live = self.arena.iter().filter(|e| e.payload.is_some()).count();
+        assert_eq!(
+            live, self.pending,
+            "len()/pending ({}) disagrees with live arena recount ({live})",
+            self.pending
+        );
+        assert_eq!(
+            self.is_empty(),
+            live == 0,
+            "is_empty() disagrees with live arena recount ({live})"
+        );
+        let mut prev: Option<(Time, u64)> = None;
+        for w in &self.window {
+            if let Some((pat, pseq)) = prev {
+                assert!(
+                    (pat, pseq) <= (w.at, w.seq),
+                    "window out of order: ({pat:?},{pseq}) then ({:?},{})",
+                    w.at,
+                    w.seq
+                );
+            }
+            prev = Some((w.at, w.seq));
+            let e = &self.arena[w.idx as usize];
+            if e.payload.is_some() {
+                assert_eq!(
+                    (e.at, e.seq),
+                    (w.at, w.seq),
+                    "window ref key diverged from arena entry {}",
+                    w.idx
+                );
+                assert!(
+                    w.at >= self.now,
+                    "live window entry at {:?} is before now {:?}",
+                    w.at,
+                    self.now
+                );
+            }
+        }
+        for e in self.arena.iter().filter(|e| e.payload.is_some()) {
+            assert!(
+                e.at >= self.now,
+                "live entry at {:?} is before now {:?}",
+                e.at,
+                self.now
+            );
+        }
+    }
+
     /// Peek at the timestamp of the next pending event without popping it.
     pub fn peek_time(&mut self) -> Option<Time> {
         loop {

@@ -12,6 +12,9 @@
 //! * [`par`]: deterministic [`par_map`] for fanning independent sweep
 //!   points across threads with input-order (thread-count-independent)
 //!   results.
+//! * [`shard`]: conservative-lookahead sharding for parallelism *inside*
+//!   one run — per-shard event queues advancing in lockstep windows with
+//!   deterministic cross-shard mailbox exchange.
 //! * [`stats`]: percentile samples, log histograms, time series and rate
 //!   meters used to regenerate the paper's tables and figures.
 //!
@@ -22,11 +25,13 @@
 pub mod event;
 pub mod par;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 
 pub use event::{EventHandle, EventQueue};
 pub use par::par_map;
 pub use rng::Rng;
+pub use shard::{run_sharded, ShardMsg, ShardStats, ShardWorld};
 pub use stats::{LogHistogram, RateMeter, Samples, TimeSeries};
 pub use time::{Duration, Rate, Time};

@@ -1,4 +1,5 @@
-//! Deterministic parallel map over independent work items.
+//! Deterministic parallel map over independent work items — the
+//! *per-config fan-out* half of the parallelism story.
 //!
 //! Experiment sweeps (loss-rate grids, seed batteries) are embarrassingly
 //! parallel: every point owns its seed and its RNG stream, so points can
@@ -6,6 +7,13 @@
 //! fixed worker pool and returns results **in input order**, so driver
 //! output is byte-identical at any thread count — parallelism changes
 //! wall-clock time, never results.
+//!
+//! `par_map` only helps when a driver has *many* runs; it cannot speed
+//! up one big simulation. Parallelism *inside* a single run — one
+//! topology partitioned across per-shard event queues that advance in
+//! lockstep lookahead windows — is the [`shard`](crate::shard) module's
+//! job. The two compose: a sweep can `par_map` over configs whose
+//! individual runs are themselves sharded.
 //!
 //! Built on `std::thread::scope` with an atomic work index (no external
 //! dependencies): workers claim items one at a time, which load-balances

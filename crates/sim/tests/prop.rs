@@ -123,6 +123,75 @@ proptest! {
         }
     }
 
+    /// Shard-window usage pattern: drain to a lookahead-bounded window
+    /// edge with `pop_tick_into`, then — as handlers do — schedule new
+    /// events *below the wheel cursor's slot position* (at the current
+    /// instant or a few ps later, far below the wheel's coarse levels),
+    /// repeat across many windows. At every window boundary the wheel
+    /// must agree with the reference oracle on every observable and
+    /// pass its own structural `check_invariants` sweep (recounted
+    /// arena vs `len`, `is_empty` consistency, window ordering).
+    ///
+    /// This is the exact access pattern `shard::run_sharded` drives —
+    /// the conservative-lookahead runner synchronizes shards at window
+    /// edges, so a len/cursor inconsistency there would silently
+    /// desynchronize the parallel run.
+    #[test]
+    fn window_drains_keep_wheel_consistent(
+        lookahead in 1u64..5_000,
+        ops in proptest::collection::vec((any::<u64>(), any::<u64>(), 0u8..4), 1..60),
+    ) {
+        use lg_sim::event::reference;
+        let mut wheel = EventQueue::new();
+        let mut oracle = reference::EventQueue::new();
+        let mut wheel_buf = Vec::new();
+        let mut oracle_buf = Vec::new();
+        let mut tag = 0usize;
+        for &(a, b, burst) in &ops {
+            // Seed the window with a few events spread across a couple
+            // of lookahead horizons (some land inside the next window,
+            // some beyond it).
+            for j in 0..=burst {
+                let d = (a.wrapping_mul(j as u64 + 1)) % (3 * lookahead);
+                let at = Time::from_ps(wheel.now().as_ps().saturating_add(d));
+                wheel.schedule_at(at, tag);
+                oracle.schedule_at(at, tag);
+                tag += 1;
+            }
+            // Open the window at t_min, close it one lookahead later —
+            // `shard::window_end` semantics (inclusive end).
+            prop_assert_eq!(wheel.peek_time(), oracle.peek_time());
+            let Some(t_min) = wheel.peek_time() else { continue };
+            let until = Time::from_ps(t_min.as_ps().saturating_add(lookahead - 1));
+            // Drain the window in bounded chunks, interleaving the
+            // below-cursor schedules a dispatch handler would issue:
+            // after each chunk the wheel's cursor sits mid-slot, and the
+            // new event lands at or before that position in slot space.
+            loop {
+                let head = wheel.pop_tick_into(until, &mut wheel_buf, (b as usize) % 4);
+                let ohead = oracle.pop_tick_into(until, &mut oracle_buf, (b as usize) % 4);
+                prop_assert_eq!(&head, &ohead);
+                prop_assert_eq!(&wheel_buf, &oracle_buf);
+                wheel_buf.clear();
+                oracle_buf.clear();
+                let Some((now, _)) = head else { break };
+                // Handler-style strictly-future reschedule, minimal
+                // delta: below the cursor of every coarse wheel level.
+                let at = Time::from_ps(now.as_ps() + 1 + b % 7);
+                wheel.schedule_at(at, tag);
+                oracle.schedule_at(at, tag);
+                tag += 1;
+            }
+            // Window boundary: the shard runner reads len/peek here to
+            // decide the next window; both must be exact.
+            wheel.check_invariants();
+            prop_assert_eq!(wheel.len(), oracle.len());
+            prop_assert_eq!(wheel.is_empty(), oracle.is_empty());
+            prop_assert_eq!(wheel.peek_time(), oracle.peek_time());
+            prop_assert_eq!(wheel.now(), oracle.now());
+        }
+    }
+
     /// Rate arithmetic: serialize/bytes_in round-trips and is monotone.
     #[test]
     fn rate_round_trip(gbps in 1u64..800, bytes in 1u64..1_000_000) {

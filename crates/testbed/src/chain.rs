@@ -329,16 +329,34 @@ impl ChainWorld {
             .sum()
     }
 
-    /// Run until no events remain. Dispatch is batched per tick (same
-    /// delivery order as a `pop` loop; see `World::run_until`).
-    pub fn run_to_completion(&mut self) {
+    /// Earliest pending timestamp, or `None` when the chain is idle.
+    /// This is the probe the shard runner uses to open windows.
+    pub fn next_event_time(&mut self) -> Option<Time> {
+        self.q.peek_time()
+    }
+
+    /// Run every event due at or before `until`, returning the number
+    /// dispatched. Dispatch is batched per tick (same delivery order as
+    /// a `pop` loop; see `World::run_until`). Window-sliced execution
+    /// is exact: a chain run as a sequence of bounded `run_until` calls
+    /// dispatches the identical event stream as one unbounded call,
+    /// which is what lets a chain instance live inside a shard.
+    pub fn run_until(&mut self, until: Time) -> u64 {
+        let mut ran = 0u64;
         let mut batch = Vec::new();
-        while let Some((now, ev)) = self.q.pop_tick_into(Time::MAX, &mut batch, 64) {
+        while let Some((now, ev)) = self.q.pop_tick_into(until, &mut batch, 64) {
+            ran += 1 + batch.len() as u64;
             self.handle(ev, now);
             for ev in batch.drain(..) {
                 self.handle(ev, now);
             }
         }
+        ran
+    }
+
+    /// Run until no events remain.
+    pub fn run_to_completion(&mut self) {
+        self.run_until(Time::MAX);
     }
 
     fn handle(&mut self, ev: CEv, now: Time) {

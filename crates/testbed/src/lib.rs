@@ -15,6 +15,7 @@
 
 pub mod chain;
 pub mod experiments;
+pub mod shard;
 pub mod world;
 
 pub use chain::{ChainApp, ChainConfig, ChainWorld};
@@ -22,4 +23,5 @@ pub use experiments::{
     classify_fig13, fct_experiment, stress_test, time_series, FctResult, FctTransport, Fig13Group,
     Protection, StressResult, TimeSeriesResult, TimeSeriesScenario,
 };
+pub use shard::{run_battery_sharded, InstanceShard, WindowRunnable};
 pub use world::{App, Ev, Host, World, WorldConfig, HOST0, HOST1};

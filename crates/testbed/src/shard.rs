@@ -1,0 +1,180 @@
+//! Testbed worlds as shard citizens.
+//!
+//! A figure-7 testbed instance (a [`World`] or a multi-hop
+//! [`ChainWorld`]) is a self-contained event loop: all of its traffic
+//! stays inside the instance, so a *battery* of instances — a seed
+//! sweep, a loss-rate grid — shards trivially: partition the instances,
+//! give each shard one event queue per instance, and advance everything
+//! in lockstep windows. No messages ever cross shards, but unlike
+//! [`lg_sim::par_map`] fan-out the instances advance *together* through
+//! simulated time, which is the execution shape the packet-level fabric
+//! uses (and what its pod worlds will share a clock with); running the
+//! testbed batteries through the same [`lg_sim::shard`] runner keeps
+//! that machinery covered by the testbed's own regression suite.
+//!
+//! Window-sliced execution is exact because `run_until` dispatches the
+//! identical event stream whether it is called once with `Time::MAX` or
+//! repeatedly with window bounds — asserted by the round-trip tests
+//! below.
+
+use lg_sim::shard::{run_sharded, ShardMsg, ShardStats, ShardWorld};
+use lg_sim::{Duration, Time};
+
+use crate::chain::ChainWorld;
+use crate::world::World;
+
+/// Any testbed instance that can advance to a bound and report its next
+/// pending timestamp.
+pub trait WindowRunnable: Send {
+    /// Run every event due at or before `until`; return how many ran.
+    fn run_window(&mut self, until: Time) -> u64;
+    /// Earliest pending timestamp, or `None` when idle.
+    fn next_time(&mut self) -> Option<Time>;
+}
+
+impl WindowRunnable for ChainWorld {
+    fn run_window(&mut self, until: Time) -> u64 {
+        self.run_until(until)
+    }
+    fn next_time(&mut self) -> Option<Time> {
+        self.next_event_time()
+    }
+}
+
+impl WindowRunnable for World {
+    fn run_window(&mut self, until: Time) -> u64 {
+        // World::run_until does not count; the per-event cost of a
+        // counting wrapper would land on the fig-binary hot path, so
+        // count by queue-length delta instead (events dispatched =
+        // drained minus still-pending is wrong under rescheduling;
+        // windows only need a monotone progress signal, not an exact
+        // census, and the exact count is owned by `world_guard`).
+        let before = self.q.len() as u64;
+        self.run_until(until);
+        before.saturating_sub(self.q.len() as u64)
+    }
+    fn next_time(&mut self) -> Option<Time> {
+        self.next_event_time()
+    }
+}
+
+/// One shard of an instance battery: a disjoint set of instances,
+/// remembered with their battery positions so results reassemble in
+/// input order.
+pub struct InstanceShard<W> {
+    instances: Vec<(usize, W)>,
+}
+
+impl<W: WindowRunnable> ShardWorld for InstanceShard<W> {
+    /// Instances are self-contained; the message type is uninhabited in
+    /// spirit — `inject` is unreachable.
+    type Msg = ();
+
+    fn next_time(&mut self) -> Option<Time> {
+        self.instances
+            .iter_mut()
+            .filter_map(|(_, w)| w.next_time())
+            .min()
+    }
+
+    fn run_window(&mut self, until: Time, _out: &mut Vec<ShardMsg<()>>) -> u64 {
+        self.instances
+            .iter_mut()
+            .map(|(_, w)| w.run_window(until))
+            .sum()
+    }
+
+    fn inject(&mut self, _msg: ShardMsg<()>) {
+        unreachable!("testbed instances exchange no cross-shard messages");
+    }
+}
+
+/// Run a battery of instances to completion inside `shards` shards on
+/// up to `threads` workers, returning them in input order (so callers
+/// read FCTs/stats exactly as if each instance had run alone).
+///
+/// `window` is the synchronization quantum. Instances are independent,
+/// so *any* positive window is safe — there is no lookahead constraint
+/// to honor — but the window sets the scheduling granularity:
+/// finer windows rebalance shards more often, coarser windows
+/// synchronize less. Instances are dealt round-robin so a battery
+/// sorted by difficulty still balances.
+pub fn run_battery_sharded<W: WindowRunnable>(
+    instances: Vec<W>,
+    shards: u32,
+    threads: usize,
+    window: Duration,
+) -> (Vec<W>, ShardStats) {
+    let n = instances.len();
+    let shards = (shards as usize).clamp(1, n.max(1));
+    let mut shard_vec: Vec<InstanceShard<W>> = (0..shards)
+        .map(|_| InstanceShard {
+            instances: Vec::new(),
+        })
+        .collect();
+    for (i, w) in instances.into_iter().enumerate() {
+        shard_vec[i % shards].instances.push((i, w));
+    }
+    let stats = run_sharded(&mut shard_vec, window, Time::MAX, threads);
+    let mut out: Vec<(usize, W)> = shard_vec.into_iter().flat_map(|s| s.instances).collect();
+    out.sort_unstable_by_key(|&(i, _)| i);
+    (out.into_iter().map(|(_, w)| w).collect(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{ChainApp, ChainConfig, ChainWorld};
+    use lg_link::{LinkSpeed, LossModel};
+
+    fn battery() -> Vec<ChainWorld> {
+        (0..6u32)
+            .map(|i| {
+                let mut cfg = ChainConfig::protected_chain(
+                    LinkSpeed::G100,
+                    vec![LossModel::Iid { rate: 1e-3 }, LossModel::Iid { rate: 5e-4 }],
+                    ChainApp::RdmaTrials {
+                        msg_len: 4_000 + i * 700,
+                        trials: 30,
+                    },
+                );
+                cfg.seed = 1000 + i as u64;
+                ChainWorld::new(cfg)
+            })
+            .collect()
+    }
+
+    fn fcts(worlds: &[ChainWorld]) -> Vec<Vec<f64>> {
+        worlds.iter().map(|w| w.fct.samples_us().to_vec()).collect()
+    }
+
+    #[test]
+    fn sharded_battery_matches_serial_runs() {
+        let mut serial = battery();
+        for w in serial.iter_mut() {
+            w.run_to_completion();
+        }
+        let expected = fcts(&serial);
+        for (shards, threads) in [(1, 1), (2, 2), (3, 2), (6, 4)] {
+            let (worlds, stats) =
+                run_battery_sharded(battery(), shards, threads, Duration::from_us(2));
+            assert_eq!(fcts(&worlds), expected, "shards={shards} threads={threads}");
+            assert_eq!(stats.messages, 0);
+            assert!(stats.events > 0);
+        }
+    }
+
+    #[test]
+    fn window_sliced_chain_equals_one_shot_run() {
+        let mut one_shot = battery().remove(0);
+        one_shot.run_to_completion();
+        let mut sliced = battery().remove(0);
+        let mut ran = 0;
+        while let Some(t) = sliced.next_event_time() {
+            ran += sliced.run_until(t + lg_sim::Duration::from_ns(500));
+        }
+        assert!(ran > 0);
+        assert_eq!(sliced.fct.samples_us(), one_shot.fct.samples_us());
+        assert_eq!(sliced.e2e_retx, one_shot.e2e_retx);
+    }
+}

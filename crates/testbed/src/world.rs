@@ -723,6 +723,12 @@ impl World {
         self.dispatch_scratch = batch;
     }
 
+    /// Earliest pending timestamp, or `None` when the world is idle.
+    /// This is the probe the shard runner uses to open windows.
+    pub fn next_event_time(&mut self) -> Option<Time> {
+        self.q.peek_time()
+    }
+
     /// Run until no events remain (traffic drivers finished and drained).
     pub fn run_to_completion(&mut self) {
         self.run_until(Time::MAX);

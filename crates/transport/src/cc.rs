@@ -9,7 +9,11 @@ use crate::types::CcVariant;
 use lg_sim::{Duration, Rate};
 
 /// Events the sender feeds its congestion controller.
-pub trait CongestionControl: core::fmt::Debug {
+///
+/// `Send` is a supertrait so worlds holding a boxed controller can move
+/// between the sharded runner's worker threads; every implementation is
+/// a plain data struct, so this costs nothing.
+pub trait CongestionControl: core::fmt::Debug + Send {
     /// Bytes newly acknowledged (cumulative + SACK growth), with the
     /// fraction of those bytes that carried CE marks and the latest RTT
     /// sample if available.
