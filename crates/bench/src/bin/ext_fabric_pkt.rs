@@ -15,13 +15,18 @@
 //!
 //! Usage: `cargo run --release -p lg-bench --bin ext_fabric_pkt
 //! [--shards 4] [--threads 4] [--seed 42] [--horizon-us 2000]
-//! [--dump PATH]`
+//! [--scale] [--pods N] [--dump PATH] [--layout-out PATH]`
 //!
 //! `--dump PATH` writes the full FCT table and telemetry rows as JSON
 //! lines — the machine-readable twin of the stdout table, also
-//! layout-invariant.
+//! layout-invariant. `--scale` switches from the 1K-link pod-scale
+//! fixture to the fabric-scale preset (260 pods ≈ 100K links, streaming
+//! FCT only), and `--pods N` shrinks either geometry for smoke runs.
+//! `--layout-out PATH` writes one JSON object describing the partition
+//! (sizes, cut edges, granularity) so CI asserts on structured output
+//! instead of grepping stderr.
 
-use lg_bench::{arg, banner};
+use lg_bench::{arg, banner, flag};
 use lg_fabric::{partition, run_packet, PktFabricConfig, PktFabricResult, PktPolicy};
 use lg_sim::Time;
 
@@ -52,36 +57,75 @@ fn dump(path: &str, label: &str, r: &PktFabricResult) -> std::io::Result<()> {
             t.sample, t.link, t.tx_frames, t.corrupt_drops, t.recoveries
         )?;
     }
+    let d = &r.fct_digest;
+    writeln!(
+        f,
+        "{{\"policy\":\"{label}\",\"fct_count\":{},\"fct_min_ps\":{},\"fct_max_ps\":{},\
+         \"fct_p50_ps\":{},\"fct_p99_ps\":{},\"fct_p999_ps\":{}}}",
+        d.count, d.min, d.max, d.p50, d.p99, d.p999
+    )?;
     let t = &r.totals;
     writeln!(
         f,
         "{{\"policy\":\"{label}\",\"events\":{},\"flows\":{},\"completed\":{},\
-         \"tx_frames\":{},\"corrupt_drops\":{},\"recoveries\":{},\"source_retx\":{}}}",
+         \"tx_frames\":{},\"corrupt_drops\":{},\"recoveries\":{},\"source_retx\":{},\
+         \"overflow_drops\":{}}}",
         t.events,
         t.flows,
         t.flows_completed,
         t.tx_frames,
         t.corrupt_drops,
         t.recoveries,
-        t.source_retx
+        t.source_retx,
+        t.overflow_drops
+    )?;
+    f.flush()
+}
+
+/// One JSON object describing the partition layout — the structured
+/// twin of the stderr layout line, for CI assertions.
+fn write_layout(path: &str, part: &lg_fabric::Partition, threads: usize) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let sizes: Vec<String> = part.links_per_shard.iter().map(|n| n.to_string()).collect();
+    writeln!(
+        f,
+        "{{\"links\":{},\"shards\":{},\"threads\":{threads},\"granularity\":\"{}\",\
+         \"cut_edges\":{},\"total_edges\":{},\"links_per_shard\":[{}]}}",
+        part.links_per_shard.iter().sum::<u32>(),
+        part.shards,
+        part.map.granularity().name(),
+        part.cut_edges,
+        part.total_edges,
+        sizes.join(",")
     )?;
     f.flush()
 }
 
 fn main() {
     let _obs = lg_bench::obs::session("ext_fabric_pkt");
-    let shards: u32 = arg("--shards", 4);
+    let scale = flag("--scale");
+    let shards: u32 = arg("--shards", if scale { 8 } else { 4 });
     let threads: usize = arg("--threads", shards as usize);
     let seed: u64 = arg("--seed", 42);
-    let horizon_us: u64 = arg("--horizon-us", 2000);
+    let horizon_us: u64 = arg("--horizon-us", if scale { 400 } else { 2000 });
+    let pods: u32 = arg("--pods", 0);
     let dump_path: String = arg("--dump", String::new());
+    let layout_path: String = arg("--layout-out", String::new());
 
     banner(
         "Extension: packet-level fabric (sharded)",
         "pod-scale frames through corrupting links, RTO world vs LinkGuardian world",
     );
 
-    let mut cfg = PktFabricConfig::pod_scale(seed);
+    let mut cfg = if scale {
+        PktFabricConfig::fabric_scale(seed)
+    } else {
+        PktFabricConfig::pod_scale(seed)
+    };
+    if pods > 0 {
+        cfg.geom.pods = pods;
+    }
     cfg.shards = shards;
     cfg.threads = threads;
     cfg.horizon = Time::from_us(horizon_us);
@@ -102,6 +146,11 @@ fn main() {
         part.cut_edges,
         part.total_edges,
     );
+    if !layout_path.is_empty() {
+        if let Err(e) = write_layout(&layout_path, &part, threads) {
+            eprintln!("warning: could not write {layout_path}: {e}");
+        }
+    }
 
     println!(
         "geometry: {} pods x ({} tors x {} fabrics + {} fabrics x {} uplinks), \
@@ -135,17 +184,22 @@ fn main() {
         c.policy = policy;
         let r = run_packet(&c);
         eprintln!(
-            "{label}: {} events in {} windows, {} cross-shard frames",
-            r.totals.events, r.stats.windows, r.stats.messages
+            "{label}: {} events in {} windows, {} cross-shard frames, \
+             budget hwm {} B / denials {}",
+            r.totals.events, r.stats.windows, r.stats.messages, r.mem.hwm_bytes, r.mem.denials
         );
+        // Percentiles come from the streaming digest: identical to the
+        // retained-Vec path whenever the rank falls inside the top-K
+        // tail (always, on these fixtures), and the only option at
+        // fabric scale where per-flow FCTs are not retained.
         println!(
             "{:<14} {:>7} {:>7} {:>9.2} {:>9.2} {:>9.2} {:>8} {:>10} {:>9}",
             label,
             r.totals.flows,
             r.totals.flows_completed,
-            us(r.fct_percentile(0.50)),
-            us(r.fct_percentile(0.99)),
-            us(r.fct_percentile(0.999)),
+            us(r.fct_digest.p50),
+            us(r.fct_digest.p99),
+            us(r.fct_digest.p999),
             r.totals.corrupt_drops,
             r.totals.recoveries,
             r.totals.source_retx,
@@ -161,9 +215,9 @@ fn main() {
     println!();
     println!(
         "p999 FCT: {:.2} us -> {:.2} us ({:.1}x); drops surfaced to sources: {} -> {}",
-        us(none.fct_percentile(0.999)),
-        us(lg.fct_percentile(0.999)),
-        us(none.fct_percentile(0.999)) / us(lg.fct_percentile(0.999)).max(1e-9),
+        us(none.fct_digest.p999),
+        us(lg.fct_digest.p999),
+        us(none.fct_digest.p999) / us(lg.fct_digest.p999).max(1e-9),
         none.totals.corrupt_drops,
         lg.totals.corrupt_drops,
     );

@@ -4,10 +4,17 @@
 //! constraints.
 //!
 //! Usage: `cargo run --release -p lg-bench --bin fig15_fabric_week
-//! [--pods 260] [--days 7] [--threads N]`
+//! [--pods 260] [--days 7] [--threads N] [--engine analytic|packet]
+//! [--shards 8] [--horizon-us 400]`
 //!
 //! The four constraint × policy simulations run in parallel; output is
 //! identical at any `--threads` value.
+//!
+//! `--engine packet` swaps the analytic rollup for the packet-level
+//! fabric ([`lg_bench::pktroll`]): microseconds of real frames through
+//! the same pod geometry instead of a simulated week, as a cross-check
+//! that the closed-form story survives per-frame queueing. Stdout in
+//! this mode is byte-identical at any `--shards`/`--threads` layout.
 
 use lg_bench::{arg, banner, sweep};
 use lg_fabric::{run_many, FabricSimConfig, Policy};
@@ -21,6 +28,21 @@ fn main() {
     let pods: u32 = arg("--pods", 260u32);
     let days: f64 = arg("--days", 7.0);
     let seed: u64 = arg("--seed", 15);
+    let engine: String = arg("--engine", "analytic".to_string());
+    match engine.as_str() {
+        "packet" => {
+            let shards: u32 = arg("--shards", 8);
+            let threads: usize = arg("--threads", shards as usize);
+            let horizon_us: u64 = arg("--horizon-us", 400);
+            lg_bench::pktroll::packet_rollup(pods, shards, threads, seed, horizon_us);
+            return;
+        }
+        "analytic" => {}
+        other => {
+            eprintln!("error: unknown --engine {other:?} (expected analytic or packet)");
+            std::process::exit(2);
+        }
+    }
     let constraints = [0.50, 0.75];
     let mut cfgs = Vec::new();
     for constraint in constraints {

@@ -3,10 +3,16 @@
 //! LinkGuardian + CorrOpt vs vanilla CorrOpt at 50% and 75% constraints.
 //!
 //! Usage: `cargo run --release -p lg-bench --bin fig16_fabric_year
-//! [--pods 260] [--days 365] [--sample-hours 4] [--threads N]`
+//! [--pods 260] [--days 365] [--sample-hours 4] [--threads N]
+//! [--engine analytic|packet] [--shards 8] [--horizon-us 400]`
 //!
 //! The four constraint × policy simulations run in parallel; output is
 //! identical at any `--threads` value.
+//!
+//! `--engine packet` swaps the analytic rollup for the packet-level
+//! fabric ([`lg_bench::pktroll`]) on the same pod geometry — the same
+//! cross-check `fig15_fabric_week --engine packet` runs, kept on both
+//! binaries so either figure can be sanity-checked frame-by-frame.
 
 use lg_bench::{arg, banner, sweep};
 use lg_fabric::{run_many, FabricSimConfig, Policy};
@@ -21,6 +27,21 @@ fn main() {
     let days: f64 = arg("--days", 365.0);
     let sample_hours: f64 = arg("--sample-hours", 4.0);
     let seed: u64 = arg("--seed", 16);
+    let engine: String = arg("--engine", "analytic".to_string());
+    match engine.as_str() {
+        "packet" => {
+            let shards: u32 = arg("--shards", 8);
+            let threads: usize = arg("--threads", shards as usize);
+            let horizon_us: u64 = arg("--horizon-us", 400);
+            lg_bench::pktroll::packet_rollup(pods, shards, threads, seed, horizon_us);
+            return;
+        }
+        "analytic" => {}
+        other => {
+            eprintln!("error: unknown --engine {other:?} (expected analytic or packet)");
+            std::process::exit(2);
+        }
+    }
 
     let constraints = [0.50, 0.75];
     let mut cfgs = Vec::new();

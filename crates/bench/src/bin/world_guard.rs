@@ -36,20 +36,29 @@
 //! - `--ab-shard` interleaves serial reps (`--shards 1 --threads 1`)
 //!   with sharded reps (`--shards N`, workers capped at the machine's
 //!   available parallelism) of the same pod-scale packet run and prints
-//!   both medians plus the sharded/serial speedup ratio. The per-run
-//!   event count is layout-invariant (determinism), so it doubles as an
-//!   exact-match reference. When the machine exposes fewer hardware
-//!   threads than shards the speedup honestly reports what the hardware
-//!   allows; the CI gate runs on multi-core runners.
+//!   both medians plus the sharded/serial speedup ratio. `--shards`
+//!   takes a comma list (`--shards 1,4,8`): each layout runs the full
+//!   interleaved protocol, prints its own block, and appends its own
+//!   history line, so one invocation sweeps the scaling curve. The
+//!   per-run event count is layout-invariant (determinism), so it
+//!   doubles as an exact-match reference. When the machine exposes
+//!   fewer hardware threads than shards the speedup honestly reports
+//!   what the hardware allows; the CI gate runs on multi-core runners.
 //! - `--allocs-shard` counts steady-state heap allocations of a sharded
 //!   (4-shard, serial-path) packet run, construction excluded. Same
 //!   ≤ 0.01 allocs/event bar as `--allocs`: per-shard arenas must make
 //!   the sharded hot path as allocation-free as the single-world one.
+//! - `--rss` runs the fabric-scale preset once (260 pods ≈ 100K links,
+//!   or `--pods N` for a smoke-sized slice) and prints events/s, the
+//!   per-shard memory-budget accounting, and the process peak RSS
+//!   (`VmHWM` from `/proc/self/status`). CI gates `vm_hwm_kb` so the
+//!   bounded-memory claim is enforced, not just documented.
 //!
 //! Usage: `cargo run --release -p lg-bench --bin world_guard
 //! [--trials 300] [--reps 5] [--telemetry | --ab-telemetry |
-//! --ab-dispatch | --ab-shard] [--allocs | --allocs-shard]
-//! [--shards 4] [--horizon-us 2000] [--history PATH]`
+//! --ab-dispatch | --ab-shard | --rss] [--allocs | --allocs-shard]
+//! [--shards 4[,8,...]] [--pods N] [--seed 42] [--horizon-us 2000]
+//! [--history PATH]`
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -240,6 +249,48 @@ fn append_history_shard(
     }
 }
 
+/// Append one JSON line for an `--rss` run. Keyed by `vm_hwm_kb` +
+/// `scale_links` so the memory gate greps its own latest entry.
+fn append_history_rss(
+    path: &str,
+    scale_links: u32,
+    events_per_run: u64,
+    events_per_sec: f64,
+    vm_hwm_kb: u64,
+) {
+    use std::io::Write;
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let line = format!(
+        "{{\"unix_ts\":{ts},\"scale_links\":{scale_links},\"events_per_run\":{events_per_run},\
+         \"events_per_sec\":{events_per_sec:.0},\"vm_hwm_kb\":{vm_hwm_kb}}}\n"
+    );
+    let r = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = r {
+        eprintln!("warning: could not append {path}: {e}");
+    }
+}
+
+/// Peak resident set size of this process in KiB, from the kernel's
+/// `VmHWM` line in `/proc/self/status`. `None` off Linux or on a parse
+/// failure — the caller reports 0 rather than inventing a number.
+fn vm_hwm_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))?
+        .split_whitespace()
+        .nth(1)?
+        .parse()
+        .ok()
+}
+
 fn main() {
     let trials: u32 = arg("--trials", 300);
     let reps: usize = arg("--reps", 5).max(1);
@@ -317,53 +368,115 @@ fn main() {
         // capped at available parallelism). Same flip-the-pair-order
         // protocol as `--ab-telemetry`; the ratio is the honest
         // within-process scaling of the shard runner on this machine.
-        let shards: u32 = arg("--shards", 4);
+        // `--shards` is a comma list; each layout gets the complete
+        // protocol (warm-up, determinism check, interleaved reps) and
+        // its own output block + history line.
+        let shard_list: String = arg("--shards", "4".to_string());
         let horizon_us: u64 = arg("--horizon-us", 2000);
+        let layouts: Vec<u32> = shard_list
+            .split(',')
+            .map(|s| match s.trim().parse::<u32>() {
+                Ok(n) if n > 0 => n,
+                _ => {
+                    eprintln!("error: invalid value for --shards: {s:?}");
+                    std::process::exit(2);
+                }
+            })
+            .collect();
         let hw = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let threads = (shards as usize).min(hw);
         let serial_cfg = pkt_cfg(1, 1, horizon_us);
-        let sharded_cfg = pkt_cfg(shards, threads, horizon_us);
-        // Warm-up doubles as the event-count calibration; the count is
-        // layout-invariant, so asserting it across both configs is a
-        // cheap end-to-end determinism check inside the perf gate.
-        let (_, ev_serial) = timed_pkt(&serial_cfg);
-        let (_, ev_sharded) = timed_pkt(&sharded_cfg);
-        assert_eq!(
-            ev_serial, ev_sharded,
-            "sharded layout changed the event count — determinism bug"
-        );
-        let (mut ser, mut shd, mut ratios) = (Vec::new(), Vec::new(), Vec::new());
-        for i in 0..reps {
-            let (s, p) = if i % 2 == 0 {
-                let s = timed_pkt(&serial_cfg).0;
-                (s, timed_pkt(&sharded_cfg).0)
-            } else {
-                let p = timed_pkt(&sharded_cfg).0;
-                (timed_pkt(&serial_cfg).0, p)
-            };
-            ser.push(s);
-            shd.push(p);
-            ratios.push(p / s);
+        for (li, &shards) in layouts.iter().enumerate() {
+            if li > 0 {
+                println!();
+            }
+            let threads = (shards as usize).min(hw);
+            let sharded_cfg = pkt_cfg(shards, threads, horizon_us);
+            // Warm-up doubles as the event-count calibration; the count
+            // is layout-invariant, so asserting it across both configs
+            // is a cheap end-to-end determinism check inside the gate.
+            let (_, ev_serial) = timed_pkt(&serial_cfg);
+            let (_, ev_sharded) = timed_pkt(&sharded_cfg);
+            assert_eq!(
+                ev_serial, ev_sharded,
+                "sharded layout changed the event count — determinism bug"
+            );
+            let (mut ser, mut shd, mut ratios) = (Vec::new(), Vec::new(), Vec::new());
+            for i in 0..reps {
+                let (s, p) = if i % 2 == 0 {
+                    let s = timed_pkt(&serial_cfg).0;
+                    (s, timed_pkt(&sharded_cfg).0)
+                } else {
+                    let p = timed_pkt(&sharded_cfg).0;
+                    (timed_pkt(&serial_cfg).0, p)
+                };
+                ser.push(s);
+                shd.push(p);
+                ratios.push(p / s);
+            }
+            let (s, p) = (median(&mut ser), median(&mut shd));
+            let speedup = median(&mut ratios);
+            println!("events_per_run: {ev_serial}");
+            println!("hw_threads: {hw}");
+            println!("shards: {shards}");
+            println!("worker_threads: {threads}");
+            println!("events_per_sec_serial: {s:.0}");
+            println!("events_per_sec_sharded: {p:.0}");
+            println!("shard_speedup: {speedup:.4}");
+            if hw < shards as usize {
+                println!(
+                    "note: machine exposes {hw} hardware thread(s) for {shards} shards; \
+                     speedup is bounded by the hardware, not the runner"
+                );
+            }
+            if !history.is_empty() {
+                append_history_shard(&history, ev_serial, p, speedup, shards, threads);
+            }
         }
-        let (s, p) = (median(&mut ser), median(&mut shd));
-        let speedup = median(&mut ratios);
-        println!("events_per_run: {ev_serial}");
-        println!("hw_threads: {hw}");
+        return;
+    }
+    if lg_bench::flag("--rss") {
+        // Fabric-scale memory gate: one run of the scale preset, peak
+        // RSS from the kernel's own high-water mark. A single run is
+        // the honest measurement here — VmHWM is monotone across the
+        // process lifetime, so reps could only inflate it.
+        let shards: u32 = arg("--shards", 8);
+        let threads: usize = arg("--threads", shards as usize);
+        let seed: u64 = arg("--seed", 42);
+        let pods: u32 = arg("--pods", 0);
+        let mut cfg = lg_fabric::PktFabricConfig::fabric_scale(seed);
+        if pods > 0 {
+            cfg.geom.pods = pods;
+        }
+        cfg.shards = shards;
+        cfg.threads = threads;
+        // 0 keeps the preset horizon.
+        let horizon_us: u64 = arg("--horizon-us", 0);
+        if horizon_us > 0 {
+            cfg.horizon = Time::from_us(horizon_us);
+        }
+        let links = cfg.geom.n_links();
+        let t0 = std::time::Instant::now();
+        let r = run_packet(&cfg);
+        let rate = r.totals.events as f64 / t0.elapsed().as_secs_f64();
+        let hwm_kb = vm_hwm_kb().unwrap_or_else(|| {
+            eprintln!("warning: could not read VmHWM from /proc/self/status");
+            0
+        });
+        println!("scale_links: {links}");
         println!("shards: {shards}");
         println!("worker_threads: {threads}");
-        println!("events_per_sec_serial: {s:.0}");
-        println!("events_per_sec_sharded: {p:.0}");
-        println!("shard_speedup: {speedup:.4}");
-        if hw < shards as usize {
-            println!(
-                "note: machine exposes {hw} hardware thread(s) for {shards} shards; \
-                 speedup is bounded by the hardware, not the runner"
-            );
-        }
+        println!("events_per_run: {}", r.totals.events);
+        println!("events_per_sec: {rate:.0}");
+        println!("flows_completed: {}", r.totals.flows_completed);
+        println!("overflow_drops: {}", r.totals.overflow_drops);
+        println!("budget_limit_bytes: {}", r.mem.limit_bytes);
+        println!("budget_hwm_bytes: {}", r.mem.hwm_bytes);
+        println!("budget_denials: {}", r.mem.denials);
+        println!("vm_hwm_kb: {hwm_kb}");
         if !history.is_empty() {
-            append_history_shard(&history, ev_serial, p, speedup, shards, threads);
+            append_history_rss(&history, links, r.totals.events, rate, hwm_kb);
         }
         return;
     }

@@ -9,6 +9,7 @@
 //! against the paper.
 
 pub mod obs;
+pub mod pktroll;
 pub mod sweep;
 
 use std::env;

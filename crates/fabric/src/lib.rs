@@ -12,9 +12,13 @@
 //! * [`pktsim`]: the packet-level fabric simulation — per-frame loss
 //!   draws and queueing on the same pod geometry, sharded across cores
 //!   with conservative lookahead ([`run_packet`] beside the analytic
-//!   [`run`]).
+//!   [`run`]);
+//! * [`fct`]: streaming flow-completion-time aggregation (fixed-size
+//!   histogram + exact top-K tail reservoir) so fabric-scale runs keep
+//!   O(buckets), not O(flows), memory.
 
 pub mod corropt;
+pub mod fct;
 pub mod partition;
 pub mod pktsim;
 pub mod sim;
@@ -22,8 +26,9 @@ pub mod topology;
 pub mod tracegen;
 
 pub use corropt::{CapacityConstraint, CorrOpt};
-pub use partition::{partition, Partition, PodGeom};
-pub use pktsim::{run_packet, PktFabric, PktFabricConfig, PktFabricResult, PktPolicy};
+pub use fct::{FctDigest, FctStream};
+pub use partition::{partition, Granularity, Partition, PartitionMap, PodGeom};
+pub use pktsim::{run_packet, MemStats, PktFabric, PktFabricConfig, PktFabricResult, PktPolicy};
 pub use sim::{
     run, run_many, FabricHealthEvent, FabricSimConfig, FabricSimResult, Policy, SamplePoint,
 };

@@ -87,6 +87,67 @@ impl PodGeom {
     }
 }
 
+/// Which hierarchical level the partition assigns at (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// Whole pods per shard.
+    Pods,
+    /// Whole fabric groups (one fabric plane of one pod) per shard.
+    Groups,
+    /// Raw contiguous link-id ranges (last-resort fallback).
+    Ranges,
+}
+
+impl Granularity {
+    /// Stable lower-case name for reports and layout dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            Granularity::Pods => "pods",
+            Granularity::Groups => "groups",
+            Granularity::Ranges => "ranges",
+        }
+    }
+}
+
+/// The partition as a *function* instead of a table: `shard_of` inverts
+/// the balanced unit assignment arithmetically, so holders (one per
+/// shard of a sharded run) carry a few words instead of an O(links)
+/// vector. At the paper's ~100K-link geometry the table costs 400 KB
+/// *per copy*; the map makes the per-shard cost independent of fabric
+/// size, which is what lets shard state stay O(local links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionMap {
+    geom: PodGeom,
+    shards: u32,
+    granularity: Granularity,
+}
+
+impl PartitionMap {
+    /// Shard owning `link` — O(1), no table.
+    pub fn shard_of(&self, link: u32) -> u32 {
+        let g = &self.geom;
+        match self.granularity {
+            Granularity::Pods => shard_of_unit(link / g.links_per_pod(), g.pods, self.shards),
+            Granularity::Groups => shard_of_unit(
+                g.pod_of(link) * g.fabrics + g.group_of(link),
+                g.pods * g.fabrics,
+                self.shards,
+            ),
+            Granularity::Ranges => shard_of_unit(link, g.n_links(), self.shards),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Assignment granularity.
+    pub fn granularity(&self) -> Granularity {
+        self.granularity
+    }
+}
+
 /// A shard assignment for every link plus the cut accounting that
 /// justifies it.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,6 +162,10 @@ pub struct Partition {
     pub cut_edges: u64,
     /// Total forwarding adjacencies, for cut-fraction reporting.
     pub total_edges: u64,
+    /// The compact arithmetic form of `shard_of_link` (see
+    /// [`PartitionMap`]); run-time holders should carry this, not the
+    /// table.
+    pub map: PartitionMap,
 }
 
 /// Balanced contiguous assignment of `units` units to `shards` shards:
@@ -115,27 +180,19 @@ pub fn partition(geom: &PodGeom, shards: u32) -> Partition {
     let n_links = geom.n_links();
     assert!(n_links > 0, "empty fabric");
     let shards = shards.clamp(1, n_links);
-    let lpp = geom.links_per_pod();
-    let shard_of_link: Vec<u32> = if shards <= geom.pods {
-        (0..n_links)
-            .map(|l| shard_of_unit(l / lpp, geom.pods, shards))
-            .collect()
+    let granularity = if shards <= geom.pods {
+        Granularity::Pods
     } else if shards <= geom.pods * geom.fabrics {
-        let units = geom.pods * geom.fabrics;
-        (0..n_links)
-            .map(|l| {
-                shard_of_unit(
-                    geom.pod_of(l) * geom.fabrics + geom.group_of(l),
-                    units,
-                    shards,
-                )
-            })
-            .collect()
+        Granularity::Groups
     } else {
-        (0..n_links)
-            .map(|l| shard_of_unit(l, n_links, shards))
-            .collect()
+        Granularity::Ranges
     };
+    let map = PartitionMap {
+        geom: *geom,
+        shards,
+        granularity,
+    };
+    let shard_of_link: Vec<u32> = (0..n_links).map(|l| map.shard_of(l)).collect();
     let mut links_per_shard = vec![0u32; shards as usize];
     for &s in &shard_of_link {
         links_per_shard[s as usize] += 1;
@@ -147,6 +204,7 @@ pub fn partition(geom: &PodGeom, shards: u32) -> Partition {
         links_per_shard,
         cut_edges,
         total_edges,
+        map,
     }
 }
 
@@ -313,6 +371,46 @@ mod tests {
         let p = partition(&g, 1000);
         assert_eq!(p.shards, g.n_links());
         assert!(p.links_per_shard.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn map_matches_table_at_every_granularity() {
+        let g = geom();
+        for shards in [1, 3, 8, 13, 16, 24, 40, 100] {
+            let p = partition(&g, shards);
+            for l in 0..g.n_links() {
+                assert_eq!(
+                    p.map.shard_of(l),
+                    p.shard_of_link[l as usize],
+                    "shards={shards} link={l} ({:?})",
+                    p.map.granularity()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_pod_spans_are_contiguous() {
+        // Every granularity assigns shards to contiguous *pod* ranges
+        // (groups are enumerated pod-major, ranges are link-contiguous),
+        // which is what lets a shard's local-id tables span only its own
+        // pods instead of the whole fabric.
+        let g = geom();
+        for shards in [2, 5, 8, 16, 24, 60] {
+            let p = partition(&g, shards);
+            for s in 0..p.shards {
+                let pods: Vec<u32> = (0..g.n_links())
+                    .filter(|&l| p.shard_of_link[l as usize] == s)
+                    .map(|l| g.pod_of(l))
+                    .collect();
+                let (lo, hi) = (pods[0], *pods.last().unwrap());
+                assert!(
+                    pods.windows(2).all(|w| w[0] <= w[1]),
+                    "shards={shards} shard={s}"
+                );
+                assert!(hi - lo < pods.len() as u32 + g.pods, "sane span");
+            }
+        }
     }
 
     #[test]

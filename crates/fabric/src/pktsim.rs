@@ -43,13 +43,40 @@
 //! lookahead window is [`PktFabricConfig::hop_latency`] — the link
 //! propagation + pipeline delay, exactly the conservative bound the
 //! shard runner needs.
+//!
+//! ## Fabric-scale memory discipline
+//!
+//! At the paper's ~100K-link geometry, anything O(fabric) *per shard*
+//! or O(flows) *per run* dominates the footprint, so:
+//!
+//! * shard lookup state is a *pod-span slab*: the partition assigns
+//!   every shard a contiguous pod range, so its global→local link and
+//!   generator indices live in a vector spanning only its own pods
+//!   (`span_base` + span-sized slab), and shard routing uses the O(1)
+//!   arithmetic [`PartitionMap`] instead of a global table;
+//! * FCTs stream into a per-shard [`FctStream`] (fixed-size histogram
+//!   plus exact top-K tail) merged deterministically at collect time;
+//!   the retained per-flow vector is opt-in
+//!   ([`PktFabricConfig::retain_fct`]) for differential tests;
+//! * egress cells run under admission control: a layout-invariant
+//!   per-cell frame cap plus a per-shard [`MemBudget`] charged before
+//!   every enqueue and released on departure. A refused frame is
+//!   dropped tail-first and re-injected at its source after the RTO —
+//!   congestion loss surfaces to the transport under *both* policies
+//!   (LinkGuardian only masks corruption), so runs still drain and
+//!   every flow completes. Budget drops are layout-*dependent* (the
+//!   quota is per shard); presets are sized so the budget never binds
+//!   (`denials == 0`), keeping output byte-identical across layouts
+//!   while still enforcing the bound.
 
 use std::collections::{HashMap, VecDeque};
 
+use lg_obs::MemBudget;
 use lg_sim::shard::{run_sharded, ShardMsg, ShardStats, ShardWorld};
 use lg_sim::{Duration, EventQueue, Rate, Rng, Time};
 
-use crate::partition::{partition, Partition, PodGeom};
+use crate::fct::{FctDigest, FctStream};
+use crate::partition::{partition, Partition, PartitionMap, PodGeom};
 use crate::tracegen;
 
 /// Loss-recovery policy for the packet-level run.
@@ -99,6 +126,23 @@ pub struct PktFabricConfig {
     pub rto: Duration,
     /// Cumulative per-link telemetry snapshot interval.
     pub sample_interval: Duration,
+    /// Per-cell FIFO cap in frames (0 = unbounded). Layout-invariant
+    /// drop-tail: a frame arriving at a full cell is dropped and
+    /// re-injected at its source after `rto`.
+    pub cell_cap_frames: u32,
+    /// Egress-buffer byte budget per owned link; each shard runs one
+    /// [`MemBudget`] of `mem_bytes_per_link × local links` charged
+    /// before every enqueue (0 = unbounded). Per-shard, so budget
+    /// drops are layout-dependent — size it to not bind (see module
+    /// docs) when byte-identical output across layouts matters.
+    pub mem_bytes_per_link: u64,
+    /// Tail-reservoir depth of the streaming FCT aggregator (largest
+    /// `fct_tail_k` FCTs kept exactly, per shard).
+    pub fct_tail_k: usize,
+    /// Also retain the O(flows) per-flow FCT vector
+    /// ([`PktFabricResult::fct`]). On for the small presets (the
+    /// differential tests need it); off at fabric scale.
+    pub retain_fct: bool,
 }
 
 impl PktFabricConfig {
@@ -127,6 +171,42 @@ impl PktFabricConfig {
             lg_recovery: Duration::from_us(2),
             rto: Duration::from_ms(1),
             sample_interval: Duration::from_us(500),
+            cell_cap_frames: 0,
+            mem_bytes_per_link: 0,
+            fct_tail_k: 65_536,
+            retain_fct: true,
+        }
+    }
+
+    /// The paper's §4.8 geometry at packet granularity: 260 pods ×
+    /// (48·4 + 4·48) = 99,840 links, Table 1 loss rates on 2% of them,
+    /// run under the fabric-scale memory discipline — streaming FCTs
+    /// only (no retained vector), a 256-frame cell cap and a 64 KB/link
+    /// shard budget. The horizon is short (it is a *scale* preset, not
+    /// a duration preset): ~100K links already yield millions of events
+    /// in 400 µs.
+    pub fn fabric_scale(seed: u64) -> PktFabricConfig {
+        PktFabricConfig {
+            geom: PodGeom::paper_scale(),
+            shards: 8,
+            threads: 1,
+            seed,
+            speed: Rate::from_gbps(100),
+            hop_latency: Duration::from_ns(600),
+            horizon: Time::from_us(400),
+            mean_interarrival: Duration::from_us(60),
+            mean_flow_frames: 8.0,
+            frame_bytes: 1500,
+            cross_pod: 0.3,
+            corrupting_fraction: 0.02,
+            policy: PktPolicy::LinkGuardian,
+            lg_recovery: Duration::from_us(2),
+            rto: Duration::from_ms(1),
+            sample_interval: Duration::from_us(200),
+            cell_cap_frames: 256,
+            mem_bytes_per_link: 64 * 1024,
+            fct_tail_k: 65_536,
+            retain_fct: false,
         }
     }
 
@@ -143,6 +223,10 @@ impl PktFabricConfig {
         assert!(self.frame_bytes > 0);
         assert!((0.0..=1.0).contains(&self.cross_pod));
         assert!((0.0..=1.0).contains(&self.corrupting_fraction));
+        assert!(
+            self.mem_bytes_per_link == 0 || self.mem_bytes_per_link >= self.frame_bytes as u64,
+            "a budget below one frame per link could never admit anything"
+        );
     }
 }
 
@@ -219,6 +303,7 @@ struct Cell {
     tx_frames: u64,
     corrupt_drops: u64,
     recoveries: u64,
+    overflow_drops: u64,
     queue_hwm: u32,
 }
 
@@ -235,6 +320,9 @@ pub struct LinkStats {
     pub corrupt_drops: u64,
     /// Frames recovered link-locally by LinkGuardian.
     pub recoveries: u64,
+    /// Frames refused by admission control (cell cap or shard budget)
+    /// and re-injected at their source.
+    pub overflow_drops: u64,
     /// FIFO occupancy high-water mark.
     pub queue_hwm: u32,
 }
@@ -271,6 +359,22 @@ pub struct PktTotals {
     pub recoveries: u64,
     /// Source re-injections (end-to-end recoveries).
     pub source_retx: u64,
+    /// Frames refused by admission control (cell cap or shard budget).
+    pub overflow_drops: u64,
+}
+
+/// Memory-budget accounting of one run. Per-shard quotas summed, so
+/// every field except `denials == 0` is layout-dependent — excluded
+/// from [`PktFabricResult::simulation_eq`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Sum of the shard budget limits (0 when unbounded).
+    pub limit_bytes: u64,
+    /// Sum of the per-shard peak occupancies.
+    pub hwm_bytes: u64,
+    /// Charges refused across all shards. 0 means the budget never
+    /// bound and the output is layout-invariant despite it.
+    pub denials: u64,
 }
 
 /// Result of a packet-level fabric run. Every field is sorted by a
@@ -280,7 +384,12 @@ pub struct PktTotals {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PktFabricResult {
     /// `(flow id, completion time in ps since flow start)`, flow order.
+    /// Empty unless [`PktFabricConfig::retain_fct`] — the digest is the
+    /// O(1)-memory answer at fabric scale.
     pub fct: Vec<(u64, u64)>,
+    /// Streaming FCT summary (exact top-K tail + histogram), merged
+    /// deterministically across shards.
+    pub fct_digest: FctDigest,
     /// Per-link accounting, link order.
     pub links: Vec<LinkStats>,
     /// Corrupting-link snapshots, `(sample, link)` order.
@@ -294,14 +403,18 @@ pub struct PktFabricResult {
     /// excluded from `PartialEq` comparisons by the differential tests
     /// via [`PktFabricResult::simulation_eq`]).
     pub cut_edges: u64,
+    /// Memory-budget accounting (layout-dependent, see [`MemStats`]).
+    pub mem: MemStats,
 }
 
 impl PktFabricResult {
     /// Equality of simulation outcomes only — everything except the
-    /// layout-dependent runner accounting (`stats.windows/messages`
-    /// and `cut_edges` legitimately vary with the shard count).
+    /// layout-dependent runner and budget accounting
+    /// (`stats.windows/messages`, `cut_edges` and `mem` legitimately
+    /// vary with the shard count).
     pub fn simulation_eq(&self, other: &PktFabricResult) -> bool {
         self.fct == other.fct
+            && self.fct_digest == other.fct_digest
             && self.links == other.links
             && self.telemetry == other.telemetry
             && self.totals == other.totals
@@ -309,7 +422,9 @@ impl PktFabricResult {
     }
 
     /// FCT percentile in picoseconds (`q` in `[0, 1]`), over flows
-    /// sorted by completion time. Returns 0 when no flow completed.
+    /// sorted by completion time. Returns 0 when no flow completed —
+    /// including when the run streamed instead of retaining
+    /// (`retain_fct: false`); fabric-scale callers read the digest.
     pub fn fct_percentile(&self, q: f64) -> u64 {
         if self.fct.is_empty() {
             return 0;
@@ -342,10 +457,12 @@ struct FlowGen {
     flows: u64,
 }
 
-/// Immutable run context shared (read-only) by all shards.
+/// Immutable run context shared (read-only) by all shards. Carries the
+/// O(1) arithmetic [`PartitionMap`], not the O(links) table — shard
+/// routing costs a few words however large the fabric.
 struct Shared {
     geom: PodGeom,
-    shard_of_link: Vec<u32>,
+    map: PartitionMap,
     speed: Rate,
     hop_latency: Duration,
     horizon: Time,
@@ -358,22 +475,36 @@ struct Shared {
     rto: Duration,
     sample_interval: Duration,
     samples: u32,
+    cell_cap: u32,
+    retain_fct: bool,
 }
 
 /// One shard of the packet-level fabric: the cells and generators of
 /// its partition class, an event queue, and local result accumulators.
+///
+/// Lookup state is a *pod-span slab*: the partition assigns each shard
+/// a contiguous pod range, so the global→local indices span only
+/// `[span_base, span_base + slab len)` in link-id space — O(local
+/// links) per shard, never O(fabric).
 pub struct FabricShard {
     id: u32,
     shared: std::sync::Arc<Shared>,
     q: EventQueue<PEv>,
-    /// Local cells, and the dense global→local index (u32::MAX = not
-    /// ours) used to route arrivals.
+    /// Local cells, indexed by the slabs below.
     cells: Vec<Cell>,
-    local_of_link: Vec<u32>,
+    /// First link id of the shard's pod span.
+    span_base: u32,
+    /// Global→local cell index over the pod span (u32::MAX = not ours).
+    link_slab: Vec<u32>,
     gens: Vec<FlowGen>,
-    local_of_gen: Vec<u32>,
-    /// Delivered-frame counts of flows terminating in this shard.
+    /// Global→local generator index over the pod span.
+    gen_slab: Vec<u32>,
+    /// Per-shard egress-buffer quota (None = unbounded).
+    budget: Option<MemBudget>,
+    /// Delivered-frame counts of flows terminating in this shard
+    /// (O(in-flight flows), drained as flows complete).
     delivered: HashMap<u64, u16>,
+    fct_stream: FctStream,
     fct: Vec<(u64, u64)>,
     telemetry: Vec<TelemetryRow>,
     flows: u64,
@@ -387,11 +518,19 @@ impl FabricShard {
         self.shared.speed.serialize(bytes as u64)
     }
 
+    /// Local cell index of an owned link (slab lookup over the pod
+    /// span).
+    fn local_cell(&self, link: u32) -> u32 {
+        let local = self.link_slab[(link - self.span_base) as usize];
+        debug_assert_ne!(local, u32::MAX, "frame routed to a foreign shard");
+        local
+    }
+
     /// Schedule `frame`'s arrival at its current hop, locally or
     /// through the outbox when the hop belongs to another shard.
     fn route(&mut self, frame: Frame, at: Time, out: &mut Vec<ShardMsg<PktMsg>>) {
         let link = frame.hops[frame.hop as usize];
-        let dst = self.shared.shard_of_link[link as usize];
+        let dst = self.shared.map.shard_of(link);
         if dst == self.id {
             self.q.schedule_at(at, PEv::Arrive { frame });
         } else {
@@ -420,18 +559,36 @@ impl FabricShard {
         self.q.schedule_at(now + ser, PEv::TxDone { link: global });
     }
 
-    fn on_arrive(&mut self, frame: Frame, now: Time) {
+    /// Frame reaches a cell's ingress: admission control (layout-
+    /// invariant per-cell cap, then the shard budget, charged before
+    /// the store), then enqueue — or drop-tail and re-inject at the
+    /// source after the RTO. Congestion loss surfaces to the transport
+    /// under both policies; LinkGuardian only masks corruption.
+    fn on_arrive(&mut self, frame: Frame, now: Time, out: &mut Vec<ShardMsg<PktMsg>>) {
         let link = frame.hops[frame.hop as usize];
-        let local = self.local_of_link[link as usize];
-        debug_assert_ne!(local, u32::MAX, "frame routed to a foreign shard");
+        let local = self.local_cell(link);
+        let cap = self.shared.cell_cap;
         let cell = &mut self.cells[local as usize];
+        let admitted = (cap == 0 || (cell.fifo.len() as u32) < cap)
+            && self
+                .budget
+                .as_ref()
+                .is_none_or(|b| b.try_charge(frame.bytes as u64));
+        if !admitted {
+            cell.overflow_drops += 1;
+            let mut frame = frame;
+            frame.hop = 0;
+            let rto = self.shared.rto;
+            self.route(frame, now + rto, out);
+            return;
+        }
         cell.fifo.push_back(frame);
         cell.queue_hwm = cell.queue_hwm.max(cell.fifo.len() as u32);
         self.kick(local, now);
     }
 
     fn on_tx_done(&mut self, link: u32, now: Time, out: &mut Vec<ShardMsg<PktMsg>>) {
-        let local = self.local_of_link[link as usize] as usize;
+        let local = self.local_cell(link) as usize;
         let cell = &mut self.cells[local];
         let head = *cell.fifo.front().expect("TxDone with empty FIFO");
         let corrupted = cell.loss > 0.0 && cell.rng.bernoulli(cell.loss);
@@ -446,6 +603,9 @@ impl FabricShard {
         }
         let mut frame = cell.fifo.pop_front().expect("probed head");
         cell.busy = false;
+        if let Some(b) = &self.budget {
+            b.release(frame.bytes as u64);
+        }
         if corrupted {
             // End-to-end recovery: drop, and re-inject the frame at its
             // first hop after the RTO. `start` is preserved, so the
@@ -475,15 +635,18 @@ impl FabricShard {
         if *seen == frame.frames {
             self.delivered.remove(&frame.flow);
             let done = now + self.shared.hop_latency;
-            self.fct
-                .push((frame.flow, done.saturating_since(frame.start).as_ps()));
+            let fct = done.saturating_since(frame.start).as_ps();
+            self.fct_stream.record(fct);
+            if self.shared.retain_fct {
+                self.fct.push((frame.flow, fct));
+            }
             self.flows_completed += 1;
         }
     }
 
     fn on_flow_start(&mut self, gen_global: u32, now: Time, out: &mut Vec<ShardMsg<PktMsg>>) {
         let s = std::sync::Arc::clone(&self.shared);
-        let local = self.local_of_gen[gen_global as usize] as usize;
+        let local = self.gen_slab[(gen_global - self.span_base) as usize] as usize;
         let g = &mut self.gens[local];
         // Destination: a different ToR, same pod or (with probability
         // cross_pod, pods permitting) behind a spine column.
@@ -567,7 +730,7 @@ impl FabricShard {
         match ev {
             PEv::Sample { idx } => self.on_sample(idx),
             PEv::TxDone { link } => self.on_tx_done(link, now, out),
-            PEv::Arrive { frame } => self.on_arrive(frame, now),
+            PEv::Arrive { frame } => self.on_arrive(frame, now, out),
             PEv::FlowStart { gen } => self.on_flow_start(gen, now, out),
         }
     }
@@ -641,7 +804,7 @@ impl PktFabric {
         let samples = (cfg.horizon.as_ps() / cfg.sample_interval.as_ps()) as u32;
         let shared = std::sync::Arc::new(Shared {
             geom: cfg.geom,
-            shard_of_link: part.shard_of_link.clone(),
+            map: part.map,
             speed: cfg.speed,
             hop_latency: cfg.hop_latency,
             horizon: cfg.horizon,
@@ -654,24 +817,45 @@ impl PktFabric {
             rto: cfg.rto,
             sample_interval: cfg.sample_interval,
             samples,
+            cell_cap: cfg.cell_cap_frames,
+            retain_fct: cfg.retain_fct,
         });
 
+        // Pod spans: every granularity assigns each shard a contiguous
+        // pod range (see the partitioner's contiguity test), so a
+        // shard's slab need only cover [min owned link, max owned link]
+        // — O(local links), never O(fabric).
+        let mut span = vec![(u32::MAX, 0u32); part.shards as usize];
+        for (link, &s) in part.shard_of_link.iter().enumerate() {
+            let e = &mut span[s as usize];
+            e.0 = e.0.min(link as u32);
+            e.1 = e.1.max(link as u32);
+        }
+
         let mut shards: Vec<FabricShard> = (0..part.shards)
-            .map(|id| FabricShard {
-                id,
-                shared: std::sync::Arc::clone(&shared),
-                q: EventQueue::new(),
-                cells: Vec::new(),
-                local_of_link: vec![u32::MAX; n_links as usize],
-                gens: Vec::new(),
-                local_of_gen: vec![u32::MAX; n_links as usize],
-                delivered: HashMap::new(),
-                fct: Vec::new(),
-                telemetry: Vec::new(),
-                flows: 0,
-                flows_completed: 0,
-                source_retx: 0,
-                tick_buf: Vec::new(),
+            .map(|id| {
+                let (lo, hi) = span[id as usize];
+                let n_local = part.links_per_shard[id as usize];
+                FabricShard {
+                    id,
+                    shared: std::sync::Arc::clone(&shared),
+                    q: EventQueue::new(),
+                    cells: Vec::with_capacity(n_local as usize),
+                    span_base: lo,
+                    link_slab: vec![u32::MAX; (hi - lo + 1) as usize],
+                    gens: Vec::new(),
+                    gen_slab: vec![u32::MAX; (hi - lo + 1) as usize],
+                    budget: (cfg.mem_bytes_per_link > 0)
+                        .then(|| MemBudget::new(cfg.mem_bytes_per_link * n_local as u64)),
+                    delivered: HashMap::new(),
+                    fct_stream: FctStream::new(cfg.fct_tail_k),
+                    fct: Vec::new(),
+                    telemetry: Vec::new(),
+                    flows: 0,
+                    flows_completed: 0,
+                    source_retx: 0,
+                    tick_buf: Vec::new(),
+                }
             })
             .collect();
 
@@ -685,7 +869,7 @@ impl PktFabric {
                 0.0
             };
             let shard = &mut shards[part.shard_of_link[link as usize] as usize];
-            shard.local_of_link[link as usize] = shard.cells.len() as u32;
+            shard.link_slab[(link - shard.span_base) as usize] = shard.cells.len() as u32;
             shard.cells.push(Cell {
                 global: link,
                 fifo: VecDeque::new(),
@@ -695,6 +879,7 @@ impl PktFabric {
                 tx_frames: 0,
                 corrupt_drops: 0,
                 recoveries: 0,
+                overflow_drops: 0,
                 queue_hwm: 0,
             });
         }
@@ -710,7 +895,7 @@ impl PktFabric {
                         (rng.exp(cfg.mean_interarrival.as_ps() as f64) as u64).max(1),
                     );
                     let shard = &mut shards[part.shard_of_link[id as usize] as usize];
-                    shard.local_of_gen[id as usize] = shard.gens.len() as u32;
+                    shard.gen_slab[(id - shard.span_base) as usize] = shard.gens.len() as u32;
                     shard.gens.push(FlowGen {
                         id,
                         pod,
@@ -756,6 +941,8 @@ impl PktFabric {
         let mut fct = Vec::new();
         let mut links = Vec::new();
         let mut telemetry = Vec::new();
+        let mut stream: Option<FctStream> = None;
+        let mut mem = MemStats::default();
         let mut totals = PktTotals {
             events: stats.events,
             ..PktTotals::default()
@@ -770,16 +957,31 @@ impl PktFabric {
             totals.flows += shard.flows;
             totals.flows_completed += shard.flows_completed;
             totals.source_retx += shard.source_retx;
+            // Stream merging is exact and order-invariant (see
+            // `crate::fct` module docs), so folding in shard order — or
+            // any order — yields the same digest as a single global
+            // stream would have.
+            match &mut stream {
+                Some(s) => s.merge(shard.fct_stream),
+                None => stream = Some(shard.fct_stream),
+            }
+            if let Some(b) = &shard.budget {
+                mem.limit_bytes += b.limit();
+                mem.hwm_bytes += b.high_watermark();
+                mem.denials += b.denials();
+            }
             for cell in shard.cells {
                 totals.tx_frames += cell.tx_frames;
                 totals.corrupt_drops += cell.corrupt_drops;
                 totals.recoveries += cell.recoveries;
+                totals.overflow_drops += cell.overflow_drops;
                 links.push(LinkStats {
                     link: cell.global,
                     loss_ppb: (cell.loss * 1e9).round() as u64,
                     tx_frames: cell.tx_frames,
                     corrupt_drops: cell.corrupt_drops,
                     recoveries: cell.recoveries,
+                    overflow_drops: cell.overflow_drops,
                     queue_hwm: cell.queue_hwm,
                 });
             }
@@ -789,11 +991,13 @@ impl PktFabric {
         telemetry.sort_unstable_by_key(|t| (t.sample, t.link));
         PktFabricResult {
             fct,
+            fct_digest: stream.map(|s| s.digest()).unwrap_or_default(),
             links,
             telemetry,
             totals,
             stats,
             cut_edges: self.cut_edges,
+            mem,
         }
     }
 }
@@ -865,6 +1069,77 @@ mod tests {
                 "diverged at shards={shards} threads={threads}"
             );
         }
+    }
+
+    #[test]
+    fn streaming_digest_matches_retained_vec() {
+        let r = run_packet(&tiny(PktPolicy::None));
+        assert!(!r.fct.is_empty());
+        let d = r.fct_digest;
+        assert_eq!(d.count, r.fct.len() as u64);
+        assert_eq!(d.p50, r.fct_percentile(0.5));
+        assert_eq!(d.p99, r.fct_percentile(0.99));
+        assert_eq!(d.p999, r.fct_percentile(0.999));
+        assert_eq!(d.min, r.fct_percentile(0.0));
+        assert_eq!(d.max, r.fct_percentile(1.0));
+    }
+
+    #[test]
+    fn streaming_only_run_matches_retained_run() {
+        let retained = run_packet(&tiny(PktPolicy::LinkGuardian));
+        let mut cfg = tiny(PktPolicy::LinkGuardian);
+        cfg.retain_fct = false;
+        let streamed = run_packet(&cfg);
+        assert!(streamed.fct.is_empty(), "streaming run retains nothing");
+        assert_eq!(streamed.fct_digest, retained.fct_digest);
+        assert_eq!(streamed.totals, retained.totals);
+        assert_eq!(streamed.links, retained.links);
+    }
+
+    #[test]
+    fn cell_cap_drops_overflow_and_flows_still_complete() {
+        let mut cfg = tiny(PktPolicy::LinkGuardian);
+        cfg.cell_cap_frames = 2; // mean flow is 8 frames: bursts overflow
+        let r = run_packet(&cfg);
+        assert!(r.totals.overflow_drops > 0, "cap must bind");
+        assert_eq!(r.totals.flows, r.totals.flows_completed);
+        assert_eq!(r.mem, MemStats::default(), "no budget configured");
+        // The per-cell cap is layout-invariant: byte-identical results
+        // at any shard count even while dropping.
+        for shards in [2, 5] {
+            let mut c = cfg.clone();
+            c.shards = shards;
+            c.threads = 2;
+            assert!(run_packet(&c).simulation_eq(&r), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn shard_budget_charges_before_store_and_degrades_gracefully() {
+        let mut cfg = tiny(PktPolicy::LinkGuardian);
+        // Overload the fabric (offered load past first-hop capacity) so
+        // queue growth is guaranteed to hit a one-frame-per-link quota.
+        cfg.mean_interarrival = Duration::from_us(3);
+        cfg.mean_flow_frames = 32.0;
+        cfg.mem_bytes_per_link = 1_500;
+        let r = run_packet(&cfg);
+        assert_eq!(r.mem.limit_bytes, 1_500 * cfg.geom.n_links() as u64);
+        assert!(r.mem.hwm_bytes > 0 && r.mem.hwm_bytes <= r.mem.limit_bytes);
+        assert!(r.mem.denials > 0, "budget must bind at two frames/link");
+        assert_eq!(r.totals.overflow_drops, r.mem.denials);
+        assert_eq!(r.totals.flows, r.totals.flows_completed);
+    }
+
+    #[test]
+    fn unbinding_budget_is_invisible() {
+        let base = run_packet(&tiny(PktPolicy::None));
+        let mut cfg = tiny(PktPolicy::None);
+        cfg.mem_bytes_per_link = 1 << 30; // never binds
+        cfg.cell_cap_frames = 1 << 20;
+        let r = run_packet(&cfg);
+        assert_eq!(r.mem.denials, 0);
+        assert!(r.simulation_eq(&base));
+        assert!(r.mem.hwm_bytes > 0, "charges were made and released");
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Property tests for the fabric partitioner.
+//!
+//! `partition()` counts cut edges with closed-form shortcuts (whole-pod
+//! skips, per-column shard histograms) so paper-scale counting stays
+//! cheap. This file pins that arithmetic to a brute-force recount: for
+//! arbitrary geometries and shard counts, enumerate every forwarding
+//! adjacency a packet route can traverse and count the pairs whose two
+//! links land in different shards. Any drift between the fast counter
+//! and the enumeration — or between the arithmetic [`PartitionMap`] and
+//! the materialized table — fails here long before it corrupts a
+//! layout report.
+
+use std::collections::BTreeSet;
+
+use lg_fabric::{partition, PodGeom};
+use proptest::prelude::*;
+
+/// Every forwarding adjacency of the packet engine's route shapes, as
+/// unordered link-id pairs (see `count_cuts` in `partition.rs`):
+/// same-pod ToR↔ToR transit per plane, intra-pod ToR↔spine fan-out,
+/// and cross-pod spine transit per (fabric, spine) column.
+fn route_adjacencies(g: &PodGeom) -> BTreeSet<(u32, u32)> {
+    let mut pairs = BTreeSet::new();
+    let mut add = |a: u32, b: u32| {
+        pairs.insert((a.min(b), a.max(b)));
+    };
+    for pod in 0..g.pods {
+        for f in 0..g.fabrics {
+            for t in 0..g.tors {
+                let up = g.tor_fabric(pod, t, f);
+                for t2 in t + 1..g.tors {
+                    add(up, g.tor_fabric(pod, t2, f));
+                }
+                for s in 0..g.uplinks {
+                    add(up, g.fabric_spine(pod, f, s));
+                }
+            }
+        }
+    }
+    for f in 0..g.fabrics {
+        for s in 0..g.uplinks {
+            for a in 0..g.pods {
+                for b in a + 1..g.pods {
+                    add(g.fabric_spine(a, f, s), g.fabric_spine(b, f, s));
+                }
+            }
+        }
+    }
+    pairs
+}
+
+proptest! {
+    /// The fast cut counter equals a brute-force recount of the route
+    /// adjacency, and the arithmetic map equals the table, at any
+    /// geometry and shard count (spanning all three granularities).
+    #[test]
+    fn cut_edges_match_brute_force_recount(
+        pods in 1u32..=6,
+        tors in 2u32..=6,
+        fabrics in 1u32..=3,
+        uplinks in 1u32..=4,
+        shards in 1u32..=40,
+    ) {
+        let g = PodGeom { pods, tors, fabrics, uplinks };
+        let p = partition(&g, shards);
+
+        let pairs = route_adjacencies(&g);
+        prop_assert_eq!(pairs.len() as u64, p.total_edges, "total adjacency count");
+
+        let cut = pairs
+            .iter()
+            .filter(|&&(a, b)| {
+                p.shard_of_link[a as usize] != p.shard_of_link[b as usize]
+            })
+            .count() as u64;
+        prop_assert_eq!(cut, p.cut_edges, "cut count (granularity {:?})", p.map.granularity());
+
+        for l in 0..g.n_links() {
+            prop_assert_eq!(p.map.shard_of(l), p.shard_of_link[l as usize]);
+        }
+        prop_assert_eq!(
+            p.links_per_shard.iter().sum::<u32>(),
+            g.n_links(),
+            "assignment covers every link"
+        );
+    }
+
+    /// Pod spans stay contiguous at every granularity — the invariant
+    /// the packet engine's pod-span slabs are built on.
+    #[test]
+    fn pod_spans_are_contiguous(
+        pods in 1u32..=6,
+        tors in 2u32..=5,
+        fabrics in 1u32..=3,
+        uplinks in 1u32..=3,
+        shards in 1u32..=48,
+    ) {
+        let g = PodGeom { pods, tors, fabrics, uplinks };
+        let p = partition(&g, shards);
+        for s in 0..p.shards {
+            let owned_pods: Vec<u32> = (0..g.n_links())
+                .filter(|&l| p.shard_of_link[l as usize] == s)
+                .map(|l| g.pod_of(l))
+                .collect();
+            prop_assert!(!owned_pods.is_empty(), "shard {} owns nothing", s);
+            prop_assert!(
+                owned_pods.windows(2).all(|w| w[0] <= w[1]),
+                "shard {} pods not monotone", s
+            );
+        }
+    }
+}

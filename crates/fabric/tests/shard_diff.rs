@@ -42,11 +42,24 @@ fn dump(r: &PktFabricResult) -> String {
     for &(flow, fct) in &r.fct {
         writeln!(s, "fct {flow} {fct}").unwrap();
     }
+    let d = &r.fct_digest;
+    writeln!(
+        s,
+        "digest {} {} {} {} {} {}",
+        d.count, d.min, d.max, d.p50, d.p99, d.p999
+    )
+    .unwrap();
     for l in &r.links {
         writeln!(
             s,
-            "link {} {} {} {} {} {}",
-            l.link, l.loss_ppb, l.tx_frames, l.corrupt_drops, l.recoveries, l.queue_hwm
+            "link {} {} {} {} {} {} {}",
+            l.link,
+            l.loss_ppb,
+            l.tx_frames,
+            l.corrupt_drops,
+            l.recoveries,
+            l.overflow_drops,
+            l.queue_hwm
         )
         .unwrap();
     }
@@ -61,14 +74,15 @@ fn dump(r: &PktFabricResult) -> String {
     let t = &r.totals;
     writeln!(
         s,
-        "totals {} {} {} {} {} {} {}",
+        "totals {} {} {} {} {} {} {} {}",
         t.events,
         t.flows,
         t.flows_completed,
         t.tx_frames,
         t.corrupt_drops,
         t.recoveries,
-        t.source_retx
+        t.source_retx,
+        t.overflow_drops
     )
     .unwrap();
     s
@@ -93,6 +107,78 @@ fn all_layouts_are_byte_identical() {
                 "dump diverged at shards={shards} threads={threads} ({policy:?})"
             );
         }
+    }
+}
+
+/// The fine-grained side of the differential: an *uneven* geometry
+/// (5 pods × 3 planes — nothing divides anything) pushed past group
+/// granularity. 16 shards exceeds the 15 fabric groups, so both 16 and
+/// 32 fall back to raw link ranges that split pods and planes mid-way;
+/// the pod-span slabs, the arithmetic shard map and the streaming FCT
+/// merge all have to survive the ugliest layout the partitioner can
+/// produce, byte-for-byte.
+#[test]
+fn fine_grained_uneven_layouts_are_byte_identical() {
+    let uneven = |policy, shards, threads| {
+        let mut c = cfg(policy, shards, threads);
+        c.geom.pods = 5;
+        c.geom.tors = 6;
+        c.geom.fabrics = 3;
+        c.geom.uplinks = 4;
+        c
+    };
+    for policy in [PktPolicy::None, PktPolicy::LinkGuardian] {
+        let reference = run_packet(&uneven(policy, 1, 1));
+        let ref_dump = dump(&reference);
+        assert!(!reference.fct.is_empty(), "workload produced no flows");
+        for (shards, threads) in [(16, 2), (16, 4), (32, 3)] {
+            let r = run_packet(&uneven(policy, shards, threads));
+            assert!(
+                r.simulation_eq(&reference),
+                "simulation diverged at shards={shards} threads={threads} ({policy:?})"
+            );
+            assert_eq!(
+                dump(&r),
+                ref_dump,
+                "dump diverged at shards={shards} threads={threads} ({policy:?})"
+            );
+        }
+    }
+}
+
+/// Acceptance differential for the streaming FCT aggregator on the
+/// 1024-link pod-scale fixture: the digest must reproduce the retained
+/// Vec path exactly — percentiles via the same `round((len-1)·q)`
+/// convention, counts and drop totals — and a streaming-only run
+/// (`retain_fct: false`) must change nothing but the retained vector.
+#[test]
+fn streaming_aggregator_matches_vec_path_at_pod_scale() {
+    for policy in [PktPolicy::None, PktPolicy::LinkGuardian] {
+        let mut c = PktFabricConfig::pod_scale(42);
+        c.horizon = Time::from_us(500); // debug-build friendly
+        c.policy = policy;
+        c.shards = 4;
+        c.threads = 2;
+        let retained = run_packet(&c);
+        assert_eq!(c.geom.n_links(), 1024);
+        assert!(retained.fct.len() > 1000, "fixture must be non-trivial");
+
+        let d = retained.fct_digest;
+        assert_eq!(d.count, retained.fct.len() as u64);
+        assert_eq!(d.min, retained.fct_percentile(0.0));
+        assert_eq!(d.p50, retained.fct_percentile(0.5));
+        assert_eq!(d.p99, retained.fct_percentile(0.99));
+        assert_eq!(d.p999, retained.fct_percentile(0.999));
+        assert_eq!(d.max, retained.fct_percentile(1.0));
+
+        let mut streaming = c.clone();
+        streaming.retain_fct = false;
+        let s = run_packet(&streaming);
+        assert!(s.fct.is_empty());
+        assert_eq!(s.fct_digest, retained.fct_digest);
+        assert_eq!(s.totals, retained.totals);
+        assert_eq!(s.links, retained.links);
+        assert_eq!(s.telemetry, retained.telemetry);
     }
 }
 

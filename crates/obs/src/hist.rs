@@ -100,6 +100,18 @@ impl LogHist {
             return None;
         }
         let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        self.value_at_rank(rank)
+    }
+
+    /// Value whose 1-based ascending rank is `rank` (bucket upper bound,
+    /// clamped to the observed max). Returns `None` when empty or when
+    /// `rank` is 0 / past the count. Lets callers that track exact ranks
+    /// (e.g. a streaming aggregator answering below its tail reservoir)
+    /// share one bucket walk with [`quantile`](Self::quantile).
+    pub fn value_at_rank(&self, rank: u64) -> Option<u64> {
+        if rank == 0 || rank > self.total {
+            return None;
+        }
         let mut seen = 0;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -108,6 +120,25 @@ impl LogHist {
             }
         }
         Some(self.max)
+    }
+
+    /// Merge another histogram into this one (bucket-wise count add).
+    /// Both must use the same sub-bucket resolution. Merging is exact:
+    /// the merged histogram is indistinguishable from one that recorded
+    /// both value streams directly, so merge order cannot change any
+    /// quantile — the determinism argument for per-shard aggregation.
+    pub fn merge(&mut self, other: &LogHist) {
+        assert_eq!(
+            self.sub, other.sub,
+            "merging histograms of different resolution"
+        );
+        for (c, &o) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Mean of recorded values (0 when empty).
@@ -171,6 +202,44 @@ mod tests {
         assert_eq!(s.max, 0);
         assert_eq!(s.mean, 0.0);
         assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_equals_direct_recording() {
+        let mut a = LogHist::new(64);
+        let mut b = LogHist::new(64);
+        let mut direct = LogHist::new(64);
+        for v in [3u64, 17, 900, 4096, 77_000_000] {
+            a.record(v);
+            direct.record(v);
+        }
+        for v in [5u64, 250, 250, 1_000_000] {
+            b.record(v);
+            direct.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), direct.len());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), direct.quantile(q), "q={q}");
+        }
+        let (sa, sd) = (a.summary(), direct.summary());
+        assert_eq!(sa.min, sd.min);
+        assert_eq!(sa.max, sd.max);
+        assert!((sa.mean - sd.mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_walk_matches_quantile_convention() {
+        let mut h = LogHist::new(16);
+        for v in 0..10 {
+            h.record(v);
+        }
+        assert_eq!(h.value_at_rank(0), None);
+        assert_eq!(h.value_at_rank(11), None);
+        assert_eq!(h.value_at_rank(1), Some(0));
+        assert_eq!(h.value_at_rank(10), Some(9));
+        // quantile(q) is value_at_rank(ceil(q*n)) by construction.
+        assert_eq!(h.quantile(0.5), h.value_at_rank(5));
     }
 
     #[test]

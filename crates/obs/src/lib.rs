@@ -35,6 +35,7 @@
 //!
 //! [`AtomicU8`]: std::sync::atomic::AtomicU8
 
+pub mod budget;
 pub mod health;
 pub mod hist;
 pub mod json;
@@ -45,6 +46,7 @@ pub mod sink;
 pub mod timeseries;
 pub mod trace;
 
+pub use budget::MemBudget;
 pub use health::{HealthConfig, HealthEstimator, HealthEvent, LinkHealth};
 pub use hist::{HistSummary, LogHist};
 pub use json::{JsonLine, JsonValue};

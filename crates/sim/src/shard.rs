@@ -15,8 +15,13 @@
 //!    a per-shard outbox as [`ShardMsg`]s stamped with their arrival
 //!    time.
 //! 3. At the window barrier the coordinator exchanges the outboxes:
-//!    messages are sorted by `(at, seq, src_shard)` and injected into
-//!    their destination shards, then the next window begins.
+//!    messages are sorted by `(at, seq, src_shard)` and distributed into
+//!    persistent per-shard *inboxes*; each shard injects its inbox at
+//!    the start of the next window (on whichever worker claims it), so
+//!    injection work scales out with the shards instead of serializing
+//!    on the coordinator, and no mailbox vector is allocated per window
+//!    — outboxes, the gather buffer and the inboxes all keep their
+//!    capacity for the whole run.
 //!
 //! **Why this is safe (lookahead argument).** Let the window be
 //! `[t_min, t_min + W)`. A message emitted by an event at time `t`
@@ -76,9 +81,12 @@ pub trait ShardWorld: Send {
     /// emission order). Returns the number of events executed.
     fn run_window(&mut self, until: Time, out: &mut Vec<ShardMsg<Self::Msg>>) -> u64;
 
-    /// Apply a message delivered at a window barrier. Its `at` is
-    /// strictly after the window that just ran, so implementations can
-    /// simply schedule it.
+    /// Apply a message exchanged at a window barrier. Called at the
+    /// start of the first window after the exchange, on whichever worker
+    /// owns this shard for that window, in deterministic `(at, seq,
+    /// src_shard)` order. The message's `at` is strictly after the
+    /// window it was generated in, so implementations can simply
+    /// schedule it.
     fn inject(&mut self, msg: ShardMsg<Self::Msg>);
 }
 
@@ -136,9 +144,26 @@ fn check_lookahead<M>(msg: &ShardMsg<M>, until: Time, n_shards: usize) {
     );
 }
 
-/// Minimum pending timestamp across all shards.
-fn min_next_time<W: ShardWorld>(shards: &mut [W]) -> Option<Time> {
-    shards.iter_mut().filter_map(|s| s.next_time()).min()
+/// Earliest pending timestamp of one shard, counting both its local
+/// queue and its undelivered inbox (sorted ascending, so the head is
+/// the minimum).
+fn shard_next_time<W: ShardWorld>(shard: &mut W, inbox: &[ShardMsg<W::Msg>]) -> Option<Time> {
+    let local = shard.next_time();
+    let mailed = inbox.first().map(|m| m.at);
+    match (local, mailed) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+}
+
+/// Drain a shard's inbox into it. Inboxes hold each shard's slice of the
+/// globally sorted exchange, so per-shard injection order — and hence the
+/// destination queue's tie-break `seq` assignment — matches the old
+/// coordinator-serial exchange exactly.
+fn drain_inbox<W: ShardWorld>(shard: &mut W, inbox: &mut Vec<ShardMsg<W::Msg>>) {
+    for msg in inbox.drain(..) {
+        shard.inject(msg);
+    }
 }
 
 /// Run `shards` to completion (or past `horizon`) under conservative
@@ -174,24 +199,40 @@ pub fn run_sharded<W: ShardWorld>(
 fn run_serial<W: ShardWorld>(shards: &mut [W], lookahead: Duration, horizon: Time) -> ShardStats {
     let n = shards.len();
     let mut outboxes: Vec<Vec<ShardMsg<W::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut inboxes: Vec<Vec<ShardMsg<W::Msg>>> = (0..n).map(|_| Vec::new()).collect();
     let mut mail = Vec::new();
     let mut stats = ShardStats::default();
-    while let Some(t_min) = min_next_time(shards) {
-        if t_min > horizon {
+    loop {
+        let t_min = shards
+            .iter_mut()
+            .zip(inboxes.iter())
+            .filter_map(|(s, inbox)| shard_next_time(s, inbox))
+            .min();
+        let Some(t_min) = t_min.filter(|&t| t <= horizon) else {
             break;
-        }
+        };
         let until = window_end(t_min, lookahead);
-        for (shard, out) in shards.iter_mut().zip(outboxes.iter_mut()) {
+        for ((shard, inbox), out) in shards
+            .iter_mut()
+            .zip(inboxes.iter_mut())
+            .zip(outboxes.iter_mut())
+        {
+            drain_inbox(shard, inbox);
             stats.events += shard.run_window(until, out);
         }
         let m = gather_sorted(&mut outboxes, &mut mail);
         for msg in mail.drain(..) {
             check_lookahead(&msg, until, n);
-            shards[msg.dst_shard as usize].inject(msg);
+            inboxes[msg.dst_shard as usize].push(msg);
         }
         stats.windows += 1;
         stats.messages += m;
         stats.max_window_messages = stats.max_window_messages.max(m);
+    }
+    // A horizon cut can strand the final exchange in the inboxes; flush
+    // it so post-run shard state matches the old barrier-time injection.
+    for (shard, inbox) in shards.iter_mut().zip(inboxes.iter_mut()) {
+        drain_inbox(shard, inbox);
     }
     stats
 }
@@ -222,12 +263,14 @@ fn run_parallel<W: ShardWorld>(
 ) -> ShardStats {
     let n = shards.len();
     let mut outboxes: Vec<Vec<ShardMsg<W::Msg>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut inboxes: Vec<Vec<ShardMsg<W::Msg>>> = (0..n).map(|_| Vec::new()).collect();
     let mut events: Vec<u64> = vec![0; n];
     let mut mail = Vec::new();
     let mut stats = ShardStats::default();
 
     let shard_slots = Slots(shards.iter_mut().map(|s| s as *mut W).collect());
     let out_slots = Slots(outboxes.iter_mut().map(|o| o as *mut Vec<_>).collect());
+    let in_slots = Slots(inboxes.iter_mut().map(|i| i as *mut Vec<_>).collect());
     let event_slots = Slots(events.iter_mut().map(|e| e as *mut u64).collect());
     let barrier = Barrier::new(threads + 1);
     let claim = AtomicUsize::new(0);
@@ -236,11 +279,15 @@ fn run_parallel<W: ShardWorld>(
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let (barrier, claim, until_ps) = (&barrier, &claim, &until_ps);
-            let (shard_slots, out_slots, event_slots) = (&shard_slots, &out_slots, &event_slots);
+            let (shard_slots, out_slots, in_slots, event_slots) =
+                (&shard_slots, &out_slots, &in_slots, &event_slots);
             scope.spawn(move || loop {
                 // Window phase: the coordinator has published the bound
                 // and reset the claim index before releasing this
-                // barrier; each shard is claimed by exactly one worker.
+                // barrier; each shard is claimed by exactly one worker,
+                // which first injects the shard's inbox (its slice of
+                // last window's sorted exchange) and then runs the
+                // window — injection scales out with the shards.
                 barrier.wait();
                 let until = until_ps.load(Ordering::Relaxed);
                 if until == SHUTDOWN {
@@ -252,6 +299,8 @@ fn run_parallel<W: ShardWorld>(
                         break;
                     }
                     let shard = unsafe { &mut *shard_slots.get(i) };
+                    let inbox = unsafe { &mut *in_slots.get(i) };
+                    drain_inbox(shard, inbox);
                     let out = unsafe { &mut *out_slots.get(i) };
                     let ran = shard.run_window(Time::from_ps(until), out);
                     unsafe { *event_slots.get(i) += ran };
@@ -270,7 +319,8 @@ fn run_parallel<W: ShardWorld>(
                 let mut t_min = None::<Time>;
                 for i in 0..n {
                     let shard = unsafe { &mut *shard_slots.get(i) };
-                    if let Some(t) = shard.next_time() {
+                    let inbox = unsafe { &mut *in_slots.get(i) };
+                    if let Some(t) = shard_next_time(shard, inbox) {
                         t_min = Some(t_min.map_or(t, |m: Time| m.min(t)));
                     }
                 }
@@ -288,8 +338,10 @@ fn run_parallel<W: ShardWorld>(
             barrier.wait(); // wait for every shard to finish it
             let m = {
                 // Gather through the same per-element slots the workers
-                // use — the barrier crossing above handed every shard
-                // and outbox back to the coordinator.
+                // use — the barrier crossing above handed every shard,
+                // outbox and inbox back to the coordinator — and
+                // distribute the sorted exchange into the inboxes for
+                // the claiming workers to inject next window.
                 for i in 0..n {
                     let out = unsafe { &mut *out_slots.get(i) };
                     mail.append(out);
@@ -298,8 +350,8 @@ fn run_parallel<W: ShardWorld>(
                 let m = mail.len() as u64;
                 for msg in mail.drain(..) {
                     check_lookahead(&msg, until, n);
-                    let shard = unsafe { &mut *shard_slots.get(msg.dst_shard as usize) };
-                    shard.inject(msg);
+                    let inbox = unsafe { &mut *in_slots.get(msg.dst_shard as usize) };
+                    inbox.push(msg);
                 }
                 m
             };
@@ -310,6 +362,11 @@ fn run_parallel<W: ShardWorld>(
     });
 
     stats.events = events.iter().sum();
+    // A horizon cut can strand the final exchange in the inboxes; flush
+    // it so post-run shard state matches the old barrier-time injection.
+    for (shard, inbox) in shards.iter_mut().zip(inboxes.iter_mut()) {
+        drain_inbox(shard, inbox);
+    }
     stats
 }
 
