@@ -23,7 +23,36 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Weighted choice between same-typed strategies:
+/// `prop_oneof![3 => strat_a, 1 => strat_b]` picks `strat_a` three
+/// times as often. Bare arms (`prop_oneof![a, b, c]`) weigh equally.
+/// Matches the real proptest's macro for the forms used here (no
+/// shrinking across arms, as with everything in this stand-in).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $((
+                $weight as u32,
+                {
+                    let s = $strat;
+                    ::std::boxed::Box::new(
+                        move |rng: &mut $crate::test_runner::TestRng| {
+                            $crate::strategy::Strategy::sample(&s, rng)
+                        },
+                    ) as ::std::boxed::Box<
+                        dyn Fn(&mut $crate::test_runner::TestRng) -> _,
+                    >
+                },
+            )),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
 }
 
 /// Assert inside a property body (panics like `assert!`; the runner

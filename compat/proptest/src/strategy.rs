@@ -120,3 +120,40 @@ tuple_strategy! {
     (A, B, C, D)
     (A, B, C, D, E)
 }
+
+/// One weighted arm of a [`OneOf`]: `(weight, boxed sampler)`.
+pub type WeightedArm<T> = (u32, Box<dyn Fn(&mut TestRng) -> T>);
+
+/// Weighted union of same-typed strategies, built by the
+/// [`prop_oneof!`](crate::prop_oneof) macro. Each sample first picks an
+/// arm (probability proportional to its weight), then samples it.
+pub struct OneOf<T> {
+    arms: Vec<WeightedArm<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// A union over `(weight, sampler)` arms; weights must sum > 0.
+    pub fn new(arms: Vec<WeightedArm<T>>) -> OneOf<T> {
+        assert!(
+            arms.iter().map(|(w, _)| u64::from(*w)).sum::<u64>() > 0,
+            "prop_oneof: weights sum to zero"
+        );
+        OneOf { arms }
+    }
+}
+
+impl<T: Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(total);
+        for (w, f) in &self.arms {
+            let w = u64::from(*w);
+            if pick < w {
+                return f(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick within total")
+    }
+}

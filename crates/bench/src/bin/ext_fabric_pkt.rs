@@ -129,6 +129,11 @@ fn main() {
     cfg.shards = shards;
     cfg.threads = threads;
     cfg.horizon = Time::from_us(horizon_us);
+    // Telemetry plane follows the observability flags: `--trace` turns
+    // on per-shard lifecycle rings, any output flag turns on per-link
+    // health estimation and sampled profiling. All-off by default, so
+    // plain runs keep the bare fast path.
+    cfg.telemetry = lg_bench::obs::pkt_telemetry();
 
     // Layout report: stderr only, so stdout stays byte-identical across
     // shard layouts.
@@ -209,6 +214,7 @@ fn main() {
                 eprintln!("warning: could not write {dump_path}: {e}");
             }
         }
+        lg_bench::obs::publish_pkt_run(label, &c, &r);
         results.push(r);
     }
     let (none, lg) = (&results[0], &results[1]);

@@ -53,18 +53,27 @@
 //!   per-shard memory-budget accounting, and the process peak RSS
 //!   (`VmHWM` from `/proc/self/status`). CI gates `vm_hwm_kb` so the
 //!   bounded-memory claim is enforced, not just documented.
+//! - `--ab-pkt-telemetry` interleaves packet-level runs with the
+//!   telemetry plane off vs fully on (per-shard lifecycle tracing,
+//!   per-link health estimation, sampled event-cost profiling) and
+//!   prints both medians plus the on/off ratio — the packet-engine
+//!   sibling of `--ab-telemetry`, gated at ≥ 0.95 in CI. It also
+//!   prints the sampled per-component cost shares from the profiling
+//!   plane and appends them (with `pkt_telemetry_ratio`) as the run's
+//!   history line, so the trajectory file records where event time
+//!   goes, not just how much of it there is.
 //!
 //! Usage: `cargo run --release -p lg-bench --bin world_guard
 //! [--trials 300] [--reps 5] [--telemetry | --ab-telemetry |
-//! --ab-dispatch | --ab-shard | --rss] [--allocs | --allocs-shard]
-//! [--shards 4[,8,...]] [--pods N] [--seed 42] [--horizon-us 2000]
-//! [--history PATH]`
+//! --ab-dispatch | --ab-shard | --ab-pkt-telemetry | --rss]
+//! [--allocs | --allocs-shard] [--shards 4[,8,...]] [--pods N]
+//! [--seed 42] [--horizon-us 2000] [--history PATH]`
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use lg_bench::arg;
-use lg_fabric::{run_packet, PktFabricConfig};
+use lg_fabric::{run_packet, PktFabricConfig, PktProfile, PktTelemetryConfig};
 use lg_link::{LinkSpeed, LossModel};
 use lg_sim::{Duration, Time};
 use lg_testbed::{App, World, WorldConfig};
@@ -238,6 +247,52 @@ fn append_history_shard(
         "{{\"unix_ts\":{ts},\"events_per_run\":{events_per_run},\
          \"events_per_sec\":{events_per_sec:.0},\"shard_speedup\":{shard_speedup:.4},\
          \"shards\":{shards},\"threads\":{threads}}}\n"
+    );
+    let r = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = r {
+        eprintln!("warning: could not append {path}: {e}");
+    }
+}
+
+/// Append one JSON line for an `--ab-pkt-telemetry` run. Keyed by
+/// `pkt_telemetry_ratio` so the packet-telemetry gate greps its own
+/// latest entry; the per-kind cost shares ride along so the trajectory
+/// file records where sampled event time went, not just the headline
+/// ratio.
+fn append_history_pkt_telemetry(
+    path: &str,
+    events_per_run: u64,
+    events_per_sec: f64,
+    ratio: f64,
+    profile: &PktProfile,
+) {
+    use std::io::Write;
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let total_ns = profile.total_ns_all();
+    let shares: String = PktProfile::KINDS
+        .iter()
+        .enumerate()
+        .map(|(i, kind)| {
+            let share = if total_ns > 0 {
+                profile.total_ns[i] as f64 / total_ns as f64
+            } else {
+                0.0
+            };
+            format!(",\"profile_share_{kind}\":{share:.4}")
+        })
+        .collect();
+    let line = format!(
+        "{{\"unix_ts\":{ts},\"events_per_run\":{events_per_run},\
+         \"events_per_sec\":{events_per_sec:.0},\"pkt_telemetry_ratio\":{ratio:.4},\
+         \"profile_sampled\":{}{shares}}}\n",
+        profile.sampled()
     );
     let r = std::fs::OpenOptions::new()
         .create(true)
@@ -433,6 +488,74 @@ fn main() {
             if !history.is_empty() {
                 append_history_shard(&history, ev_serial, p, speedup, shards, threads);
             }
+        }
+        return;
+    }
+    if lg_bench::flag("--ab-pkt-telemetry") {
+        // Packet-engine sibling of `--ab-telemetry`: interleave runs of
+        // the same pod-scale packet fabric with the telemetry plane off
+        // vs fully on (per-shard lifecycle tracing + per-link health
+        // estimation + sampled profiling). Same flip-the-pair-order
+        // protocol; CI gates the median per-pair ratio at ≥ 0.95.
+        let shards: u32 = arg("--shards", 4);
+        let horizon_us: u64 = arg("--horizon-us", 2000);
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let threads = (shards as usize).min(hw);
+        let base_cfg = pkt_cfg(shards, threads, horizon_us);
+        let mut tele_cfg = base_cfg.clone();
+        tele_cfg.telemetry = PktTelemetryConfig {
+            trace: true,
+            trace_cap: 0,
+            health: Some(PktTelemetryConfig::packet_health()),
+            profile: true,
+        };
+        // Warm-up doubles as the purely-observational check: the event
+        // count must be identical with the telemetry plane on, and the
+        // telemetry-on run supplies the profiling rollup below.
+        let (_, ev_off) = timed_pkt(&base_cfg);
+        let r_on = run_packet(&tele_cfg);
+        assert_eq!(
+            ev_off, r_on.totals.events,
+            "telemetry changed the event count — observational-purity bug"
+        );
+        let (mut off, mut on, mut ratios) = (Vec::new(), Vec::new(), Vec::new());
+        for i in 0..reps {
+            let (o, t) = if i % 2 == 0 {
+                let o = timed_pkt(&base_cfg).0;
+                (o, timed_pkt(&tele_cfg).0)
+            } else {
+                let t = timed_pkt(&tele_cfg).0;
+                (timed_pkt(&base_cfg).0, t)
+            };
+            off.push(o);
+            on.push(t);
+            ratios.push(t / o);
+        }
+        let (o, t) = (median(&mut off), median(&mut on));
+        let ratio = median(&mut ratios);
+        println!("events_per_run: {ev_off}");
+        println!("shards: {shards}");
+        println!("worker_threads: {threads}");
+        println!("events_per_sec_pkt_baseline: {o:.0}");
+        println!("events_per_sec_pkt_telemetry: {t:.0}");
+        println!("pkt_telemetry_ratio: {ratio:.4}");
+        // Profiling rollup: where the sampled event time went, by kind.
+        // Shares of attributed nanoseconds, not of event counts, so a
+        // rare-but-expensive kind still shows up.
+        let total_ns = r_on.profile.total_ns_all();
+        println!("profile_sampled: {}", r_on.profile.sampled());
+        for (i, kind) in PktProfile::KINDS.iter().enumerate() {
+            let share = if total_ns > 0 {
+                r_on.profile.total_ns[i] as f64 / total_ns as f64
+            } else {
+                0.0
+            };
+            println!("profile_share_{kind}: {share:.4}");
+        }
+        if !history.is_empty() {
+            append_history_pkt_telemetry(&history, ev_off, t, ratio, &r_on.profile);
         }
         return;
     }

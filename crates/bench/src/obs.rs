@@ -31,6 +31,11 @@ use lg_obs::trace::Level;
 use lg_obs::JsonLine;
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The `--trace-cap` value parsed by [`session`] (0 = default), so the
+/// packet engine's per-shard rings can be sized from the same flag.
+static TRACE_CAP: AtomicUsize = AtomicUsize::new(0);
 
 /// Observability schema version written to the `meta` line; bump in
 /// lockstep with `schema/obs-schema.json`.
@@ -84,7 +89,10 @@ pub fn session(bin: &'static str) -> Session {
     };
     lg_obs::trace::set_level(level);
     match crate::try_arg::<usize>(&args, "--trace-cap") {
-        Ok(Some(cap)) => lg_obs::trace::set_ring_capacity(cap),
+        Ok(Some(cap)) => {
+            lg_obs::trace::set_ring_capacity(cap);
+            TRACE_CAP.store(cap, Ordering::Relaxed);
+        }
         Ok(None) => {}
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -121,6 +129,146 @@ pub fn publish_fabric_health(
             .map(|ev| ev.to_json_line(&run))
             .collect();
         lg_obs::sink::submit_all(&format!("health/{run}"), lines);
+    }
+}
+
+/// The packet-engine telemetry plane implied by the session flags:
+/// tracing follows the runtime trace level ([`Level::Pkt`]), health
+/// estimation and sampled profiling follow the sink. Returns the
+/// all-off default when observability is disabled, so the engine's
+/// fast path is untouched.
+pub fn pkt_telemetry() -> lg_fabric::PktTelemetryConfig {
+    lg_fabric::PktTelemetryConfig {
+        trace: lg_obs::trace::enabled(Level::Pkt),
+        trace_cap: TRACE_CAP.load(Ordering::Relaxed),
+        health: if lg_obs::sink::metrics_enabled() {
+            Some(lg_fabric::PktTelemetryConfig::packet_health())
+        } else {
+            None
+        },
+        profile: lg_obs::sink::metrics_enabled(),
+    }
+}
+
+/// Publish one packet-engine run's merged telemetry to the sink:
+/// per-corrupting-link counter snapshots plus a fabric totals line
+/// (`metric`), the merged packet-lifecycle trace (`trace` +
+/// `trace_summary`), per-link health transitions (`health_event`), and
+/// the sampled event-cost attribution (`profile`, quarantined under
+/// [`lg_obs::sink::PROFILE_KEY_PREFIX`]). Everything except the profile
+/// rows is a function of the simulation outcome only, so dumps stay
+/// byte-identical across shard layouts. No-op when the sink is off.
+pub fn publish_pkt_run(
+    run: &str,
+    cfg: &lg_fabric::PktFabricConfig,
+    r: &lg_fabric::PktFabricResult,
+) {
+    if !lg_obs::sink::metrics_enabled() {
+        return;
+    }
+    let t_end = cfg.horizon.as_ps();
+
+    // Per-corrupting-link counters, link order (layout-invariant).
+    let mut metric_lines = Vec::new();
+    for l in r.links.iter().filter(|l| l.loss_ppb > 0) {
+        let mut line = JsonLine::new();
+        line.str("type", "metric")
+            .u64("t_ps", t_end)
+            .str("comp", "pktlink")
+            .str("inst", &l.link.to_string());
+        let mut counters = JsonLine::new();
+        counters
+            .u64("tx_frames", l.tx_frames)
+            .u64("corrupt_drops", l.corrupt_drops)
+            .u64("recoveries", l.recoveries)
+            .u64("overflow_drops", l.overflow_drops)
+            .u64("loss_ppb", l.loss_ppb);
+        line.raw("counters", &counters.finish());
+        let mut gauges = JsonLine::new();
+        let mut hwm = JsonLine::new();
+        hwm.u64("value", u64::from(l.queue_hwm))
+            .u64("hwm", u64::from(l.queue_hwm));
+        gauges.raw("queue_frames", &hwm.finish());
+        line.raw("gauges", &gauges.finish());
+        metric_lines.push(line.finish());
+    }
+    // Whole-run totals under the run label.
+    let t = &r.totals;
+    let mut line = JsonLine::new();
+    line.str("type", "metric")
+        .u64("t_ps", t_end)
+        .str("comp", "pktfabric")
+        .str("inst", run);
+    let mut counters = JsonLine::new();
+    counters
+        .u64("events", t.events)
+        .u64("flows", t.flows)
+        .u64("flows_completed", t.flows_completed)
+        .u64("tx_frames", t.tx_frames)
+        .u64("corrupt_drops", t.corrupt_drops)
+        .u64("recoveries", t.recoveries)
+        .u64("source_retx", t.source_retx)
+        .u64("overflow_drops", t.overflow_drops);
+    line.raw("counters", &counters.finish());
+    metric_lines.push(line.finish());
+    lg_obs::sink::submit_all(&format!("pkt/{run}/0metric"), metric_lines);
+
+    // Merged packet-lifecycle trace (already span_key-sorted).
+    if !r.trace.is_empty() || r.trace_dropped > 0 {
+        let mut trace_lines: Vec<String> = r
+            .trace
+            .iter()
+            .map(|rec| {
+                let mut l = JsonLine::new();
+                l.str("type", "trace")
+                    .u64("t_ps", rec.t_ps)
+                    .str("comp", rec.comp.name())
+                    .str("kind", rec.kind.name())
+                    .u64("inst", u64::from(rec.inst))
+                    .u64("uid", rec.uid)
+                    .u64("seq", rec.seq)
+                    .u64("aux", u64::from(rec.aux));
+                l.finish()
+            })
+            .collect();
+        let mut summary = JsonLine::new();
+        summary
+            .str("type", "trace_summary")
+            .u64("records", r.trace.len() as u64)
+            .u64("dropped", r.trace_dropped);
+        trace_lines.push(summary.finish());
+        lg_obs::sink::submit_all(&format!("pkt/{run}/1trace"), trace_lines);
+    }
+
+    // Per-link health transitions, (link, window) order.
+    let health_lines: Vec<String> = r
+        .health
+        .iter()
+        .map(|(link, ev)| ev.to_json_line(run, "pktlink", &link.to_string()))
+        .collect();
+    lg_obs::sink::submit_all(&format!("pkt/{run}/2health"), health_lines);
+
+    // Sampled event-cost attribution (wall-clock; quarantined).
+    if r.profile.sampled() > 0 {
+        let prof_lines: Vec<String> = lg_fabric::PktProfile::KINDS
+            .iter()
+            .zip(r.profile.counts.iter().zip(r.profile.total_ns.iter()))
+            .filter(|(_, (&n, _))| n > 0)
+            .map(|(kind, (&n, &ns))| {
+                let mut l = JsonLine::new();
+                l.str("type", "profile")
+                    .str("section", &format!("pktsim/{run}"))
+                    .str("event", kind)
+                    .u64("count", n)
+                    .u64("total_ns", ns)
+                    .f64("mean_ns", ns as f64 / n as f64);
+                l.finish()
+            })
+            .collect();
+        lg_obs::sink::submit_all(
+            &format!("{}pktsim/{run}", lg_obs::sink::PROFILE_KEY_PREFIX),
+            prof_lines,
+        );
     }
 }
 

@@ -31,6 +31,10 @@ pub fn packet_rollup(pods: u32, shards: u32, threads: usize, seed: u64, horizon_
     cfg.shards = shards;
     cfg.threads = threads;
     cfg.horizon = Time::from_us(horizon_us);
+    // `--health-log`/`--metrics-out` on the figure binaries reach the
+    // packet engine too: the rollup publishes merged per-link health
+    // transitions (and the rest of the telemetry plane) to the sink.
+    cfg.telemetry = crate::obs::pkt_telemetry();
 
     println!(
         "packet engine: {} pods / {} links, horizon {} us, seed {}",
@@ -80,6 +84,7 @@ pub fn packet_rollup(pods: u32, shards: u32, threads: usize, seed: u64, horizon_
             r.totals.source_retx,
             r.totals.overflow_drops,
         );
+        crate::obs::publish_pkt_run(label, &c, &r);
         p999.push(d.p999);
     }
     println!(

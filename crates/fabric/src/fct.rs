@@ -21,7 +21,7 @@
 //!
 //! Per-shard streams merge into one global stream at collect time.
 //! Histogram merging is bucket-wise addition — exact, so merge order
-//! cannot change any histogram answer (see [`LogHist::merge`]). The
+//! cannot change any histogram answer (see [`lg_obs::LogHist::merge`]). The
 //! reservoir merge keeps the K largest of the union of two top-K sets,
 //! which equals the top-K multiset of the union of the underlying
 //! streams; a multiset has no order, so the merged reservoir is the
@@ -30,23 +30,18 @@
 //! byte-identical-across-shards contract survives dropping the
 //! retained vector.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-
-use lg_obs::LogHist;
+use lg_obs::QuantileStream;
 
 /// Sub-bucket resolution of the FCT histogram.
 const SUB_BUCKETS: u32 = 64;
 
 /// Incremental FCT aggregator: O(buckets + K) memory however many
-/// flows complete.
+/// flows complete. A thin FCT-flavored wrapper over
+/// [`lg_obs::QuantileStream`] (which this module originated) fixing
+/// the histogram resolution at 64 sub-buckets.
 #[derive(Debug)]
 pub struct FctStream {
-    hist: LogHist,
-    /// Min-heap over the K largest values seen; the root is the
-    /// smallest retained value, i.e. the eviction candidate.
-    tail: BinaryHeap<Reverse<u64>>,
-    k: usize,
+    inner: QuantileStream,
 }
 
 /// Fixed quantile summary of a finished stream. All fields are exact
@@ -74,49 +69,30 @@ impl FctStream {
     /// A stream retaining the `tail_k` largest values exactly.
     pub fn new(tail_k: usize) -> FctStream {
         FctStream {
-            hist: LogHist::new(SUB_BUCKETS),
-            tail: BinaryHeap::with_capacity(tail_k.saturating_add(1)),
-            k: tail_k,
+            inner: QuantileStream::new(SUB_BUCKETS, tail_k),
         }
     }
 
     /// Record one completion time.
     pub fn record(&mut self, fct: u64) {
-        self.hist.record(fct);
-        self.offer_tail(fct);
-    }
-
-    fn offer_tail(&mut self, fct: u64) {
-        if self.k == 0 {
-            return;
-        }
-        if self.tail.len() < self.k {
-            self.tail.push(Reverse(fct));
-        } else if fct > self.tail.peek().expect("non-empty at capacity").0 {
-            self.tail.pop();
-            self.tail.push(Reverse(fct));
-        }
+        self.inner.record(fct);
     }
 
     /// Completions recorded.
     pub fn len(&self) -> u64 {
-        self.hist.len()
+        self.inner.len()
     }
 
     /// True when nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.hist.is_empty()
+        self.inner.is_empty()
     }
 
     /// Merge another stream (consumed) into this one. The result is
     /// indistinguishable from one stream that recorded both inputs, so
     /// merge order cannot change the digest (see module docs).
     pub fn merge(&mut self, other: FctStream) {
-        assert_eq!(self.k, other.k, "merging streams of different tail size");
-        self.hist.merge(&other.hist);
-        for Reverse(v) in other.tail {
-            self.offer_tail(v);
-        }
+        self.inner.merge(other.inner);
     }
 
     /// Value at quantile `q` in `[0, 1]`, reproducing the retained-Vec
@@ -124,46 +100,22 @@ impl FctStream {
     /// exact via the tail reservoir when rank `i` falls inside it, a
     /// histogram bucket bound otherwise. 0 when empty.
     pub fn quantile(&self, q: f64) -> u64 {
-        let count = self.hist.len();
-        if count == 0 {
-            return 0;
-        }
-        let i = (((count - 1) as f64 * q).round() as u64).min(count - 1);
-        let from_top = (count - 1 - i) as usize;
-        if from_top < self.tail.len() {
-            let mut desc: Vec<u64> = self.tail.iter().map(|&Reverse(v)| v).collect();
-            desc.sort_unstable_by(|a, b| b.cmp(a));
-            desc[from_top]
-        } else {
-            self.hist.value_at_rank(i + 1).expect("rank within count")
-        }
+        self.inner.quantile(q)
     }
 
     /// The fixed quantile summary (shares one tail sort).
     pub fn digest(&self) -> FctDigest {
-        let count = self.hist.len();
-        if count == 0 {
+        if self.inner.is_empty() {
             return FctDigest::default();
         }
-        let mut desc: Vec<u64> = self.tail.iter().map(|&Reverse(v)| v).collect();
-        desc.sort_unstable_by(|a, b| b.cmp(a));
-        let at = |q: f64| -> u64 {
-            let i = (((count - 1) as f64 * q).round() as u64).min(count - 1);
-            let from_top = (count - 1 - i) as usize;
-            if from_top < desc.len() {
-                desc[from_top]
-            } else {
-                self.hist.value_at_rank(i + 1).expect("rank within count")
-            }
-        };
-        let summary = self.hist.summary();
+        let desc = self.inner.tail_desc();
         FctDigest {
-            count,
-            min: summary.min,
-            max: summary.max,
-            p50: at(0.5),
-            p99: at(0.99),
-            p999: at(0.999),
+            count: self.inner.len(),
+            min: self.inner.min(),
+            max: self.inner.max(),
+            p50: self.inner.quantile_with_tail(&desc, 0.5),
+            p99: self.inner.quantile_with_tail(&desc, 0.99),
+            p999: self.inner.quantile_with_tail(&desc, 0.999),
         }
     }
 }

@@ -28,7 +28,10 @@ pub mod tracegen;
 pub use corropt::{CapacityConstraint, CorrOpt};
 pub use fct::{FctDigest, FctStream};
 pub use partition::{partition, Granularity, Partition, PartitionMap, PodGeom};
-pub use pktsim::{run_packet, MemStats, PktFabric, PktFabricConfig, PktFabricResult, PktPolicy};
+pub use pktsim::{
+    run_packet, MemStats, PktFabric, PktFabricConfig, PktFabricResult, PktPolicy, PktProfile,
+    PktTelemetryConfig,
+};
 pub use sim::{
     run, run_many, FabricHealthEvent, FabricSimConfig, FabricSimResult, Policy, SamplePoint,
 };

@@ -71,7 +71,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use lg_obs::MemBudget;
+use lg_obs::trace::{Comp, Kind, TraceRecord, TraceRing, DEFAULT_RING_CAP};
+use lg_obs::{postmortem, HealthConfig, HealthEstimator, HealthEvent, MemBudget};
 use lg_sim::shard::{run_sharded, ShardMsg, ShardStats, ShardWorld};
 use lg_sim::{Duration, EventQueue, Rate, Rng, Time};
 
@@ -143,6 +144,58 @@ pub struct PktFabricConfig {
     /// ([`PktFabricResult::fct`]). On for the small presets (the
     /// differential tests need it); off at fabric scale.
     pub retain_fct: bool,
+    /// Per-shard observability (trace ring, link-health estimators,
+    /// sampled self-profiling). Entirely observational: enabling any of
+    /// it changes no RNG draw, no event, no non-telemetry result field.
+    pub telemetry: PktTelemetryConfig,
+}
+
+/// Per-shard observability of a packet run. Each shard owns its own
+/// trace ring (drained at window close), its own health estimators over
+/// the corrupting cells it hosts, and its own profiling accumulators;
+/// everything merges layout-invariantly at collect time (same sorted-
+/// merge discipline as the FCT digest), except the wall-clock profile,
+/// which is inherently nondeterministic and excluded from
+/// [`PktFabricResult::simulation_eq`].
+#[derive(Debug, Clone, Default)]
+pub struct PktTelemetryConfig {
+    /// Record packet-lifecycle trace events (corruption drops,
+    /// link-local recoveries, admission refusals, and deliveries of
+    /// frames that were previously dropped/recovered) into a per-shard
+    /// [`TraceRing`].
+    pub trace: bool,
+    /// Per-shard ring capacity (0 = [`DEFAULT_RING_CAP`]). Trace volume
+    /// is O(loss events), not O(frames); the merged log is
+    /// layout-invariant only while no ring overwrites
+    /// ([`PktFabricResult::trace_dropped`]` == 0` — the same sizing
+    /// philosophy as the memory budget's `denials == 0`).
+    pub trace_cap: usize,
+    /// Run a per-link [`HealthEstimator`] over every corrupting cell,
+    /// observed from cumulative frame/error counters at each telemetry
+    /// sample. Estimator inputs are simulation counters, so the merged
+    /// event stream is layout-invariant.
+    pub health: Option<HealthConfig>,
+    /// Sampled per-event-kind wall-clock attribution (every 64th event
+    /// is timed). Merged additively; excluded from `simulation_eq`.
+    pub profile: bool,
+}
+
+impl PktTelemetryConfig {
+    /// Health thresholds tuned for packet-granularity µs horizons:
+    /// per-link frame counts are thousands, not the analytic path's
+    /// hundreds of millions, so the windows are short and the rate
+    /// thresholds sit in the Table 1 heavy-loss decades where a µs run
+    /// can actually resolve them.
+    pub fn packet_health() -> HealthConfig {
+        HealthConfig {
+            degraded_rate: 1e-4,
+            corrupting_rate: 5e-3,
+            clear_factor: 0.5,
+            window_polls: 4,
+            min_frames: 32,
+            min_errors: 1,
+        }
+    }
 }
 
 impl PktFabricConfig {
@@ -175,6 +228,7 @@ impl PktFabricConfig {
             mem_bytes_per_link: 0,
             fct_tail_k: 65_536,
             retain_fct: true,
+            telemetry: PktTelemetryConfig::default(),
         }
     }
 
@@ -207,6 +261,7 @@ impl PktFabricConfig {
             mem_bytes_per_link: 64 * 1024,
             fct_tail_k: 65_536,
             retain_fct: false,
+            telemetry: PktTelemetryConfig::default(),
         }
     }
 
@@ -254,6 +309,12 @@ struct Frame {
     frames: u16,
     /// Frame size in bytes.
     bytes: u16,
+    /// The frame has already hit a trace-worthy event (drop, recovery,
+    /// admission refusal), so its eventual delivery is traced too —
+    /// completing the postmortem span while keeping trace volume
+    /// O(loss events). Travels with the frame across shard mailboxes,
+    /// which is what keeps cross-shard uid chains intact.
+    traced: bool,
 }
 
 /// Events of the packet-level world. Same-instant batches are sorted by
@@ -377,11 +438,47 @@ pub struct MemStats {
     pub denials: u64,
 }
 
+/// Sampled per-event-kind wall-clock cost attribution of one run.
+/// Every 64th handled event is timed and charged to its kind; shards
+/// merge additively at collect. Wall-clock, so layout- and
+/// machine-dependent — excluded from [`PktFabricResult::simulation_eq`]
+/// and quarantined under `"type":"profile"` in JSONL dumps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PktProfile {
+    /// Sampled events per kind, indexed like [`PktProfile::KINDS`].
+    pub counts: [u64; 4],
+    /// Wall-clock nanoseconds over the sampled events, per kind.
+    pub total_ns: [u64; 4],
+}
+
+impl PktProfile {
+    /// Event-kind names, index-aligned with the count/cost arrays.
+    pub const KINDS: [&'static str; 4] = ["sample", "tx_done", "arrive", "flow_start"];
+
+    /// Add another shard's accumulators into this one.
+    pub fn merge(&mut self, other: &PktProfile) {
+        for i in 0..4 {
+            self.counts[i] += other.counts[i];
+            self.total_ns[i] += other.total_ns[i];
+        }
+    }
+
+    /// Total sampled events across kinds.
+    pub fn sampled(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total attributed nanoseconds across kinds.
+    pub fn total_ns_all(&self) -> u64 {
+        self.total_ns.iter().sum()
+    }
+}
+
 /// Result of a packet-level fabric run. Every field is sorted by a
 /// global key, so two runs are byte-identical iff the structs are equal
 /// — the differential tests compare these directly and the binaries
 /// print them directly.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PktFabricResult {
     /// `(flow id, completion time in ps since flow start)`, flow order.
     /// Empty unless [`PktFabricConfig::retain_fct`] — the digest is the
@@ -405,13 +502,32 @@ pub struct PktFabricResult {
     pub cut_edges: u64,
     /// Memory-budget accounting (layout-dependent, see [`MemStats`]).
     pub mem: MemStats,
+    /// Merged packet-lifecycle trace, sorted by
+    /// [`postmortem::span_key`] — layout-invariant while
+    /// [`PktFabricResult::trace_dropped`] is 0. Empty unless
+    /// [`PktTelemetryConfig::trace`].
+    pub trace: Vec<TraceRecord>,
+    /// Records lost to ring overwrites, summed over shards. Per-shard
+    /// ring capacities make this layout-*dependent* once nonzero, so it
+    /// is excluded from `simulation_eq`; size the cap so it stays 0.
+    pub trace_dropped: u64,
+    /// Merged link-health transitions `(global link, event)`, sorted by
+    /// `(link, window_id)`. Estimator inputs are simulation counters
+    /// observed at sample instants, so the stream is layout-invariant.
+    /// Empty unless [`PktTelemetryConfig::health`].
+    pub health: Vec<(u32, HealthEvent)>,
+    /// Sampled event-cost attribution (wall-clock; excluded from
+    /// `simulation_eq`). Zeroed unless [`PktTelemetryConfig::profile`].
+    pub profile: PktProfile,
 }
 
 impl PktFabricResult {
     /// Equality of simulation outcomes only — everything except the
     /// layout-dependent runner and budget accounting
     /// (`stats.windows/messages`, `cut_edges` and `mem` legitimately
-    /// vary with the shard count).
+    /// vary with the shard count) and the wall-clock profile. The
+    /// merged trace and health streams *are* compared: telemetry is
+    /// part of the byte-identical-across-layouts contract.
     pub fn simulation_eq(&self, other: &PktFabricResult) -> bool {
         self.fct == other.fct
             && self.fct_digest == other.fct_digest
@@ -419,6 +535,8 @@ impl PktFabricResult {
             && self.telemetry == other.telemetry
             && self.totals == other.totals
             && self.stats.events == other.stats.events
+            && self.trace == other.trace
+            && self.health == other.health
     }
 
     /// FCT percentile in picoseconds (`q` in `[0, 1]`), over flows
@@ -511,11 +629,42 @@ pub struct FabricShard {
     flows_completed: u64,
     source_retx: u64,
     tick_buf: Vec<PEv>,
+    /// This shard's trace ring (None = tracing off). Drained into
+    /// `trace_log` at every window close, so the ring capacity bounds
+    /// the burst within one lookahead window, not the whole run.
+    trace_ring: Option<TraceRing>,
+    trace_log: Vec<TraceRecord>,
+    trace_dropped: u64,
+    /// Health estimators over this shard's corrupting cells:
+    /// `(local cell index, estimator)`. Empty when health is off.
+    health_ests: Vec<(u32, HealthEstimator)>,
+    health_events: Vec<(u32, HealthEvent)>,
+    /// `(sampling counter, accumulators)`; None = profiling off.
+    profile: Option<(u64, PktProfile)>,
 }
 
 impl FabricShard {
     fn serialize(&self, bytes: u16) -> Duration {
         self.shared.speed.serialize(bytes as u64)
+    }
+
+    /// Record one packet-lifecycle trace event. Every field is global
+    /// (uid = frame key + 1 so 0 stays the no-packet sentinel, link in
+    /// `aux`, hop in `inst`), never shard-local — the invariant that
+    /// makes the merged log identical at any layout.
+    #[inline]
+    fn trace(&mut self, kind: Kind, frame: &Frame, link: u32, now: Time) {
+        if let Some(ring) = &mut self.trace_ring {
+            ring.push(TraceRecord {
+                t_ps: now.as_ps(),
+                uid: frame.key + 1,
+                seq: frame.flow,
+                aux: link,
+                inst: frame.hop as u16,
+                comp: Comp::Link,
+                kind,
+            });
+        }
     }
 
     /// Local cell index of an owned link (slab lookup over the pod
@@ -577,6 +726,8 @@ impl FabricShard {
         if !admitted {
             cell.overflow_drops += 1;
             let mut frame = frame;
+            self.trace(Kind::RxOverflow, &frame, link, now);
+            frame.traced = true;
             frame.hop = 0;
             let rto = self.shared.rto;
             self.route(frame, now + rto, out);
@@ -597,6 +748,10 @@ impl FabricShard {
             // the link stays busy through the NACK turnaround plus the
             // repeat serialization. The loss never surfaces.
             cell.recoveries += 1;
+            if let Some(f) = cell.fifo.front_mut() {
+                f.traced = true;
+            }
+            self.trace(Kind::Recovered, &head, link, now);
             let delay = self.shared.lg_recovery + self.serialize(head.bytes);
             self.q.schedule_at(now + delay, PEv::TxDone { link });
             return;
@@ -613,11 +768,16 @@ impl FabricShard {
             // cost.
             cell.corrupt_drops += 1;
             self.source_retx += 1;
+            self.trace(Kind::CorruptDrop, &frame, link, now);
+            frame.traced = true;
             frame.hop = 0;
             self.route(frame, now + self.shared.rto, out);
         } else {
             cell.tx_frames += 1;
             if frame.hop + 1 == frame.n_hops {
+                if frame.traced {
+                    self.trace(Kind::Deliver, &frame, link, now);
+                }
                 self.on_delivered(&frame, now);
             } else {
                 frame.hop += 1;
@@ -696,6 +856,7 @@ impl FabricShard {
                 n_hops,
                 frames,
                 bytes: s.frame_bytes,
+                traced: false,
             };
             // The first hop is always local (generators live with their
             // first-hop link), so this never reaches the outbox — but
@@ -720,6 +881,21 @@ impl FabricShard {
                 recoveries: cell.recoveries,
             });
         }
+        // Feed the health estimators from the same cumulative counters
+        // the telemetry rows snapshot (framesRxAll = clean + corrupted
+        // attempts; errors = drops + recoveries, i.e. corruption under
+        // either policy). Counters are simulation state sampled at a
+        // fixed instant, so the resulting event stream is
+        // layout-invariant.
+        let t_ps = self.shared.sample_interval.as_ps() * idx as u64;
+        for (local, est) in self.health_ests.iter_mut() {
+            let cell = &self.cells[*local as usize];
+            let errors = cell.corrupt_drops + cell.recoveries;
+            let all = cell.tx_frames + errors;
+            if let Some(ev) = est.observe_cumulative(t_ps, all, cell.tx_frames) {
+                self.health_events.push((cell.global, ev));
+            }
+        }
         if idx < self.shared.samples {
             let at = Time::ZERO + self.shared.sample_interval.saturating_mul(idx as u64 + 1);
             self.q.schedule_at(at, PEv::Sample { idx: idx + 1 });
@@ -732,6 +908,35 @@ impl FabricShard {
             PEv::TxDone { link } => self.on_tx_done(link, now, out),
             PEv::Arrive { frame } => self.on_arrive(frame, now, out),
             PEv::FlowStart { gen } => self.on_flow_start(gen, now, out),
+        }
+    }
+
+    /// Dispatch one event; when profiling is on, every 64th event is
+    /// wall-clock timed and charged to its kind. Sampling keeps the
+    /// overhead a fraction of an `Instant` read per 64 events — well
+    /// under the ≥0.95 telemetry A/B gate.
+    fn dispatch(&mut self, ev: PEv, now: Time, out: &mut Vec<ShardMsg<PktMsg>>) {
+        let Some((seen, _)) = &mut self.profile else {
+            self.handle(ev, now, out);
+            return;
+        };
+        *seen += 1;
+        if *seen & 63 != 0 {
+            self.handle(ev, now, out);
+            return;
+        }
+        let kind = match &ev {
+            PEv::Sample { .. } => 0,
+            PEv::TxDone { .. } => 1,
+            PEv::Arrive { .. } => 2,
+            PEv::FlowStart { .. } => 3,
+        };
+        let t0 = std::time::Instant::now();
+        self.handle(ev, now, out);
+        let ns = t0.elapsed().as_nanos() as u64;
+        if let Some((_, p)) = &mut self.profile {
+            p.counts[kind] += 1;
+            p.total_ns[kind] += ns;
         }
     }
 }
@@ -754,7 +959,7 @@ impl ShardWorld for FabricShard {
         while let Some((now, first)) = self.q.pop_tick_into(until, &mut tick, usize::MAX) {
             if tick.is_empty() {
                 ran += sim_event(&first);
-                self.handle(first, now, out);
+                self.dispatch(first, now, out);
             } else {
                 // Canonicalize the tick: dispatch order must not depend
                 // on which shard's queue the events came out of (see
@@ -764,11 +969,20 @@ impl ShardWorld for FabricShard {
                 tick.sort_unstable_by_key(canon_key);
                 for ev in tick.drain(..) {
                     ran += sim_event(&ev);
-                    self.handle(ev, now, out);
+                    self.dispatch(ev, now, out);
                 }
             }
         }
         self.tick_buf = tick;
+        // Window close: drain this shard's ring into the retained log
+        // so the ring capacity bounds one lookahead window's burst, not
+        // the whole run's trace volume.
+        if let Some(ring) = &mut self.trace_ring {
+            if !ring.is_empty() || ring.dropped() > 0 {
+                self.trace_dropped += ring.dropped();
+                self.trace_log.extend(ring.drain());
+            }
+        }
         #[cfg(debug_assertions)]
         self.q.check_invariants();
         ran
@@ -855,6 +1069,18 @@ impl PktFabric {
                     flows_completed: 0,
                     source_retx: 0,
                     tick_buf: Vec::new(),
+                    trace_ring: cfg.telemetry.trace.then(|| {
+                        TraceRing::new(if cfg.telemetry.trace_cap == 0 {
+                            DEFAULT_RING_CAP
+                        } else {
+                            cfg.telemetry.trace_cap
+                        })
+                    }),
+                    trace_log: Vec::new(),
+                    trace_dropped: 0,
+                    health_ests: Vec::new(),
+                    health_events: Vec::new(),
+                    profile: cfg.telemetry.profile.then(|| (0, PktProfile::default())),
                 }
             })
             .collect();
@@ -921,6 +1147,22 @@ impl PktFabric {
             }
         }
 
+        // Health plane: one estimator per corrupting cell, owned by the
+        // shard hosting the cell. The corrupting set is drawn by global
+        // link id, so each link gets exactly one estimator at any
+        // layout and its observation sequence is identical.
+        if let Some(hcfg) = cfg.telemetry.health {
+            for shard in shards.iter_mut() {
+                shard.health_ests = shard
+                    .cells
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.loss > 0.0)
+                    .map(|(i, _)| (i as u32, HealthEstimator::new(hcfg)))
+                    .collect();
+            }
+        }
+
         PktFabric {
             shards,
             lookahead: cfg.hop_latency,
@@ -943,15 +1185,31 @@ impl PktFabric {
         let mut telemetry = Vec::new();
         let mut stream: Option<FctStream> = None;
         let mut mem = MemStats::default();
+        let mut trace_logs = Vec::new();
+        let mut trace_dropped = 0u64;
+        let mut health = Vec::new();
+        let mut profile = PktProfile::default();
         let mut totals = PktTotals {
             events: stats.events,
             ..PktTotals::default()
         };
-        for shard in self.shards {
+        for mut shard in self.shards {
             assert!(
                 shard.delivered.is_empty(),
                 "run ended with partially delivered flows"
             );
+            // Belt and braces: run_window drains at every window close,
+            // but collect() must not silently lose a residue.
+            if let Some(ring) = &mut shard.trace_ring {
+                shard.trace_dropped += ring.dropped();
+                shard.trace_log.extend(ring.drain());
+            }
+            trace_dropped += shard.trace_dropped;
+            trace_logs.push(shard.trace_log);
+            health.extend(shard.health_events);
+            if let Some((_, p)) = &shard.profile {
+                profile.merge(p);
+            }
             fct.extend(shard.fct);
             telemetry.extend(shard.telemetry);
             totals.flows += shard.flows;
@@ -989,6 +1247,11 @@ impl PktFabric {
         fct.sort_unstable();
         links.sort_unstable_by_key(|l| l.link);
         telemetry.sort_unstable_by_key(|t| (t.sample, t.link));
+        // Same sorted-merge discipline as the FCT digest: per-shard
+        // logs carry only global identifiers, so sorting by a global
+        // key erases the layout.
+        let trace = postmortem::merge_shard_logs(trace_logs);
+        health.sort_unstable_by_key(|(link, ev)| (*link, ev.window_id));
         PktFabricResult {
             fct,
             fct_digest: stream.map(|s| s.digest()).unwrap_or_default(),
@@ -998,6 +1261,10 @@ impl PktFabric {
             stats,
             cut_edges: self.cut_edges,
             mem,
+            trace,
+            trace_dropped,
+            health,
+            profile,
         }
     }
 }
@@ -1140,6 +1407,112 @@ mod tests {
         assert_eq!(r.mem.denials, 0);
         assert!(r.simulation_eq(&base));
         assert!(r.mem.hwm_bytes > 0, "charges were made and released");
+    }
+
+    /// Tiny config with the full telemetry plane on: tracing, an
+    /// aggressive health config (any error fires), no profiling.
+    fn tiny_telemetry(policy: PktPolicy) -> PktFabricConfig {
+        let mut cfg = tiny(policy);
+        cfg.telemetry = PktTelemetryConfig {
+            trace: true,
+            trace_cap: 0,
+            health: Some(HealthConfig {
+                degraded_rate: 1e-6,
+                corrupting_rate: 1e-3,
+                clear_factor: 0.5,
+                window_polls: 2,
+                min_frames: 1,
+                min_errors: 1,
+            }),
+            profile: false,
+        };
+        cfg
+    }
+
+    #[test]
+    fn telemetry_is_purely_observational() {
+        let off = run_packet(&tiny(PktPolicy::None));
+        let on = run_packet(&tiny_telemetry(PktPolicy::None));
+        assert_eq!(on.totals, off.totals);
+        assert_eq!(on.links, off.links);
+        assert_eq!(on.fct, off.fct);
+        assert_eq!(on.fct_digest, off.fct_digest);
+        assert_eq!(on.telemetry, off.telemetry);
+        assert_eq!(on.stats.events, off.stats.events);
+        assert!(off.trace.is_empty() && off.health.is_empty());
+        assert!(!on.trace.is_empty(), "no-LG drops must be traced");
+        assert!(!on.health.is_empty(), "corrupting links must transition");
+        assert_eq!(on.trace_dropped, 0, "default cap must not overwrite");
+    }
+
+    #[test]
+    fn telemetry_streams_are_layout_invariant() {
+        let base = run_packet(&tiny_telemetry(PktPolicy::None));
+        for (shards, threads) in [(2, 2), (4, 2), (7, 3)] {
+            let mut cfg = tiny_telemetry(PktPolicy::None);
+            cfg.shards = shards;
+            cfg.threads = threads;
+            let r = run_packet(&cfg);
+            assert_eq!(r.trace_dropped, 0);
+            assert!(
+                r.simulation_eq(&base),
+                "telemetry diverged at shards={shards} threads={threads}"
+            );
+        }
+        // Per-link health streams must satisfy the schema's stream
+        // order: strictly increasing window ids.
+        let mut last: HashMap<u32, u64> = HashMap::new();
+        for (link, ev) in &base.health {
+            if let Some(prev) = last.insert(*link, ev.window_id) {
+                assert!(ev.window_id > prev, "link {link} window regressed");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_shard_spans_keep_uid_chains() {
+        let mut cfg = tiny_telemetry(PktPolicy::None);
+        cfg.shards = 2; // one pod per shard: spine transit is cut
+        let r = run_packet(&cfg);
+        let part = partition(&cfg.geom, 2);
+        // Find a frame whose lifecycle records live on different shards
+        // (dropped in one pod, delivered in the other): its uid chain
+        // must survive the mailbox crossing intact.
+        let mut found = false;
+        let uids: std::collections::BTreeSet<u64> = r.trace.iter().map(|t| t.uid).collect();
+        for uid in uids {
+            let hist = postmortem::history(&r.trace, uid);
+            let shards_touched: std::collections::BTreeSet<u32> = hist
+                .iter()
+                .map(|t| part.shard_of_link[t.aux as usize])
+                .collect();
+            if shards_touched.len() < 2 {
+                continue;
+            }
+            let kinds = postmortem::chain(&r.trace, uid);
+            if kinds.contains(&Kind::CorruptDrop) && kinds.contains(&Kind::Deliver) {
+                assert_eq!(*kinds.last().unwrap(), Kind::Deliver, "span ends delivered");
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no cross-shard drop→deliver span found");
+    }
+
+    #[test]
+    fn profiling_accumulates_without_touching_results() {
+        let base = run_packet(&tiny(PktPolicy::LinkGuardian));
+        let mut cfg = tiny(PktPolicy::LinkGuardian);
+        cfg.telemetry.profile = true;
+        let r = run_packet(&cfg);
+        assert!(r.simulation_eq(&base), "profiling must be invisible");
+        assert!(r.profile.sampled() > 0, "sampler must fire");
+        assert_eq!(
+            r.profile.sampled(),
+            r.profile.counts.iter().sum::<u64>(),
+            "per-kind counts account for every sampled event"
+        );
+        assert_eq!(base.profile, PktProfile::default());
     }
 
     #[test]

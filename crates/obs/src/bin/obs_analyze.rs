@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! obs_analyze <file.jsonl>... [--compare <file.jsonl>...]
-//!             [--attr-window-us <N>] [--out <report.jsonl>]
+//!             [--attr-window-us <N>] [--out <report.jsonl>] [--rss]
 //! ```
 //!
 //! Positional files form one logical run (a `--metrics-out` dump plus
@@ -28,416 +28,35 @@
 //!
 //! `--out` additionally writes the report as `report` records
 //! conforming to `schema/obs-schema.json`.
+//!
+//! Files stream through the analyzer line-at-a-time
+//! ([`lg_obs::analyze`]), so memory is bounded by loss events and
+//! series counts, not file size; `--rss` prints the process peak RSS
+//! (`VmHWM`) to stderr at exit so CI can gate the bound on generated
+//! multi-hundred-MB dumps.
 
-use lg_obs::json::{parse, JsonValue};
+use lg_obs::analyze::{compare, report_run, Report, Run};
 use lg_obs::JsonLine;
-use std::collections::BTreeMap;
 use std::io::Write;
 use std::process::ExitCode;
 
-/// Everything obs_analyze extracts from one logical run's files.
-#[derive(Default)]
-struct Run {
-    /// uid -> corrupt_drop timestamp.
-    drops: BTreeMap<u64, u64>,
-    /// uid -> recovered timestamp.
-    recovered: BTreeMap<u64, u64>,
-    /// (comp, inst, name) -> (t_ps, value) samples in file order.
-    series: BTreeMap<(String, String, String), Vec<(u64, f64)>>,
-    /// (inst, from, to, t_ps, rate) health transitions in file order.
-    health: Vec<(String, String, String, u64, f64)>,
-}
-
-impl Run {
-    fn ingest_line(&mut self, line: &str) -> Result<(), String> {
-        let v = parse(line)?;
-        let ty = v.get("type").and_then(JsonValue::as_str).unwrap_or("");
-        match ty {
-            "trace" => {
-                let kind = v.get("kind").and_then(JsonValue::as_str).unwrap_or("");
-                if kind != "corrupt_drop" && kind != "recovered" {
-                    return Ok(());
-                }
-                let uid = num(&v, "uid")? as u64;
-                let t = num(&v, "t_ps")? as u64;
-                if kind == "corrupt_drop" {
-                    self.drops.entry(uid).or_insert(t);
-                } else {
-                    self.recovered.entry(uid).or_insert(t);
-                }
-            }
-            "timeseries" => {
-                let key = (
-                    str_field(&v, "comp")?.to_string(),
-                    str_field(&v, "inst")?.to_string(),
-                    str_field(&v, "name")?.to_string(),
-                );
-                let t = num(&v, "t_ps")? as u64;
-                let value = num(&v, "value")?;
-                self.series.entry(key).or_default().push((t, value));
-            }
-            "health_event" => {
-                self.health.push((
-                    str_field(&v, "inst")?.to_string(),
-                    str_field(&v, "from")?.to_string(),
-                    str_field(&v, "to")?.to_string(),
-                    num(&v, "t_ps")? as u64,
-                    num(&v, "rate")?,
-                ));
-            }
-            _ => {}
-        }
-        Ok(())
-    }
-
-    fn ingest_file(&mut self, path: &str) -> Result<(), String> {
-        let doc = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-        for (i, line) in doc.lines().enumerate() {
-            if line.is_empty() {
-                continue;
-            }
-            self.ingest_line(line)
-                .map_err(|e| format!("{path}:{}: {e}", i + 1))?;
-        }
-        Ok(())
-    }
-
-    /// Sorted recovery latencies (ps) of drops the receiver masked, plus
-    /// the count of drops with no recovery trace.
-    fn recovery_latencies(&self) -> (Vec<u64>, usize) {
-        let mut lat = Vec::new();
-        let mut unrecovered = 0usize;
-        for (uid, &t_drop) in &self.drops {
-            match self.recovered.get(uid) {
-                Some(&t_rec) if t_rec >= t_drop => lat.push(t_rec - t_drop),
-                _ => unrecovered += 1,
+/// Print the kernel-reported peak RSS to stderr (Linux `VmHWM`; silent
+/// elsewhere). Same idiom as `world_guard --rss`.
+fn eprint_peak_rss() {
+    if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: u64 = rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse()
+                    .unwrap_or(0);
+                eprintln!("peak_rss_kb: {kb}");
+                return;
             }
         }
-        lat.sort_unstable();
-        (lat, unrecovered)
     }
-
-    /// Classify `e2e_retx` windows: (corruption-attributed, congestion-
-    /// attributed) retransmission counts. A window is corruption-induced
-    /// when a corrupt_drop landed inside it (stretched backwards by
-    /// `attr_ps`, so recovery delay crossing a window edge still
-    /// attributes correctly).
-    fn fct_attribution(&self, attr_ps: u64) -> Attribution {
-        let mut out = Attribution::default();
-        let Some(samples) = self
-            .series
-            .iter()
-            .find(|((_, _, name), _)| name == "e2e_retx")
-            .map(|(_, s)| s)
-        else {
-            return out;
-        };
-        // Window span = min positive gap between consecutive samples.
-        let interval = samples
-            .windows(2)
-            .map(|w| w[1].0.saturating_sub(w[0].0))
-            .filter(|&d| d > 0)
-            .min()
-            .unwrap_or(0);
-        let drop_times: Vec<u64> = self.drops.values().copied().collect();
-        let mut sorted_drops = drop_times;
-        sorted_drops.sort_unstable();
-        for &(t, value) in samples {
-            if value <= 0.0 {
-                continue;
-            }
-            out.windows += 1;
-            let lo = t.saturating_sub(interval + attr_ps);
-            // Any drop in (lo, t]?
-            let i = sorted_drops.partition_point(|&d| d <= lo);
-            let hit = sorted_drops.get(i).is_some_and(|&d| d <= t);
-            if hit {
-                out.corruption += value as u64;
-            } else {
-                out.congestion += value as u64;
-            }
-        }
-        out
-    }
-}
-
-#[derive(Default, Clone, Copy)]
-struct Attribution {
-    windows: u64,
-    corruption: u64,
-    congestion: u64,
-}
-
-impl Attribution {
-    fn total(&self) -> u64 {
-        self.corruption + self.congestion
-    }
-
-    fn corruption_share(&self) -> f64 {
-        if self.total() == 0 {
-            0.0
-        } else {
-            self.corruption as f64 / self.total() as f64
-        }
-    }
-}
-
-fn num(v: &JsonValue, key: &str) -> Result<f64, String> {
-    v.get(key)
-        .and_then(JsonValue::as_num)
-        .ok_or_else(|| format!("missing numeric field {key:?}"))
-}
-
-fn str_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
-    v.get(key)
-        .and_then(JsonValue::as_str)
-        .ok_or_else(|| format!("missing string field {key:?}"))
-}
-
-fn pctl(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((p * (sorted.len() - 1) as f64).round()) as usize;
-    sorted[idx]
-}
-
-fn mean(sorted: &[u64]) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    sorted.iter().sum::<u64>() as f64 / sorted.len() as f64
-}
-
-fn us(ps: u64) -> f64 {
-    ps as f64 / 1e6
-}
-
-/// Collected report lines: human text to stdout plus `report` records.
-#[derive(Default)]
-struct Report {
-    records: Vec<String>,
-}
-
-impl Report {
-    fn emit(&mut self, text: String, rec: JsonLine) {
-        println!("{text}");
-        self.records.push(rec.finish());
-    }
-
-    fn line(section: &str) -> JsonLine {
-        let mut l = JsonLine::new();
-        l.str("type", "report").str("section", section);
-        l
-    }
-}
-
-fn report_run(tag: &str, run: &Run, attr_ps: u64, rep: &mut Report) -> RunStats {
-    let (lat, unrecovered) = run.recovery_latencies();
-    let (p50, p99) = (pctl(&lat, 0.5), pctl(&lat, 0.99));
-    {
-        let mut l = Report::line("recovery_latency");
-        l.str("run", tag)
-            .u64("drops", (lat.len() + unrecovered) as u64)
-            .u64("recovered", lat.len() as u64)
-            .u64("unrecovered", unrecovered as u64)
-            .f64("mean_us", us(mean(&lat) as u64))
-            .f64("p50_us", us(p50))
-            .f64("p99_us", us(p99))
-            .f64("max_us", us(lat.last().copied().unwrap_or(0)));
-        rep.emit(
-            format!(
-                "[{tag}] recovery latency: {} drops, {} recovered ({} not), \
-                 p50 {:.2} us, p99 {:.2} us, max {:.2} us",
-                lat.len() + unrecovered,
-                lat.len(),
-                unrecovered,
-                us(p50),
-                us(p99),
-                us(lat.last().copied().unwrap_or(0)),
-            ),
-            l,
-        );
-    }
-    let mut buffer_peaks = BTreeMap::new();
-    for ((comp, inst, name), samples) in &run.series {
-        if !name.ends_with("buffer_bytes") && name != "qdepth_bytes" {
-            continue;
-        }
-        let peak = samples.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
-        let mn = samples.iter().map(|&(_, v)| v).sum::<f64>() / samples.len().max(1) as f64;
-        let last = samples.last().map(|&(_, v)| v).unwrap_or(0.0);
-        buffer_peaks.insert(format!("{comp}/{inst}/{name}"), peak);
-        let mut l = Report::line("buffer_occupancy");
-        l.str("run", tag)
-            .str("comp", comp)
-            .str("inst", inst)
-            .str("name", name)
-            .u64("windows", samples.len() as u64)
-            .f64("peak_bytes", peak)
-            .f64("mean_bytes", mn)
-            .f64("last_bytes", last);
-        rep.emit(
-            format!(
-                "[{tag}] {comp}/{inst}/{name}: {} windows, peak {:.0} B, \
-                 mean {:.0} B, last {:.0} B",
-                samples.len(),
-                peak,
-                mn,
-                last
-            ),
-            l,
-        );
-    }
-    let attr = run.fct_attribution(attr_ps);
-    {
-        let mut l = Report::line("fct_attribution");
-        l.str("run", tag)
-            .u64("retx_windows", attr.windows)
-            .u64("retx_total", attr.total())
-            .u64("retx_corruption", attr.corruption)
-            .u64("retx_congestion", attr.congestion)
-            .f64("corruption_share", attr.corruption_share());
-        rep.emit(
-            format!(
-                "[{tag}] FCT-tail attribution: {} e2e retx in {} windows — \
-                 {} corruption-induced, {} congestion-induced \
-                 ({:.1}% corruption)",
-                attr.total(),
-                attr.windows,
-                attr.corruption,
-                attr.congestion,
-                100.0 * attr.corruption_share()
-            ),
-            l,
-        );
-    }
-    {
-        let mut final_state: BTreeMap<&str, &str> = BTreeMap::new();
-        let mut transitions = 0u64;
-        let mut worst_rate = 0.0f64;
-        for (inst, _, to, _, rate) in &run.health {
-            final_state.insert(inst, to);
-            transitions += 1;
-            worst_rate = worst_rate.max(*rate);
-        }
-        let states: Vec<String> = final_state
-            .iter()
-            .map(|(inst, st)| format!("{inst}={st}"))
-            .collect();
-        let mut l = Report::line("health_summary");
-        l.str("run", tag)
-            .u64("transitions", transitions)
-            .f64("worst_rate", worst_rate)
-            .str("final_states", &states.join(","));
-        rep.emit(
-            format!(
-                "[{tag}] link health: {transitions} transitions, worst observed \
-                 rate {worst_rate:.2e}{}{}",
-                if states.is_empty() { "" } else { ", final: " },
-                states.join(", ")
-            ),
-            l,
-        );
-    }
-    RunStats {
-        recovery_p99_ps: p99,
-        buffer_peaks,
-        attr,
-    }
-}
-
-/// The per-run numbers `--compare` diffs.
-struct RunStats {
-    recovery_p99_ps: u64,
-    buffer_peaks: BTreeMap<String, f64>,
-    attr: Attribution,
-}
-
-fn compare(a: &RunStats, b: &RunStats, rep: &mut Report) -> u64 {
-    let mut regressions = 0u64;
-    let p99_ratio = if a.recovery_p99_ps > 0 {
-        b.recovery_p99_ps as f64 / a.recovery_p99_ps as f64
-    } else if b.recovery_p99_ps > 0 {
-        f64::INFINITY
-    } else {
-        1.0
-    };
-    if p99_ratio > 1.10 {
-        regressions += 1;
-    }
-    {
-        let mut l = Report::line("compare_recovery");
-        l.f64("a_p99_us", us(a.recovery_p99_ps))
-            .f64("b_p99_us", us(b.recovery_p99_ps))
-            .f64("ratio", p99_ratio)
-            .bool("regression", p99_ratio > 1.10);
-        rep.emit(
-            format!(
-                "[compare] recovery p99: {:.2} us -> {:.2} us (x{:.2}){}",
-                us(a.recovery_p99_ps),
-                us(b.recovery_p99_ps),
-                p99_ratio,
-                if p99_ratio > 1.10 { "  REGRESSION" } else { "" }
-            ),
-            l,
-        );
-    }
-    for (key, &pa) in &a.buffer_peaks {
-        let pb = b.buffer_peaks.get(key).copied().unwrap_or(0.0);
-        let ratio = if pa > 0.0 {
-            pb / pa
-        } else if pb > 0.0 {
-            f64::INFINITY
-        } else {
-            1.0
-        };
-        let worse = ratio > 1.10;
-        if worse {
-            regressions += 1;
-        }
-        let mut l = Report::line("compare_buffer");
-        l.str("series", key)
-            .f64("a_peak_bytes", pa)
-            .f64("b_peak_bytes", pb)
-            .f64("ratio", ratio)
-            .bool("regression", worse);
-        rep.emit(
-            format!(
-                "[compare] {key} peak: {pa:.0} B -> {pb:.0} B (x{ratio:.2}){}",
-                if worse { "  REGRESSION" } else { "" }
-            ),
-            l,
-        );
-    }
-    {
-        let delta = b.attr.corruption_share() - a.attr.corruption_share();
-        let worse = delta > 0.05;
-        if worse {
-            regressions += 1;
-        }
-        let mut l = Report::line("compare_fct_attribution");
-        l.f64("a_corruption_share", a.attr.corruption_share())
-            .f64("b_corruption_share", b.attr.corruption_share())
-            .f64("delta", delta)
-            .u64("a_retx_total", a.attr.total())
-            .u64("b_retx_total", b.attr.total())
-            .bool("regression", worse);
-        rep.emit(
-            format!(
-                "[compare] FCT-tail corruption share: {:.1}% -> {:.1}% \
-                 (delta {:+.1} points, e2e retx {} -> {}){}",
-                100.0 * a.attr.corruption_share(),
-                100.0 * b.attr.corruption_share(),
-                100.0 * delta,
-                a.attr.total(),
-                b.attr.total(),
-                if worse { "  REGRESSION" } else { "" }
-            ),
-            l,
-        );
-    }
-    regressions
 }
 
 fn main() -> ExitCode {
@@ -447,6 +66,7 @@ fn main() -> ExitCode {
     let mut comparing = false;
     let mut attr_us = 0u64;
     let mut out_path: Option<String> = None;
+    let mut rss = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -470,6 +90,10 @@ fn main() -> ExitCode {
                 out_path = Some(v.clone());
                 i += 2;
             }
+            "--rss" => {
+                rss = true;
+                i += 1;
+            }
             f => {
                 if comparing {
                     b_files.push(f.to_string());
@@ -483,7 +107,7 @@ fn main() -> ExitCode {
     if a_files.is_empty() || (comparing && b_files.is_empty()) {
         eprintln!(
             "usage: obs_analyze <file.jsonl>... [--compare <file.jsonl>...] \
-             [--attr-window-us <N>] [--out <report.jsonl>]"
+             [--attr-window-us <N>] [--out <report.jsonl>] [--rss]"
         );
         return ExitCode::FAILURE;
     }
@@ -530,6 +154,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("wrote {} report records to {path}", rep.records.len() + 1);
+    }
+    if rss {
+        eprint_peak_rss();
     }
     ExitCode::SUCCESS
 }

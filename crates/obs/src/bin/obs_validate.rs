@@ -8,8 +8,14 @@
 //! appears at least once); prints the first violation and exits 1
 //! otherwise. Used by CI after running a figure binary with
 //! `--trace --metrics-out`.
+//!
+//! The document streams through [`LineReader`] into an incremental
+//! [`Schema::validator`], so memory stays O(record types + telemetry
+//! streams) however large the dump — fabric-scale dumps run to
+//! hundreds of megabytes.
 
 use lg_obs::schema::Schema;
+use lg_obs::LineReader;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -49,14 +55,31 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let doc = match std::fs::read_to_string(doc_path) {
-        Ok(t) => t,
+    let file = match std::fs::File::open(doc_path) {
+        Ok(f) => f,
         Err(e) => {
             eprintln!("cannot read {doc_path}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    match schema.validate(&doc) {
+    let mut reader = LineReader::new(file);
+    let mut validator = schema.validator();
+    let counts = loop {
+        match reader.next_line() {
+            Ok(Some(line)) => {
+                if let Err(e) = validator.feed(line) {
+                    eprintln!("{doc_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Ok(None) => break validator.finish(),
+            Err(e) => {
+                eprintln!("cannot read {doc_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    match counts {
         Ok(counts) => {
             for ty in &expected {
                 if !counts.iter().any(|(t, _)| t == ty) {

@@ -26,6 +26,13 @@
 //!   corrupting) emitting `health_event` rows; `corruptd` and the fabric
 //!   rollups both run on it, so activation decisions come from observed
 //!   counters rather than oracle loss-model parameters.
+//! * [`stream`] — bounded-memory ingestion: a reusable line-at-a-time
+//!   reader with [`str::lines`] semantics and the log-histogram +
+//!   exact-top-K quantile aggregator shared with the FCT digest, so the
+//!   analysis binaries hold O(1) state over multi-GB dumps.
+//! * [`analyze`] — the streaming analysis core behind `obs_analyze`:
+//!   incremental per-section aggregates fed line-at-a-time, bit-for-bit
+//!   equal to the retained whole-file path it replaced.
 //!
 //! Determinism contract: everything the registry and trace layers emit is
 //! derived from simulation state (sim-time keyed, normalized packet uids).
@@ -35,6 +42,7 @@
 //!
 //! [`AtomicU8`]: std::sync::atomic::AtomicU8
 
+pub mod analyze;
 pub mod budget;
 pub mod health;
 pub mod hist;
@@ -43,6 +51,7 @@ pub mod metrics;
 pub mod postmortem;
 pub mod schema;
 pub mod sink;
+pub mod stream;
 pub mod timeseries;
 pub mod trace;
 
@@ -51,5 +60,6 @@ pub use health::{HealthConfig, HealthEstimator, HealthEvent, LinkHealth};
 pub use hist::{HistSummary, LogHist};
 pub use json::{JsonLine, JsonValue};
 pub use metrics::{MetricSink, MetricsRegistry, Observe};
+pub use stream::{LineReader, QuantileStream};
 pub use timeseries::{Ewma, SeriesBank, SeriesRing, WindowedRate};
 pub use trace::{Comp, Kind, Level, TraceRecord};

@@ -7,8 +7,37 @@
 //! LOSS_NOTIFICATION → recirc retx → delivery. [`report`] renders it
 //! human-readably for invariant-trip dumps (stale pool handle, pool leak,
 //! golden-FCT divergence).
+//!
+//! ## Cross-shard spans
+//!
+//! In a sharded run each shard owns its own ring, and a packet that
+//! crosses a shard boundary leaves records in several of them. Because
+//! records carry the *global* identifiers (uid, link in `aux`, hop in
+//! `inst`) rather than anything shard-local, [`merge_shard_logs`]
+//! reassembles the per-shard logs into one timeline whose order depends
+//! only on simulation outcomes — the same uid chain falls out whatever
+//! the shard layout, which is what lets drop → link-retx → deliver
+//! timelines span shards and still compare byte-identical across
+//! layouts.
 
 use crate::trace::{Kind, TraceRecord};
+
+/// The canonical layout-invariant ordering of merged shard logs:
+/// `(t_ps, aux, kind, uid, seq, inst)`. Every field is derived from
+/// simulation state, so two runs with different shard layouts sort
+/// their merged logs identically.
+pub fn span_key(r: &TraceRecord) -> (u64, u32, u8, u64, u64, u16) {
+    (r.t_ps, r.aux, r.kind as u8, r.uid, r.seq, r.inst)
+}
+
+/// Merge per-shard trace logs into one layout-invariant timeline
+/// (sorted by [`span_key`]). [`history`]/[`chain`]/[`report`] on the
+/// merged log reconstruct packet lifecycles that span shards.
+pub fn merge_shard_logs(logs: impl IntoIterator<Item = Vec<TraceRecord>>) -> Vec<TraceRecord> {
+    let mut out: Vec<TraceRecord> = logs.into_iter().flatten().collect();
+    out.sort_unstable_by_key(span_key);
+    out
+}
 
 /// All records for packet `uid`, in emission order.
 pub fn history(records: &[TraceRecord], uid: u64) -> Vec<TraceRecord> {
@@ -121,5 +150,31 @@ mod tests {
         let rep = report(&recs, 7);
         assert!(rep.contains("corrupt_drop"));
         assert!(rep.contains("4 records"));
+    }
+
+    #[test]
+    fn merged_shard_logs_are_layout_invariant() {
+        // One packet's lifecycle scattered across three "shards"; any
+        // split of the same records must merge to the same timeline.
+        let all = vec![
+            rec(1, 7, Kind::TxDone, 3),
+            rec(2, 7, Kind::CorruptDrop, 3),
+            rec(2, 9, Kind::TxDone, 4),
+            rec(3, 7, Kind::Retx, 5),
+            rec(5, 7, Kind::HostDeliver, 6),
+        ];
+        let merged_one = merge_shard_logs(vec![all.clone()]);
+        let split = vec![vec![all[3], all[0]], vec![all[4], all[2]], vec![all[1]]];
+        let merged_split = merge_shard_logs(split);
+        assert_eq!(merged_one, merged_split);
+        assert_eq!(
+            chain(&merged_split, 7),
+            vec![
+                Kind::TxDone,
+                Kind::CorruptDrop,
+                Kind::Retx,
+                Kind::HostDeliver
+            ]
+        );
     }
 }

@@ -94,28 +94,67 @@ impl Schema {
     /// strictly increasing — out-of-order telemetry means a producer
     /// leaked wall-clock or thread-scheduling order into the dump.
     pub fn validate(&self, text: &str) -> Result<Vec<(String, usize)>, String> {
-        let mut counts: Vec<(String, usize)> = Vec::new();
-        let mut streams: Vec<(String, u64, u64)> = Vec::new(); // key, last t_ps, last window_id
-        for (i, line) in text.lines().enumerate() {
-            if line.trim().is_empty() {
-                continue;
-            }
-            let (ty, v) = self
-                .validate_line_value(line)
-                .map_err(|e| format!("line {}: {e}", i + 1))?;
-            if ty == "timeseries" || ty == "health_event" {
-                check_stream_order(&ty, &v, &mut streams)
-                    .map_err(|e| format!("line {}: {e}", i + 1))?;
-            }
-            match counts.iter_mut().find(|(t, _)| *t == ty) {
-                Some((_, n)) => *n += 1,
-                None => counts.push((ty, 1)),
-            }
+        let mut v = self.validator();
+        for line in text.lines() {
+            v.feed(line)?;
         }
-        if counts.is_empty() {
+        v.finish()
+    }
+
+    /// An incremental validator over the same rules as
+    /// [`Schema::validate`], for line-at-a-time callers (`obs_validate`
+    /// streams multi-hundred-MB dumps through one of these with O(1)
+    /// memory in the file size).
+    pub fn validator(&self) -> Validator<'_> {
+        Validator {
+            schema: self,
+            counts: Vec::new(),
+            streams: Vec::new(),
+            line_no: 0,
+        }
+    }
+}
+
+/// Incremental state of one document validation: per-type counts plus
+/// the last `(t_ps, window_id)` of every telemetry stream seen. Memory
+/// is O(record types + streams), independent of document length.
+#[derive(Debug)]
+pub struct Validator<'a> {
+    schema: &'a Schema,
+    counts: Vec<(String, usize)>,
+    streams: Vec<(String, u64, u64)>, // key, last t_ps, last window_id
+    line_no: usize,
+}
+
+impl Validator<'_> {
+    /// Validate the next line (blank lines count toward line numbers
+    /// but are otherwise skipped). Errors are prefixed `line N:`.
+    pub fn feed(&mut self, line: &str) -> Result<(), String> {
+        self.line_no += 1;
+        if line.trim().is_empty() {
+            return Ok(());
+        }
+        let n = self.line_no;
+        let (ty, v) = self
+            .schema
+            .validate_line_value(line)
+            .map_err(|e| format!("line {n}: {e}"))?;
+        if ty == "timeseries" || ty == "health_event" {
+            check_stream_order(&ty, &v, &mut self.streams).map_err(|e| format!("line {n}: {e}"))?;
+        }
+        match self.counts.iter_mut().find(|(t, _)| *t == ty) {
+            Some((_, c)) => *c += 1,
+            None => self.counts.push((ty, 1)),
+        }
+        Ok(())
+    }
+
+    /// Final per-record-type counts; an empty document is an error.
+    pub fn finish(self) -> Result<Vec<(String, usize)>, String> {
+        if self.counts.is_empty() {
             return Err("no records found".into());
         }
-        Ok(counts)
+        Ok(self.counts)
     }
 }
 

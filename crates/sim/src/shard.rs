@@ -41,6 +41,18 @@
 //! per window) synchronized with a [`std::sync::Barrier`]; shards are
 //! claimed per window through an atomic work index exactly like
 //! [`par_map`](crate::par_map), so a slow shard never idles the pool.
+//!
+//! **Per-shard telemetry discipline.** The same argument extends to
+//! observability state: a shard world may record traces, health events,
+//! or counters locally (no synchronization inside the window), provided
+//! every recorded field is a *global* key — entity ids, simulated
+//! timestamps, packet uids — and never a shard index or worker-local
+//! ordinal. Collect-time concatenation sorted by those keys is then a
+//! pure function of the simulated execution, so the merged streams are
+//! as layout-invariant as the simulation itself. Wall-clock measurements
+//! (profiling) are the deliberate exception: they merge additively and
+//! must be excluded from byte-identical comparisons. `lg_fabric`'s
+//! packet simulator is the worked example of both rules.
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Barrier;
