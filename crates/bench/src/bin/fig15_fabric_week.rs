@@ -5,7 +5,13 @@
 //!
 //! Usage: `cargo run --release -p lg-bench --bin fig15_fabric_week
 //! [--pods 260] [--days 7] [--threads N] [--engine analytic|packet]
-//! [--shards 8] [--horizon-us 400]`
+//! [--shards 8] [--horizon-us 400] [--guardd]`
+//!
+//! `--guardd` adds a third policy column per constraint: LinkGuardian
+//! driven by the `lg-guardd` control plane (budgeted decisions from the
+//! observed health feed rather than oracle corruption flags). Its
+//! decision journal reaches `--guard-log`/`--metrics-out`; default
+//! stdout (no flag) is unchanged.
 //!
 //! The four constraint × policy simulations run in parallel; output is
 //! identical at any `--threads` value.
@@ -43,6 +49,7 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let guardd = lg_bench::flag("--guardd");
     let constraints = [0.50, 0.75];
     let mut cfgs = Vec::new();
     for constraint in constraints {
@@ -58,8 +65,24 @@ fn main() {
             });
         }
     }
+    if guardd {
+        // The guardian-plane runs ride at the end so the oracle runs
+        // keep their indices (and the default stdout its bytes).
+        for constraint in constraints {
+            cfgs.push(FabricSimConfig {
+                pods,
+                horizon_hours: days * 24.0,
+                constraint,
+                policy: Policy::LgGuardd(lg_guardd::GuardConfig::default()),
+                sample_interval_hours: 6.0,
+                target_loss_rate: 1e-8,
+                seed,
+            });
+        }
+    }
     let all = run_many(&cfgs, sweep::threads());
     lg_bench::obs::publish_fabric_health(&cfgs, &all);
+    lg_bench::obs::publish_fabric_guard(&cfgs, &all);
     for (i, constraint) in constraints.into_iter().enumerate() {
         println!("=== capacity constraint {:.0}% ===", constraint * 100.0);
         let results = &all[i * 2..i * 2 + 2];
@@ -92,6 +115,22 @@ fn main() {
             "deferred corrupting links: CorrOpt {}, LG+CorrOpt {}; peak LG links per fabric switch: {}",
             co.counts.deferred, lg.counts.deferred, lg.counts.peak_lg_per_fabric_switch
         );
+        println!();
+    }
+    if guardd {
+        println!("=== lg-guardd control plane (observed health, budgeted) ===");
+        for (k, constraint) in constraints.into_iter().enumerate() {
+            let g = &all[4 + k];
+            let mean_pen =
+                g.samples.iter().map(|s| s.total_penalty).sum::<f64>() / g.samples.len() as f64;
+            let decisions = g.guard_journal.len();
+            println!(
+                "c{:.0}: mean total penalty {mean_pen:.3e}, {decisions} journaled decisions, \
+                 peak LG links per fabric switch {}",
+                constraint * 100.0,
+                g.counts.peak_lg_per_fabric_switch
+            );
+        }
         println!();
     }
     println!("paper: when the constraint binds, vanilla CorrOpt's penalty jumps while");

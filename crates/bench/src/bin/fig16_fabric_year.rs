@@ -4,7 +4,13 @@
 //!
 //! Usage: `cargo run --release -p lg-bench --bin fig16_fabric_year
 //! [--pods 260] [--days 365] [--sample-hours 4] [--threads N]
-//! [--engine analytic|packet] [--shards 8] [--horizon-us 400]`
+//! [--engine analytic|packet] [--shards 8] [--horizon-us 400]
+//! [--guardd]`
+//!
+//! `--guardd` appends year-long runs driven by the `lg-guardd` control
+//! plane (budgeted decisions from the observed health feed); their
+//! decision journals reach `--guard-log`/`--metrics-out`. Default
+//! stdout (no flag) is unchanged.
 //!
 //! The four constraint × policy simulations run in parallel; output is
 //! identical at any `--threads` value.
@@ -43,6 +49,7 @@ fn main() {
         }
     }
 
+    let guardd = lg_bench::flag("--guardd");
     let constraints = [0.50, 0.75];
     let mut cfgs = Vec::new();
     for constraint in constraints {
@@ -58,8 +65,22 @@ fn main() {
             });
         }
     }
+    if guardd {
+        for constraint in constraints {
+            cfgs.push(FabricSimConfig {
+                pods,
+                horizon_hours: days * 24.0,
+                constraint,
+                policy: Policy::LgGuardd(lg_guardd::GuardConfig::default()),
+                sample_interval_hours: sample_hours,
+                target_loss_rate: 1e-8,
+                seed,
+            });
+        }
+    }
     let all = run_many(&cfgs, sweep::threads());
     lg_bench::obs::publish_fabric_health(&cfgs, &all);
+    lg_bench::obs::publish_fabric_guard(&cfgs, &all);
     for (i, constraint) in constraints.into_iter().enumerate() {
         let (co, lg) = (&all[i * 2], &all[i * 2 + 1]);
         let mut gains: Vec<f64> = co
@@ -101,6 +122,20 @@ fn main() {
                 "    P{:>4.0} : {:>8.4}",
                 p * 100.0,
                 q(&cap_drop, p.min(0.999999))
+            );
+        }
+        println!();
+    }
+    if guardd {
+        println!("=== lg-guardd control plane (observed health, budgeted) ===");
+        for (k, constraint) in constraints.into_iter().enumerate() {
+            let g = &all[4 + k];
+            let mean_pen =
+                g.samples.iter().map(|s| s.total_penalty).sum::<f64>() / g.samples.len() as f64;
+            println!(
+                "c{:.0}: mean total penalty {mean_pen:.3e}, {} journaled decisions",
+                constraint * 100.0,
+                g.guard_journal.len()
             );
         }
         println!();

@@ -62,11 +62,19 @@
 //!   plane and appends them (with `pkt_telemetry_ratio`) as the run's
 //!   history line, so the trajectory file records where event time
 //!   goes, not just how much of it there is.
+//! - `--ab-guardd` interleaves packet-level runs (health telemetry on
+//!   both sides) with the guardian control plane off vs on: the "on"
+//!   side additionally folds the run's health stream through an
+//!   `lg-guardd` manager (canonical sort + ingest + journal), exactly
+//!   what a `--guard-log` session does after a run. The median per-pair
+//!   ratio is the guardian plane's whole-run throughput cost, gated at
+//!   ≥ 0.95 in CI and appended (keyed `guardd_ratio`) to the history
+//!   file.
 //!
 //! Usage: `cargo run --release -p lg-bench --bin world_guard
 //! [--trials 300] [--reps 5] [--telemetry | --ab-telemetry |
-//! --ab-dispatch | --ab-shard | --ab-pkt-telemetry | --rss]
-//! [--allocs | --allocs-shard] [--shards 4[,8,...]] [--pods N]
+//! --ab-dispatch | --ab-shard | --ab-pkt-telemetry | --ab-guardd |
+//! --rss] [--allocs | --allocs-shard] [--shards 4[,8,...]] [--pods N]
 //! [--seed 42] [--horizon-us 2000] [--history PATH]`
 
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -293,6 +301,36 @@ fn append_history_pkt_telemetry(
          \"events_per_sec\":{events_per_sec:.0},\"pkt_telemetry_ratio\":{ratio:.4},\
          \"profile_sampled\":{}{shares}}}\n",
         profile.sampled()
+    );
+    let r = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = r {
+        eprintln!("warning: could not append {path}: {e}");
+    }
+}
+
+/// Append one JSON line for an `--ab-guardd` run. Keyed by
+/// `guardd_ratio` so the guardian-plane gate greps its own latest
+/// entry; the decision count rides along as the workload fingerprint.
+fn append_history_guardd(
+    path: &str,
+    events_per_run: u64,
+    events_per_sec: f64,
+    ratio: f64,
+    decisions: usize,
+) {
+    use std::io::Write;
+    let ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let line = format!(
+        "{{\"unix_ts\":{ts},\"events_per_run\":{events_per_run},\
+         \"events_per_sec\":{events_per_sec:.0},\"guardd_ratio\":{ratio:.4},\
+         \"guardd_decisions\":{decisions}}}\n"
     );
     let r = std::fs::OpenOptions::new()
         .create(true)
@@ -556,6 +594,78 @@ fn main() {
         }
         if !history.is_empty() {
             append_history_pkt_telemetry(&history, ev_off, t, ratio, &r_on.profile);
+        }
+        return;
+    }
+    if lg_bench::flag("--ab-guardd") {
+        // Guardian-plane sibling of `--ab-pkt-telemetry`: both sides run
+        // the identical pod-scale packet fabric with per-link health
+        // estimation on; the "on" side additionally folds the health
+        // stream through an `lg-guardd` manager, the same replay a
+        // `--guard-log` session performs. Flip-the-pair-order protocol;
+        // CI gates the median per-pair ratio at ≥ 0.95.
+        let shards: u32 = arg("--shards", 4);
+        let horizon_us: u64 = arg("--horizon-us", 2000);
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let threads = (shards as usize).min(hw);
+        let mut cfg = pkt_cfg(shards, threads, horizon_us);
+        cfg.telemetry.health = Some(PktTelemetryConfig::packet_health());
+        let timed_off = |cfg: &PktFabricConfig| timed_pkt(cfg).0;
+        let timed_on = |cfg: &PktFabricConfig| -> (f64, u64, usize) {
+            let t0 = std::time::Instant::now();
+            let r = run_packet(cfg);
+            let mut feed: Vec<lg_guardd::GuardInput> = r
+                .health
+                .iter()
+                .map(|(link, ev)| lg_guardd::GuardInput::from_health_event(*link, ev))
+                .collect();
+            lg_guardd::canonical_sort(&mut feed);
+            let mut mgr = lg_guardd::GuardManager::new("ab", lg_guardd::GuardConfig::default());
+            for ev in &feed {
+                mgr.ingest(*ev);
+            }
+            let decisions = mgr.take_journal().len();
+            (
+                r.totals.events as f64 / t0.elapsed().as_secs_f64(),
+                r.totals.events,
+                decisions,
+            )
+        };
+        // Warm-up doubles as the purely-observational check: the
+        // guardian fold runs after the simulation, so the event count
+        // must be identical on both sides.
+        let (_, ev_off) = timed_pkt(&cfg);
+        let (_, ev_on, decisions) = timed_on(&cfg);
+        assert_eq!(
+            ev_off, ev_on,
+            "guardian plane changed the event count — observational-purity bug"
+        );
+        let (mut off, mut on, mut ratios) = (Vec::new(), Vec::new(), Vec::new());
+        for i in 0..reps {
+            let (o, g) = if i % 2 == 0 {
+                let o = timed_off(&cfg);
+                (o, timed_on(&cfg).0)
+            } else {
+                let g = timed_on(&cfg).0;
+                (timed_off(&cfg), g)
+            };
+            off.push(o);
+            on.push(g);
+            ratios.push(g / o);
+        }
+        let (o, g) = (median(&mut off), median(&mut on));
+        let ratio = median(&mut ratios);
+        println!("events_per_run: {ev_off}");
+        println!("shards: {shards}");
+        println!("worker_threads: {threads}");
+        println!("guardd_decisions: {decisions}");
+        println!("events_per_sec_guardd_off: {o:.0}");
+        println!("events_per_sec_guardd_on: {g:.0}");
+        println!("guardd_ratio: {ratio:.4}");
+        if !history.is_empty() {
+            append_history_guardd(&history, ev_off, g, ratio, decisions);
         }
         return;
     }

@@ -10,6 +10,10 @@
 //!   windowed telemetry samples) into their own JSONL file;
 //! * `--health-log <file>` — route `health_event` records (link-health
 //!   transitions) into their own JSONL file;
+//! * `--guard-log <file>` — route `guard_event`/`guard_snapshot`
+//!   records (the `lg-guardd` decision journal) into their own JSONL
+//!   file, and enable the post-run guardian replay over packet-engine
+//!   health streams ([`publish_pkt_run`]);
 //! * `--trace` — enable packet-level trace records ([`Level::Pkt`]);
 //! * `--trace-level <off|ctl|pkt>` — set the trace level explicitly
 //!   (overrides `--trace`);
@@ -31,15 +35,24 @@ use lg_obs::trace::Level;
 use lg_obs::JsonLine;
 use std::io::Write;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// The `--trace-cap` value parsed by [`session`] (0 = default), so the
 /// packet engine's per-shard rings can be sized from the same flag.
 static TRACE_CAP: AtomicUsize = AtomicUsize::new(0);
 
+/// Whether `--guard-log` was given: gates the guardian replay over
+/// packet-engine health streams so default dumps stay byte-identical.
+static GUARD: AtomicBool = AtomicBool::new(false);
+
+/// Whether this session routes a guardian journal (`--guard-log`).
+pub fn guard_enabled() -> bool {
+    GUARD.load(Ordering::Relaxed)
+}
+
 /// Observability schema version written to the `meta` line; bump in
 /// lockstep with `schema/obs-schema.json`.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// RAII guard for one binary's observability session. On drop it writes
 /// the JSONL dumps (if any of the output flags was given), then disables
@@ -49,6 +62,7 @@ pub struct Session {
     out: Option<PathBuf>,
     ts_out: Option<PathBuf>,
     health_out: Option<PathBuf>,
+    guard_out: Option<PathBuf>,
 }
 
 /// Parse the shared observability flags and start a session. Call first
@@ -67,6 +81,8 @@ pub fn session(bin: &'static str) -> Session {
     let out = path_arg("--metrics-out");
     let ts_out = path_arg("--timeseries-out");
     let health_out = path_arg("--health-log");
+    let guard_out = path_arg("--guard-log");
+    GUARD.store(guard_out.is_some(), Ordering::Relaxed);
     let level = match crate::try_arg::<String>(&args, "--trace-level") {
         Ok(Some(s)) => match Level::parse(&s) {
             Some(l) => l,
@@ -99,7 +115,7 @@ pub fn session(bin: &'static str) -> Session {
             std::process::exit(2);
         }
     }
-    if out.is_some() || ts_out.is_some() || health_out.is_some() {
+    if out.is_some() || ts_out.is_some() || health_out.is_some() || guard_out.is_some() {
         lg_obs::sink::enable_metrics();
     }
     Session {
@@ -107,6 +123,7 @@ pub fn session(bin: &'static str) -> Session {
         out,
         ts_out,
         health_out,
+        guard_out,
     }
 }
 
@@ -129,6 +146,26 @@ pub fn publish_fabric_health(
             .map(|ev| ev.to_json_line(&run))
             .collect();
         lg_obs::sink::submit_all(&format!("health/{run}"), lines);
+    }
+}
+
+/// Publish the guardian decision journals of a fabric sweep to the
+/// sink, one run label per `Policy::LgGuardd` config. The journal is a
+/// pure fold over that run's health stream, so `drain_sorted` output is
+/// byte-identical at any `--threads` value. No-op when the sink is off.
+pub fn publish_fabric_guard(
+    cfgs: &[lg_fabric::FabricSimConfig],
+    results: &[lg_fabric::FabricSimResult],
+) {
+    if !lg_obs::sink::metrics_enabled() {
+        return;
+    }
+    for (cfg, res) in cfgs.iter().zip(results) {
+        if res.guard_journal.is_empty() {
+            continue;
+        }
+        let run = format!("c{:.0}/{}", cfg.constraint * 100.0, cfg.policy.label());
+        lg_obs::sink::submit_all(&format!("guard/{run}"), res.guard_journal.clone());
     }
 }
 
@@ -248,6 +285,27 @@ pub fn publish_pkt_run(
         .collect();
     lg_obs::sink::submit_all(&format!("pkt/{run}/2health"), health_lines);
 
+    // Guardian replay over the run's health stream (`--guard-log`
+    // sessions only). The feed is canonicalised to (t_ps, link, window)
+    // order — a function of the simulation outcome, not the shard
+    // layout — and the manager is a pure fold over it, so the journal
+    // is byte-identical at any `--shards` value.
+    if guard_enabled() && !r.health.is_empty() {
+        let mut feed: Vec<lg_guardd::GuardInput> = r
+            .health
+            .iter()
+            .map(|(link, ev)| lg_guardd::GuardInput::from_health_event(*link, ev))
+            .collect();
+        lg_guardd::canonical_sort(&mut feed);
+        let mut mgr = lg_guardd::GuardManager::new(run, lg_guardd::GuardConfig::default());
+        for ev in &feed {
+            mgr.ingest(*ev);
+        }
+        let mut guard_lines = mgr.take_journal();
+        guard_lines.push(mgr.snapshot_line());
+        lg_obs::sink::submit_all(&format!("pkt/{run}/3guard"), guard_lines);
+    }
+
     // Sampled event-cost attribution (wall-clock; quarantined).
     if r.profile.sampled() > 0 {
         let prof_lines: Vec<String> = lg_fabric::PktProfile::KINDS
@@ -291,17 +349,27 @@ fn write_dump(path: &PathBuf, bin: &str, lines: Vec<String>) {
 
 impl Drop for Session {
     fn drop(&mut self) {
-        if self.out.is_some() || self.ts_out.is_some() || self.health_out.is_some() {
+        if self.out.is_some()
+            || self.ts_out.is_some()
+            || self.health_out.is_some()
+            || self.guard_out.is_some()
+        {
             // One drain, partitioned by record type: dedicated outputs
             // claim their lines, the main dump keeps the rest.
             let mut main_lines = Vec::new();
             let mut ts_lines = Vec::new();
             let mut health_lines = Vec::new();
+            let mut guard_lines = Vec::new();
             for line in lg_obs::sink::drain_sorted() {
                 if self.ts_out.is_some() && line.contains("\"type\":\"timeseries\"") {
                     ts_lines.push(line);
                 } else if self.health_out.is_some() && line.contains("\"type\":\"health_event\"") {
                     health_lines.push(line);
+                } else if self.guard_out.is_some()
+                    && (line.contains("\"type\":\"guard_event\"")
+                        || line.contains("\"type\":\"guard_snapshot\""))
+                {
+                    guard_lines.push(line);
                 } else {
                     main_lines.push(line);
                 }
@@ -315,7 +383,11 @@ impl Drop for Session {
             if let Some(path) = self.health_out.take() {
                 write_dump(&path, self.bin, health_lines);
             }
+            if let Some(path) = self.guard_out.take() {
+                write_dump(&path, self.bin, guard_lines);
+            }
         }
+        GUARD.store(false, Ordering::Relaxed);
         lg_obs::sink::disable_and_clear();
         lg_obs::trace::set_level(Level::Off);
         lg_obs::trace::reset();
@@ -346,6 +418,7 @@ mod tests {
                 out: Some(path.clone()),
                 ts_out: None,
                 health_out: None,
+                guard_out: None,
             };
             lg_obs::sink::enable_metrics();
             lg_obs::sink::submit(
@@ -367,10 +440,11 @@ mod tests {
     fn dedicated_outputs_partition_the_drain() {
         let dir = std::env::temp_dir().join("lg_obs_session_split_test");
         std::fs::create_dir_all(&dir).unwrap();
-        let (main_p, ts_p, health_p) = (
+        let (main_p, ts_p, health_p, guard_p) = (
             dir.join("dump.jsonl"),
             dir.join("ts.jsonl"),
             dir.join("health.jsonl"),
+            dir.join("guard.jsonl"),
         );
         {
             let s = Session {
@@ -378,6 +452,7 @@ mod tests {
                 out: Some(main_p.clone()),
                 ts_out: Some(ts_p.clone()),
                 health_out: Some(health_p.clone()),
+                guard_out: Some(guard_p.clone()),
             };
             lg_obs::sink::enable_metrics();
             lg_obs::sink::submit(
@@ -397,6 +472,18 @@ mod tests {
                  \"rate\":1e-7}"
                     .into(),
             );
+            let mut mgr = lg_guardd::GuardManager::new("r", lg_guardd::GuardConfig::oracle());
+            mgr.ingest(lg_guardd::GuardInput {
+                t_ps: 1,
+                window_id: 1,
+                link: 0,
+                from: lg_obs::LinkHealth::Healthy,
+                to: lg_obs::LinkHealth::Corrupting,
+                rate: 1e-3,
+            });
+            let journal = mgr.take_journal();
+            assert_eq!(journal.len(), 1, "one enable decision journaled");
+            lg_obs::sink::submit_all("a", journal);
             drop(s);
         }
         let schema_doc = include_str!("../../../schema/obs-schema.json");
@@ -405,6 +492,7 @@ mod tests {
             (&main_p, "trace_summary"),
             (&ts_p, "timeseries"),
             (&health_p, "health_event"),
+            (&guard_p, "guard_event"),
         ] {
             let doc = std::fs::read_to_string(path).unwrap();
             schema.validate(&doc).unwrap();

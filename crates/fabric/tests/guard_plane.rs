@@ -1,0 +1,109 @@
+//! Integration tests for the guardian control plane over the analytic
+//! fabric: thread-count invariance of the decision journal, restart
+//! persistence on a realistic health stream, and the `guardctl` query
+//! surface against a real run's journal.
+
+use lg_fabric::sim::{run, run_many, FabricSimConfig, Policy};
+use lg_guardd::{query, GuardAction, GuardConfig, GuardInput, GuardManager};
+
+fn guardd_cfg(seed: u64) -> FabricSimConfig {
+    FabricSimConfig {
+        pods: 10,
+        horizon_hours: 24.0 * 30.0,
+        constraint: 0.75,
+        policy: Policy::LgGuardd(GuardConfig {
+            budget: 3,
+            hold_down_windows: 2,
+            ..GuardConfig::default()
+        }),
+        sample_interval_hours: 6.0,
+        target_loss_rate: 1e-8,
+        seed,
+    }
+}
+
+#[test]
+fn journal_is_byte_identical_across_thread_counts() {
+    let cfgs: Vec<FabricSimConfig> = (0..4).map(|i| guardd_cfg(40 + i)).collect();
+    let serial = run_many(&cfgs, 1);
+    assert!(serial.iter().any(|r| !r.guard_journal.is_empty()));
+    for threads in [2, 4] {
+        let parallel = run_many(&cfgs, threads);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.guard_journal, b.guard_journal, "threads={threads}");
+        }
+    }
+}
+
+#[test]
+fn restart_from_snapshot_converges_on_a_realistic_stream() {
+    // Use the health transitions of a real fabric run as the feed: kill
+    // the manager at several points, restore from its snapshot, finish
+    // the stream, and require the same final protected set and the same
+    // stitched journal as the uninterrupted manager.
+    let r = run(&guardd_cfg(77));
+    let events: Vec<GuardInput> = r
+        .health_events
+        .iter()
+        .map(|e| GuardInput {
+            t_ps: (e.t_hours * 1e12) as u64,
+            window_id: e.window_id,
+            link: e.link,
+            from: e.from,
+            to: e.to,
+            rate: e.rate,
+        })
+        .collect();
+    assert!(events.len() > 20, "need a non-trivial stream");
+    let cfg = GuardConfig {
+        budget: 3,
+        hold_down_windows: 2,
+        ..GuardConfig::default()
+    };
+    let full = GuardManager::replay("restart", cfg, &events);
+    for cut in [events.len() / 4, events.len() / 2, events.len() - 1] {
+        let mut first = GuardManager::new("restart", cfg);
+        for ev in &events[..cut] {
+            first.ingest(*ev);
+        }
+        let mut journal = first.take_journal();
+        let snap = first.snapshot_line();
+        let mut resumed = GuardManager::restore(&snap).expect("snapshot restores");
+        for ev in &events[cut..] {
+            resumed.ingest(*ev);
+        }
+        journal.extend(resumed.take_journal());
+        assert_eq!(journal, full.journal(), "cut at {cut}");
+        assert_eq!(resumed.protected_links(), full.protected_links());
+        assert_eq!(resumed.budget_used(), full.budget_used());
+    }
+}
+
+#[test]
+fn guardctl_queries_answer_on_a_real_journal() {
+    let r = run(&guardd_cfg(7));
+    let text = r.guard_journal.join("\n");
+    let j = query::parse_journal(&text).expect("journal is valid");
+    assert!(!j.events.is_empty());
+    assert_eq!(j.run, "c75/LgGuardd");
+    // status folds to a protected set bounded by the budget
+    assert!(j.protected().len() <= 3);
+    let status = query::render_status(&j);
+    assert!(status.contains("decisions"), "{status}");
+    // `why` on an enabled link reconstructs the full cause chain
+    let enabled = j
+        .events
+        .iter()
+        .find(|e| e.action == GuardAction::Enable)
+        .expect("some link was enabled");
+    assert!(
+        !enabled.cause.is_empty(),
+        "enable decisions must carry their cause chain"
+    );
+    let why = query::render_why(&j, enabled.link);
+    assert!(why.contains("cause chain"), "{why}");
+    assert!(why.contains("->"), "{why}");
+    // timeline lists every decision
+    let timeline = query::render_timeline(&j);
+    assert_eq!(timeline.lines().count(), j.events.len());
+}

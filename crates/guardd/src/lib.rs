@@ -1,0 +1,867 @@
+//! `lg-guardd` — the guardian control plane over the streaming health
+//! feed.
+//!
+//! The paper argues LinkGuardian should be enabled *selectively*:
+//! recirculation capacity is a budget, so an operator must decide which
+//! corrupting links get protection and watch that decision stay correct
+//! as links degrade, flap and recover (cf. CorrOpt's capacity-
+//! constrained repair, which `corruptd` approximates per switch). The
+//! telemetry plane (PR 4/9) produces the raw signal — streaming
+//! `health_event` transitions from per-link [`lg_obs::health`]
+//! estimators — and this crate is the missing consumer: a
+//! [`GuardManager`] ingests that feed, maintains per-link health
+//! history, and makes budgeted protection decisions:
+//!
+//! * **enable** LinkGuardian on the worst links at or above the
+//!   protection threshold, ranked by observed windowed loss rate, while
+//!   the budget allows;
+//! * **defer** a qualifying link when the budget is exhausted,
+//!   recording the candidates that beat it;
+//! * **retire** protection when the observed rate clears the
+//!   estimator's `clear_factor` hysteresis band (the link reads
+//!   `healthy` again), with a per-link hold-down on re-protection to
+//!   suppress flap churn.
+//!
+//! Every decision is an observable, schema-valid `guard_event` JSONL
+//! record carrying its full cause chain: the health transitions that
+//! triggered it and the scores of the candidates it beat. The manager
+//! is a pure fold over the (canonically ordered) event stream — no wall
+//! clock, no hashing, no allocation-order dependence — so the same
+//! stream produces a **byte-identical journal** at any `--threads` /
+//! `--shards` layout, and the journal replays deterministically.
+//! History and the protected set persist across restarts via a
+//! single-line snapshot ([`GuardManager::snapshot_line`] /
+//! [`GuardManager::restore`]): restoring mid-stream and feeding the
+//! remainder converges to the same final protected set (and the same
+//! journal suffix) as the uninterrupted run.
+//!
+//! The select/retire/persist shape follows arti's `tor-guardmgr`; the
+//! one-shot activation semantics of [`GuardConfig::oracle`] pin this
+//! manager to `corruptd`'s latch (budget ∞, hold-down 0, no retirement
+//! ⇒ the protected set is exactly the links whose observed health ever
+//! left `Healthy`).
+
+use lg_obs::health::HealthEvent;
+pub use lg_obs::health::LinkHealth;
+use lg_obs::json::{parse, JsonValue};
+use lg_obs::JsonLine;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+pub mod query;
+
+/// Transitions included in a decision's cause chain (most recent last).
+pub const CAUSE_CAP: usize = 4;
+/// Beaten candidates recorded per decision (worst-first).
+pub const BEAT_CAP: usize = 8;
+
+/// Largest integer the snapshot's JSON-number round-trip preserves
+/// exactly (f64 mantissa). Derived per-link times are clamped here so
+/// `snapshot_line` → `restore` is byte-exact.
+const PS_EXACT: u64 = 1 << 53;
+
+/// Guardian policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GuardConfig {
+    /// Maximum simultaneously protected links (the recirculation-
+    /// capacity budget); `u32::MAX` means unbounded.
+    pub budget: u32,
+    /// After a retirement, re-protection of the link is suppressed for
+    /// this many of its poll windows — the flap damper. The suppression
+    /// interval is converted to sim time using the link's observed poll
+    /// cadence (the `t_ps`/`window_id` deltas of its own health
+    /// events), so a suppressed link re-qualifies on any later decision
+    /// pass — another link's event or a [`GuardManager::tick`] — rather
+    /// than needing a transition of its own. `0` disables the damper.
+    pub hold_down_windows: u64,
+    /// Retire protection when the link's observed health returns to
+    /// `Healthy` (the estimator's `clear_factor` hysteresis has
+    /// cleared). `false` reproduces `corruptd`'s one-shot latch.
+    pub retire: bool,
+    /// Minimum observed health state that qualifies a link for
+    /// protection. `Degraded` is the paper's 1e-8 activation boundary
+    /// (what `corruptd` latches on); `Corrupting` protects only links
+    /// CorrOpt would also queue for repair.
+    pub protect_on: LinkHealth,
+    /// Health transitions retained per link for cause chains and
+    /// `guardctl history`.
+    pub history_cap: usize,
+}
+
+impl Default for GuardConfig {
+    fn default() -> GuardConfig {
+        GuardConfig {
+            budget: 64,
+            hold_down_windows: 16,
+            retire: true,
+            protect_on: LinkHealth::Degraded,
+            history_cap: 16,
+        }
+    }
+}
+
+impl GuardConfig {
+    /// The configuration under which the guardian plane must reproduce
+    /// `corruptd`'s oracle-driven choices exactly: unbounded budget, no
+    /// hold-down, one-shot activation (never retire) at the `Degraded`
+    /// boundary.
+    pub fn oracle() -> GuardConfig {
+        GuardConfig {
+            budget: u32::MAX,
+            hold_down_windows: 0,
+            retire: false,
+            ..GuardConfig::default()
+        }
+    }
+}
+
+/// One normalized health transition fed to the manager. This is the
+/// link-id-plus-[`HealthEvent`] shape every producer (testbed world,
+/// analytic fabric, packet fabric) can map onto.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardInput {
+    /// Sim time of the poll that caused the transition.
+    pub t_ps: u64,
+    /// Per-link poll window index (strictly increasing per link).
+    pub window_id: u64,
+    /// Global link id.
+    pub link: u32,
+    /// State before.
+    pub from: LinkHealth,
+    /// State after.
+    pub to: LinkHealth,
+    /// Windowed loss rate at the transition.
+    pub rate: f64,
+}
+
+impl GuardInput {
+    /// Adapt an [`lg_obs::health::HealthEvent`] for link `link`.
+    pub fn from_health_event(link: u32, ev: &HealthEvent) -> GuardInput {
+        GuardInput {
+            t_ps: ev.t_ps,
+            window_id: ev.window_id,
+            link,
+            from: ev.from,
+            to: ev.to,
+            rate: ev.rate,
+        }
+    }
+
+    fn to_json(self) -> String {
+        let mut l = JsonLine::new();
+        l.u64("t_ps", self.t_ps)
+            .u64("window_id", self.window_id)
+            .u64("link", u64::from(self.link))
+            .str("from", self.from.name())
+            .str("to", self.to.name())
+            .f64("rate", self.rate);
+        l.finish()
+    }
+
+    pub(crate) fn from_json(v: &JsonValue) -> Result<GuardInput, String> {
+        Ok(GuardInput {
+            t_ps: num(v, "t_ps")? as u64,
+            window_id: num(v, "window_id")? as u64,
+            link: num(v, "link")? as u32,
+            from: health_from_name(str_field(v, "from")?)?,
+            to: health_from_name(str_field(v, "to")?)?,
+            rate: num(v, "rate")?,
+        })
+    }
+}
+
+/// Sort a batch of inputs into the canonical feed order. The manager is
+/// a fold, so the journal is a function of the feed order; producers
+/// that merge per-shard streams must agree on one. Canonical order is
+/// `(t_ps, link, window_id)` — layout-invariant keys only, so any
+/// shard/thread layout yields the same order and therefore a
+/// byte-identical journal.
+pub fn canonical_sort(events: &mut [GuardInput]) {
+    events.sort_by_key(|a| (a.t_ps, a.link, a.window_id));
+}
+
+/// What a decision did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuardAction {
+    /// LinkGuardian protection enabled on the link.
+    Enable,
+    /// Protection retired (observed health cleared).
+    Retire,
+    /// The link qualified but the budget was exhausted.
+    Defer,
+}
+
+impl GuardAction {
+    /// Stable lowercase name used in JSONL records.
+    pub fn name(self) -> &'static str {
+        match self {
+            GuardAction::Enable => "enable",
+            GuardAction::Retire => "retire",
+            GuardAction::Defer => "defer",
+        }
+    }
+
+    /// Inverse of [`GuardAction::name`].
+    pub fn parse(s: &str) -> Option<GuardAction> {
+        match s {
+            "enable" => Some(GuardAction::Enable),
+            "retire" => Some(GuardAction::Retire),
+            "defer" => Some(GuardAction::Defer),
+            _ => None,
+        }
+    }
+}
+
+/// A structured decision, for actuation by the embedding simulation
+/// (the journal line is the observable twin of this record).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardDecision {
+    /// Journal sequence number (strictly increasing per manager).
+    pub seq: u64,
+    /// Sim time of the triggering ingest.
+    pub t_ps: u64,
+    /// The link decided on.
+    pub link: u32,
+    /// What was decided.
+    pub action: GuardAction,
+    /// The link's windowed rate at decision time.
+    pub rate: f64,
+}
+
+#[derive(Debug, Clone)]
+struct LinkEntry {
+    state: LinkHealth,
+    rate: f64,
+    protected: bool,
+    /// Re-protection suppressed until this sim time (set at retirement).
+    hold_until_ps: u64,
+    /// Observed poll cadence: sim time per window, from the link's own
+    /// event deltas (0 until two events have been seen).
+    window_ps: u64,
+    history: Vec<GuardInput>,
+}
+
+impl LinkEntry {
+    fn new() -> LinkEntry {
+        LinkEntry {
+            state: LinkHealth::Healthy,
+            rate: 0.0,
+            protected: false,
+            hold_until_ps: 0,
+            window_ps: 0,
+            history: Vec::new(),
+        }
+    }
+}
+
+/// The guardian manager: a deterministic fold from the canonical health
+/// stream to protection decisions, a JSONL journal, and a restorable
+/// snapshot.
+#[derive(Debug)]
+pub struct GuardManager {
+    cfg: GuardConfig,
+    run: String,
+    links: BTreeMap<u32, LinkEntry>,
+    seq: u64,
+    budget_used: u32,
+    last_t_ps: u64,
+    journal: Vec<String>,
+    decisions: Vec<GuardDecision>,
+}
+
+impl GuardManager {
+    /// A fresh manager. `run` labels every journal record (the same run
+    /// key the rest of the observability plane uses).
+    pub fn new(run: &str, cfg: GuardConfig) -> GuardManager {
+        GuardManager {
+            cfg,
+            run: run.to_string(),
+            links: BTreeMap::new(),
+            seq: 0,
+            budget_used: 0,
+            last_t_ps: 0,
+            journal: Vec::new(),
+            decisions: Vec::new(),
+        }
+    }
+
+    /// Build a manager and fold a whole (canonically ordered) stream
+    /// through it.
+    pub fn replay(run: &str, cfg: GuardConfig, events: &[GuardInput]) -> GuardManager {
+        let mut m = GuardManager::new(run, cfg);
+        for ev in events {
+            m.ingest(*ev);
+        }
+        m
+    }
+
+    /// The manager's configuration.
+    pub fn config(&self) -> GuardConfig {
+        self.cfg
+    }
+
+    /// The run label stamped into journal records.
+    pub fn run(&self) -> &str {
+        &self.run
+    }
+
+    /// Links currently protected, ascending.
+    pub fn protected_links(&self) -> Vec<u32> {
+        self.links
+            .iter()
+            .filter(|(_, e)| e.protected)
+            .map(|(&l, _)| l)
+            .collect()
+    }
+
+    /// Whether a link is currently protected.
+    pub fn is_protected(&self, link: u32) -> bool {
+        self.links.get(&link).is_some_and(|e| e.protected)
+    }
+
+    /// Budget slots in use.
+    pub fn budget_used(&self) -> u32 {
+        self.budget_used
+    }
+
+    /// Decisions made so far (= last journal seq).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Journal lines accumulated since the last take (seq order).
+    pub fn journal(&self) -> &[String] {
+        &self.journal
+    }
+
+    /// Drain the accumulated journal lines.
+    pub fn take_journal(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.journal)
+    }
+
+    /// Drain the structured decisions (for actuation).
+    pub fn drain_decisions(&mut self) -> Vec<GuardDecision> {
+        std::mem::take(&mut self.decisions)
+    }
+
+    /// Ingest one health transition. The caller feeds the canonical
+    /// stream order ([`canonical_sort`]); every state change and journal
+    /// record is a pure function of that order.
+    pub fn ingest(&mut self, ev: GuardInput) {
+        debug_assert!(
+            ev.t_ps >= self.last_t_ps,
+            "guard feed out of order: {} after {}",
+            ev.t_ps,
+            self.last_t_ps
+        );
+        self.last_t_ps = ev.t_ps;
+        let e = self.links.entry(ev.link).or_insert_with(LinkEntry::new);
+        if let Some(prev) = e.history.last() {
+            if ev.window_id > prev.window_id && ev.t_ps > prev.t_ps {
+                e.window_ps =
+                    ((ev.t_ps - prev.t_ps) / (ev.window_id - prev.window_id)).min(PS_EXACT);
+            }
+        }
+        e.state = ev.to;
+        e.rate = ev.rate;
+        if e.history.len() == self.cfg.history_cap.max(1) {
+            e.history.remove(0);
+        }
+        e.history.push(ev);
+        self.decide(ev.t_ps, Some(ev.link));
+    }
+
+    /// Run a decision pass with no new event — embeddings call this at
+    /// poll boundaries so a link whose hold-down expired (and which,
+    /// still corrupting, will emit no further transitions) re-qualifies
+    /// without waiting for another link's event. Tick cadence is part
+    /// of the deterministic input: the journal is a function of the
+    /// interleaved (event, tick) sequence.
+    pub fn tick(&mut self, t_ps: u64) {
+        debug_assert!(
+            t_ps >= self.last_t_ps,
+            "guard tick out of order: {} after {}",
+            t_ps,
+            self.last_t_ps
+        );
+        self.last_t_ps = t_ps;
+        self.decide(t_ps, None);
+    }
+
+    /// Run the decision pass: retire cleared links, then fill the budget
+    /// worst-first, then record a defer for the triggering link if it
+    /// qualified but lost. Iteration is over the `BTreeMap` (link order)
+    /// and an explicitly keyed sort — nothing layout-dependent.
+    fn decide(&mut self, t_ps: u64, trigger: Option<u32>) {
+        // Retirement: protection is withdrawn as soon as the estimator's
+        // clear_factor hysteresis reads the link Healthy again. The
+        // hold-down starts here: re-protection is suppressed for
+        // `hold_down_windows` × the link's observed poll cadence.
+        let hold = self.cfg.hold_down_windows;
+        let mut retired: Vec<u32> = Vec::new();
+        for (&l, e) in self.links.iter_mut() {
+            if e.protected && self.cfg.retire && e.state == LinkHealth::Healthy {
+                e.protected = false;
+                e.hold_until_ps = t_ps
+                    .saturating_add(hold.saturating_mul(e.window_ps))
+                    .min(PS_EXACT);
+                retired.push(l);
+            }
+        }
+        for l in retired {
+            self.budget_used -= 1;
+            self.emit(t_ps, l, GuardAction::Retire, &[]);
+        }
+
+        // Candidate pool: qualifying, unprotected, out of hold-down.
+        // Worst observed rate first; link id breaks ties so the order is
+        // total and reproducible.
+        let mut candidates: Vec<(u32, f64)> = self
+            .links
+            .iter()
+            .filter(|(_, e)| {
+                !e.protected && e.state >= self.cfg.protect_on && t_ps >= e.hold_until_ps
+            })
+            .map(|(&l, e)| (l, e.rate))
+            .collect();
+        candidates.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("rates are finite")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+
+        let mut i = 0;
+        while i < candidates.len() && self.budget_used < self.cfg.budget {
+            let (link, _) = candidates[i];
+            let beat: Vec<(u32, f64)> =
+                candidates[i + 1..].iter().take(BEAT_CAP).copied().collect();
+            self.links
+                .get_mut(&link)
+                .expect("candidate exists")
+                .protected = true;
+            self.budget_used += 1;
+            self.emit(t_ps, link, GuardAction::Enable, &beat);
+            i += 1;
+        }
+        // Budget exhausted: record the deferral, but only for the link
+        // whose transition triggered this pass — the rest of the pool
+        // was already deferred when *their* transitions arrived, and
+        // re-recording them every pass would bloat the journal without
+        // adding information (ticks have no trigger and record none).
+        // A defer's `beat` array is the set of
+        // links holding the budget it lost (worst-first) — by this
+        // point any candidate ranked above it was just enabled, so the
+        // protected set IS the full list of who beat it.
+        let Some(trigger) = trigger else { return };
+        if candidates[i..].iter().any(|&(l, _)| l == trigger) {
+            let mut holders: Vec<(u32, f64)> = self
+                .links
+                .iter()
+                .filter(|(_, e)| e.protected)
+                .map(|(&l, e)| (l, e.rate))
+                .collect();
+            holders.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .expect("rates are finite")
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+            holders.truncate(BEAT_CAP);
+            self.emit(t_ps, trigger, GuardAction::Defer, &holders);
+        }
+    }
+
+    /// Append one decision to the journal and the actuation queue.
+    fn emit(&mut self, t_ps: u64, link: u32, action: GuardAction, beat: &[(u32, f64)]) {
+        self.seq += 1;
+        let e = &self.links[&link];
+        let cause: String = {
+            let from = e.history.len().saturating_sub(CAUSE_CAP);
+            let items: Vec<String> = e.history[from..].iter().map(|h| h.to_json()).collect();
+            format!("[{}]", items.join(","))
+        };
+        let beat_json: String = {
+            let items: Vec<String> = beat
+                .iter()
+                .map(|&(l, r)| {
+                    let mut j = JsonLine::new();
+                    j.u64("link", u64::from(l)).f64("rate", r);
+                    j.finish()
+                })
+                .collect();
+            format!("[{}]", items.join(","))
+        };
+        let mut l = JsonLine::new();
+        l.str("type", "guard_event")
+            .u64("t_ps", t_ps)
+            .u64("seq", self.seq)
+            .str("run", &self.run)
+            .u64("link", u64::from(link))
+            .str("action", action.name())
+            .str("state", e.state.name())
+            .f64("rate", e.rate)
+            .u64("budget", u64::from(self.cfg.budget))
+            .u64("budget_used", u64::from(self.budget_used))
+            .raw("cause", &cause)
+            .raw("beat", &beat_json);
+        self.journal.push(l.finish());
+        self.decisions.push(GuardDecision {
+            seq: self.seq,
+            t_ps,
+            link,
+            action,
+            rate: e.rate,
+        });
+    }
+
+    /// Serialize the complete manager state as one `guard_snapshot`
+    /// JSONL record. Restoring it ([`GuardManager::restore`]) and
+    /// feeding the rest of the stream produces the same final protected
+    /// set — and the same journal suffix — as never having stopped:
+    /// every float crosses the text boundary via shortest-roundtrip
+    /// formatting, so nothing drifts.
+    pub fn snapshot_line(&self) -> String {
+        let links_json: String = {
+            let items: Vec<String> = self
+                .links
+                .iter()
+                .map(|(&l, e)| {
+                    let hist: Vec<String> = e.history.iter().map(|h| h.to_json()).collect();
+                    let mut j = JsonLine::new();
+                    j.u64("link", u64::from(l))
+                        .str("state", e.state.name())
+                        .f64("rate", e.rate)
+                        .bool("protected", e.protected)
+                        .u64("hold_until_ps", e.hold_until_ps)
+                        .u64("window_ps", e.window_ps)
+                        .raw("history", &format!("[{}]", hist.join(",")));
+                    j.finish()
+                })
+                .collect();
+            format!("[{}]", items.join(","))
+        };
+        let mut l = JsonLine::new();
+        l.str("type", "guard_snapshot")
+            .u64("t_ps", self.last_t_ps)
+            .u64("seq", self.seq)
+            .str("run", &self.run)
+            .u64("budget", u64::from(self.cfg.budget))
+            .u64("budget_used", u64::from(self.budget_used))
+            .u64("hold_down_windows", self.cfg.hold_down_windows)
+            .bool("retire", self.cfg.retire)
+            .str("protect_on", self.cfg.protect_on.name())
+            .u64("history_cap", self.cfg.history_cap as u64)
+            .raw("links", &links_json);
+        l.finish()
+    }
+
+    /// Rebuild a manager from a [`GuardManager::snapshot_line`] record.
+    /// The journal buffer starts empty; `seq` continues where the
+    /// snapshot left off, so a journal stitched from
+    /// `[prefix, post-restore suffix]` is seamless.
+    pub fn restore(line: &str) -> Result<GuardManager, String> {
+        let v = parse(line).map_err(|e| format!("snapshot is not valid JSON: {e}"))?;
+        if str_field(&v, "type")? != "guard_snapshot" {
+            return Err("not a guard_snapshot record".into());
+        }
+        let cfg = GuardConfig {
+            budget: num(&v, "budget")? as u32,
+            hold_down_windows: num(&v, "hold_down_windows")? as u64,
+            retire: matches!(v.get("retire"), Some(JsonValue::Bool(true))),
+            protect_on: health_from_name(str_field(&v, "protect_on")?)?,
+            history_cap: num(&v, "history_cap")? as usize,
+        };
+        let mut links = BTreeMap::new();
+        let mut budget_used = 0u32;
+        let Some(JsonValue::Arr(items)) = v.get("links") else {
+            return Err("snapshot missing \"links\" array".into());
+        };
+        for item in items {
+            let mut history = Vec::new();
+            if let Some(JsonValue::Arr(hs)) = item.get("history") {
+                for h in hs {
+                    history.push(GuardInput::from_json(h)?);
+                }
+            }
+            let protected = matches!(item.get("protected"), Some(JsonValue::Bool(true)));
+            if protected {
+                budget_used += 1;
+            }
+            links.insert(
+                num(item, "link")? as u32,
+                LinkEntry {
+                    state: health_from_name(str_field(item, "state")?)?,
+                    rate: num(item, "rate")?,
+                    protected,
+                    hold_until_ps: num(item, "hold_until_ps")? as u64,
+                    window_ps: num(item, "window_ps")? as u64,
+                    history,
+                },
+            );
+        }
+        Ok(GuardManager {
+            cfg,
+            run: str_field(&v, "run")?.to_string(),
+            links,
+            seq: num(&v, "seq")? as u64,
+            budget_used,
+            last_t_ps: num(&v, "t_ps")? as u64,
+            journal: Vec::new(),
+            decisions: Vec::new(),
+        })
+    }
+}
+
+/// Parse a [`LinkHealth`] from its stable lowercase name.
+pub fn health_from_name(s: &str) -> Result<LinkHealth, String> {
+    match s {
+        "healthy" => Ok(LinkHealth::Healthy),
+        "degraded" => Ok(LinkHealth::Degraded),
+        "corrupting" => Ok(LinkHealth::Corrupting),
+        other => Err(format!("unknown health state {other:?}")),
+    }
+}
+
+fn num(v: &JsonValue, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(|f| f.as_num())
+        .ok_or_else(|| format!("missing numeric field {key:?}"))
+}
+
+fn str_field<'a>(v: &'a JsonValue, key: &str) -> Result<&'a str, String> {
+    v.get(key)
+        .and_then(|f| f.as_str())
+        .ok_or_else(|| format!("missing string field {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr(t: u64, w: u64, link: u32, from: LinkHealth, to: LinkHealth, rate: f64) -> GuardInput {
+        GuardInput {
+            t_ps: t,
+            window_id: w,
+            link,
+            from,
+            to,
+            rate,
+        }
+    }
+
+    const H: LinkHealth = LinkHealth::Healthy;
+    const D: LinkHealth = LinkHealth::Degraded;
+    const C: LinkHealth = LinkHealth::Corrupting;
+
+    #[test]
+    fn worst_link_wins_the_budget_and_the_loser_defers() {
+        let cfg = GuardConfig {
+            budget: 1,
+            hold_down_windows: 0,
+            ..GuardConfig::default()
+        };
+        let mut m = GuardManager::new("t", cfg);
+        m.ingest(tr(10, 1, 3, H, C, 1e-4));
+        assert_eq!(m.protected_links(), vec![3]);
+        // A worse link arrives: budget is taken, it defers and records
+        // who beat it.
+        m.ingest(tr(20, 1, 7, H, C, 1e-3));
+        assert_eq!(m.protected_links(), vec![3]);
+        let d = m.drain_decisions();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[1].action, GuardAction::Defer);
+        assert_eq!(d[1].link, 7);
+        assert!(m.journal()[1].contains("\"beat\":[{\"link\":3,"));
+        // The incumbent clears: retirement frees the slot and the same
+        // decision pass promotes the deferred link with it.
+        m.ingest(tr(30, 9, 3, C, H, 1e-9));
+        assert_eq!(m.protected_links(), vec![7]);
+        let d = m.drain_decisions();
+        assert_eq!(d.len(), 2);
+        assert_eq!((d[0].link, d[0].action), (3, GuardAction::Retire));
+        assert_eq!((d[1].link, d[1].action), (7, GuardAction::Enable));
+    }
+
+    #[test]
+    fn equal_rates_break_ties_by_link_id() {
+        let cfg = GuardConfig {
+            budget: 1,
+            ..GuardConfig::default()
+        };
+        let mut m = GuardManager::new("t", cfg);
+        m.ingest(tr(10, 1, 9, H, C, 1e-3));
+        m.ingest(tr(10, 1, 2, H, C, 1e-3));
+        // link 9 got there first; after both transitions the pool is
+        // re-ranked on every pass but 9 already holds the slot.
+        assert_eq!(m.protected_links(), vec![9]);
+    }
+
+    #[test]
+    fn hold_down_suppresses_flap_churn() {
+        let cfg = GuardConfig {
+            budget: u32::MAX,
+            hold_down_windows: 4,
+            ..GuardConfig::default()
+        };
+        let mut m = GuardManager::new("t", cfg);
+        m.ingest(tr(10, 1, 5, H, D, 1e-7));
+        assert!(m.is_protected(5));
+        // Retire at t=20 with an observed cadence of 10 per window:
+        // re-protection is suppressed until t = 20 + 4×10 = 60.
+        m.ingest(tr(20, 2, 5, D, H, 1e-9));
+        assert!(!m.is_protected(5));
+        m.ingest(tr(30, 3, 5, H, D, 1e-7));
+        assert!(!m.is_protected(5), "hold-down must block re-protection");
+        m.ingest(tr(50, 5, 5, D, C, 1e-5));
+        assert!(!m.is_protected(5), "still inside the hold-down");
+        m.ingest(tr(60, 6, 5, C, C, 1e-5));
+        assert!(m.is_protected(5), "hold-down expired");
+    }
+
+    #[test]
+    fn tick_requalifies_a_stuck_link_after_hold_down() {
+        // A still-corrupting link emits no transitions after its
+        // re-trip; with no other links producing events, only a tick
+        // can run the pass that re-protects it once the hold expires.
+        let cfg = GuardConfig {
+            budget: u32::MAX,
+            hold_down_windows: 4,
+            ..GuardConfig::default()
+        };
+        let mut m = GuardManager::new("t", cfg);
+        m.ingest(tr(10, 1, 5, H, C, 1e-4));
+        m.ingest(tr(20, 2, 5, C, H, 1e-9)); // retire; hold until t=60
+        m.ingest(tr(30, 3, 5, H, C, 1e-4)); // re-trip, suppressed, then silence
+        assert!(!m.is_protected(5));
+        m.tick(40);
+        assert!(!m.is_protected(5), "tick inside hold-down must not enable");
+        m.tick(70);
+        assert!(m.is_protected(5), "tick after hold-down must enable");
+        // Ticks with nothing to decide add no journal records.
+        let n = m.journal().len();
+        m.tick(80);
+        assert_eq!(m.journal().len(), n);
+    }
+
+    #[test]
+    fn oracle_config_is_a_one_shot_latch() {
+        let events = [
+            tr(10, 1, 1, H, D, 1e-7),
+            tr(20, 2, 2, H, C, 1e-4),
+            tr(30, 5, 1, D, H, 1e-9), // clears, but oracle never retires
+            tr(40, 6, 2, C, H, 1e-9),
+        ];
+        let m = GuardManager::replay("t", GuardConfig::oracle(), &events);
+        assert_eq!(m.protected_links(), vec![1, 2]);
+        assert_eq!(m.budget_used(), 2);
+    }
+
+    #[test]
+    fn replay_is_deterministic_and_chunking_invariant() {
+        let events: Vec<GuardInput> = (0..200u64)
+            .map(|i| {
+                let link = (i % 7) as u32;
+                let (from, to, rate) = match i % 4 {
+                    0 => (H, D, 3e-8),
+                    1 => (D, C, 2e-6 + link as f64 * 1e-7),
+                    2 => (C, D, 4e-8),
+                    _ => (D, H, 1e-9),
+                };
+                tr(1_000 + i * 50, i / 7 + 1, link, from, to, rate)
+            })
+            .collect();
+        let cfg = GuardConfig {
+            budget: 3,
+            hold_down_windows: 2,
+            ..GuardConfig::default()
+        };
+        let a = GuardManager::replay("t", cfg, &events);
+        let b = GuardManager::replay("t", cfg, &events);
+        assert_eq!(a.journal(), b.journal());
+        // Feeding one event at a time through fresh borrow patterns (the
+        // streaming shape) must produce the identical journal.
+        let mut c = GuardManager::new("t", cfg);
+        for chunk in events.chunks(7) {
+            for ev in chunk {
+                c.ingest(*ev);
+            }
+        }
+        assert_eq!(a.journal(), c.journal());
+        assert_eq!(a.protected_links(), c.protected_links());
+    }
+
+    #[test]
+    fn snapshot_restore_converges_to_the_uninterrupted_run() {
+        let events: Vec<GuardInput> = (0..120u64)
+            .map(|i| {
+                let link = (i % 5) as u32;
+                let (from, to, rate) = match i % 3 {
+                    0 => (H, C, 1e-5 + i as f64 * 1e-9),
+                    1 => (C, D, 5e-8),
+                    _ => (D, H, 1e-9),
+                };
+                tr(500 + i * 20, i / 5 + 1, link, from, to, rate)
+            })
+            .collect();
+        let cfg = GuardConfig {
+            budget: 2,
+            hold_down_windows: 3,
+            ..GuardConfig::default()
+        };
+        let full = GuardManager::replay("t", cfg, &events);
+        for cut in [1, 17, 60, 119] {
+            let mut prefix = GuardManager::new("t", cfg);
+            for ev in &events[..cut] {
+                prefix.ingest(*ev);
+            }
+            let mut journal = prefix.journal().to_vec();
+            let snap = prefix.snapshot_line();
+            let mut resumed = GuardManager::restore(&snap).expect("snapshot parses");
+            for ev in &events[cut..] {
+                resumed.ingest(*ev);
+            }
+            journal.extend(resumed.journal().iter().cloned());
+            assert_eq!(journal, full.journal(), "cut at {cut}");
+            assert_eq!(
+                resumed.protected_links(),
+                full.protected_links(),
+                "cut at {cut}"
+            );
+            assert_eq!(resumed.budget_used(), full.budget_used());
+            assert_eq!(resumed.seq(), full.seq());
+        }
+    }
+
+    #[test]
+    fn journal_lines_are_schema_shaped() {
+        let mut m = GuardManager::new("fig15/c50/LgGuardd", GuardConfig::default());
+        m.ingest(tr(10, 1, 42, H, C, 1.5e-4));
+        let line = &m.journal()[0];
+        let v = parse(line).expect("valid JSON");
+        assert_eq!(v.get("type").unwrap().as_str(), Some("guard_event"));
+        assert_eq!(v.get("action").unwrap().as_str(), Some("enable"));
+        assert_eq!(v.get("seq").unwrap().as_num(), Some(1.0));
+        assert_eq!(v.get("link").unwrap().as_num(), Some(42.0));
+        let JsonValue::Arr(cause) = v.get("cause").unwrap() else {
+            panic!("cause must be an array");
+        };
+        assert_eq!(cause.len(), 1);
+        assert_eq!(cause[0].get("to").unwrap().as_str(), Some("corrupting"));
+        let snap = m.snapshot_line();
+        let sv = parse(&snap).expect("valid JSON");
+        assert_eq!(sv.get("type").unwrap().as_str(), Some("guard_snapshot"));
+    }
+
+    #[test]
+    fn canonical_sort_orders_by_time_link_window() {
+        let mut evs = vec![
+            tr(20, 1, 1, H, D, 1e-7),
+            tr(10, 2, 9, H, D, 1e-7),
+            tr(10, 1, 3, H, D, 1e-7),
+            tr(10, 2, 3, D, C, 1e-5),
+        ];
+        canonical_sort(&mut evs);
+        let keys: Vec<(u64, u32, u64)> =
+            evs.iter().map(|e| (e.t_ps, e.link, e.window_id)).collect();
+        assert_eq!(keys, vec![(10, 3, 1), (10, 3, 2), (10, 9, 2), (20, 1, 1)]);
+    }
+}

@@ -13,7 +13,9 @@
 //! * `e2e_retx` series — retained (they are a handful of windows per
 //!   run) because FCT attribution needs the full drop set, which is
 //!   only complete at end of file;
-//! * health transitions — O(transitions).
+//! * health transitions — O(instances), folded online into per-link
+//!   final state plus global transition count and worst rate (all the
+//!   health_summary section reports).
 //!
 //! Every aggregate folds samples in file order, exactly as the retained
 //! path iterated them, so reports are bit-for-bit identical — the
@@ -54,6 +56,37 @@ impl BufAgg {
     }
 }
 
+/// Online fold of the `health_event` stream. Health-heavy dumps (one
+/// transition per link per window, `obs_genload --mode health`) are as
+/// large as telemetry-heavy ones, so retaining transitions would
+/// reintroduce the O(file) footprint the streaming analyzer exists to
+/// avoid; this keeps exactly what the health_summary section prints.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct HealthAgg {
+    /// inst -> latest `to` state seen (file order, last write wins).
+    pub final_state: BTreeMap<String, String>,
+    /// Total transitions folded.
+    pub transitions: u64,
+    /// Running max of `rate` against a 0.0 floor.
+    pub worst_rate: f64,
+}
+
+impl HealthAgg {
+    fn push(&mut self, inst: &str, to: &str, rate: f64) {
+        match self.final_state.get_mut(inst) {
+            Some(st) => {
+                st.clear();
+                st.push_str(to);
+            }
+            None => {
+                self.final_state.insert(inst.to_string(), to.to_string());
+            }
+        }
+        self.transitions += 1;
+        self.worst_rate = self.worst_rate.max(rate);
+    }
+}
+
 /// Everything obs_analyze keeps from one logical run's files.
 #[derive(Default)]
 pub struct Run {
@@ -69,8 +102,8 @@ pub struct Run {
     /// in file order (FCT attribution scans them against the final
     /// drop set).
     pub e2e: BTreeMap<(String, String, String), Vec<(u64, f64)>>,
-    /// (inst, from, to, t_ps, rate) health transitions in file order.
-    pub health: Vec<(String, String, String, u64, f64)>,
+    /// Health-transition aggregates, folded in file order.
+    pub health: HealthAgg,
 }
 
 /// True for series names the buffer-occupancy section covers.
@@ -117,13 +150,15 @@ impl Run {
                 }
             }
             "health_event" => {
-                self.health.push((
-                    str_field(&v, "inst")?.to_string(),
-                    str_field(&v, "from")?.to_string(),
-                    str_field(&v, "to")?.to_string(),
-                    num(&v, "t_ps")? as u64,
-                    num(&v, "rate")?,
-                ));
+                // `from` and `t_ps` aren't aggregated, but stay
+                // required (checked in the retained path's field
+                // order) so malformed lines fail identically.
+                let inst = str_field(&v, "inst")?;
+                str_field(&v, "from")?;
+                let to = str_field(&v, "to")?;
+                num(&v, "t_ps")?;
+                let rate = num(&v, "rate")?;
+                self.health.push(inst, to, rate);
             }
             _ => {}
         }
@@ -364,15 +399,11 @@ pub fn report_run(tag: &str, run: &Run, attr_ps: u64, rep: &mut Report) -> RunSt
         );
     }
     {
-        let mut final_state: BTreeMap<&str, &str> = BTreeMap::new();
-        let mut transitions = 0u64;
-        let mut worst_rate = 0.0f64;
-        for (inst, _, to, _, rate) in &run.health {
-            final_state.insert(inst, to);
-            transitions += 1;
-            worst_rate = worst_rate.max(*rate);
-        }
-        let states: Vec<String> = final_state
+        let transitions = run.health.transitions;
+        let worst_rate = run.health.worst_rate;
+        let states: Vec<String> = run
+            .health
+            .final_state
             .iter()
             .map(|(inst, st)| format!("{inst}={st}"))
             .collect();

@@ -2,17 +2,24 @@
 //!
 //! ```text
 //! obs_genload --out <file.jsonl> [--mb <N>] [--series <S>] [--seed <K>]
+//!             [--mode <mixed|health>]
 //! ```
 //!
 //! Emits at least `N` megabytes (default 200) of JSONL conforming to
-//! `schema/obs-schema.json`, dominated by `timeseries` samples across
-//! `S` queue-depth streams (the shape of a fabric-scale telemetry run),
-//! interleaved with `corrupt_drop`/`recovered` trace pairs, `e2e_retx`
-//! windows, and sparse `health_event` transitions — every section
-//! `obs_analyze` reports on. Fully deterministic from `--seed`, so the
-//! CI peak-RSS gate replays the same document every run: the streaming
-//! analyzer must hold its aggregates (not the file) in memory, a
-//! property this generator exists to falsify at scale.
+//! `schema/obs-schema.json`. The default `mixed` mode is dominated by
+//! `timeseries` samples across `S` queue-depth streams (the shape of a
+//! fabric-scale telemetry run), interleaved with
+//! `corrupt_drop`/`recovered` trace pairs, `e2e_retx` windows, and
+//! sparse `health_event` transitions — every section `obs_analyze`
+//! reports on. `--mode health` inverts the mix: the dump is dominated
+//! by `health_event` transitions across `S` per-link streams (each link
+//! walking healthy→degraded→corrupting and back) with a sparse
+//! `guard_event` journal riding along, so the analyzer-RSS gate also
+//! exercises the health/guard section paths at scale. Fully
+//! deterministic from `--seed`, so the CI peak-RSS gate replays the
+//! same document every run: the streaming analyzer must hold its
+//! aggregates (not the file) in memory, a property this generator
+//! exists to falsify at scale.
 
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
@@ -52,7 +59,7 @@ fn put(w: &mut BufWriter<File>, line: String) -> io::Result<u64> {
 fn generate(w: &mut BufWriter<File>, rng: &mut Lcg, target: u64, series: u64) -> io::Result<u64> {
     let mut total = put(
         w,
-        "{\"type\":\"meta\",\"schema\":2,\"bin\":\"obs_genload\"}".into(),
+        "{\"type\":\"meta\",\"schema\":3,\"bin\":\"obs_genload\"}".into(),
     )?;
     let mut window = 0u64;
     let mut uid = 1u64;
@@ -130,14 +137,76 @@ fn generate(w: &mut BufWriter<File>, rng: &mut Lcg, target: u64, series: u64) ->
     Ok(total)
 }
 
+/// `--mode health`: the dump is almost entirely `health_event` lines —
+/// every link stream walks the healthy→degraded→corrupting ladder and
+/// back, one transition per link per window — plus one `guard_event`
+/// journal line (strictly increasing `seq`) every 64 windows, enabling
+/// the worst link of the moment. Per-stream `window_id` stays strictly
+/// increasing and per-run `seq` strictly increasing, so the dump also
+/// regression-tests the validator's stream-order checks at scale.
+fn generate_health(
+    w: &mut BufWriter<File>,
+    rng: &mut Lcg,
+    target: u64,
+    series: u64,
+) -> io::Result<u64> {
+    let mut total = put(
+        w,
+        "{\"type\":\"meta\",\"schema\":3,\"bin\":\"obs_genload\"}".into(),
+    )?;
+    const LADDER: [&str; 4] = ["healthy", "degraded", "corrupting", "degraded"];
+    let mut phase = vec![0usize; series as usize];
+    let mut window = 0u64;
+    let mut seq = 0u64;
+    while total < target {
+        window += 1;
+        let t_ps = window * 1_000_000;
+        for l in 0..series as usize {
+            let from = LADDER[phase[l]];
+            phase[l] = (phase[l] + 1) % LADDER.len();
+            let to = LADDER[phase[l]];
+            let rate = (rng.below(900) + 100) as f64 * 1e-7;
+            total += put(
+                w,
+                format!(
+                    "{{\"type\":\"health_event\",\"t_ps\":{t_ps},\"window_id\":{window},\
+                     \"run\":\"genload\",\"comp\":\"pktlink\",\"inst\":\"{l}\",\
+                     \"from\":\"{from}\",\"to\":\"{to}\",\"rate\":{rate:e},\
+                     \"frames\":100000,\"errors\":{}}}",
+                    rng.below(50) + 1
+                ),
+            )?;
+        }
+        if window.is_multiple_of(64) {
+            seq += 1;
+            let link = rng.below(series);
+            total += put(
+                w,
+                format!(
+                    "{{\"type\":\"guard_event\",\"t_ps\":{t_ps},\"seq\":{seq},\
+                     \"run\":\"genload\",\"link\":{link},\"action\":\"enable\",\
+                     \"state\":\"corrupting\",\"rate\":1.5e-5,\"budget\":64,\
+                     \"budget_used\":1,\"cause\":[],\"beat\":[]}}"
+                ),
+            )?;
+        }
+    }
+    w.flush()?;
+    Ok(total)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out: String = arg(&args, "--out", String::new());
     let mb: u64 = arg(&args, "--mb", 200);
     let series: u64 = arg(&args, "--series", 64);
     let seed: u64 = arg(&args, "--seed", 42);
-    if out.is_empty() {
-        eprintln!("usage: obs_genload --out <file.jsonl> [--mb <N>] [--series <S>] [--seed <K>]");
+    let mode: String = arg(&args, "--mode", "mixed".to_string());
+    if out.is_empty() || !matches!(mode.as_str(), "mixed" | "health") {
+        eprintln!(
+            "usage: obs_genload --out <file.jsonl> [--mb <N>] [--series <S>] [--seed <K>] \
+             [--mode <mixed|health>]"
+        );
         return ExitCode::FAILURE;
     }
     let file = match File::create(&out) {
@@ -149,7 +218,11 @@ fn main() -> ExitCode {
     };
     let mut w = BufWriter::new(file);
     let mut rng = Lcg(seed);
-    match generate(&mut w, &mut rng, mb * 1024 * 1024, series) {
+    let gen = match mode.as_str() {
+        "health" => generate_health,
+        _ => generate,
+    };
+    match gen(&mut w, &mut rng, mb * 1024 * 1024, series) {
         Ok(total) => {
             eprintln!("wrote {total} bytes to {out}");
             ExitCode::SUCCESS

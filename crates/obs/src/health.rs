@@ -317,6 +317,87 @@ mod tests {
     }
 
     #[test]
+    fn min_errors_noise_floor_bounds_the_hysteresis_band() {
+        // At the noise floor the error *count*, not the clear band,
+        // governs both edges: one windowed error is never a signal, two
+        // are, and once old errors slide out of the window the link is
+        // released even while its rate still sits above the clear band.
+        let mut e = HealthEstimator::new(cfg());
+        // one error in a hundred million frames: below min_errors
+        assert!(e.observe(1, 100_000_000, 1).is_none());
+        // second error: window now holds exactly min_errors at 1e-8,
+        // the degraded threshold — upgrade fires
+        let up = e.observe(2, 100_000_000, 1).expect("at the floor");
+        assert_eq!(
+            (up.from, up.to),
+            (LinkHealth::Healthy, LinkHealth::Degraded)
+        );
+        assert_eq!(up.errors, 2);
+        // small clean polls keep the windowed rate inside the hysteresis
+        // band (above clear = 0.5e-8): state must hold
+        assert!(e.observe(3, 25_000_000, 0).is_none());
+        assert!(e.observe(4, 25_000_000, 0).is_none());
+        assert_eq!(e.state(), LinkHealth::Degraded);
+        // poll 5 slides poll 1's error out: one windowed error is below
+        // min_errors, so the link clears even though its rate (~5.7e-9)
+        // is still above the clear band — the floor wins
+        let down = e.observe(5, 25_000_000, 0).expect("floor releases");
+        assert_eq!(
+            (down.from, down.to),
+            (LinkHealth::Degraded, LinkHealth::Healthy)
+        );
+        assert_eq!(down.errors, 1);
+        assert!(down.rate > 0.5 * e.cfg.degraded_rate, "rate still in band");
+    }
+
+    #[test]
+    fn ge_burst_straddling_a_window_boundary_clears_and_re_enters() {
+        // A Gilbert-Elliott-style burst split across two polls: the
+        // window boundary slides through the middle of the burst, so the
+        // estimator must hold `Corrupting` while the first half is still
+        // in the window, step down through `Degraded` as it exits, fully
+        // clear, and then re-enter cleanly on the next burst.
+        let mut e = HealthEstimator::new(cfg());
+        let mut evs = Vec::new();
+        let feed: &[(u64, u64)] = &[
+            // degraded baseline: 2e-8, above activation
+            (100_000_000, 2),
+            (100_000_000, 2),
+            (100_000_000, 2),
+            (100_000_000, 2),
+            // the burst, straddling polls 5 and 6
+            (1_000_000, 300),
+            (1_000_000, 300),
+            // clean traffic drains the window
+            (1_000_000_000, 0),
+            (1_000_000_000, 0),
+            (1_000_000_000, 0),
+            (1_000_000_000, 0),
+            // second burst after the full clear: re-entry
+            (1_000_000, 2000),
+            (100_000, 1500),
+        ];
+        for (i, &(frames, errors)) in feed.iter().enumerate() {
+            if let Some(ev) = e.observe((i as u64 + 1) * 1_000, frames, errors) {
+                evs.push((ev.window_id, ev.from, ev.to));
+            }
+        }
+        use LinkHealth::{Corrupting as C, Degraded as D, Healthy as H};
+        assert_eq!(
+            evs,
+            vec![
+                (1, H, D), // baseline trips activation
+                (5, D, C), // first burst half crosses corrupting
+                (8, C, D), // held through poll 7 (rate ~5.5e-7 > clear),
+                // released once the straddled half slides out
+                (10, D, H), // window fully drained: clear
+                (11, H, D), // re-entry: second burst trips activation...
+                (12, D, C), // ...and crosses corrupting again
+            ]
+        );
+    }
+
+    #[test]
     fn cumulative_counters_difference_correctly() {
         let mut e = HealthEstimator::new(cfg());
         assert!(e.observe_cumulative(1, 1_000_000, 1_000_000).is_none());

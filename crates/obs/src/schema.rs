@@ -142,6 +142,9 @@ impl Validator<'_> {
         if ty == "timeseries" || ty == "health_event" {
             check_stream_order(&ty, &v, &mut self.streams).map_err(|e| format!("line {n}: {e}"))?;
         }
+        if ty == "guard_event" {
+            check_guard_order(&v, &mut self.streams).map_err(|e| format!("line {n}: {e}"))?;
+        }
         match self.counts.iter_mut().find(|(t, _)| *t == ty) {
             Some((_, c)) => *c += 1,
             None => self.counts.push((ty, 1)),
@@ -178,18 +181,47 @@ fn check_stream_order(
         Some((_, last_t, last_w)) => {
             if t_ps < *last_t {
                 return Err(format!(
-                    "record type \"{ty}\": out-of-order t_ps {t_ps} after {last_t}"
+                    "record type \"{ty}\": stream {key:?}: out-of-order t_ps {t_ps} after {last_t}"
                 ));
             }
             if window_id <= *last_w {
                 return Err(format!(
-                    "record type \"{ty}\": non-monotone window_id {window_id} after {last_w}"
+                    "record type \"{ty}\": stream {key:?}: non-monotone window_id {window_id} after {last_w}"
                 ));
             }
             *last_t = t_ps;
             *last_w = window_id;
         }
         None => streams.push((key, t_ps, window_id)),
+    }
+    Ok(())
+}
+
+/// Enforce per-run ordering for guardian decision journals: within one
+/// `run`, decision `seq` must be strictly increasing (a gap or repeat
+/// means a journal was truncated or stitched wrong) and `t_ps` must be
+/// non-decreasing.
+fn check_guard_order(v: &JsonValue, streams: &mut Vec<(String, u64, u64)>) -> Result<(), String> {
+    let run = v.get("run").and_then(|f| f.as_str()).unwrap_or("");
+    let field_num = |name: &str| v.get(name).and_then(|f| f.as_num()).unwrap_or(0.0) as u64;
+    let key = format!("guard_event|{run}");
+    let (t_ps, seq) = (field_num("t_ps"), field_num("seq"));
+    match streams.iter_mut().find(|(k, _, _)| *k == key) {
+        Some((_, last_t, last_seq)) => {
+            if t_ps < *last_t {
+                return Err(format!(
+                    "record type \"guard_event\": stream {key:?}: out-of-order t_ps {t_ps} after {last_t}"
+                ));
+            }
+            if seq <= *last_seq {
+                return Err(format!(
+                    "record type \"guard_event\": stream {key:?}: non-monotone seq {seq} after {last_seq}"
+                ));
+            }
+            *last_t = t_ps;
+            *last_seq = seq;
+        }
+        None => streams.push((key, t_ps, seq)),
     }
     Ok(())
 }
@@ -258,6 +290,38 @@ mod tests {
         let s = Schema::parse(TS_SCHEMA).unwrap();
         let doc = [ts(20, 1, "a"), ts(10, 2, "a")].join("\n");
         let err = s.validate(&doc).unwrap_err();
+        assert!(err.contains("out-of-order t_ps"), "{err}");
+        // The error pins the first failing line and names the stream,
+        // not just the record type.
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("\"timeseries|r|c|a|q\""), "{err}");
+    }
+
+    const GUARD_SCHEMA: &str = r#"{
+        "version": 3,
+        "records": {
+            "guard_event": { "required": { "t_ps": "number", "seq": "number", "run": "string", "link": "number", "action": "string", "rate": "number" } }
+        }
+    }"#;
+
+    fn ge(t: u64, seq: u64, run: &str) -> String {
+        format!(
+            "{{\"type\":\"guard_event\",\"t_ps\":{t},\"seq\":{seq},\"run\":\"{run}\",\"link\":3,\"action\":\"enable\",\"rate\":1e-3}}"
+        )
+    }
+
+    #[test]
+    fn guard_journals_are_per_run_seq_ordered() {
+        let s = Schema::parse(GUARD_SCHEMA).unwrap();
+        // interleaved runs, each with its own strictly-increasing seq
+        let ok = [ge(10, 1, "a"), ge(5, 1, "b"), ge(10, 2, "a")].join("\n");
+        assert_eq!(s.validate(&ok).unwrap(), vec![("guard_event".into(), 3)]);
+        let dup = [ge(10, 1, "a"), ge(20, 1, "a")].join("\n");
+        let err = s.validate(&dup).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        assert!(err.contains("non-monotone seq"), "{err}");
+        let back = [ge(20, 1, "a"), ge(10, 2, "a")].join("\n");
+        let err = s.validate(&back).unwrap_err();
         assert!(err.contains("out-of-order t_ps"), "{err}");
     }
 

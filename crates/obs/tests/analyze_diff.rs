@@ -276,7 +276,19 @@ proptest! {
             reference.fct_attribution(attr_ps)
         );
 
-        // Section 4: health transitions in file order.
-        prop_assert_eq!(&streaming.health, &reference.health);
+        // Section 4: health aggregates against a fold of the retained
+        // transition list (final state per inst, count, worst rate —
+        // exactly what the health_summary section prints).
+        let mut ref_final: BTreeMap<String, String> = BTreeMap::new();
+        let mut ref_transitions = 0u64;
+        let mut ref_worst = 0.0f64;
+        for (inst, _, to, _, rate) in &reference.health {
+            ref_final.insert(inst.clone(), to.clone());
+            ref_transitions += 1;
+            ref_worst = ref_worst.max(*rate);
+        }
+        prop_assert_eq!(&streaming.health.final_state, &ref_final);
+        prop_assert_eq!(streaming.health.transitions, ref_transitions);
+        prop_assert_eq!(streaming.health.worst_rate, ref_worst);
     }
 }

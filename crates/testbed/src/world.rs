@@ -13,6 +13,7 @@
 //! self-replenishing dummy/ACK queues (port-idle fillers), LinkGuardian
 //! timeouts, host NIC pacing and transport timers.
 
+use lg_guardd::{GuardAction, GuardInput, GuardManager};
 use lg_link::{LinkConfig, LinkDirection, LinkSpeed, LossModel};
 use lg_obs::health::{HealthEstimator, HealthEvent};
 use lg_obs::timeseries::SeriesBank;
@@ -259,6 +260,9 @@ pub struct WorldObs {
     pub link_health: HealthEstimator,
     /// Health-state transitions accumulated since the last publish.
     pub health_events: Vec<HealthEvent>,
+    /// How many of `health_events` the guardian manager has ingested
+    /// (reset when the events are drained at publish).
+    guard_fed: usize,
     /// Windowed retx-delay bookkeeping: (count, sum) seen at the
     /// previous sample, so each window reports its own mean.
     retx_delay_seen: (u64, f64),
@@ -281,6 +285,7 @@ impl Default for WorldObs {
             next_window: 0,
             link_health: HealthEstimator::new(linkguardian::corruptd::health_config()),
             health_events: Vec::new(),
+            guard_fed: 0,
             retx_delay_seen: (0, 0.0),
             profile: None,
         }
@@ -396,6 +401,13 @@ pub struct WorldConfig {
     /// `sample_interval` (the poll cadence) and a dormant start
     /// (`lg_active_from_start = false`) to be meaningful.
     pub corruptd_activation: bool,
+    /// Attach a guardian manager (`lg-guardd`) that consumes this
+    /// world's streaming health events and actuates LinkGuardian from
+    /// its budgeted, journaled decisions — the control-plane successor
+    /// to `corruptd_activation` (with `GuardConfig::oracle()` the two
+    /// activate at the identical sample tick). Requires
+    /// `sample_interval`; mutually exclusive with `corruptd_activation`.
+    pub guardd: Option<lg_guardd::GuardConfig>,
     /// ECN marking threshold on the protected port's normal queue
     /// (the paper's DCTCP experiments use 100 KB).
     pub ecn_threshold: Option<u64>,
@@ -432,6 +444,7 @@ impl WorldConfig {
             bidirectional: false,
             lg_active_from_start: true,
             corruptd_activation: false,
+            guardd: None,
             ecn_threshold: None,
             host_stack_delay: Duration::from_us(7),
             app: App::None,
@@ -507,6 +520,10 @@ pub struct World {
     pub budget: Option<lg_switch::MemBudget>,
     /// In-world control-plane daemon (see `WorldConfig::corruptd_activation`).
     pub corruptd: Option<Corruptd>,
+    /// Guardian manager (see `WorldConfig::guardd`), fed the world's
+    /// health events at every sample tick; its journal drains to the
+    /// sink at publish.
+    pub guardd: Option<GuardManager>,
     stress: Option<u32>, // frame_len when stress mode active
     stress_seq: u64,
     next_flow: u64,
@@ -631,6 +648,20 @@ impl World {
         } else {
             None
         };
+        let guardd = match cfg.guardd {
+            Some(gc) => {
+                assert!(
+                    cfg.sample_interval.is_some(),
+                    "guardd ingests on Ev::Sample: set sample_interval"
+                );
+                assert!(
+                    !cfg.corruptd_activation,
+                    "corruptd_activation and guardd are alternative control planes"
+                );
+                Some(GuardManager::new("world", gc))
+            }
+            None => None,
+        };
 
         World {
             cfg,
@@ -650,6 +681,7 @@ impl World {
             obs,
             budget,
             corruptd,
+            guardd,
             stress: None,
             stress_seq: 0,
             next_flow: 1,
@@ -891,6 +923,10 @@ impl World {
         lines.extend(self.obs.series.drain_jsonl(label));
         for ev in self.obs.health_events.drain(..) {
             lines.push(ev.to_json_line(label, "link", "fwd"));
+        }
+        self.obs.guard_fed = 0;
+        if let Some(mgr) = self.guardd.as_mut() {
+            lines.extend(mgr.take_journal());
         }
         let dropped = lg_obs::trace::dropped();
         let records = lg_obs::trace::drain();
@@ -1776,6 +1812,7 @@ impl World {
             self.obs.health_events.push(ev);
         }
         self.poll_corruptd(now);
+        self.poll_guardd(now);
         self.probes.qdepth.push(
             now,
             self.sw_tx.port(PORT_LINK).queue(Class::Normal).bytes() as f64,
@@ -1871,6 +1908,47 @@ impl World {
             self.lg_rx.activate();
             self.kick_port(Side::Tx, PORT_LINK);
             self.kick_port(Side::Rx, PORT_LINK);
+        }
+    }
+
+    /// Feed the guardian manager (if attached) the health transitions
+    /// accumulated since its last look at the stream, tick it, and
+    /// actuate its decisions. The testbed has one protected link (id 0),
+    /// so `Enable` activates LinkGuardian from the observed windowed
+    /// rate exactly as `poll_corruptd` does; `Retire`/`Defer` only move
+    /// the manager's own budget bookkeeping (there is no LinkGuardian
+    /// deactivation path in the cores — the paper treats repair as out
+    /// of band, §3.6).
+    fn poll_guardd(&mut self, now: Time) {
+        let Some(mgr) = self.guardd.as_mut() else {
+            return;
+        };
+        for ev in &self.obs.health_events[self.obs.guard_fed..] {
+            mgr.ingest(GuardInput::from_health_event(0, ev));
+        }
+        self.obs.guard_fed = self.obs.health_events.len();
+        mgr.tick(now.as_ps());
+        for d in mgr.drain_decisions() {
+            if d.action == GuardAction::Enable && !self.lg_tx.is_active() {
+                let rate = d.rate.max(1e-9);
+                lg_trace!(
+                    Level::Ctl,
+                    Comp::World,
+                    Kind::CorruptdFlip,
+                    0u16,
+                    now.as_ps(),
+                    0u64,
+                    0u64,
+                    linkguardian::eq::retx_copies(
+                        rate,
+                        linkguardian::corruptd::ACTIVATION_THRESHOLD
+                    )
+                );
+                self.lg_tx.activate(rate);
+                self.lg_rx.activate();
+                self.kick_port(Side::Tx, PORT_LINK);
+                self.kick_port(Side::Rx, PORT_LINK);
+            }
         }
     }
 

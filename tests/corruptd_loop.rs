@@ -107,6 +107,61 @@ fn corruptd_activation_mode_closes_the_loop_from_observed_counters() {
 }
 
 #[test]
+fn guardd_oracle_matches_corruptd_activation_tick_for_tick() {
+    // The guardian plane must be purely observational-plus-actuation:
+    // with budget ∞ and hold-down 0 (the `corruptd` latch), a world
+    // driven by `lg-guardd` and a world driven by `corruptd` feed the
+    // same estimator config the same counters at the same ticks, so
+    // LinkGuardian activates at the identical sample tick and the two
+    // trajectories are indistinguishable end to end.
+    let base = || {
+        let mut cfg = WorldConfig::new(LinkSpeed::G25, LossModel::Iid { rate: 1e-3 });
+        cfg.lg_active_from_start = false;
+        cfg.sample_interval = Some(Duration::from_ms(5));
+        cfg
+    };
+    let mut a_cfg = base();
+    a_cfg.corruptd_activation = true;
+    let mut b_cfg = base();
+    b_cfg.guardd = Some(lg_guardd::GuardConfig::oracle());
+    let mut a = World::new(a_cfg);
+    a.enable_stress(1518);
+    let mut b = World::new(b_cfg);
+    b.enable_stress(1518);
+    let end = Time::ZERO + Duration::from_ms(50);
+    a.run_until(end);
+    b.run_until(end);
+    assert!(a.lg_tx.is_active(), "corruptd world activated");
+    assert!(b.lg_tx.is_active(), "guardd world activated");
+    assert_eq!(a.out.stress_tx_frames, b.out.stress_tx_frames);
+    assert_eq!(a.stress_delivered(), b.stress_delivered());
+    assert_eq!(a.lg_rx.stats().recovered, b.lg_rx.stats().recovered);
+    assert_eq!(a.lg_rx.stats().lost_reported, b.lg_rx.stats().lost_reported);
+
+    // The guardian journaled exactly one enable, with its cause chain.
+    let mgr = b.guardd.as_mut().expect("manager attached");
+    assert_eq!(mgr.protected_links(), vec![0]);
+    let journal = mgr.take_journal().join("\n");
+    let j = lg_guardd::query::parse_journal(&journal).expect("valid journal");
+    let enables: Vec<_> = j
+        .events
+        .iter()
+        .filter(|e| e.action == lg_guardd::GuardAction::Enable)
+        .collect();
+    assert_eq!(enables.len(), 1, "oracle config latches exactly once");
+    assert!(!enables[0].cause.is_empty(), "cause chain recorded");
+    // Activation used the same observed rate corruptd latched on.
+    let d = a.corruptd.as_ref().expect("daemon attached");
+    let diff = (enables[0].rate - d.observed_rate(0)).abs();
+    assert!(
+        diff <= f64::EPSILON * d.observed_rate(0),
+        "rates diverge: {:e} vs {:e}",
+        enables[0].rate,
+        d.observed_rate(0)
+    );
+}
+
+#[test]
 fn corruptd_stays_quiet_on_healthy_link() {
     let mut cfg = WorldConfig::new(LinkSpeed::G25, LossModel::None);
     cfg.lg_active_from_start = false;
